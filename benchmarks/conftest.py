@@ -1,0 +1,36 @@
+"""Shared infrastructure for the per-figure benchmark harness.
+
+Every ``test_fig*`` module regenerates one paper table/figure: it
+computes the data (through the caching runner), writes a rendered text
+artifact under ``benchmarks/_output/``, prints it, and times a
+representative unit of work with pytest-benchmark.
+"""
+
+import os
+
+import pytest
+
+from repro.core.runner import Runner
+
+_OUT = os.path.join(os.path.dirname(__file__), "_output")
+_CACHE = os.path.join(os.path.dirname(__file__), "_results")
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return Runner(cache_dir=_CACHE)
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    os.makedirs(_OUT, exist_ok=True)
+    return _OUT
+
+
+def emit(output_dir, name, text):
+    """Write and echo a rendered figure artifact."""
+    path = os.path.join(output_dir, name)
+    with open(path, "w") as fh:
+        fh.write(text)
+    print("\n" + text)
+    return path

@@ -1,0 +1,83 @@
+"""Figs. 10-12: pipeline width, LQ/SQ depth, and branch predictor
+sensitivity (percent execution-time difference vs the baseline)."""
+
+from conftest import emit
+
+from repro.core import figures
+from repro.io import render_bars, render_table
+
+
+def _by_workload(rows):
+    out = {}
+    for r in rows:
+        out.setdefault(r["workload"], {})[r["param"]] = r["pct_diff"]
+    return out
+
+
+def test_fig10_width(benchmark, output_dir, runner):
+    rows = benchmark.pedantic(
+        lambda: figures.fig10_width(runner=runner), rounds=1, iterations=1,
+    )
+    text = render_table(
+        rows, columns=["workload", "param", "pct_diff"],
+        title="Fig. 10 - Exec time % diff vs pipeline width 6",
+    )
+    text += render_bars(
+        [(f"{r['workload']}@w{r['param']}", r["pct_diff"]) for r in rows],
+        title="% slowdown (positive = slower than baseline)",
+    )
+    emit(output_dir, "fig10.txt", text)
+
+    d = _by_workload(rows)
+    for w, vals in d.items():
+        # Narrowing to width 2 slows everything down.
+        assert vals[2] > 0.0, (w, vals)
+        # Widening to 8 yields only marginal change (< ~4%).
+        assert abs(vals[8]) < 6.0, (w, vals)
+    # The FP-dense regular workloads (ar, co) lose the most at width 2;
+    # dependency-limited rj/dm lose the least (paper's contrast).
+    assert d["ar"][2] > d["rj"][2]
+    assert d["co"][2] > d["dm"][2] or d["ar"][2] > d["dm"][2]
+
+
+def test_fig11_lsq(benchmark, output_dir, runner):
+    rows = benchmark.pedantic(
+        lambda: figures.fig11_lsq(runner=runner), rounds=1, iterations=1,
+    )
+    text = render_table(
+        rows, columns=["workload", "param", "pct_diff"],
+        title="Fig. 11 - Exec time % diff vs LQ/SQ = 72/56",
+    )
+    emit(output_dir, "fig11.txt", text)
+
+    d = _by_workload(rows)
+    for w, vals in d.items():
+        # Shrinking the queues never helps; growing them changes little.
+        assert vals["32_24"] >= -0.5, (w, vals)
+        assert abs(vals["96_72"]) < 3.0, (w, vals)
+    # Memory-op-heavy workloads are the most queue-sensitive.
+    assert max(d["co"]["32_24"], d["tu"]["32_24"], d["ar"]["32_24"]) >= \
+        d["ma"]["32_24"] - 0.5
+
+
+def test_fig12_branch_predictor(benchmark, output_dir, runner):
+    rows = benchmark.pedantic(
+        lambda: figures.fig12_branch_predictor(runner=runner),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        rows, columns=["workload", "param", "pct_diff"],
+        title="Fig. 12 - Exec time % diff vs TournamentBP",
+    )
+    emit(output_dir, "fig12.txt", text)
+
+    d = _by_workload(rows)
+    ltage_wins = sum(1 for w in d if d[w]["ltage"] <= 0.5)
+    # LTAGE matches or beats the baseline for most workloads.
+    assert ltage_wins >= 4, {w: d[w]["ltage"] for w in d}
+    for w, vals in d.items():
+        # LocalBP is never meaningfully better than LTAGE.
+        assert vals["local"] >= vals["ltage"] - 1.0, (w, vals)
+        # Overall sensitivity is modest (paper: <= ~11%).
+        for p, v in vals.items():
+            assert abs(v) < 20.0, (w, p, v)

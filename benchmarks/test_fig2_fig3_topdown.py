@@ -1,0 +1,74 @@
+"""Figs. 2-3: top-down pipeline breakdown and FE/BE stall split for the
+12 VTune workloads (host configuration)."""
+
+import pytest
+from conftest import emit
+
+from repro.core import figures
+from repro.io import render_stacked, render_table
+
+
+@pytest.fixture(scope="module")
+def fig2_rows(runner):
+    return figures.fig2_topdown(scale="default", runner=runner)
+
+
+def test_fig2_topdown(benchmark, output_dir, runner, fig2_rows):
+    # The suite is computed once (cached); benchmark one re-analysis.
+    benchmark.pedantic(
+        lambda: figures.fig2_topdown(scale="default", runner=runner),
+        rounds=1, iterations=1,
+    )
+    rows = fig2_rows
+    text = render_table(
+        rows,
+        columns=["workload", "retiring_pct", "frontend_pct", "bad_spec_pct",
+                 "backend_pct"],
+        title="Fig. 2 - Top-down pipeline breakdown (%)",
+    )
+    text += render_stacked(
+        rows, "workload",
+        ["retiring_pct", "frontend_pct", "bad_spec_pct", "backend_pct"],
+        title="stacked view",
+    )
+    emit(output_dir, "fig2.txt", text)
+
+    by_name = {r["workload"]: r for r in rows}
+    # Paper shape: material models are the most backend-bound; their
+    # retirement is the lowest of the suite.
+    ma_backend = [by_name[f"ma{k}"]["backend_pct"] for k in range(26, 32)]
+    bp_backend = [by_name[f"bp0{k}"]["backend_pct"] for k in (7, 8, 9)]
+    assert min(ma_backend) > 60.0
+    assert max(ma_backend) > 80.0
+    assert all(b > 40.0 for b in bp_backend)
+    ma_ret = [by_name[f"ma{k}"]["retiring_pct"] for k in range(26, 32)]
+    bp_ret = [by_name[f"bp0{k}"]["retiring_pct"] for k in (7, 8, 9)]
+    assert max(ma_ret) < min(bp_ret)
+    # Bad speculation is the smallest component for every workload.
+    for r in rows:
+        assert r["bad_spec_pct"] < r["backend_pct"]
+
+
+def test_fig3_stall_split(benchmark, output_dir, runner):
+    rows = benchmark.pedantic(
+        lambda: figures.fig3_stall_split(scale="default", runner=runner),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        rows,
+        columns=["workload", "fe_latency_pct", "fe_bandwidth_pct",
+                 "be_core_pct", "be_memory_pct"],
+        title="Fig. 3 - Front-end / back-end stall split (%)",
+    )
+    emit(output_dir, "fig3.txt", text)
+    by_name = {r["workload"]: r for r in rows}
+    # Material models are overwhelmingly core-bound (PAUSE serialization).
+    for k in range(26, 32):
+        r = by_name[f"ma{k}"]
+        assert r["be_core_pct"] > 55.0
+        assert r["be_core_pct"] > 4 * r["be_memory_pct"]
+    # Fluid/biphasic models carry the larger memory-bound share.
+    fl_mem = max(by_name["fl33"]["be_memory_pct"],
+                 by_name["fl34"]["be_memory_pct"])
+    ma_mem = max(by_name[f"ma{k}"]["be_memory_pct"] for k in range(26, 32))
+    assert fl_mem > ma_mem

@@ -1,0 +1,44 @@
+"""Fig. 4: prevalence of function categories within the top hotspots."""
+
+from conftest import emit
+
+from repro.core import figures
+from repro.io import render_table
+
+
+def test_fig4_hotspots(benchmark, output_dir, runner):
+    rows = benchmark.pedantic(
+        lambda: figures.fig4_hotspots(scale="tiny", runner=runner),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        rows,
+        columns=["workload", "category", "internal", "sparsity", "matrix",
+                 "febio", "mkl_blas", "pardiso"],
+        title=("Fig. 4 - Hotspot category prevalence "
+               "(R >75%, O 50-75%, Y 25-50%, G <25%, - absent)"),
+    )
+    emit(output_dir, "fig4.txt", text)
+
+    assert len(rows) == 20  # one per category incl. the eye
+    # Paper shape: internal functions appear in the hot set of nearly
+    # every workload and dominate a substantial share of them.
+    internal_present = sum(1 for r in rows if r["internal"] != "-")
+    assert internal_present >= 9, rows
+    # Spin/solver functions (febio, pardiso, mkl_blas) carry the rest of
+    # the hot set, as the paper's PAUSE/solver discussion implies.
+    other_hot = sum(
+        1 for r in rows
+        if any(r[c] in ("R", "O", "Y") for c in ("febio", "pardiso",
+                                                 "mkl_blas", "sparsity")))
+    assert other_hot >= 10, rows
+    # Contact-bearing workloads surface FEBio-specific functions.
+    co = next(r for r in rows if r["category"] == "CO")
+    assert co["febio"] != "-"
+    # The eye's hotspots disperse across several categories (paper: the
+    # case study shows the most diverse execution paths).
+    eye = next(r for r in rows if r["category"] == "Eye")
+    eye_categories = sum(1 for c in ("internal", "sparsity", "matrix",
+                                     "febio", "mkl_blas", "pardiso")
+                         if eye[c] != "-")
+    assert eye_categories >= 3, eye

@@ -1,0 +1,85 @@
+"""Figs. 5-6: wall-clock scaling of the real FE solver.
+
+Fig. 5 plots solve time against input size for every category (the eye
+must sit above the trend); Fig. 6 contrasts CPU time across the
+biphasic / fluid / material groups.
+"""
+
+import math
+
+import pytest
+from conftest import emit
+
+from repro.core import figures
+from repro.io import render_bars, render_table
+
+
+@pytest.fixture(scope="module")
+def fig5_points():
+    return figures.fig5_scaling(scale="tiny", include_eye=True)
+
+
+def test_fig5_scaling(benchmark, output_dir, fig5_points):
+    points = fig5_points
+    benchmark.pedantic(
+        lambda: figures.fig5_scaling(scale="tiny", include_eye=False),
+        rounds=1, iterations=1,
+    )
+    rows = sorted(points, key=lambda p: p["size_kb"])
+    text = render_table(
+        rows,
+        columns=["name", "category", "size_kb", "seconds", "neq",
+                 "newton_iters"],
+        floatfmt="{:.3f}",
+        title="Fig. 5 - Solve time vs model size (log-log cloud)",
+    )
+    emit(output_dir, "fig5.txt", text)
+
+    # Shape check 1: time correlates positively with size in log space.
+    xs = [math.log(p["size_kb"]) for p in points if not p["case_study"]]
+    ys = [math.log(max(p["seconds"], 1e-6))
+          for p in points if not p["case_study"]]
+    n = len(xs)
+    mx, my = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    corr = cov / math.sqrt(vx * vy)
+    assert corr > 0.3, f"log-log correlation too weak: {corr:.2f}"
+
+    # Shape check 2: the eye lies above the test-suite trend line.
+    slope = cov / vx
+    intercept = my - slope * mx
+    eye = next(p for p in points if p["case_study"])
+    predicted = slope * math.log(eye["size_kb"]) + intercept
+    assert math.log(eye["seconds"]) > predicted
+
+
+def test_fig6_cpu_time(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        lambda: figures.fig6_cpu_time(scale="default"),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        rows, columns=["group", "workload", "seconds", "neq"],
+        floatfmt="{:.3f}",
+        title="Fig. 6 - CPU time by model group",
+    )
+    text += render_bars(
+        [(r["workload"], r["seconds"]) for r in rows],
+        title="seconds", floatfmt="{:.3f}",
+    )
+    emit(output_dir, "fig6.txt", text)
+
+    by_group = {}
+    for r in rows:
+        by_group.setdefault(r["group"], []).append(r["seconds"])
+    # Paper shape: biphasic and fluid models need substantially more CPU
+    # time than similarly sized material models.
+    ma_mean = sum(by_group["Material Models"]) / len(
+        by_group["Material Models"])
+    bp_mean = sum(by_group["Biphasic Models"]) / len(
+        by_group["Biphasic Models"])
+    fl_mean = sum(by_group["Fluid Models"]) / len(by_group["Fluid Models"])
+    assert bp_mean > ma_mean
+    assert fl_mean > ma_mean

@@ -1,0 +1,54 @@
+"""Fig. 7: normalized fetch / execute / commit stage activity (gem5 set)."""
+
+from conftest import emit
+
+from repro.core import figures
+from repro.io import render_stacked, render_table
+
+
+def test_fig7_pipeline_stages(benchmark, output_dir, runner):
+    data = benchmark.pedantic(
+        lambda: figures.fig7_pipeline_stages(scale="default", runner=runner),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        data["fetch"],
+        columns=["workload", "activeFetchCycles", "icacheStallCycles",
+                 "tlbCycles", "squashCycles", "miscStallCycles"],
+        floatfmt="{:.3f}",
+        title="Fig. 7a - Fetch stage cycle breakdown (fractions)",
+    )
+    text += render_table(
+        data["execute"],
+        columns=["workload", "numBranches", "numFpInsts", "numIntInsts",
+                 "numLoadInsts", "numStoreInsts"],
+        floatfmt="{:.3f}",
+        title="Fig. 7b - Execute stage instruction mix",
+    )
+    text += render_table(
+        data["commit"],
+        columns=["workload", "numFpInsts", "numIntInsts", "numLoadInsts",
+                 "numStoreInsts"],
+        floatfmt="{:.3f}",
+        title="Fig. 7c - Commit stage instruction mix (non-branch)",
+    )
+    text += render_stacked(
+        data["execute"], "workload",
+        ["numBranches", "numFpInsts", "numIntInsts", "numLoadInsts",
+         "numStoreInsts"],
+        title="execute-stage mix (stacked)",
+    )
+    emit(output_dir, "fig7.txt", text)
+
+    fetch = {r["workload"]: r for r in data["fetch"]}
+    execute = {r["workload"]: r for r in data["execute"]}
+    commit = {r["workload"]: r for r in data["commit"]}
+    # Paper shape: rj has elevated I-cache stalls relative to ar/ma.
+    assert fetch["rj"]["icacheStallCycles"] > fetch["ar"]["icacheStallCycles"]
+    assert fetch["rj"]["icacheStallCycles"] > fetch["ma"]["icacheStallCycles"]
+    # co carries a high memory-operation share in the execute stage.
+    co_mem = execute["co"]["numLoadInsts"] + execute["co"]["numStoreInsts"]
+    assert co_mem > 0.2
+    # tu / ma / co show substantial FP at commit.
+    for w in ("tu", "ma", "co"):
+        assert commit[w]["numFpInsts"] > 0.15

@@ -1,0 +1,38 @@
+"""Fig. 8: core-frequency sensitivity (execution time and IPC)."""
+
+from conftest import emit
+
+from repro.core import figures
+from repro.io import render_table
+
+
+def test_fig8_frequency(benchmark, output_dir, runner):
+    rows = benchmark.pedantic(
+        lambda: figures.fig8_frequency(runner=runner),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        rows,
+        columns=["workload", "freq_ghz", "seconds", "ipc",
+                 "speedup_vs_1ghz"],
+        floatfmt="{:.4g}",
+        title="Fig. 8 - Frequency scaling (time, IPC, speedup vs 1 GHz)",
+    )
+    emit(output_dir, "fig8.txt", text)
+
+    by_wf = {(r["workload"], r["freq_ghz"]): r for r in rows}
+    workloads = sorted({r["workload"] for r in rows})
+    for w in workloads:
+        # Time strictly decreases with frequency...
+        times = [by_wf[(w, f)]["seconds"] for f in (1.0, 2.0, 3.0, 4.0)]
+        assert times == sorted(times, reverse=True)
+        # ...but sublinearly: speedup at 3/4 GHz below ideal.
+        assert by_wf[(w, 3.0)]["speedup_vs_1ghz"] <= 3.0 + 1e-9
+        assert by_wf[(w, 4.0)]["speedup_vs_1ghz"] <= 4.0 + 1e-9
+        # IPC never improves with frequency (memory exposure).
+        assert by_wf[(w, 4.0)]["ipc"] <= by_wf[(w, 1.0)]["ipc"] + 1e-9
+    # rj shows the strongest diminishing returns (icache/TLB wall-clock
+    # stalls), mirroring the paper's explanation for poor scaling.
+    rj4 = by_wf[("rj", 4.0)]["speedup_vs_1ghz"]
+    ma4 = by_wf[("ma", 4.0)]["speedup_vs_1ghz"]
+    assert rj4 < ma4

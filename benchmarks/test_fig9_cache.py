@@ -1,0 +1,92 @@
+"""Fig. 9: cache-capacity sensitivity (L1I/L1D MPKI, L2 MPKI, runtimes)."""
+
+import pytest
+from conftest import emit
+
+from repro.core import figures
+from repro.io import render_table
+
+
+@pytest.fixture(scope="module")
+def fig9(runner):
+    return figures.fig9_cache(runner=runner)
+
+
+def test_fig9_cache_sweeps(benchmark, output_dir, runner, fig9):
+    benchmark.pedantic(
+        lambda: figures.fig9_cache(runner=runner), rounds=1, iterations=1,
+    )
+    text = ""
+    for label, rows in fig9.items():
+        text += render_table(
+            rows,
+            columns=["workload", "size_kb", "mpki", "norm_time"],
+            floatfmt="{:.3f}",
+            title=f"Fig. 9 ({label.upper()}) - MPKI and normalized time "
+                  f"vs capacity",
+        )
+    emit(output_dir, "fig9.txt", text)
+    # Shape checks run here too so --benchmark-only exercises them.
+    test_fig9a_l1i_shape(fig9)
+    test_fig9b_l1d_shape(fig9)
+    test_fig9c_l1_exec_time_knee(fig9)
+    test_fig9d_l2_shape(fig9)
+
+
+def _series(rows, workload):
+    return {r["size_kb"]: r for r in rows if r["workload"] == workload}
+
+
+def test_fig9a_l1i_shape(fig9):
+    rows = fig9["l1i"]
+    for w in ("ar", "co", "dm", "ma", "rj", "tu"):
+        s = _series(rows, w)
+        # MPKI decreases (weakly) with capacity; the 8->32 kB drop
+        # dominates any 32->64 kB change.
+        assert s[8]["mpki"] >= s[32]["mpki"] - 1e-9
+        drop_8_32 = s[8]["mpki"] - s[32]["mpki"]
+        drop_32_64 = abs(s[32]["mpki"] - s[64]["mpki"])
+        assert drop_8_32 >= drop_32_64 - 1e-9
+    # rj and dm are the most L1I-sensitive; ar the least.
+    def sensitivity(w):
+        s = _series(rows, w)
+        return s[8]["mpki"] - s[64]["mpki"]
+
+    assert sensitivity("rj") >= sensitivity("ar")
+    assert sensitivity("dm") >= sensitivity("ar")
+
+
+def test_fig9b_l1d_shape(fig9):
+    rows = fig9["l1d"]
+    for w in ("co", "tu"):
+        s = _series(rows, w)
+        assert s[8]["mpki"] > s[32]["mpki"]  # big drops for data-heavy
+    # The data-heavy workloads gain many MPKI from added L1D capacity.
+    def drop(w):
+        s = _series(rows, w)
+        return s[8]["mpki"] - s[64]["mpki"]
+
+    assert drop("co") > 5.0
+    assert drop("tu") > 5.0
+
+
+def test_fig9c_l1_exec_time_knee(fig9):
+    rows = fig9["l1d"]
+    for w in ("co", "tu"):
+        s = _series(rows, w)
+        # 32 kB is the practical inflection: within 5% of the best time.
+        assert s[32]["norm_time"] <= 1.08
+
+
+def test_fig9d_l2_shape(fig9):
+    rows = fig9["l2"]
+    # rj and dm respond to L2 capacity...
+    for w in ("rj", "dm"):
+        s = _series(rows, w)
+        assert s[256]["mpki"] >= s[2048]["mpki"]
+        assert s[256]["norm_time"] >= s[2048]["norm_time"] - 1e-9
+    # ...while ar/ma/co/tu stay below 1 MPKI at every size (paper claim).
+    for w in ("ar", "ma", "co", "tu"):
+        s = _series(rows, w)
+        for size in (256, 512, 1024, 2048):
+            assert s[size]["mpki"] < 1.0, (w, size, s[size]["mpki"])

@@ -1,0 +1,37 @@
+"""Table I: dataset model breakdown (input-file sizes per category)."""
+
+from conftest import emit
+
+from repro.core.tables import table1_rows, table2_rows
+from repro.io import render_table
+
+
+def test_table1_dataset(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        lambda: table1_rows(scales=("tiny", "default")),
+        rounds=1, iterations=1,
+    )
+    text = render_table(
+        rows,
+        columns=["category", "n_models", "measured_lo_kb", "measured_hi_kb",
+                 "paper_lo_kb", "paper_hi_kb"],
+        title="Table I - Dataset model breakdown (measured vs paper, kB)",
+    )
+    emit(output_dir, "table1.txt", text)
+    assert len(rows) == 20
+    eye = next(r for r in rows if r["category"] == "Eye")
+    others = [r["measured_hi_kb"] for r in rows if r["category"] != "Eye"]
+    # The case study must be the largest input, as in the paper.
+    assert eye["measured_hi_kb"] >= max(others)
+
+
+def test_table2_config(benchmark, output_dir):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    text = render_table(
+        [{"parameter": k, "value": v} for k, v in rows],
+        columns=["parameter", "value"],
+        title="Table II - Baseline simulated configuration",
+    )
+    emit(output_dir, "table2.txt", text)
+    as_dict = dict(rows)
+    assert as_dict["Reorder Buffer (ROB) entries"] == "224"

@@ -1,0 +1,58 @@
+"""The ocular biomechanics case study (paper Section III.A.b).
+
+Builds the corneoscleral shell model (IOP inflation + ramped negative
+periocular pressure), solves it, reports tissue displacements, and runs
+the architectural characterization that makes the eye the paper's
+stress-test: the most backend-/memory-bound workload of the suite.
+
+    python examples/ocular_case_study.py [--scale tiny|default]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.characterize import characterize
+from repro.core.runner import Runner
+from repro.fem import feb_bytes, solve_model
+from repro.uarch import host_i9
+from repro.workloads import get
+from repro.workloads.eye import build_eye
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "default", "large"])
+    args = parser.parse_args()
+
+    model = build_eye(args.scale)
+    print(f"eye model: {model.mesh.nelem} elements "
+          f"({', '.join(b.name for b in model.mesh.blocks)}), "
+          f"{model.neq} equations, {feb_bytes(model) / 1024:.0f} kB input")
+
+    values, record = solve_model(model)
+    disp = np.linalg.norm(values[:, :3], axis=1)
+    cornea_nodes = model.mesh.block("cornea").node_set()
+    onh_nodes = model.mesh.block("onh").node_set()
+    print(f"solved: {record.total_newton_iterations} Newton iterations, "
+          f"{record.wall_time:.1f}s")
+    print(f"peak corneal displacement: {disp[cornea_nodes].max():.4f} mm")
+    print(f"peak ONH displacement:     {disp[onh_nodes].max():.4f} mm")
+
+    # Architectural characterization on the host (VTune-analog) config.
+    runner = Runner(use_disk_cache=False)
+    c = characterize("eye", host_i9(), scale=args.scale, budget=60_000,
+                     runner=runner)
+    print("\ntop-down:", {k: f"{v:.1%}" for k, v in c.topdown.level1.items()})
+    print(f"memory-bound share: {c.topdown.memory_bound:.1%}, "
+          f"core-bound: {c.topdown.core_bound:.1%}")
+    print(f"DRAM bandwidth during solve phases: "
+          f"{c.metrics.dram_gbps:.1f} GB/s (sim)")
+    print("hotspots (dispersed across categories, as in Fig. 4):")
+    for name, category, share in c.hotspots.top_functions(6):
+        print(f"  {name:24s} [{category:9s}] {share:.1%}")
+
+
+if __name__ == "__main__":
+    main()

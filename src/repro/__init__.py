@@ -1,0 +1,24 @@
+"""Belenos reproduction: biomechanics FEA workload characterization.
+
+Subpackages
+-----------
+``repro.fem``
+    From-scratch nonlinear finite element solver (the FEBio analog).
+``repro.sparse``
+    CSR/COO sparse linear algebra used by the solver and tracers.
+``repro.workloads``
+    The FEBio test-suite workload generators plus the ocular case study.
+``repro.trace``
+    Micro-op trace generation from real solver data structures.
+``repro.uarch``
+    Trace-driven out-of-order CPU simulator (the gem5 analog).
+``repro.profiling``
+    Top-down microarchitecture analysis and hotspot attribution (the
+    VTune analog).
+``repro.core``
+    The Belenos characterization pipeline: sweeps, figures, tables.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,43 @@
+"""Belenos characterization core: runs, sweeps, figures, tables."""
+
+from .characterize import (
+    Characterization,
+    characterize,
+    characterize_gem5_baseline,
+    characterize_vtune_suite,
+)
+from .runner import Runner, default_runner
+from .sweeps import (
+    GEM5_WORKLOADS,
+    branch_predictor_sweep,
+    frequency_sweep,
+    l1d_sweep,
+    l1i_sweep,
+    l2_sweep,
+    lsq_sweep,
+    rob_iq_sweep,
+    width_sweep,
+)
+from .tables import table1_rows, table2_rows
+from . import figures
+
+__all__ = [
+    "Characterization",
+    "characterize",
+    "characterize_gem5_baseline",
+    "characterize_vtune_suite",
+    "Runner",
+    "default_runner",
+    "GEM5_WORKLOADS",
+    "branch_predictor_sweep",
+    "frequency_sweep",
+    "l1d_sweep",
+    "l1i_sweep",
+    "l2_sweep",
+    "lsq_sweep",
+    "rob_iq_sweep",
+    "width_sweep",
+    "table1_rows",
+    "table2_rows",
+    "figures",
+]

@@ -1,0 +1,66 @@
+"""End-to-end characterization: workload -> trace -> simulate -> analyze.
+
+This is Belenos's primary contribution: one call produces the top-down
+breakdown, stall split, hotspot report, and metric set for any workload
+on either the host (VTune) or gem5-baseline configuration.
+"""
+
+from __future__ import annotations
+
+from ..profiling import analyze, hotspot_report, metric_set
+from ..uarch.config import gem5_baseline, host_i9
+from ..workloads import vtune_workloads
+from .runner import default_runner
+
+__all__ = ["Characterization", "characterize", "characterize_vtune_suite"]
+
+_VTUNE_BUDGET = 80_000
+
+
+class Characterization:
+    """Bundle of every analysis view for one (workload, config) run."""
+
+    def __init__(self, workload, stats):
+        self.workload = workload
+        self.stats = stats
+        self.topdown = analyze(stats, workload)
+        self.hotspots = hotspot_report(stats, workload)
+        self.metrics = metric_set(stats, workload)
+
+    def summary(self):
+        row = self.topdown.row()
+        row.update(
+            {
+                "ipc": self.metrics.ipc,
+                "l1d_mpki": self.metrics.l1d_mpki,
+                "l2_mpki": self.metrics.l2_mpki,
+                "dram_gbps": self.metrics.dram_gbps,
+            }
+        )
+        return row
+
+
+def characterize(workload, config=None, scale="default",
+                 budget=_VTUNE_BUDGET, runner=None):
+    """Characterize one workload (host config by default)."""
+    runner = runner or default_runner()
+    config = config or host_i9()
+    stats = runner.stats_for(workload, config, scale=scale, budget=budget)
+    return Characterization(workload, stats)
+
+
+def characterize_vtune_suite(scale="default", runner=None, config=None):
+    """Figs. 2-3: characterize the 12 VTune workloads, paper order."""
+    runner = runner or default_runner()
+    config = config or host_i9()
+    return [
+        characterize(spec.name, config, scale=scale, runner=runner)
+        for spec in vtune_workloads()
+    ]
+
+
+def characterize_gem5_baseline(workload, scale="default", runner=None):
+    """Characterize under the Table II baseline (Fig. 7 companion)."""
+    return characterize(
+        workload, gem5_baseline(), scale=scale, runner=runner
+    )

@@ -1,0 +1,78 @@
+"""Run management: solve/trace/simulate with two-level caching.
+
+* In-process: solves and traces are memoized per (workload, scale,
+  budget) — sweeps reuse one trace across dozens of configs.
+* On disk: ``SimStats`` are cached as JSON keyed by (workload, scale,
+  budget, config digest) so benchmark re-renders are instant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..trace import TraceRequest, workload_trace
+from ..uarch import SimStats, simulate
+from ..workloads import get as get_workload
+
+__all__ = ["Runner", "default_runner"]
+
+_DEFAULT_CACHE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "_results",
+)
+
+
+class Runner:
+    """Caching orchestrator for workload simulations."""
+
+    def __init__(self, cache_dir=None, use_disk_cache=True):
+        self.cache_dir = cache_dir or _DEFAULT_CACHE_DIR
+        self.use_disk_cache = use_disk_cache
+        self._traces = {}
+
+    # ------------------------------------------------------------------
+    def trace_for(self, workload, scale="default", budget=80_000):
+        """Trace for a workload (memoized in process)."""
+        key = (workload, scale, budget)
+        if key not in self._traces:
+            spec = get_workload(workload)
+            request = TraceRequest(budget=budget, scale=scale)
+            trace, record = workload_trace(spec, request)
+            self._traces[key] = (trace, record)
+        return self._traces[key]
+
+    def stats_for(self, workload, config, scale="default", budget=80_000):
+        """Simulate a workload under a config (disk-cached)."""
+        cache_key = f"{workload}_{scale}_{budget}_{config.digest()}.json"
+        path = os.path.join(self.cache_dir, cache_key)
+        if self.use_disk_cache and os.path.exists(path):
+            with open(path) as fh:
+                return SimStats.from_dict(json.load(fh))
+        trace, _ = self.trace_for(workload, scale, budget)
+        stats = simulate(trace, config)
+        if self.use_disk_cache:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            tmp = path + ".tmp"
+            with open(tmp, "w") as fh:
+                json.dump(stats.as_dict(), fh)
+            os.replace(tmp, path)
+        return stats
+
+    def clear_disk_cache(self):
+        if os.path.isdir(self.cache_dir):
+            for name in os.listdir(self.cache_dir):
+                if name.endswith(".json"):
+                    os.remove(os.path.join(self.cache_dir, name))
+
+
+_runner = None
+
+
+def default_runner():
+    """The process-wide shared runner."""
+    global _runner
+    if _runner is None:
+        _runner = Runner()
+    return _runner

@@ -1,0 +1,80 @@
+"""Finite element solver for biomechanics (the FEBio analog).
+
+Public API sketch::
+
+    from repro.fem import (
+        FEModel, StepSettings, box_hex, LinearElastic, solve_model,
+    )
+
+    mesh = box_hex(4, 4, 4)
+    model = FEModel(mesh)
+    model.add_material(LinearElastic(E=1.0, nu=0.3, name="mat"))
+    model.fix(mesh.nodes_on_plane(2, 0.0), ("ux", "uy", "uz"))
+    model.add_nodal_load(mesh.nodes_on_plane(2, 1.0), "uz", -0.01)
+    model.finalize()
+    values, record = solve_model(model)
+"""
+
+from .assembly import StateStore, assemble_system, external_force
+from .boundary import BodyForce, FixedBC, NodalLoad, PrescribedBC, PressureLoad
+from .contact import NodeSurfaceContact, RigidPlaneContact
+from .dofs import FIELDS, PHYSICS_FIELDS, DofManager
+from .febfile import feb_bytes, read_feb_geometry, write_feb
+from .loadcurve import LoadCurve, constant, ramp, sinusoid, step_after
+from .materials import *  # noqa: F401,F403 — curated in materials.__all__
+from .materials import __all__ as _materials_all
+from .mesh import ElementBlock, Mesh
+from .meshgen import (
+    box_hex,
+    box_tet,
+    cylinder_shell_hex,
+    perturbed_box_hex,
+    spherical_shell_hex,
+)
+from .model import FEModel, StepSettings
+from .rigid import RigidBody, RigidJoint
+from .solver import (
+    NewtonError,
+    SolveRecord,
+    solve_linear,
+    solve_model,
+)
+
+__all__ = [
+    "StateStore",
+    "assemble_system",
+    "external_force",
+    "BodyForce",
+    "FixedBC",
+    "NodalLoad",
+    "PrescribedBC",
+    "PressureLoad",
+    "NodeSurfaceContact",
+    "RigidPlaneContact",
+    "FIELDS",
+    "PHYSICS_FIELDS",
+    "DofManager",
+    "feb_bytes",
+    "read_feb_geometry",
+    "write_feb",
+    "LoadCurve",
+    "constant",
+    "ramp",
+    "sinusoid",
+    "step_after",
+    "ElementBlock",
+    "Mesh",
+    "box_hex",
+    "box_tet",
+    "cylinder_shell_hex",
+    "perturbed_box_hex",
+    "spherical_shell_hex",
+    "FEModel",
+    "StepSettings",
+    "RigidBody",
+    "RigidJoint",
+    "NewtonError",
+    "SolveRecord",
+    "solve_linear",
+    "solve_model",
+] + list(_materials_all)

@@ -1,0 +1,103 @@
+"""Boundary condition and load containers.
+
+All time dependence goes through :class:`~repro.fem.loadcurve.LoadCurve`
+objects, matching FEBio's ``<loadcurve>`` indirection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .loadcurve import LoadCurve, constant
+
+__all__ = ["FixedBC", "PrescribedBC", "NodalLoad", "PressureLoad", "BodyForce"]
+
+
+class FixedBC:
+    """Homogeneous Dirichlet condition on a node set."""
+
+    def __init__(self, nodes, fields):
+        self.nodes = np.asarray(nodes, dtype=np.int64)
+        self.fields = tuple(fields)
+        if not self.fields:
+            raise ValueError("FixedBC needs at least one field")
+
+    def __repr__(self):
+        return f"FixedBC(nodes={self.nodes.size}, fields={self.fields})"
+
+
+class PrescribedBC:
+    """Non-homogeneous Dirichlet condition: ``value * curve(t)``."""
+
+    def __init__(self, nodes, field, value=1.0, curve=None):
+        self.nodes = np.asarray(nodes, dtype=np.int64)
+        self.field = field
+        self.value = float(value)
+        self.curve = curve if curve is not None else constant()
+        if not isinstance(self.curve, LoadCurve):
+            raise TypeError("curve must be a LoadCurve")
+
+    def value_at(self, t):
+        return self.value * self.curve(t)
+
+    def __repr__(self):
+        return (
+            f"PrescribedBC(nodes={self.nodes.size}, field={self.field!r}, "
+            f"value={self.value})"
+        )
+
+
+class NodalLoad:
+    """Concentrated load ``value * curve(t)`` on (nodes, field)."""
+
+    def __init__(self, nodes, field, value=1.0, curve=None):
+        self.nodes = np.asarray(nodes, dtype=np.int64)
+        self.field = field
+        self.value = float(value)
+        self.curve = curve if curve is not None else constant()
+
+    def value_at(self, t):
+        return self.value * self.curve(t)
+
+
+class PressureLoad:
+    """Uniform pressure on a list of quad faces (node-index tuples).
+
+    Positive pressure pushes against the outward face normal (compression),
+    matching FEBio's ``pressure`` surface load sign convention.
+    """
+
+    def __init__(self, faces, value=1.0, curve=None, field_prefix="u"):
+        self.faces = [tuple(int(n) for n in f) for f in faces]
+        for f in self.faces:
+            if len(f) != 4:
+                raise ValueError("PressureLoad supports quad4 faces")
+        self.value = float(value)
+        self.curve = curve if curve is not None else constant()
+        if field_prefix not in ("u", "v"):
+            raise ValueError("field_prefix must be 'u' (solid) or 'v' (fluid)")
+        self.field_prefix = field_prefix
+
+    def value_at(self, t):
+        return self.value * self.curve(t)
+
+    @property
+    def fields(self):
+        return tuple(self.field_prefix + ax for ax in "xyz")
+
+
+class BodyForce:
+    """Uniform body force density on an element block."""
+
+    def __init__(self, block_name, direction=(0, 0, -1), value=1.0, curve=None):
+        self.block_name = block_name
+        d = np.asarray(direction, dtype=np.float64)
+        norm = np.linalg.norm(d)
+        if norm == 0:
+            raise ValueError("body force direction must be non-zero")
+        self.direction = d / norm
+        self.value = float(value)
+        self.curve = curve if curve is not None else constant()
+
+    def value_at(self, t):
+        return self.value * self.curve(t)

@@ -1,0 +1,171 @@
+"""Penalty contact interfaces.
+
+Two flavors cover the CO / RJ workload groups:
+
+* :class:`RigidPlaneContact` — deformable nodes against an analytic plane.
+* :class:`NodeSurfaceContact` — node-to-face penalty between two meshed
+  surfaces with a broad-phase candidate search.
+
+Contact is the paper's canonical *branch-heavy, data-dependent* kernel:
+the active set changes between Newton iterations, every candidate pair
+tests a gap sign, and the stiffness pattern changes with the active set.
+The matching trace generator reproduces exactly this structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RigidPlaneContact", "NodeSurfaceContact"]
+
+
+class RigidPlaneContact:
+    """Penalty contact of a node set against the plane n . x = offset."""
+
+    def __init__(self, nodes, normal=(0, 0, 1), offset=0.0, penalty=1e3):
+        self.nodes = np.asarray(nodes, dtype=np.int64)
+        n = np.asarray(normal, dtype=np.float64)
+        self.normal = n / np.linalg.norm(n)
+        self.offset = float(offset)
+        self.penalty = float(penalty)
+
+    def evaluate(self, coords, u):
+        """Return (forces dict node->(3,), stiffness dict node->(3,3), n_active).
+
+        ``coords`` are reference coordinates, ``u`` current displacements
+        (full (nnodes, 3) arrays).
+        """
+        forces = {}
+        stiffness = {}
+        active = 0
+        nn = np.outer(self.normal, self.normal)
+        for node in self.nodes:
+            x = coords[node] + u[node]
+            gap = float(self.normal @ x) - self.offset
+            if gap < 0.0:
+                active += 1
+                forces[int(node)] = self.penalty * gap * self.normal
+                stiffness[int(node)] = self.penalty * nn
+        return forces, stiffness, active
+
+
+class NodeSurfaceContact:
+    """Node-to-face penalty contact between a slave node set and a master
+    quad-face list.
+
+    Broad phase: for each slave node, candidate faces whose centroid is
+    within ``search_radius``.  Narrow phase: project onto the face plane,
+    penalize negative normal gaps.  Forces act on the slave node and are
+    spread to the face nodes with equal weights (a simplification that
+    keeps the stiffness block structure of real node-on-facet contact).
+    """
+
+    def __init__(self, slave_nodes, master_faces, penalty=1e3,
+                 search_radius=0.5):
+        self.slave_nodes = np.asarray(slave_nodes, dtype=np.int64)
+        self.master_faces = [tuple(int(n) for n in f) for f in master_faces]
+        self.penalty = float(penalty)
+        self.search_radius = float(search_radius)
+
+    def _project(self, coords, u, face, xs):
+        """Project ``xs`` onto a face; returns (gap, normal, weights) or None.
+
+        The face is parameterized by its half-axis tangents; projections
+        landing outside the (slightly inflated) parent square are rejected
+        so each slave node pairs with at most its closest covering facet.
+        """
+        idx = list(face)
+        pts = coords[idx] + u[idx]
+        centroid = pts.mean(axis=0)
+        e1 = 0.25 * (pts[1] + pts[2] - pts[0] - pts[3])
+        e2 = 0.25 * (pts[2] + pts[3] - pts[0] - pts[1])
+        n = np.cross(e1, e2)
+        norm = float(np.linalg.norm(n))
+        if norm < 1e-30:
+            return None
+        normal = n / norm
+        d = xs - centroid
+        a = float(d @ e1) / max(float(e1 @ e1), 1e-30)
+        b = float(d @ e2) / max(float(e2 @ e2), 1e-30)
+        if abs(a) > 1.05 or abs(b) > 1.05:
+            return None
+        gap = float(normal @ d)
+        a = float(np.clip(a, -1.0, 1.0))
+        b = float(np.clip(b, -1.0, 1.0))
+        # Bilinear master weights in the face's parent coordinates
+        # (node order p0..p3 counter-clockwise).
+        weights = 0.25 * np.array(
+            [
+                (1 - a) * (1 - b),
+                (1 + a) * (1 - b),
+                (1 + a) * (1 + b),
+                (1 - a) * (1 + b),
+            ]
+        )
+        return gap, normal, weights
+
+    def evaluate(self, coords, u):
+        """Return (pair_forces, pair_stiffness, n_active, n_candidates).
+
+        ``pair_forces`` maps node -> accumulated (3,) force (the energy
+        gradient dE/du); ``pair_stiffness`` maps (node_i, node_j) -> a
+        (3, 3) Gauss-Newton Hessian block.  Each slave node pairs with the
+        single closest face whose footprint covers it.
+        """
+        forces = {}
+        stiffness = {}
+        active = 0
+        candidates = 0
+        r2 = self.search_radius ** 2
+        for s in self.slave_nodes:
+            xs = coords[s] + u[s]
+            best = None
+            for face in self.master_faces:
+                if s in face:
+                    continue
+                # Broad phase on the reference centroid.
+                ref_centroid = coords[list(face)].mean(axis=0)
+                dd = xs - ref_centroid
+                if dd @ dd > r2:
+                    continue
+                candidates += 1
+                hit = self._project(coords, u, face, xs)
+                if hit is None:
+                    continue
+                gap, normal, weights = hit
+                if best is None or abs(gap) < abs(best[0]):
+                    best = (gap, normal, weights, face)
+            if best is None:
+                continue
+            gap, normal, weights, face = best
+            if gap >= 0.0:
+                continue
+            active += 1
+            k = self.penalty
+            nn = k * np.outer(normal, normal)
+            # dg/du = +n for the slave, -w_m n for each master node.
+            self._accumulate(forces, int(s), k * gap * normal)
+            self._add_block(stiffness, int(s), int(s), nn)
+            for wa, ma in zip(weights, face):
+                self._accumulate(forces, int(ma), -wa * k * gap * normal)
+                self._add_block(stiffness, int(s), int(ma), -wa * nn)
+                self._add_block(stiffness, int(ma), int(s), -wa * nn)
+                for wb, mb in zip(weights, face):
+                    self._add_block(stiffness, int(ma), int(mb),
+                                    wa * wb * nn)
+        return forces, stiffness, active, candidates
+
+    @staticmethod
+    def _accumulate(table, key, value):
+        if key in table:
+            table[key] = table[key] + value
+        else:
+            table[key] = value
+
+    @staticmethod
+    def _add_block(table, i, j, block):
+        key = (i, j)
+        if key in table:
+            table[key] = table[key] + block
+        else:
+            table[key] = block

@@ -1,0 +1,111 @@
+"""Degree-of-freedom management.
+
+Different physics activate different nodal fields:
+
+========== ==========================================
+physics    fields
+========== ==========================================
+solid      ux, uy, uz
+biphasic   ux, uy, uz, p        (pore pressure)
+multiphasic ux, uy, uz, p, c    (one solute)
+fluid      vx, vy, vz, ef       (velocity + dilatation)
+========== ==========================================
+
+The :class:`DofManager` assigns one global equation number per active
+(node, field) pair, skipping fixed DOFs.  Nodes slaved to a rigid body do
+not receive their own displacement equations; instead their displacement
+DOFs map (with linearized kinematics) onto the body's six equations — see
+:mod:`repro.fem.rigid`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FIELDS", "PHYSICS_FIELDS", "DofManager"]
+
+FIELDS = ("ux", "uy", "uz", "p", "c", "vx", "vy", "vz", "ef")
+_FIELD_INDEX = {f: i for i, f in enumerate(FIELDS)}
+
+PHYSICS_FIELDS = {
+    "solid": ("ux", "uy", "uz"),
+    "biphasic": ("ux", "uy", "uz", "p"),
+    "multiphasic": ("ux", "uy", "uz", "p", "c"),
+    "fluid": ("vx", "vy", "vz", "ef"),
+}
+
+
+class DofManager:
+    """Maps (node, field) pairs to global equation numbers.
+
+    Equation numbers are dense in ``[0, neq)``.  Fixed DOFs get -1.
+    Prescribed (non-zero Dirichlet) DOFs also get -1; their current values
+    live in the full solution vector managed by the model.
+    """
+
+    def __init__(self, nnodes):
+        self.nnodes = int(nnodes)
+        self._active = np.zeros((self.nnodes, len(FIELDS)), dtype=bool)
+        self._fixed = np.zeros((self.nnodes, len(FIELDS)), dtype=bool)
+        self.eqs = None
+        self.neq = 0
+
+    @staticmethod
+    def field_index(field):
+        try:
+            return _FIELD_INDEX[field]
+        except KeyError:
+            raise KeyError(f"unknown field {field!r}") from None
+
+    def activate(self, nodes, fields):
+        """Mark fields active on the given nodes."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        for f in fields:
+            self._active[nodes, self.field_index(f)] = True
+
+    def activate_block(self, block):
+        """Activate the fields implied by an element block's physics."""
+        self.activate(block.node_set(), PHYSICS_FIELDS[block.physics])
+
+    def fix(self, nodes, fields):
+        """Constrain fields on the given nodes (homogeneous or prescribed)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        for f in fields:
+            self._fixed[nodes, self.field_index(f)] = True
+
+    def finalize(self):
+        """Assign equation numbers; call after all activate/fix calls."""
+        self.eqs = np.full((self.nnodes, len(FIELDS)), -1, dtype=np.int64)
+        free = self._active & ~self._fixed
+        order = np.flatnonzero(free.ravel())
+        self.eqs.ravel()[order] = np.arange(order.size, dtype=np.int64)
+        self.neq = int(order.size)
+        return self.neq
+
+    def eq(self, node, field):
+        """Equation number for (node, field); -1 if constrained/inactive."""
+        if self.eqs is None:
+            raise RuntimeError("DofManager.finalize() has not been called")
+        return int(self.eqs[node, self.field_index(field)])
+
+    def eqs_for(self, nodes, fields):
+        """Equation numbers for the cartesian product nodes x fields.
+
+        Ordered node-major: ``[(n0,f0), (n0,f1), ..., (n1,f0), ...]`` which
+        matches the element kernel DOF ordering.
+        """
+        if self.eqs is None:
+            raise RuntimeError("DofManager.finalize() has not been called")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        cols = np.asarray([self.field_index(f) for f in fields], dtype=np.int64)
+        return self.eqs[np.repeat(nodes, cols.size), np.tile(cols, nodes.size)]
+
+    def is_fixed(self, node, field):
+        return bool(self._fixed[node, self.field_index(field)])
+
+    def is_active(self, node, field):
+        return bool(self._active[node, self.field_index(field)])
+
+    def active_count(self):
+        """Total number of active (node, field) pairs, free or fixed."""
+        return int(self._active.sum())

@@ -1,0 +1,58 @@
+"""Time-dependent load curves (FEBio's ``<loadcurve>`` analog)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LoadCurve", "constant", "ramp", "step_after", "sinusoid"]
+
+
+class LoadCurve:
+    """Piecewise-linear scalar function of time.
+
+    Evaluating outside the knot range clamps to the end values, matching
+    FEBio's default extrapolation.
+    """
+
+    def __init__(self, times, values, name="curve"):
+        self.times = np.asarray(times, dtype=np.float64)
+        self.values = np.asarray(values, dtype=np.float64)
+        self.name = name
+        if self.times.ndim != 1 or self.times.shape != self.values.shape:
+            raise ValueError("times and values must be matching 1-D arrays")
+        if self.times.size < 1:
+            raise ValueError("a load curve needs at least one knot")
+        if np.any(np.diff(self.times) < 0):
+            raise ValueError("load curve times must be non-decreasing")
+
+    def __call__(self, t):
+        return float(np.interp(t, self.times, self.values))
+
+    def scaled(self, factor):
+        """A new curve with values multiplied by ``factor``."""
+        return LoadCurve(self.times, self.values * factor, self.name)
+
+    def knots(self):
+        return list(zip(self.times.tolist(), self.values.tolist()))
+
+
+def constant(value=1.0):
+    """A curve that always evaluates to ``value``."""
+    return LoadCurve([0.0], [value], name="constant")
+
+
+def ramp(t_end=1.0, v_end=1.0):
+    """Linear ramp from (0, 0) to (t_end, v_end)."""
+    return LoadCurve([0.0, t_end], [0.0, v_end], name="ramp")
+
+
+def step_after(t_on, value=1.0, rise=1e-3):
+    """Smoothed step turning on at ``t_on``."""
+    return LoadCurve([0.0, t_on, t_on + rise], [0.0, 0.0, value], name="step")
+
+
+def sinusoid(period=1.0, amplitude=1.0, samples=65, offset=0.0):
+    """Sampled sinusoid ``offset + amplitude * sin(2 pi t / period)``."""
+    t = np.linspace(0.0, period, samples)
+    return LoadCurve(t, offset + amplitude * np.sin(2 * np.pi * t / period),
+                     name="sinusoid")

@@ -1,0 +1,43 @@
+"""Constitutive model library (FEBio material analogs)."""
+
+from .base import (
+    Material,
+    identity_voigt,
+    isotropic_tangent,
+    strain_tensor_to_voigt,
+    tensor_to_voigt_stress,
+    voigt_to_tensor,
+)
+from .biphasic import BiphasicMaterial, MultiphasicMaterial
+from .damage import ElasticDamage, PlastiDamage
+from .elastic import LinearElastic, OrthotropicElastic
+from .fluid import NewtonianFluid
+from .growth import MultigenerationGrowth, PrestrainElastic, VolumetricGrowth
+from .hyperelastic import MooneyRivlin, NeoHookean, TransIsoActive
+from .rigid import RigidMaterial
+from .viscoelastic import PronyViscoelastic, ReactiveViscoelastic
+
+__all__ = [
+    "Material",
+    "identity_voigt",
+    "isotropic_tangent",
+    "strain_tensor_to_voigt",
+    "tensor_to_voigt_stress",
+    "voigt_to_tensor",
+    "BiphasicMaterial",
+    "MultiphasicMaterial",
+    "ElasticDamage",
+    "PlastiDamage",
+    "LinearElastic",
+    "OrthotropicElastic",
+    "NewtonianFluid",
+    "MultigenerationGrowth",
+    "PrestrainElastic",
+    "VolumetricGrowth",
+    "MooneyRivlin",
+    "NeoHookean",
+    "TransIsoActive",
+    "RigidMaterial",
+    "PronyViscoelastic",
+    "ReactiveViscoelastic",
+]

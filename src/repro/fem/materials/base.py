@@ -1,0 +1,125 @@
+"""Material model base classes and tensor/Voigt utilities.
+
+Two constitutive interfaces exist:
+
+* **small-strain**: ``small_strain_response(eps, state, dt, t)`` maps an
+  engineering Voigt strain (xx, yy, zz, xy, yz, zx — engineering shears) to
+  Cauchy stress and a 6x6 tangent.
+* **finite-strain**: ``pk2_response(C, state, dt, t)`` maps the right
+  Cauchy-Green tensor to the second Piola-Kirchhoff stress and the material
+  tangent in Voigt form (for a total-Lagrangian element kernel).
+
+History-dependent materials carry per-Gauss-point state in a dict of numpy
+arrays; ``init_state()`` declares the layout and element kernels slice it
+per point.  State updates are functional: the response returns the new
+state values, and the Newton driver commits them only on step acceptance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Material",
+    "voigt_to_tensor",
+    "tensor_to_voigt_stress",
+    "strain_tensor_to_voigt",
+    "isotropic_tangent",
+    "identity_voigt",
+]
+
+# Voigt index pairs in order xx, yy, zz, xy, yz, zx.
+_VOIGT_PAIRS = ((0, 0), (1, 1), (2, 2), (0, 1), (1, 2), (2, 0))
+
+
+def voigt_to_tensor(v, engineering=False):
+    """Convert a Voigt 6-vector to a symmetric 3x3 tensor.
+
+    With ``engineering=True`` the shear components are halved (strain
+    convention); otherwise they are used as-is (stress convention).
+    """
+    shear = 0.5 if engineering else 1.0
+    t = np.empty((3, 3))
+    t[0, 0], t[1, 1], t[2, 2] = v[0], v[1], v[2]
+    t[0, 1] = t[1, 0] = shear * v[3]
+    t[1, 2] = t[2, 1] = shear * v[4]
+    t[2, 0] = t[0, 2] = shear * v[5]
+    return t
+
+
+def tensor_to_voigt_stress(t):
+    """Symmetric 3x3 stress tensor to Voigt 6-vector."""
+    return np.array([t[0, 0], t[1, 1], t[2, 2], t[0, 1], t[1, 2], t[2, 0]])
+
+
+def strain_tensor_to_voigt(t):
+    """Symmetric 3x3 strain tensor to engineering Voigt 6-vector."""
+    return np.array(
+        [t[0, 0], t[1, 1], t[2, 2], 2 * t[0, 1], 2 * t[1, 2], 2 * t[2, 0]]
+    )
+
+
+def isotropic_tangent(E, nu):
+    """Isotropic linear elastic 6x6 tangent (engineering shear strains)."""
+    lam = E * nu / ((1 + nu) * (1 - 2 * nu))
+    mu = E / (2 * (1 + nu))
+    D = np.zeros((6, 6))
+    D[:3, :3] = lam
+    D[0, 0] = D[1, 1] = D[2, 2] = lam + 2 * mu
+    D[3, 3] = D[4, 4] = D[5, 5] = mu
+    return D
+
+
+def identity_voigt():
+    """The identity tensor in Voigt notation (stress convention)."""
+    return np.array([1.0, 1.0, 1.0, 0.0, 0.0, 0.0])
+
+
+class Material:
+    """Base class for all constitutive models.
+
+    Subclasses set :attr:`finite_strain` and implement the corresponding
+    response method.  ``state_layout`` maps state-variable names to their
+    per-Gauss-point shapes; materials without history return ``{}``.
+    """
+
+    name = "material"
+    finite_strain = False
+    density = 1.0
+
+    def state_layout(self):
+        """Mapping of state variable name -> per-point shape tuple."""
+        return {}
+
+    def init_state(self, npoints):
+        """Allocate zeroed state arrays for ``npoints`` Gauss points."""
+        return {
+            key: np.zeros((npoints,) + shape)
+            for key, shape in self.state_layout().items()
+        }
+
+    # Small-strain interface -------------------------------------------------
+    def small_strain_response(self, eps, state, dt, t):
+        """Return (stress6, tangent66, new_state) for one Gauss point.
+
+        ``state`` is a mapping name -> array slice for this point (may be
+        empty).  ``new_state`` must use the same keys.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the small-strain path"
+        )
+
+    # Finite-strain interface ------------------------------------------------
+    def pk2_response(self, C, state, dt, t):
+        """Return (S 3x3, material tangent 6x6, new_state) for one point."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the finite-strain path"
+        )
+
+    def describe(self):
+        """Serializable parameter dictionary (used by the .feb writer)."""
+        return {"type": type(self).__name__}
+
+    def __repr__(self):
+        params = ", ".join(f"{k}={v}" for k, v in self.describe().items())
+        return f"{type(self).__name__}({params})"

@@ -1,0 +1,100 @@
+"""Biphasic (poroelastic) and multiphasic material data.
+
+A biphasic material couples a solid skeleton (any small-strain material)
+with Darcy flow through an anisotropic hydraulic permeability tensor — the
+``bp07``-``bp09`` group in Belenos varies exactly this anisotropy.  A
+multiphasic material adds solute transport (diffusivity + partition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Material
+
+__all__ = ["BiphasicMaterial", "MultiphasicMaterial"]
+
+
+class BiphasicMaterial(Material):
+    """Solid skeleton + anisotropic hydraulic permeability.
+
+    Parameters
+    ----------
+    solid:
+        Small-strain material for the effective (skeleton) stress.
+    permeability:
+        Scalar (isotropic), length-3 sequence (diagonal anisotropic), or
+        full 3x3 SPD tensor.
+    """
+
+    def __init__(self, solid, permeability=1.0, name="biphasic"):
+        if solid.finite_strain:
+            raise ValueError("biphasic skeleton must be a small-strain material")
+        self.solid = solid
+        self.K = self._as_tensor(permeability)
+        self.density = solid.density
+        self.name = name
+
+    @staticmethod
+    def _as_tensor(permeability):
+        k = np.asarray(permeability, dtype=np.float64)
+        if k.ndim == 0:
+            k = np.eye(3) * float(k)
+        elif k.ndim == 1:
+            if k.shape != (3,):
+                raise ValueError("diagonal permeability needs 3 entries")
+            k = np.diag(k)
+        elif k.shape != (3, 3):
+            raise ValueError("permeability must be scalar, 3-vector, or 3x3")
+        eigvals = np.linalg.eigvalsh(0.5 * (k + k.T))
+        if eigvals.min() <= 0:
+            raise ValueError("permeability tensor must be positive definite")
+        return 0.5 * (k + k.T)
+
+    @property
+    def anisotropy_ratio(self):
+        """max/min principal permeability (1.0 when isotropic)."""
+        w = np.linalg.eigvalsh(self.K)
+        return float(w.max() / w.min())
+
+    def small_strain_response(self, eps, state, dt, t):
+        return self.solid.small_strain_response(eps, state, dt, t)
+
+    def state_layout(self):
+        return self.solid.state_layout()
+
+    def describe(self):
+        return {
+            "type": "BiphasicMaterial",
+            "solid": self.solid.describe(),
+            "permeability": self.K.diagonal().tolist(),
+        }
+
+
+class MultiphasicMaterial(BiphasicMaterial):
+    """Biphasic material plus one neutral solute.
+
+    ``diffusivity`` is the solute diffusion tensor (same conventions as
+    permeability); ``solubility`` scales the solute chemical potential
+    coupling; ``osmotic_coeff`` couples concentration gradients into the
+    fluid pressure (a simplified donnan-like osmotic term).
+    """
+
+    def __init__(self, solid, permeability=1.0, diffusivity=1.0,
+                 solubility=1.0, osmotic_coeff=0.0, name="multiphasic"):
+        super().__init__(solid, permeability, name=name)
+        self.D = self._as_tensor(diffusivity)
+        self.solubility = float(solubility)
+        self.osmotic_coeff = float(osmotic_coeff)
+
+    def describe(self):
+        out = super().describe()
+        out.update(
+            {
+                "type": "MultiphasicMaterial",
+                "diffusivity": self.D.diagonal().tolist(),
+                "solubility": self.solubility,
+                "osmotic_coeff": self.osmotic_coeff,
+            }
+        )
+        return out

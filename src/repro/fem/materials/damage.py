@@ -1,0 +1,148 @@
+"""Continuum damage and plasti-damage materials (DM / PD workload groups)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Material
+
+__all__ = ["ElasticDamage", "PlastiDamage"]
+
+
+class ElasticDamage(Material):
+    """Isotropic elasticity degraded by a scalar damage variable.
+
+    Damage grows with the maximum equivalent strain seen so far (kappa),
+    following an exponential softening law, and never heals:
+
+    ``d = d_max * (1 - exp(-(kappa - kappa0) / kappa_c))`` for
+    ``kappa > kappa0``.
+    """
+
+    def __init__(self, base, kappa0=0.05, kappa_c=0.2, d_max=0.9,
+                 name="damage"):
+        if base.finite_strain:
+            raise ValueError("ElasticDamage wraps a small-strain base")
+        if not 0.0 <= d_max < 1.0:
+            raise ValueError("d_max must be in [0, 1)")
+        self.base = base
+        self.kappa0 = float(kappa0)
+        self.kappa_c = float(kappa_c)
+        self.d_max = float(d_max)
+        self.density = base.density
+        self.name = name
+
+    def state_layout(self):
+        return {"kappa": (1,)}
+
+    def _damage(self, kappa):
+        if kappa <= self.kappa0:
+            return 0.0
+        return self.d_max * (1.0 - np.exp(-(kappa - self.kappa0) / self.kappa_c))
+
+    def small_strain_response(self, eps, state, dt, t):
+        sig_e, D_e, _ = self.base.small_strain_response(eps, {}, dt, t)
+        kappa_prev = float(state.get("kappa", np.zeros(1))[0])
+        # Equivalent strain: norm with engineering shears de-weighted.
+        eps_t = eps.copy()
+        eps_t[3:] *= 0.5
+        kappa = max(kappa_prev, float(np.linalg.norm(eps_t)))
+        d = self._damage(kappa)
+        sig = (1.0 - d) * sig_e
+        # Secant tangent; adequate for the loading-dominated workloads here.
+        D = (1.0 - d) * D_e
+        return sig, D, {"kappa": np.array([kappa])}
+
+    def describe(self):
+        return {
+            "type": "ElasticDamage",
+            "base": self.base.describe(),
+            "kappa0": self.kappa0,
+            "kappa_c": self.kappa_c,
+            "d_max": self.d_max,
+        }
+
+
+class PlastiDamage(Material):
+    """J2 plasticity with isotropic hardening plus coupled damage.
+
+    Radial-return mapping on the deviatoric stress; the accumulated
+    plastic strain drives the same exponential damage law as
+    :class:`ElasticDamage` (FEBio's "plastic damage" family).
+    """
+
+    def __init__(self, base, yield_stress=0.1, hardening=0.05,
+                 kappa_c=0.5, d_max=0.5, name="plastidamage"):
+        if base.finite_strain:
+            raise ValueError("PlastiDamage wraps a small-strain base")
+        self.base = base
+        self.yield_stress = float(yield_stress)
+        self.hardening = float(hardening)
+        self.kappa_c = float(kappa_c)
+        self.d_max = float(d_max)
+        self.density = base.density
+        self.name = name
+
+    def state_layout(self):
+        return {"eps_p": (6,), "alpha": (1,)}
+
+    def small_strain_response(self, eps, state, dt, t):
+        eps_p = np.array(state.get("eps_p", np.zeros(6)))
+        alpha = float(state.get("alpha", np.zeros(1))[0])
+        mu = self.base.shear_modulus
+
+        eps_el = eps - eps_p
+        sig_tr, D_e, _ = self.base.small_strain_response(eps_el, {}, dt, t)
+        mean = sig_tr[:3].mean()
+        dev = sig_tr.copy()
+        dev[:3] -= mean
+        # J2 norm in Voigt (engineering shear components count twice).
+        s_norm = float(np.sqrt(dev[:3] @ dev[:3] + 2.0 * (dev[3:] @ dev[3:])))
+        sqrt23 = np.sqrt(2.0 / 3.0)
+        yield_now = self.yield_stress + self.hardening * alpha
+        f_trial = s_norm - sqrt23 * yield_now
+
+        if f_trial <= 0.0:
+            d = self._damage(alpha)
+            return (1 - d) * sig_tr, (1 - d) * D_e, {
+                "eps_p": eps_p,
+                "alpha": np.array([alpha]),
+            }
+
+        # Radial return.
+        dgamma = f_trial / (2.0 * mu + (2.0 / 3.0) * self.hardening)
+        n = dev / s_norm
+        dev_new = dev - 2.0 * mu * dgamma * n
+        sig = dev_new.copy()
+        sig[:3] += mean
+        alpha_new = alpha + sqrt23 * dgamma
+        d_eps_p = dgamma * n
+        d_eps_p[3:] *= 2.0  # engineering shear convention
+        eps_p_new = eps_p + d_eps_p
+
+        # Algorithmically consistent-ish secant tangent: scale the shear
+        # response by the return-mapping factor.
+        theta = 1.0 - 2.0 * mu * dgamma / s_norm
+        P_vol = np.zeros((6, 6))
+        P_vol[:3, :3] = 1.0 / 3.0
+        P_dev = np.eye(6) - P_vol
+        D = P_vol @ D_e + theta * (P_dev @ D_e)
+
+        d = self._damage(alpha_new)
+        return (1 - d) * sig, (1 - d) * D, {
+            "eps_p": eps_p_new,
+            "alpha": np.array([alpha_new]),
+        }
+
+    def _damage(self, alpha):
+        if alpha <= 0.0:
+            return 0.0
+        return self.d_max * (1.0 - np.exp(-alpha / self.kappa_c))
+
+    def describe(self):
+        return {
+            "type": "PlastiDamage",
+            "base": self.base.describe(),
+            "yield_stress": self.yield_stress,
+            "hardening": self.hardening,
+        }

@@ -1,0 +1,82 @@
+"""Linear elasticity (isotropic and orthotropic)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Material, isotropic_tangent
+
+__all__ = ["LinearElastic", "OrthotropicElastic"]
+
+
+class LinearElastic(Material):
+    """Isotropic small-strain linear elasticity."""
+
+    def __init__(self, E=1.0, nu=0.3, density=1.0, name="elastic"):
+        if E <= 0:
+            raise ValueError(f"Young's modulus must be positive, got {E}")
+        if not -1.0 < nu < 0.5:
+            raise ValueError(f"Poisson ratio must be in (-1, 0.5), got {nu}")
+        self.E = float(E)
+        self.nu = float(nu)
+        self.density = float(density)
+        self.name = name
+        self._D = isotropic_tangent(self.E, self.nu)
+
+    @property
+    def shear_modulus(self):
+        return self.E / (2 * (1 + self.nu))
+
+    @property
+    def bulk_modulus(self):
+        return self.E / (3 * (1 - 2 * self.nu))
+
+    def small_strain_response(self, eps, state, dt, t):
+        return self._D @ eps, self._D, state
+
+    def describe(self):
+        return {"type": "LinearElastic", "E": self.E, "nu": self.nu}
+
+
+class OrthotropicElastic(Material):
+    """Orthotropic small-strain elasticity aligned with the global axes.
+
+    Used by tissue models with direction-dependent stiffness (e.g. tendon
+    or annulus fibrosus approximations).
+    """
+
+    def __init__(self, E=(1.0, 1.0, 1.0), nu=(0.3, 0.3, 0.3),
+                 G=(0.4, 0.4, 0.4), density=1.0, name="ortho"):
+        self.E = tuple(float(e) for e in E)
+        self.nu = tuple(float(v) for v in nu)
+        self.G = tuple(float(g) for g in G)
+        self.density = float(density)
+        self.name = name
+        self._D = self._build_tangent()
+
+    def _build_tangent(self):
+        E1, E2, E3 = self.E
+        nu12, nu23, nu31 = self.nu
+        nu21 = nu12 * E2 / E1
+        nu32 = nu23 * E3 / E2
+        nu13 = nu31 * E1 / E3
+        S = np.zeros((6, 6))
+        S[0, 0], S[1, 1], S[2, 2] = 1 / E1, 1 / E2, 1 / E3
+        S[0, 1] = S[1, 0] = -nu12 / E1
+        S[1, 2] = S[2, 1] = -nu23 / E2
+        S[0, 2] = S[2, 0] = -nu13 / E3
+        S[3, 3], S[4, 4], S[5, 5] = 1 / self.G[0], 1 / self.G[1], 1 / self.G[2]
+        D = np.linalg.inv(S)
+        # Symmetrize against round-off so assembled matrices stay symmetric.
+        return 0.5 * (D + D.T)
+
+    def small_strain_response(self, eps, state, dt, t):
+        return self._D @ eps, self._D, state
+
+    def describe(self):
+        return {
+            "type": "OrthotropicElastic",
+            "E": list(self.E),
+            "nu": list(self.nu),
+            "G": list(self.G),
+        }

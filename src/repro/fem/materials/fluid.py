@@ -1,0 +1,52 @@
+"""Fluid material for FEBio-style fluid and FSI analyses.
+
+FEBio's fluid solver uses velocity + dilatation DOFs; we keep the same
+DOF layout with a Newtonian viscous stress, a dilatation penalty
+(weak compressibility), and optional convective inertia (what separates
+the transient ``fl34`` from the steady ``fl33`` case in the paper).
+"""
+
+from __future__ import annotations
+
+__all__ = ["NewtonianFluid"]
+
+from .base import Material
+
+
+class NewtonianFluid(Material):
+    """Weakly compressible Newtonian fluid.
+
+    Parameters
+    ----------
+    viscosity:
+        Dynamic viscosity mu.
+    bulk_modulus:
+        Penalty stiffness tying the dilatation DOF to div(v).
+    density:
+        Mass density (drives the transient inertia term).
+    convective:
+        Include the (Picard-linearized) convective term — makes the
+        tangent nonsymmetric, which forces the FGMRES path like FEBio's
+        fluid solver.
+    """
+
+    def __init__(self, viscosity=1.0, bulk_modulus=100.0, density=1.0,
+                 convective=False, name="fluid"):
+        if viscosity <= 0:
+            raise ValueError("viscosity must be positive")
+        if bulk_modulus <= 0:
+            raise ValueError("bulk modulus must be positive")
+        self.viscosity = float(viscosity)
+        self.bulk_modulus = float(bulk_modulus)
+        self.density = float(density)
+        self.convective = bool(convective)
+        self.name = name
+
+    def describe(self):
+        return {
+            "type": "NewtonianFluid",
+            "viscosity": self.viscosity,
+            "bulk_modulus": self.bulk_modulus,
+            "density": self.density,
+            "convective": self.convective,
+        }

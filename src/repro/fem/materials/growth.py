@@ -1,0 +1,120 @@
+"""Prestrain, multigeneration growth, and tumor-growth materials.
+
+All three share the same mechanism — an eigenstrain (stress-free strain)
+subtracted from the kinematic strain before the elastic response — but
+differ in *when* the eigenstrain appears:
+
+* :class:`PrestrainElastic`: fixed eigenstrain present from t = 0 (the PS
+  workload group).
+* :class:`MultigenerationGrowth`: new eigenstrain increments activate at
+  generation times (the MG group, FEBio's multigeneration materials).
+* :class:`VolumetricGrowth`: eigenstrain grows continuously at a prescribed
+  rate (the TU tumor case).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Material
+
+__all__ = ["PrestrainElastic", "MultigenerationGrowth", "VolumetricGrowth"]
+
+
+class PrestrainElastic(Material):
+    """Elastic material with a constant prescribed eigenstrain."""
+
+    def __init__(self, base, eigenstrain, name="prestrain"):
+        if base.finite_strain:
+            raise ValueError("PrestrainElastic wraps a small-strain base")
+        self.base = base
+        self.eigenstrain = np.asarray(eigenstrain, dtype=np.float64)
+        if self.eigenstrain.shape != (6,):
+            raise ValueError("eigenstrain must be a Voigt 6-vector")
+        self.density = base.density
+        self.name = name
+
+    def small_strain_response(self, eps, state, dt, t):
+        sig, D, _ = self.base.small_strain_response(
+            eps - self.eigenstrain, {}, dt, t
+        )
+        return sig, D, state
+
+    def describe(self):
+        return {
+            "type": "PrestrainElastic",
+            "base": self.base.describe(),
+            "eigenstrain": self.eigenstrain.tolist(),
+        }
+
+
+class MultigenerationGrowth(Material):
+    """Eigenstrain increments that switch on at generation times.
+
+    ``generations`` is a sequence of ``(t_on, eigenstrain6)`` pairs; at
+    time t the total eigenstrain is the sum of all activated increments.
+    """
+
+    def __init__(self, base, generations, name="multigen"):
+        if base.finite_strain:
+            raise ValueError("MultigenerationGrowth wraps a small-strain base")
+        self.base = base
+        self.generations = [
+            (float(t_on), np.asarray(e, dtype=np.float64))
+            for t_on, e in generations
+        ]
+        for _, e in self.generations:
+            if e.shape != (6,):
+                raise ValueError("each generation eigenstrain must be (6,)")
+        self.density = base.density
+        self.name = name
+
+    def eigenstrain_at(self, t):
+        total = np.zeros(6)
+        for t_on, e in self.generations:
+            if t >= t_on:
+                total += e
+        return total
+
+    def small_strain_response(self, eps, state, dt, t):
+        sig, D, _ = self.base.small_strain_response(
+            eps - self.eigenstrain_at(t), {}, dt, t
+        )
+        return sig, D, state
+
+    def describe(self):
+        return {
+            "type": "MultigenerationGrowth",
+            "base": self.base.describe(),
+            "n_generations": len(self.generations),
+        }
+
+
+class VolumetricGrowth(Material):
+    """Isotropic volumetric growth at a constant rate (tumor model).
+
+    The eigenstrain is ``rate * t / 3`` on each normal component, i.e. the
+    stress-free volume grows linearly in time, loading the surrounding
+    tissue.
+    """
+
+    def __init__(self, base, rate=0.05, name="growth"):
+        if base.finite_strain:
+            raise ValueError("VolumetricGrowth wraps a small-strain base")
+        self.base = base
+        self.rate = float(rate)
+        self.density = base.density
+        self.name = name
+
+    def small_strain_response(self, eps, state, dt, t):
+        eig = np.zeros(6)
+        eig[:3] = self.rate * t / 3.0
+        sig, D, _ = self.base.small_strain_response(eps - eig, {}, dt, t)
+        return sig, D, state
+
+    def describe(self):
+        return {
+            "type": "VolumetricGrowth",
+            "base": self.base.describe(),
+            "rate": self.rate,
+        }

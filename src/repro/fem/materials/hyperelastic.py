@@ -1,0 +1,184 @@
+"""Finite-strain hyperelastic models: neo-Hookean, Mooney-Rivlin, and a
+transversely isotropic fiber-reinforced model with active contraction
+(muscle)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Material
+
+__all__ = ["NeoHookean", "MooneyRivlin", "TransIsoActive"]
+
+_VOIGT_PAIRS = ((0, 0), (1, 1), (2, 2), (0, 1), (1, 2), (2, 0))
+
+
+def _sym_dyad_voigt(A, B):
+    """Voigt matrix of the symmetrized product d(A:B) used for C^-1 terms.
+
+    Computes ``M[I,J] = 0.5 * (A[i,k] B[j,l] + A[i,l] B[j,k])`` mapped to
+    Voigt indices, the standard push form of d(C^-1)/dC-type tangents.
+    """
+    M = np.empty((6, 6))
+    for I, (i, j) in enumerate(_VOIGT_PAIRS):
+        for J, (k, l) in enumerate(_VOIGT_PAIRS):
+            M[I, J] = 0.5 * (A[i, k] * B[j, l] + A[i, l] * B[j, k])
+    return M
+
+
+def _dyad_voigt(A, B):
+    """Voigt matrix of the plain dyad ``A[i,j] B[k,l]``."""
+    av = np.array([A[i, j] for (i, j) in _VOIGT_PAIRS])
+    bv = np.array([B[i, j] for (i, j) in _VOIGT_PAIRS])
+    return np.outer(av, bv)
+
+
+class NeoHookean(Material):
+    """Compressible neo-Hookean solid.
+
+    Strain energy ``W = mu/2 (I1 - 3) - mu ln J + lambda/2 (ln J)^2`` —
+    the same form FEBio's ``neo-Hookean`` material uses.
+    """
+
+    finite_strain = True
+
+    def __init__(self, E=1.0, nu=0.3, density=1.0, name="neohookean"):
+        if E <= 0:
+            raise ValueError(f"Young's modulus must be positive, got {E}")
+        if not -1.0 < nu < 0.5:
+            raise ValueError(f"Poisson ratio must be in (-1, 0.5), got {nu}")
+        self.E = float(E)
+        self.nu = float(nu)
+        self.density = float(density)
+        self.name = name
+        self.mu = self.E / (2 * (1 + self.nu))
+        self.lam = self.E * self.nu / ((1 + self.nu) * (1 - 2 * self.nu))
+
+    def pk2_response(self, C, state, dt, t):
+        J2 = np.linalg.det(C)
+        if J2 <= 0:
+            raise ValueError("det(C) must be positive")
+        lnJ = 0.5 * np.log(J2)
+        Cinv = np.linalg.inv(C)
+        eye = np.eye(3)
+        S = self.mu * (eye - Cinv) + self.lam * lnJ * Cinv
+        DD = (
+            self.lam * _dyad_voigt(Cinv, Cinv)
+            + 2.0 * (self.mu - self.lam * lnJ) * _sym_dyad_voigt(Cinv, Cinv)
+        )
+        return S, DD, state
+
+    def describe(self):
+        return {"type": "NeoHookean", "E": self.E, "nu": self.nu}
+
+
+class MooneyRivlin(Material):
+    """Two-parameter Mooney-Rivlin with a volumetric penalty.
+
+    ``W = c1 (I1~ - 3) + c2 (I2~ - 3) + k/2 (ln J)^2`` using the
+    deviatoric invariants, implemented with a consistent numerical tangent
+    (central differences on S(C)) — accurate and simple, at the cost of a
+    few extra stress evaluations per point.
+    """
+
+    finite_strain = True
+
+    def __init__(self, c1=1.0, c2=0.0, k=10.0, density=1.0, name="mooney"):
+        self.c1 = float(c1)
+        self.c2 = float(c2)
+        self.k = float(k)
+        self.density = float(density)
+        self.name = name
+
+    def _pk2(self, C):
+        J2 = np.linalg.det(C)
+        J = np.sqrt(J2)
+        Cinv = np.linalg.inv(C)
+        eye = np.eye(3)
+        I1 = np.trace(C)
+        I2 = 0.5 * (I1 * I1 - np.trace(C @ C))
+        Jm23 = J ** (-2.0 / 3.0)
+        Jm43 = J ** (-4.0 / 3.0)
+        # Deviatoric part (standard push of dW/dC for modified invariants).
+        S_iso = (
+            2 * self.c1 * Jm23 * (eye - (I1 / 3.0) * Cinv)
+            + 2 * self.c2 * Jm43 * (I1 * eye - C - (2.0 * I2 / 3.0) * Cinv)
+        )
+        S_vol = self.k * np.log(J) * Cinv
+        return S_iso + S_vol
+
+    def pk2_response(self, C, state, dt, t):
+        S = self._pk2(C)
+        # Numerical material tangent in the element's engineering-shear
+        # Voigt convention: DD[:, J] = dS_I / dE_J (central differences).
+        DD = np.empty((6, 6))
+        h = 1e-7 * max(1.0, float(np.abs(C).max()))
+        for J_idx, (k, l) in enumerate(_VOIGT_PAIRS):
+            dC = np.zeros((3, 3))
+            dC[k, l] += 0.5 * h
+            dC[l, k] += 0.5 * h
+            Sp = self._pk2(C + dC)
+            Sm = self._pk2(C - dC)
+            dS = (Sp - Sm) / h
+            DD[:, J_idx] = np.array(
+                [dS[i, j] for (i, j) in _VOIGT_PAIRS]
+            )
+        DD = 0.5 * (DD + DD.T)
+        return S, DD, state
+
+    def describe(self):
+        return {"type": "MooneyRivlin", "c1": self.c1, "c2": self.c2,
+                "k": self.k}
+
+
+class TransIsoActive(Material):
+    """Transversely isotropic solid with an active fiber stress (muscle).
+
+    A neo-Hookean ground matrix is reinforced by fibers along ``fiber_dir``
+    with a quadratic passive stress in fiber stretch and an active stress
+    scaled by ``activation(t)`` (a load curve or callable).
+    """
+
+    finite_strain = True
+
+    def __init__(self, E=1.0, nu=0.3, fiber_dir=(0, 0, 1), c_fiber=1.0,
+                 sigma_active=0.0, activation=None, density=1.0,
+                 name="muscle"):
+        self._ground = NeoHookean(E, nu)
+        d = np.asarray(fiber_dir, dtype=np.float64)
+        self.fiber_dir = d / np.linalg.norm(d)
+        self.c_fiber = float(c_fiber)
+        self.sigma_active = float(sigma_active)
+        self.activation = activation
+        self.density = float(density)
+        self.name = name
+
+    def _activation_level(self, t):
+        if self.activation is None:
+            return 1.0
+        return float(self.activation(t))
+
+    def pk2_response(self, C, state, dt, t):
+        S, DD, state = self._ground.pk2_response(C, state, dt, t)
+        a0 = self.fiber_dir
+        A = np.outer(a0, a0)
+        I4 = float(a0 @ C @ a0)  # squared fiber stretch
+        # Passive fiber: S_f = 2 c_f (I4 - 1) A for I4 > 1 (tension only).
+        if I4 > 1.0:
+            S = S + 2.0 * self.c_fiber * (I4 - 1.0) * A
+            DD = DD + 4.0 * self.c_fiber * _dyad_voigt(A, A)
+        # Active contraction: constant PK2 along fibers, scaled by level.
+        level = self._activation_level(t)
+        if level != 0.0 and self.sigma_active != 0.0:
+            S = S + self.sigma_active * level * A
+        return S, DD, state
+
+    def describe(self):
+        return {
+            "type": "TransIsoActive",
+            "E": self._ground.E,
+            "nu": self._ground.nu,
+            "c_fiber": self.c_fiber,
+            "sigma_active": self.sigma_active,
+            "fiber_dir": self.fiber_dir.tolist(),
+        }

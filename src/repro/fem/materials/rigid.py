@@ -1,0 +1,24 @@
+"""Rigid material marker.
+
+Element blocks with a :class:`RigidMaterial` do not assemble elastic
+stiffness; their nodes are slaved to a 6-DOF rigid body (see
+:mod:`repro.fem.rigid`).  The material still carries density so the body
+mass/inertia can be computed, matching FEBio's rigid body treatment.
+"""
+
+from __future__ import annotations
+
+from .base import Material
+
+__all__ = ["RigidMaterial"]
+
+
+class RigidMaterial(Material):
+    """Marks a block as rigid; mechanics come from the rigid-body solver."""
+
+    def __init__(self, density=1.0, name="rigid"):
+        self.density = float(density)
+        self.name = name
+
+    def describe(self):
+        return {"type": "RigidMaterial", "density": self.density}

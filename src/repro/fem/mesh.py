@@ -1,0 +1,156 @@
+"""Mesh data structures: node table, element blocks, surface extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .shape import element_class
+
+__all__ = ["ElementBlock", "Mesh"]
+
+# Local node indices of the six faces of a hex8, outward-oriented.
+_HEX_FACES = np.array(
+    [
+        [0, 3, 2, 1],  # -z
+        [4, 5, 6, 7],  # +z
+        [0, 1, 5, 4],  # -y
+        [2, 3, 7, 6],  # +y
+        [1, 2, 6, 5],  # +x
+        [0, 4, 7, 3],  # -x
+    ]
+)
+
+# Faces of a tet4 (triangles), outward-oriented.
+_TET_FACES = np.array([[0, 2, 1], [0, 1, 3], [1, 2, 3], [0, 3, 2]])
+
+
+class ElementBlock:
+    """A homogeneous group of elements sharing type, material, and physics.
+
+    Parameters
+    ----------
+    name:
+        Block label (used in reports and the `.feb`-like file).
+    elem_type:
+        ``"hex8"`` or ``"tet4"``.
+    connectivity:
+        ``(nelem, nnodes_per_elem)`` int array of node indices.
+    material:
+        Name of a material defined on the model.
+    physics:
+        ``"solid"``, ``"biphasic"``, ``"multiphasic"`` or ``"fluid"`` —
+        selects the element kernel and the per-node fields.
+    """
+
+    def __init__(self, name, elem_type, connectivity, material, physics="solid"):
+        self.name = name
+        self.elem_type = elem_type
+        self.connectivity = np.asarray(connectivity, dtype=np.int64)
+        if self.connectivity.ndim != 2:
+            raise ValueError("connectivity must be a 2-D array")
+        expected = element_class(elem_type).nnodes
+        if self.connectivity.shape[1] != expected:
+            raise ValueError(
+                f"{elem_type} expects {expected} nodes per element, got "
+                f"{self.connectivity.shape[1]}"
+            )
+        self.material = material
+        self.physics = physics
+
+    @property
+    def nelem(self):
+        return int(self.connectivity.shape[0])
+
+    def node_set(self):
+        """Sorted unique node indices used by this block."""
+        return np.unique(self.connectivity)
+
+    def __repr__(self):
+        return (
+            f"ElementBlock({self.name!r}, {self.elem_type}, nelem={self.nelem}, "
+            f"material={self.material!r}, physics={self.physics!r})"
+        )
+
+
+class Mesh:
+    """Node coordinates plus one or more element blocks."""
+
+    def __init__(self, nodes):
+        self.nodes = np.asarray(nodes, dtype=np.float64)
+        if self.nodes.ndim != 2 or self.nodes.shape[1] != 3:
+            raise ValueError("nodes must be an (nnodes, 3) array")
+        self.blocks = []
+
+    @property
+    def nnodes(self):
+        return int(self.nodes.shape[0])
+
+    @property
+    def nelem(self):
+        return sum(b.nelem for b in self.blocks)
+
+    def add_block(self, block):
+        """Attach an element block; validates node indices."""
+        if block.connectivity.size and (
+            block.connectivity.min() < 0 or block.connectivity.max() >= self.nnodes
+        ):
+            raise ValueError(f"block {block.name!r} references missing nodes")
+        self.blocks.append(block)
+        return block
+
+    def block(self, name):
+        """Look up a block by name."""
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise KeyError(f"no element block named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Node selection helpers (used to express boundary conditions)
+    # ------------------------------------------------------------------
+    def nodes_where(self, predicate):
+        """Indices of nodes whose coordinates satisfy ``predicate(x, y, z)``."""
+        x, y, z = self.nodes[:, 0], self.nodes[:, 1], self.nodes[:, 2]
+        mask = predicate(x, y, z)
+        return np.flatnonzero(mask)
+
+    def nodes_on_plane(self, axis, value, tol=1e-9):
+        """Nodes lying on the plane ``coord[axis] == value``."""
+        return np.flatnonzero(np.abs(self.nodes[:, axis] - value) <= tol)
+
+    def bounding_box(self):
+        """(min_corner, max_corner) of the node cloud."""
+        return self.nodes.min(axis=0), self.nodes.max(axis=0)
+
+    # ------------------------------------------------------------------
+    # Surface extraction
+    # ------------------------------------------------------------------
+    def boundary_faces(self, block_name=None):
+        """Extract boundary faces (faces referenced by exactly one element).
+
+        Returns a list of node-index tuples (quads for hex blocks,
+        triangles for tet blocks), outward oriented.
+        """
+        face_count = {}
+        face_nodes = {}
+        blocks = [self.block(block_name)] if block_name else self.blocks
+        for blk in blocks:
+            faces = _HEX_FACES if blk.elem_type == "hex8" else _TET_FACES
+            for conn in blk.connectivity:
+                for face in faces:
+                    nodes = tuple(int(conn[i]) for i in face)
+                    key = tuple(sorted(nodes))
+                    face_count[key] = face_count.get(key, 0) + 1
+                    face_nodes[key] = nodes
+        return [face_nodes[k] for k, c in face_count.items() if c == 1]
+
+    def surface_nodes(self, block_name=None):
+        """Unique node indices on the boundary surface."""
+        faces = self.boundary_faces(block_name)
+        out = set()
+        for f in faces:
+            out.update(f)
+        return np.asarray(sorted(out), dtype=np.int64)
+
+    def __repr__(self):
+        return f"Mesh(nnodes={self.nnodes}, nelem={self.nelem}, blocks={len(self.blocks)})"

@@ -1,0 +1,227 @@
+"""Mesh generators for the workload suite.
+
+Every generator returns a :class:`~repro.fem.mesh.Mesh` with a single
+element block; workload builders combine and relabel blocks as needed.
+All generators are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mesh import ElementBlock, Mesh
+
+__all__ = [
+    "box_hex",
+    "box_tet",
+    "cylinder_shell_hex",
+    "spherical_shell_hex",
+    "perturbed_box_hex",
+]
+
+# Each hexahedron splits into six tetrahedra sharing the main diagonal.
+_HEX_TO_TETS = np.array(
+    [
+        [0, 1, 2, 6],
+        [0, 2, 3, 6],
+        [0, 3, 7, 6],
+        [0, 7, 4, 6],
+        [0, 4, 5, 6],
+        [0, 5, 1, 6],
+    ]
+)
+
+
+def _fix_hex_orientation(mesh):
+    """Flip hexes whose parent-to-physical map is left-handed.
+
+    Curved-coordinate generators (cylinder, sphere) can produce a node
+    ordering with negative Jacobian; swapping the bottom and top faces
+    mirrors the parent element and restores positivity.
+    """
+    from .shape import Hex8
+
+    grads = Hex8.gradients(np.zeros(3))
+    for block in mesh.blocks:
+        if block.elem_type != "hex8":
+            continue
+        conn = block.connectivity
+        for e in range(conn.shape[0]):
+            J = mesh.nodes[conn[e]].T @ grads
+            if np.linalg.det(J) < 0.0:
+                conn[e] = conn[e][[4, 5, 6, 7, 0, 1, 2, 3]]
+    return mesh
+
+
+def _grid_nodes(nx, ny, nz, lx, ly, lz):
+    xs = np.linspace(0.0, lx, nx + 1)
+    ys = np.linspace(0.0, ly, ny + 1)
+    zs = np.linspace(0.0, lz, nz + 1)
+    nodes = np.array(
+        [[x, y, z] for z in zs for y in ys for x in xs], dtype=np.float64
+    )
+    return nodes
+
+
+def _grid_hexes(nx, ny, nz):
+    def nid(i, j, k):
+        return (k * (ny + 1) + j) * (nx + 1) + i
+
+    conn = []
+    for k in range(nz):
+        for j in range(ny):
+            for i in range(nx):
+                conn.append(
+                    [
+                        nid(i, j, k),
+                        nid(i + 1, j, k),
+                        nid(i + 1, j + 1, k),
+                        nid(i, j + 1, k),
+                        nid(i, j, k + 1),
+                        nid(i + 1, j, k + 1),
+                        nid(i + 1, j + 1, k + 1),
+                        nid(i, j + 1, k + 1),
+                    ]
+                )
+    return np.asarray(conn, dtype=np.int64)
+
+
+def box_hex(nx, ny, nz, lx=1.0, ly=1.0, lz=1.0, name="box", material="mat",
+            physics="solid"):
+    """Structured hex8 mesh of an axis-aligned box with one corner at origin."""
+    mesh = Mesh(_grid_nodes(nx, ny, nz, lx, ly, lz))
+    mesh.add_block(
+        ElementBlock(name, "hex8", _grid_hexes(nx, ny, nz), material, physics)
+    )
+    return mesh
+
+
+def box_tet(nx, ny, nz, lx=1.0, ly=1.0, lz=1.0, name="box", material="mat",
+            physics="solid"):
+    """Structured tet4 mesh: each grid hex is split into six tetrahedra."""
+    hexes = _grid_hexes(nx, ny, nz)
+    tets = np.concatenate([hexes[:, t] for t in _HEX_TO_TETS], axis=0)
+    mesh = Mesh(_grid_nodes(nx, ny, nz, lx, ly, lz))
+    mesh.add_block(ElementBlock(name, "tet4", tets, material, physics))
+    return mesh
+
+
+def perturbed_box_hex(nx, ny, nz, lx=1.0, ly=1.0, lz=1.0, amplitude=0.15,
+                      seed=0, name="box", material="mat", physics="solid"):
+    """Box mesh with interior nodes jittered: an irregular, anatomy-like mesh.
+
+    Surface nodes are kept in place so boundary conditions stay well-defined.
+    Jitter amplitude is a fraction of the local grid spacing, capped so
+    Jacobians remain positive.
+    """
+    mesh = box_hex(nx, ny, nz, lx, ly, lz, name, material, physics)
+    rng = np.random.default_rng(seed)
+    h = np.array([lx / nx, ly / ny, lz / nz])
+    lo, hi = mesh.bounding_box()
+    interior = np.ones(mesh.nnodes, dtype=bool)
+    for axis in range(3):
+        interior &= np.abs(mesh.nodes[:, axis] - lo[axis]) > 1e-12
+        interior &= np.abs(mesh.nodes[:, axis] - hi[axis]) > 1e-12
+    jitter = rng.uniform(-1.0, 1.0, size=(mesh.nnodes, 3)) * h * min(amplitude, 0.3)
+    mesh.nodes[interior] += jitter[interior]
+    return mesh
+
+
+def cylinder_shell_hex(n_circ, n_rad, n_axial, r_inner=1.0, r_outer=1.3,
+                       length=2.0, name="vessel", material="mat",
+                       physics="solid"):
+    """Hollow cylinder (arterial wall) meshed with hex8 elements.
+
+    The cylinder axis is z; nodes wrap around the full circumference.
+    """
+    if n_circ < 3:
+        raise ValueError("need at least 3 circumferential divisions")
+    radii = np.linspace(r_inner, r_outer, n_rad + 1)
+    thetas = np.linspace(0.0, 2.0 * np.pi, n_circ, endpoint=False)
+    zs = np.linspace(0.0, length, n_axial + 1)
+    nodes = []
+    for z in zs:
+        for r in radii:
+            for t in thetas:
+                nodes.append([r * np.cos(t), r * np.sin(t), z])
+    nodes = np.asarray(nodes)
+
+    def nid(it, ir, iz):
+        return (iz * (n_rad + 1) + ir) * n_circ + (it % n_circ)
+
+    conn = []
+    for iz in range(n_axial):
+        for ir in range(n_rad):
+            for it in range(n_circ):
+                conn.append(
+                    [
+                        nid(it, ir, iz),
+                        nid(it + 1, ir, iz),
+                        nid(it + 1, ir + 1, iz),
+                        nid(it, ir + 1, iz),
+                        nid(it, ir, iz + 1),
+                        nid(it + 1, ir, iz + 1),
+                        nid(it + 1, ir + 1, iz + 1),
+                        nid(it, ir + 1, iz + 1),
+                    ]
+                )
+    mesh = Mesh(nodes)
+    mesh.add_block(
+        ElementBlock(name, "hex8", np.asarray(conn, dtype=np.int64), material, physics)
+    )
+    return _fix_hex_orientation(mesh)
+
+
+def spherical_shell_hex(n_lat, n_lon, n_rad, r_inner=11.0, r_outer=12.0,
+                        lat_max=np.pi * 0.75, name="shell", material="mat",
+                        physics="solid"):
+    """Partial spherical shell meshed with hex8 — the ocular (eye) geometry.
+
+    The shell spans colatitude ``[lat_min, lat_max]`` (an open pole region
+    avoids degenerate elements); longitude wraps fully.  With FEBio's eye
+    model in mind, the inner surface carries intraocular pressure and the
+    rim is clamped.
+    """
+    if n_lon < 3:
+        raise ValueError("need at least 3 longitudinal divisions")
+    lat_min = np.pi * 0.08
+    lats = np.linspace(lat_min, lat_max, n_lat + 1)
+    lons = np.linspace(0.0, 2.0 * np.pi, n_lon, endpoint=False)
+    radii = np.linspace(r_inner, r_outer, n_rad + 1)
+    nodes = []
+    for r in radii:
+        for lat in lats:
+            for lon in lons:
+                nodes.append(
+                    [
+                        r * np.sin(lat) * np.cos(lon),
+                        r * np.sin(lat) * np.sin(lon),
+                        r * np.cos(lat),
+                    ]
+                )
+    nodes = np.asarray(nodes)
+
+    def nid(ilon, ilat, irad):
+        return (irad * (n_lat + 1) + ilat) * n_lon + (ilon % n_lon)
+
+    conn = []
+    for irad in range(n_rad):
+        for ilat in range(n_lat):
+            for ilon in range(n_lon):
+                conn.append(
+                    [
+                        nid(ilon, ilat, irad),
+                        nid(ilon + 1, ilat, irad),
+                        nid(ilon + 1, ilat + 1, irad),
+                        nid(ilon, ilat + 1, irad),
+                        nid(ilon, ilat, irad + 1),
+                        nid(ilon + 1, ilat, irad + 1),
+                        nid(ilon + 1, ilat + 1, irad + 1),
+                        nid(ilon, ilat + 1, irad + 1),
+                    ]
+                )
+    mesh = Mesh(nodes)
+    mesh.add_block(
+        ElementBlock(name, "hex8", np.asarray(conn, dtype=np.int64), material, physics)
+    )
+    return _fix_hex_orientation(mesh)

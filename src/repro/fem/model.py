@@ -1,0 +1,239 @@
+"""The finite element model: mesh + materials + conditions + steps.
+
+:class:`FEModel` is the public entry point of the solver API (the analog
+of a ``.feb`` input file).  After :meth:`finalize`, the model owns a
+:class:`~repro.fem.dofs.DofManager`, rigid-body equation numbering, and
+DOF expansion tables used by the assembler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .boundary import BodyForce, FixedBC, NodalLoad, PressureLoad, PrescribedBC
+from .dofs import PHYSICS_FIELDS, DofManager
+from .materials.rigid import RigidMaterial
+from .mesh import Mesh
+
+__all__ = ["StepSettings", "FEModel"]
+
+
+class StepSettings:
+    """Analysis step control (FEBio ``<Control>`` analog)."""
+
+    def __init__(self, duration=1.0, n_steps=1, max_newton=25, rtol=1e-6,
+                 atol=1e-10, line_search=False, solver="auto"):
+        if duration <= 0 or n_steps < 1:
+            raise ValueError("duration must be > 0 and n_steps >= 1")
+        self.duration = float(duration)
+        self.n_steps = int(n_steps)
+        self.max_newton = int(max_newton)
+        self.rtol = float(rtol)
+        self.atol = float(atol)
+        self.line_search = bool(line_search)
+        self.solver = solver
+
+    @property
+    def dt(self):
+        return self.duration / self.n_steps
+
+
+class FEModel:
+    """A complete analysis definition."""
+
+    def __init__(self, mesh, name="model"):
+        if not isinstance(mesh, Mesh):
+            raise TypeError("mesh must be a repro.fem.mesh.Mesh")
+        self.mesh = mesh
+        self.name = name
+        self.materials = {}
+        self.fixed_bcs = []
+        self.prescribed_bcs = []
+        self.nodal_loads = []
+        self.pressure_loads = []
+        self.body_forces = []
+        self.contacts = []
+        self.rigid_bodies = []
+        self.rigid_joints = []
+        self.step = StepSettings()
+        # Populated by finalize():
+        self.dofs = None
+        self.neq = 0
+        self._body_eq_base = 0
+        self._rigid_node_body = {}
+
+    # ------------------------------------------------------------------
+    # Definition API
+    # ------------------------------------------------------------------
+    def add_material(self, material):
+        if material.name in self.materials:
+            raise ValueError(f"duplicate material name {material.name!r}")
+        self.materials[material.name] = material
+        return material
+
+    def material_of(self, block):
+        try:
+            return self.materials[block.material]
+        except KeyError:
+            raise KeyError(
+                f"block {block.name!r} references unknown material "
+                f"{block.material!r}"
+            ) from None
+
+    def fix(self, nodes, fields):
+        self.fixed_bcs.append(FixedBC(nodes, fields))
+
+    def prescribe(self, nodes, field, value, curve=None):
+        self.prescribed_bcs.append(PrescribedBC(nodes, field, value, curve))
+
+    def add_nodal_load(self, nodes, field, value, curve=None):
+        self.nodal_loads.append(NodalLoad(nodes, field, value, curve))
+
+    def add_pressure(self, faces, value, curve=None, field_prefix="u"):
+        self.pressure_loads.append(
+            PressureLoad(faces, value, curve, field_prefix)
+        )
+
+    def add_body_force(self, block_name, direction, value, curve=None):
+        self.body_forces.append(BodyForce(block_name, direction, value, curve))
+
+    def add_contact(self, contact):
+        self.contacts.append(contact)
+
+    def add_rigid_body(self, body):
+        self.rigid_bodies.append(body)
+        return body
+
+    def add_rigid_joint(self, joint):
+        self.rigid_joints.append(joint)
+        return joint
+
+    # ------------------------------------------------------------------
+    # Finalization: equation numbering
+    # ------------------------------------------------------------------
+    def finalize(self):
+        """Assign equation numbers; idempotent."""
+        dofman = DofManager(self.mesh.nnodes)
+        for block in self.mesh.blocks:
+            dofman.activate_block(block)
+        # Rigid slave nodes: displacement fields are not independent DOFs.
+        self._rigid_node_body = {}
+        for body in self.rigid_bodies:
+            body.resolve(self.mesh)
+            for node in body.nodes:
+                self._rigid_node_body[int(node)] = body
+            dofman.fix(body.nodes, ("ux", "uy", "uz"))
+        for bc in self.fixed_bcs:
+            dofman.fix(bc.nodes, bc.fields)
+        for bc in self.prescribed_bcs:
+            dofman.fix(bc.nodes, (bc.field,))
+        n_nodal = dofman.finalize()
+        # Rigid body equations follow nodal equations.
+        eq = n_nodal
+        for body in self.rigid_bodies:
+            for k, dname in enumerate(body.DOF_NAMES):
+                if dname in body.fixed_dofs or dname in body.prescribed:
+                    body.eqs[k] = -1
+                else:
+                    body.eqs[k] = eq
+                    eq += 1
+        self.dofs = dofman
+        self._body_eq_base = n_nodal
+        self.neq = eq
+        return self.neq
+
+    # ------------------------------------------------------------------
+    # DOF expansion (assembler support)
+    # ------------------------------------------------------------------
+    def expansion(self, node, field):
+        """Expansion list [(equation, weight), ...] for a (node, field) DOF.
+
+        Regular free DOFs expand to themselves with weight 1; fixed and
+        prescribed DOFs expand to nothing; displacement DOFs of rigid slave
+        nodes expand onto the free equations of their body.
+        """
+        if field in ("ux", "uy", "uz") and node in self._rigid_node_body:
+            body = self._rigid_node_body[node]
+            J = body.node_jacobian(self.mesh.nodes[node])
+            i = ("ux", "uy", "uz").index(field)
+            return [
+                (int(body.eqs[k]), float(J[i, k]))
+                for k in range(6)
+                if body.eqs[k] >= 0 and J[i, k] != 0.0
+            ]
+        eq = self.dofs.eq(node, field)
+        if eq < 0:
+            return []
+        return [(eq, 1.0)]
+
+    def block_fields(self, block):
+        return PHYSICS_FIELDS[block.physics]
+
+    def is_rigid_block(self, block):
+        return isinstance(self.material_of(block), RigidMaterial)
+
+    # ------------------------------------------------------------------
+    # Solution vector layout helpers
+    # ------------------------------------------------------------------
+    def new_field_array(self):
+        """Zeroed full per-(node, field) value array."""
+        from .dofs import FIELDS
+
+        return np.zeros((self.mesh.nnodes, len(FIELDS)))
+
+    def new_body_vector(self):
+        """Zeroed rigid-body DOF matrix (nbodies, 6)."""
+        return np.zeros((len(self.rigid_bodies), 6))
+
+    def apply_prescribed(self, values, body_q, t):
+        """Write prescribed nodal and rigid DOF values for time ``t``."""
+        for bc in self.prescribed_bcs:
+            col = self.dofs.field_index(bc.field)
+            values[bc.nodes, col] = bc.value_at(t)
+        for b, body in enumerate(self.rigid_bodies):
+            for dname, (val, curve) in body.prescribed.items():
+                body_q[b, body.DOF_NAMES.index(dname)] = val * curve(t)
+
+    def sync_rigid_nodes(self, values, body_q):
+        """Recompute slave-node displacements from body DOFs."""
+        for b, body in enumerate(self.rigid_bodies):
+            for node in body.nodes:
+                u = body.displacement(self.mesh.nodes[node], body_q[b])
+                values[node, 0:3] = u
+
+    def scatter_update(self, values, body_q, du):
+        """Add a Newton increment (length neq) into nodal/body storage."""
+        from .dofs import FIELDS
+
+        eqs = self.dofs.eqs
+        mask = eqs >= 0
+        values_flat = values  # (nnodes, nfields) view
+        rows, cols = np.nonzero(mask)
+        values_flat[rows, cols] += du[eqs[rows, cols]]
+        for b, body in enumerate(self.rigid_bodies):
+            for k in range(6):
+                if body.eqs[k] >= 0:
+                    body_q[b, k] += du[body.eqs[k]]
+        self.sync_rigid_nodes(values, body_q)
+
+    def summary(self):
+        """Model statistics used in reports and the workload registry."""
+        return {
+            "name": self.name,
+            "nnodes": self.mesh.nnodes,
+            "nelem": self.mesh.nelem,
+            "neq": self.neq,
+            "blocks": [
+                {
+                    "name": b.name,
+                    "type": b.elem_type,
+                    "physics": b.physics,
+                    "nelem": b.nelem,
+                    "material": b.material,
+                }
+                for b in self.mesh.blocks
+            ],
+            "n_contacts": len(self.contacts),
+            "n_rigid_bodies": len(self.rigid_bodies),
+            "n_rigid_joints": len(self.rigid_joints),
+        }

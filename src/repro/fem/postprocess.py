@@ -1,0 +1,118 @@
+"""Post-processing: stress recovery and derived field output (Stage 3).
+
+FEBio's Stage 3 exports element stresses for visualization; these
+helpers recover Gauss-point stresses from a converged solution and
+reduce them to the scalar fields biomechanics papers report (von Mises,
+hydrostatic pressure, maximum principal stress).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dofs import FIELDS
+from .kernels import _b_matrix, _infer_volume
+from .materials.base import voigt_to_tensor
+from .shape import jacobian
+
+__all__ = [
+    "element_stresses",
+    "von_mises",
+    "hydrostatic",
+    "max_principal",
+    "stress_summary",
+]
+
+
+def element_stresses(model, values, block_name=None, dt=1.0, t=1.0):
+    """Centroid Cauchy-ish stress (Voigt) per element.
+
+    Uses the small-strain path for small-strain materials and the PK2
+    stress at the centroid for finite-strain ones (adequate for the
+    moderate strains of the workload suite).  Returns an
+    ``(nelem, 6)`` array per block name in a dict.
+    """
+    out = {}
+    ucols = [FIELDS.index(f) for f in ("ux", "uy", "uz")]
+    blocks = (
+        [model.mesh.block(block_name)] if block_name else model.mesh.blocks
+    )
+    for block in blocks:
+        if model.is_rigid_block(block) or block.physics == "fluid":
+            continue
+        material = model.material_of(block)
+        sig = np.zeros((block.nelem, 6))
+        for e in range(block.nelem):
+            conn = block.connectivity[e]
+            coords = model.mesh.nodes[conn]
+            u_e = values[np.ix_(conn, ucols)]
+            cls, _ = _infer_volume(coords)
+            centroid = (np.zeros(3) if cls.name == "hex8"
+                        else np.full(3, 0.25))
+            grads = cls.gradients(centroid)
+            _, _, dN = jacobian(coords, grads)
+            if material.finite_strain:
+                F = np.eye(3) + u_e.T @ dN
+                C = F.T @ F
+                state = material.init_state(1)
+                S, _, _ = material.pk2_response(
+                    C, {k: v[0] for k, v in state.items()}, dt, t)
+                # Push forward: sigma = F S F' / J.
+                J = float(np.linalg.det(F))
+                cauchy = F @ S @ F.T / J
+                sig[e] = [cauchy[0, 0], cauchy[1, 1], cauchy[2, 2],
+                          cauchy[0, 1], cauchy[1, 2], cauchy[2, 0]]
+            else:
+                B = _b_matrix(dN)
+                eps = B @ u_e.ravel()
+                state = material.init_state(1)
+                s6, _, _ = material.small_strain_response(
+                    eps, {k: v[0] for k, v in state.items()}, dt, t)
+                sig[e] = s6
+        out[block.name] = sig
+    return out
+
+
+def von_mises(sig6):
+    """Von Mises stress from Voigt rows (vectorized)."""
+    sig6 = np.atleast_2d(sig6)
+    sx, sy, sz, sxy, syz, szx = sig6.T
+    return np.sqrt(
+        0.5 * ((sx - sy) ** 2 + (sy - sz) ** 2 + (sz - sx) ** 2)
+        + 3.0 * (sxy ** 2 + syz ** 2 + szx ** 2)
+    )
+
+
+def hydrostatic(sig6):
+    """Hydrostatic (mean) stress; negative = compression."""
+    sig6 = np.atleast_2d(sig6)
+    return sig6[:, :3].mean(axis=1)
+
+
+def max_principal(sig6):
+    """Maximum principal stress per Voigt row."""
+    sig6 = np.atleast_2d(sig6)
+    out = np.empty(sig6.shape[0])
+    for i, row in enumerate(sig6):
+        out[i] = float(np.linalg.eigvalsh(voigt_to_tensor(row)).max())
+    return out
+
+
+def stress_summary(model, values):
+    """Per-block peak von Mises / pressure summary (report-ready)."""
+    rows = []
+    for name, sig in element_stresses(model, values).items():
+        if sig.size == 0:
+            continue
+        vm = von_mises(sig)
+        p = hydrostatic(sig)
+        rows.append(
+            {
+                "block": name,
+                "peak_von_mises": float(vm.max()),
+                "mean_von_mises": float(vm.mean()),
+                "min_pressure": float(p.min()),
+                "max_pressure": float(p.max()),
+            }
+        )
+    return rows

@@ -1,0 +1,82 @@
+"""Gauss quadrature rules for the element families used by the solver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QuadratureRule", "hex_rule", "tet_rule", "quad_rule"]
+
+
+class QuadratureRule:
+    """A set of integration points and weights in the parent element."""
+
+    def __init__(self, points, weights):
+        self.points = np.asarray(points, dtype=np.float64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.points.shape[0] != self.weights.shape[0]:
+            raise ValueError("points and weights must have the same length")
+
+    @property
+    def npoints(self):
+        return self.weights.size
+
+    def __iter__(self):
+        return zip(self.points, self.weights)
+
+
+def hex_rule(order=2):
+    """Tensor-product Gauss rule on the bi-unit cube.
+
+    ``order=1`` gives the single-point rule (used for reduced integration);
+    ``order=2`` the standard 2x2x2 rule for hex8 elements.
+    """
+    if order == 1:
+        return QuadratureRule(np.zeros((1, 3)), np.array([8.0]))
+    if order == 2:
+        g = 1.0 / np.sqrt(3.0)
+        pts = np.array(
+            [
+                [sx * g, sy * g, sz * g]
+                for sx in (-1, 1)
+                for sy in (-1, 1)
+                for sz in (-1, 1)
+            ]
+        )
+        return QuadratureRule(pts, np.ones(8))
+    raise ValueError(f"unsupported hex quadrature order {order}")
+
+
+def tet_rule(order=1):
+    """Quadrature on the unit tetrahedron (volume 1/6).
+
+    ``order=1``: centroid rule, exact for linears.
+    ``order=2``: 4-point rule, exact for quadratics.
+    """
+    if order == 1:
+        return QuadratureRule(
+            np.array([[0.25, 0.25, 0.25]]), np.array([1.0 / 6.0])
+        )
+    if order == 2:
+        a = (5.0 + 3.0 * np.sqrt(5.0)) / 20.0
+        b = (5.0 - np.sqrt(5.0)) / 20.0
+        pts = np.array(
+            [
+                [a, b, b],
+                [b, a, b],
+                [b, b, a],
+                [b, b, b],
+            ]
+        )
+        return QuadratureRule(pts, np.full(4, 1.0 / 24.0))
+    raise ValueError(f"unsupported tet quadrature order {order}")
+
+
+def quad_rule(order=2):
+    """Tensor-product Gauss rule on the bi-unit square (surface loads)."""
+    if order == 1:
+        return QuadratureRule(np.zeros((1, 2)), np.array([4.0]))
+    if order == 2:
+        g = 1.0 / np.sqrt(3.0)
+        pts = np.array([[sx * g, sy * g] for sx in (-1, 1) for sy in (-1, 1)])
+        return QuadratureRule(pts, np.ones(4))
+    raise ValueError(f"unsupported quad quadrature order {order}")

@@ -1,0 +1,149 @@
+"""Rigid bodies and rigid joints.
+
+A rigid body slaves the nodes of one or more element blocks to six body
+DOFs (translation + linearized rotation).  A slave node's displacement is
+
+    u_node = u_c + theta x r,     r = X_node - X_center
+
+so each displacement DOF of a slave node maps linearly onto the body's six
+equations; the assembly layer performs this congruence transform through
+per-DOF (equation, weight) expansion lists.
+
+Rigid joints connect two bodies (or a body and ground) with a penalty on
+the relative motion of a shared joint point — the RJ workload group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RigidBody", "RigidJoint"]
+
+
+def _skew(v):
+    return np.array(
+        [
+            [0.0, -v[2], v[1]],
+            [v[2], 0.0, -v[0]],
+            [-v[1], v[0], 0.0],
+        ]
+    )
+
+
+class RigidBody:
+    """Six-DOF rigid body owning the nodes of ``block_names``.
+
+    Parameters
+    ----------
+    name:
+        Body label.
+    block_names:
+        Element blocks whose nodes are slaved to this body.
+    center:
+        Reference center of mass; defaults to the mean of slave nodes
+        (resolved at model finalization).
+    fixed_dofs:
+        Subset of ("tx","ty","tz","rx","ry","rz") to constrain.
+    """
+
+    DOF_NAMES = ("tx", "ty", "tz", "rx", "ry", "rz")
+
+    def __init__(self, name, block_names, center=None, fixed_dofs=()):
+        self.name = name
+        self.block_names = tuple(block_names)
+        self.center = None if center is None else np.asarray(center, float)
+        self.fixed_dofs = tuple(fixed_dofs)
+        for d in self.fixed_dofs:
+            if d not in self.DOF_NAMES:
+                raise ValueError(f"unknown rigid DOF {d!r}")
+        # Assigned during model finalization:
+        self.nodes = None
+        self.eqs = np.full(6, -1, dtype=np.int64)
+        self.prescribed = {}  # dof name -> (value, curve)
+
+    def prescribe(self, dof, value, curve=None):
+        """Prescribe a body DOF to follow ``value * curve(t)``."""
+        from .loadcurve import constant
+
+        if dof not in self.DOF_NAMES:
+            raise ValueError(f"unknown rigid DOF {dof!r}")
+        self.prescribed[dof] = (float(value), curve or constant())
+
+    def resolve(self, mesh):
+        """Collect slave nodes and default the center of mass."""
+        node_sets = [mesh.block(b).node_set() for b in self.block_names]
+        self.nodes = np.unique(np.concatenate(node_sets))
+        if self.center is None:
+            self.center = mesh.nodes[self.nodes].mean(axis=0)
+
+    def node_jacobian(self, X):
+        """(3, 6) map from body DOFs to the displacement of a node at X."""
+        J = np.zeros((3, 6))
+        J[:, :3] = np.eye(3)
+        J[:, 3:] = -_skew(X - self.center)  # theta x r = -skew(r) theta
+        return J
+
+    def displacement(self, X, q):
+        """Displacement of a slave node for body DOF vector ``q`` (6,)."""
+        return self.node_jacobian(X) @ q
+
+
+class RigidJoint:
+    """Penalty joint constraining the relative motion of a point.
+
+    ``kind`` selects which relative motions are penalized:
+
+    * ``"spherical"``: relative translation at the joint point.
+    * ``"revolute"``: translation plus rotation about axes orthogonal to
+      ``axis``.
+
+    ``body_b`` may be ``None`` to pin ``body_a`` to ground.
+    """
+
+    def __init__(self, name, body_a, body_b=None, point=(0, 0, 0),
+                 axis=(0, 0, 1), kind="revolute", penalty=1e4):
+        self.name = name
+        self.body_a = body_a
+        self.body_b = body_b
+        self.point = np.asarray(point, dtype=np.float64)
+        ax = np.asarray(axis, dtype=np.float64)
+        self.axis = ax / np.linalg.norm(ax)
+        if kind not in ("spherical", "revolute"):
+            raise ValueError(f"unknown joint kind {kind!r}")
+        self.kind = kind
+        self.penalty = float(penalty)
+
+    def constraint_rows(self):
+        """Constraint direction matrix C (n_c, 12) on [q_a; q_b].
+
+        Penalty energy = penalty/2 * |C [q_a; q_b]|^2.
+        """
+        Ja = self.body_a.node_jacobian(self.point)  # (3, 6)
+        rows = []
+        if self.body_b is not None:
+            Jb = self.body_b.node_jacobian(self.point)
+        else:
+            Jb = np.zeros((3, 6))
+        # Translational constraints: u_a(point) - u_b(point) = 0.
+        for i in range(3):
+            rows.append(np.concatenate([Ja[i], -Jb[i]]))
+        if self.kind == "revolute":
+            # Rotation about directions orthogonal to the axis must match.
+            basis = _orthogonal_basis(self.axis)
+            for d in basis:
+                row = np.zeros(12)
+                row[3:6] = d
+                row[9:12] = -d
+                rows.append(row)
+        return np.asarray(rows)
+
+
+def _orthogonal_basis(axis):
+    """Two unit vectors orthogonal to ``axis``."""
+    trial = np.array([1.0, 0.0, 0.0])
+    if abs(axis @ trial) > 0.9:
+        trial = np.array([0.0, 1.0, 0.0])
+    b1 = np.cross(axis, trial)
+    b1 /= np.linalg.norm(b1)
+    b2 = np.cross(axis, b1)
+    return [b1, b2]

@@ -1,0 +1,141 @@
+"""Shape functions and parent-space gradients for hex8, tet4 and quad4.
+
+Conventions follow the classic isoparametric formulation: ``values(xi)``
+returns the nodal shape function values at a parent coordinate, and
+``gradients(xi)`` the derivatives with respect to parent coordinates with
+shape ``(nnodes, ndim)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Hex8", "Tet4", "Quad4", "element_class", "jacobian"]
+
+
+class Hex8:
+    """Trilinear 8-node hexahedron on the bi-unit cube."""
+
+    nnodes = 8
+    ndim = 3
+    name = "hex8"
+    # Parent coordinates of the nodes, FEBio/Abaqus node ordering.
+    _signs = np.array(
+        [
+            [-1, -1, -1],
+            [1, -1, -1],
+            [1, 1, -1],
+            [-1, 1, -1],
+            [-1, -1, 1],
+            [1, -1, 1],
+            [1, 1, 1],
+            [-1, 1, 1],
+        ],
+        dtype=np.float64,
+    )
+
+    @classmethod
+    def values(cls, xi):
+        xi = np.asarray(xi, dtype=np.float64)
+        s = cls._signs
+        return 0.125 * (1 + s[:, 0] * xi[0]) * (1 + s[:, 1] * xi[1]) * (
+            1 + s[:, 2] * xi[2]
+        )
+
+    @classmethod
+    def gradients(cls, xi):
+        xi = np.asarray(xi, dtype=np.float64)
+        s = cls._signs
+        fx = 1 + s[:, 0] * xi[0]
+        fy = 1 + s[:, 1] * xi[1]
+        fz = 1 + s[:, 2] * xi[2]
+        grad = np.empty((8, 3))
+        grad[:, 0] = 0.125 * s[:, 0] * fy * fz
+        grad[:, 1] = 0.125 * fx * s[:, 1] * fz
+        grad[:, 2] = 0.125 * fx * fy * s[:, 2]
+        return grad
+
+
+class Tet4:
+    """Linear 4-node tetrahedron with barycentric-style shape functions."""
+
+    nnodes = 4
+    ndim = 3
+    name = "tet4"
+
+    @classmethod
+    def values(cls, xi):
+        xi = np.asarray(xi, dtype=np.float64)
+        return np.array([1.0 - xi[0] - xi[1] - xi[2], xi[0], xi[1], xi[2]])
+
+    @classmethod
+    def gradients(cls, xi):
+        return np.array(
+            [
+                [-1.0, -1.0, -1.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+
+
+class Quad4:
+    """Bilinear 4-node quadrilateral (surface element for loads/contact)."""
+
+    nnodes = 4
+    ndim = 2
+    name = "quad4"
+    _signs = np.array(
+        [[-1, -1], [1, -1], [1, 1], [-1, 1]], dtype=np.float64
+    )
+
+    @classmethod
+    def values(cls, xi):
+        xi = np.asarray(xi, dtype=np.float64)
+        s = cls._signs
+        return 0.25 * (1 + s[:, 0] * xi[0]) * (1 + s[:, 1] * xi[1])
+
+    @classmethod
+    def gradients(cls, xi):
+        xi = np.asarray(xi, dtype=np.float64)
+        s = cls._signs
+        grad = np.empty((4, 2))
+        grad[:, 0] = 0.25 * s[:, 0] * (1 + s[:, 1] * xi[1])
+        grad[:, 1] = 0.25 * (1 + s[:, 0] * xi[0]) * s[:, 1]
+        return grad
+
+
+_CLASSES = {"hex8": Hex8, "tet4": Tet4, "quad4": Quad4}
+
+
+def element_class(name):
+    """Look up an element class by its short name."""
+    try:
+        return _CLASSES[name]
+    except KeyError:
+        raise KeyError(f"unknown element type {name!r}") from None
+
+
+def jacobian(coords, grads):
+    """Isoparametric Jacobian at one quadrature point.
+
+    Parameters
+    ----------
+    coords:
+        ``(nnodes, 3)`` nodal coordinates.
+    grads:
+        ``(nnodes, 3)`` parent-space shape gradients.
+
+    Returns
+    -------
+    (J, detJ, dN):
+        The 3x3 Jacobian, its determinant, and the physical-space shape
+        gradients ``(nnodes, 3)``.
+    """
+    J = coords.T @ grads
+    detJ = float(np.linalg.det(J))
+    if detJ <= 0.0:
+        raise ValueError(f"non-positive Jacobian determinant {detJ:.3e}")
+    dN = grads @ np.linalg.inv(J)
+    return J, detJ, dN

@@ -1,0 +1,28 @@
+"""Linear and nonlinear solvers."""
+
+from .direct import DenseLU, cholesky_solve, dense_cholesky
+from .iterative import IterativeResult, conjugate_gradient, fgmres
+from .linear import LinearSolveInfo, is_numerically_symmetric, solve_linear
+from .newton import NewtonError, SolveRecord, StepRecord, solve_model
+from .precond import ILU0Preconditioner, JacobiPreconditioner
+from .skyline import SkylineLDL, SkylineMatrix
+
+__all__ = [
+    "DenseLU",
+    "cholesky_solve",
+    "dense_cholesky",
+    "IterativeResult",
+    "conjugate_gradient",
+    "fgmres",
+    "LinearSolveInfo",
+    "is_numerically_symmetric",
+    "solve_linear",
+    "NewtonError",
+    "SolveRecord",
+    "StepRecord",
+    "solve_model",
+    "ILU0Preconditioner",
+    "JacobiPreconditioner",
+    "SkylineLDL",
+    "SkylineMatrix",
+]

@@ -1,0 +1,149 @@
+"""Iterative Krylov solvers: preconditioned CG and restarted FGMRES.
+
+Both record iteration counts and residual histories; the trace generators
+use those counts to size the SpMV/axpy/dot instruction streams (FEBio's
+RCICG / FGMRES analogs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IterativeResult", "conjugate_gradient", "fgmres"]
+
+
+class IterativeResult:
+    """Outcome of an iterative solve."""
+
+    def __init__(self, x, iterations, residual_norm, converged, history):
+        self.x = x
+        self.iterations = int(iterations)
+        self.residual_norm = float(residual_norm)
+        self.converged = bool(converged)
+        self.history = list(history)
+
+    def __repr__(self):
+        status = "converged" if self.converged else "NOT converged"
+        return (
+            f"IterativeResult({status} in {self.iterations} iters, "
+            f"|r|={self.residual_norm:.3e})"
+        )
+
+
+def conjugate_gradient(A, b, preconditioner=None, x0=None, rtol=1e-8,
+                       atol=1e-300, max_iter=None):
+    """Preconditioned conjugate gradients for SPD systems."""
+    n = A.n
+    if max_iter is None:
+        max_iter = max(10 * n, 100)
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - A.matvec(x) if x.any() else np.asarray(b, dtype=np.float64).copy()
+    b_norm = float(np.linalg.norm(b))
+    target = max(rtol * b_norm, atol)
+    history = [float(np.linalg.norm(r))]
+    if history[0] <= target:
+        return IterativeResult(x, 0, history[0], True, history)
+    z = preconditioner.apply(r) if preconditioner else r.copy()
+    p = z.copy()
+    rz = float(r @ z)
+    for it in range(1, max_iter + 1):
+        Ap = A.matvec(p)
+        pAp = float(p @ Ap)
+        if pAp <= 0.0:
+            # Matrix is not SPD along this direction; bail out so the
+            # caller can fall back to FGMRES.
+            return IterativeResult(x, it, history[-1], False, history)
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        rn = float(np.linalg.norm(r))
+        history.append(rn)
+        if rn <= target:
+            return IterativeResult(x, it, rn, True, history)
+        z = preconditioner.apply(r) if preconditioner else r
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return IterativeResult(x, max_iter, history[-1], False, history)
+
+
+def fgmres(A, b, preconditioner=None, x0=None, rtol=1e-8, atol=1e-300,
+           restart=50, max_iter=None):
+    """Flexible restarted GMRES with right preconditioning.
+
+    Flexible means the preconditioner may change between iterations (we
+    keep it fixed, but the storage of Z vectors follows the FGMRES
+    formulation FEBio exposes).
+    """
+    n = A.n
+    if max_iter is None:
+        max_iter = max(4 * n, 200)
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    b = np.asarray(b, dtype=np.float64)
+    b_norm = float(np.linalg.norm(b))
+    target = max(rtol * b_norm, atol)
+    history = []
+    total_iters = 0
+
+    while True:
+        r = b - A.matvec(x)
+        beta = float(np.linalg.norm(r))
+        history.append(beta)
+        if beta <= target or total_iters >= max_iter:
+            return IterativeResult(
+                x, total_iters, beta, beta <= target, history
+            )
+        m = min(restart, max_iter - total_iters)
+        V = np.zeros((m + 1, n))
+        Z = np.zeros((m, n))
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        g[0] = beta
+        V[0] = r / beta
+        k_used = 0
+        for k in range(m):
+            z = preconditioner.apply(V[k]) if preconditioner else V[k].copy()
+            Z[k] = z
+            w = A.matvec(z)
+            # Modified Gram-Schmidt.
+            for i in range(k + 1):
+                H[i, k] = float(w @ V[i])
+                w -= H[i, k] * V[i]
+            H[k + 1, k] = float(np.linalg.norm(w))
+            if H[k + 1, k] > 1e-300:
+                V[k + 1] = w / H[k + 1, k]
+            # Apply stored Givens rotations to the new column.
+            for i in range(k):
+                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                H[i, k] = t
+            denom = float(np.hypot(H[k, k], H[k + 1, k]))
+            if denom == 0.0:
+                k_used = k + 1
+                break
+            cs[k] = H[k, k] / denom
+            sn[k] = H[k + 1, k] / denom
+            H[k, k] = denom
+            H[k + 1, k] = 0.0
+            g[k + 1] = -sn[k] * g[k]
+            g[k] = cs[k] * g[k]
+            total_iters += 1
+            k_used = k + 1
+            history.append(abs(float(g[k + 1])))
+            if abs(g[k + 1]) <= target:
+                break
+        # Solve the small triangular system and update x.
+        if k_used > 0:
+            y = np.zeros(k_used)
+            for i in range(k_used - 1, -1, -1):
+                y[i] = (g[i] - H[i, i + 1: k_used] @ y[i + 1: k_used]) / H[i, i]
+            x += Z[:k_used].T @ y
+        if total_iters >= max_iter:
+            r = b - A.matvec(x)
+            beta = float(np.linalg.norm(r))
+            history.append(beta)
+            return IterativeResult(
+                x, total_iters, beta, beta <= target, history
+            )

@@ -1,0 +1,96 @@
+"""Preconditioners for the iterative solvers: Jacobi and ILU(0)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["JacobiPreconditioner", "ILU0Preconditioner"]
+
+
+class JacobiPreconditioner:
+    """Diagonal scaling ``M^-1 r = r / diag(A)``."""
+
+    name = "jacobi"
+
+    def __init__(self, matrix):
+        d = matrix.diagonal()
+        # Guard: a structurally-zero diagonal entry falls back to identity.
+        d = np.where(np.abs(d) > 1e-300, d, 1.0)
+        self._inv_diag = 1.0 / d
+
+    def apply(self, r):
+        return self._inv_diag * r
+
+
+class ILU0Preconditioner:
+    """Incomplete LU with zero fill on the CSR pattern of A.
+
+    Standard IKJ row factorization restricted to existing entries; the
+    factors share A's pattern (strict lower = L with unit diagonal, upper
+    incl. diagonal = U).
+    """
+
+    name = "ilu0"
+
+    def __init__(self, matrix):
+        self.n = matrix.n
+        self.indptr = matrix.indptr.copy()
+        self.indices = matrix.indices.copy()
+        data = matrix.data.copy()
+        indptr, indices = self.indptr, self.indices
+        # Position of each column within each row for O(1) lookup.
+        diag_pos = np.full(self.n, -1, dtype=np.int64)
+        col_pos = [dict() for _ in range(self.n)]
+        for i in range(self.n):
+            for p in range(indptr[i], indptr[i + 1]):
+                c = int(indices[p])
+                col_pos[i][c] = p
+                if c == i:
+                    diag_pos[i] = p
+        if (diag_pos < 0).any():
+            raise ValueError("ILU(0) requires a full structural diagonal")
+        for i in range(self.n):
+            row_lookup = col_pos[i]
+            for p in range(indptr[i], indptr[i + 1]):
+                k = int(indices[p])
+                if k >= i:
+                    break
+                dk = data[diag_pos[k]]
+                if dk == 0.0:
+                    raise np.linalg.LinAlgError(
+                        f"zero pivot in ILU(0) at row {k}"
+                    )
+                lik = data[p] / dk
+                data[p] = lik
+                # Update remaining entries of row i that exist in row k's
+                # upper part.
+                for q in range(diag_pos[k] + 1, indptr[k + 1]):
+                    j = int(indices[q])
+                    pos = row_lookup.get(j)
+                    if pos is not None:
+                        data[pos] -= lik * data[q]
+        self.data = data
+        self._diag_pos = diag_pos
+
+    def apply(self, r):
+        """Solve ``L U z = r``."""
+        n = self.n
+        indptr, indices, data = self.indptr, self.indices, self.data
+        z = np.asarray(r, dtype=np.float64).copy()
+        # Forward: unit lower triangle.
+        for i in range(n):
+            s = z[i]
+            for p in range(indptr[i], indptr[i + 1]):
+                c = int(indices[p])
+                if c >= i:
+                    break
+                s -= data[p] * z[c]
+            z[i] = s
+        # Backward: upper triangle including diagonal.
+        for i in range(n - 1, -1, -1):
+            s = z[i]
+            dpos = int(self._diag_pos[i])
+            for p in range(dpos + 1, indptr[i + 1]):
+                s -= data[p] * z[int(indices[p])]
+            z[i] = s / data[dpos]
+        return z

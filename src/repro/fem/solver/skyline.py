@@ -1,0 +1,152 @@
+"""Skyline (profile) LDL' factorization — FEBio's built-in direct solver.
+
+The skyline format stores, for each column j, the contiguous run of
+entries from the first nonzero row down to the diagonal.  LDL' without
+pivoting is stable for the symmetric positive definite systems produced
+by pure displacement models, which is exactly where FEBio's Skyline
+solver is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SkylineMatrix", "SkylineLDL"]
+
+
+class SkylineMatrix:
+    """Column-profile storage of a symmetric matrix.
+
+    ``heights[j]`` is the number of stored entries in column j (from row
+    ``j - heights[j] + 1`` through j); ``colptr[j]`` indexes the start of
+    column j in the packed value array (diagonal stored last per column).
+    """
+
+    def __init__(self, n, heights):
+        self.n = int(n)
+        self.heights = np.asarray(heights, dtype=np.int64)
+        if self.heights.shape != (self.n,):
+            raise ValueError("heights must have length n")
+        if self.n and (self.heights < 1).any():
+            raise ValueError("each column stores at least its diagonal")
+        self.colptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(self.heights, out=self.colptr[1:])
+        self.values = np.zeros(int(self.colptr[-1]))
+
+    @classmethod
+    def from_csr(cls, matrix):
+        """Build from the lower triangle of a symmetric CSR matrix."""
+        n = matrix.n
+        heights = np.ones(n, dtype=np.int64)
+        for i in range(n):
+            cols, _ = matrix.row(i)
+            for c in cols:
+                if c < i:
+                    # Entry (i, c) lives in column i of the upper profile
+                    # (symmetric), so column i must reach up to row c.
+                    heights[i] = max(heights[i], i - int(c) + 1)
+        sky = cls(n, heights)
+        for i in range(n):
+            cols, vals = matrix.row(i)
+            for c, v in zip(cols, vals):
+                if c <= i:
+                    sky.set(i, int(c), float(v))
+        return sky
+
+    def _offset(self, i, j):
+        """Packed index of entry (i, j) with i >= j stored in column i."""
+        # Symmetric storage: entry (i, j), i >= j, lives in column i at
+        # depth (i - j) above the diagonal.
+        col = i
+        top = col - self.heights[col] + 1
+        if j < top:
+            raise IndexError(f"entry ({i}, {j}) outside the profile")
+        return int(self.colptr[col] + (j - top))
+
+    def set(self, i, j, value):
+        if j > i:
+            i, j = j, i
+        self.values[self._offset(i, j)] = value
+
+    def get(self, i, j):
+        if j > i:
+            i, j = j, i
+        top = i - self.heights[i] + 1
+        if j < top:
+            return 0.0
+        return float(self.values[self._offset(i, j)])
+
+    def to_dense(self):
+        out = np.zeros((self.n, self.n))
+        for i in range(self.n):
+            top = i - self.heights[i] + 1
+            for j in range(top, i + 1):
+                v = self.get(i, j)
+                out[i, j] = v
+                out[j, i] = v
+        return out
+
+
+class SkylineLDL:
+    """LDL' factorization of a skyline matrix (in profile, no fill outside).
+
+    The column heights are exactly the fill pattern of the factor, so the
+    factorization is done in place on a copy of the packed values.
+    """
+
+    def __init__(self, sky):
+        self.n = sky.n
+        self.heights = sky.heights.copy()
+        self.colptr = sky.colptr.copy()
+        vals = sky.values.copy()
+        n = self.n
+        L = np.zeros((0,))  # placeholder for doc clarity; work on vals
+        d = np.zeros(n)
+        # Column-oriented factorization; column i holds L[i, top..i-1], D[i].
+        for i in range(n):
+            top = i - int(self.heights[i]) + 1
+            base = int(self.colptr[i])
+            # Update off-diagonal entries of column i.
+            for j in range(top, i):
+                s = vals[base + (j - top)]
+                jtop = j - int(self.heights[j]) + 1
+                lo = max(top, jtop)
+                if lo < j:
+                    a = vals[base + (lo - top): base + (j - top)]
+                    jb = int(self.colptr[j])
+                    b = vals[jb + (lo - jtop): jb + (j - jtop)]
+                    s -= float(a @ b)
+                vals[base + (j - top)] = s
+            # Scale by D and accumulate the diagonal.
+            dd = vals[base + (i - top)]
+            for j in range(top, i):
+                lij = vals[base + (j - top)] / d[j]
+                dd -= lij * vals[base + (j - top)]
+                vals[base + (j - top)] = lij
+            if dd == 0.0:
+                raise np.linalg.LinAlgError(
+                    f"zero pivot at equation {i} in skyline LDL'"
+                )
+            d[i] = dd
+        self._vals = vals
+        self._d = d
+
+    def solve(self, b):
+        """Solve ``A x = b`` with the stored LDL' factors."""
+        n = self.n
+        x = np.asarray(b, dtype=np.float64).copy()
+        # Forward: L y = b.
+        for i in range(n):
+            top = i - int(self.heights[i]) + 1
+            base = int(self.colptr[i])
+            if top < i:
+                x[i] -= self._vals[base: base + (i - top)] @ x[top:i]
+        # Diagonal.
+        x /= self._d
+        # Backward: L' x = y.
+        for i in range(n - 1, -1, -1):
+            top = i - int(self.heights[i]) + 1
+            base = int(self.colptr[i])
+            if top < i:
+                x[top:i] -= self._vals[base: base + (i - top)] * x[i]
+        return x

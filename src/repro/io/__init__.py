@@ -1,0 +1,14 @@
+"""I/O helpers: result persistence and text plotting."""
+
+from .results import ensure_dir, load_json, save_csv, save_json
+from .textplot import render_bars, render_stacked, render_table
+
+__all__ = [
+    "ensure_dir",
+    "load_json",
+    "save_csv",
+    "save_json",
+    "render_bars",
+    "render_stacked",
+    "render_table",
+]

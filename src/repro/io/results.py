@@ -1,0 +1,46 @@
+"""Result persistence: JSON/CSV writers used by the bench harness."""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+__all__ = ["save_json", "load_json", "save_csv", "ensure_dir"]
+
+
+def ensure_dir(path):
+    """Create a directory (and parents) if missing; returns the path."""
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_json(path, data):
+    """Write JSON atomically."""
+    ensure_dir(os.path.dirname(path) or ".")
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True, default=str)
+    os.replace(tmp, path)
+    return path
+
+
+def load_json(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def save_csv(path, rows, columns=None):
+    """Write dict rows as CSV."""
+    ensure_dir(os.path.dirname(path) or ".")
+    if not rows:
+        with open(path, "w") as fh:
+            fh.write("")
+        return path
+    if columns is None:
+        columns = list(rows[0].keys())
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,69 @@
+"""Plain-text rendering of tables and bar charts for the bench harness."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "render_bars", "render_stacked"]
+
+
+def render_table(rows, columns=None, floatfmt="{:.2f}", title=""):
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no data)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(v):
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    grid = [[fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in grid))
+        for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in grid:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def render_bars(items, width=40, title="", floatfmt="{:.2f}"):
+    """Horizontal bar chart from (label, value) pairs."""
+    lines = [title] if title else []
+    if not items:
+        return "\n".join(lines + ["(no data)"]) + "\n"
+    peak = max(abs(v) for _, v in items) or 1.0
+    label_w = max(len(str(lb)) for lb, _ in items)
+    for label, value in items:
+        bar = "#" * max(int(round(abs(value) / peak * width)), 0)
+        sign = "-" if value < 0 else ""
+        lines.append(
+            f"{str(label).ljust(label_w)} |{sign}{bar} "
+            + floatfmt.format(value)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_stacked(rows, key, parts, width=50, title=""):
+    """Stacked horizontal bars: each row has a label and part fractions."""
+    lines = [title] if title else []
+    symbols = "#=+:.%@*"
+    label_w = max(len(str(r[key])) for r in rows) if rows else 0
+    for row in rows:
+        total = sum(float(row[p]) for p in parts) or 1.0
+        bar = ""
+        for i, p in enumerate(parts):
+            frac = float(row[p]) / total
+            bar += symbols[i % len(symbols)] * int(round(frac * width))
+        lines.append(f"{str(row[key]).ljust(label_w)} |{bar[:width]}")
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={p}" for i, p in enumerate(parts)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines) + "\n"

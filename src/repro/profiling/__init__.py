@@ -1,0 +1,21 @@
+"""Profiling layer: top-down analysis, hotspots, metrics (VTune analog)."""
+
+from .hotspots import HotspotReport, hotspot_report, prevalence_symbol
+from .metrics import MetricSet, metric_set, percent_diff, speedup
+from .timeline import ScalingPoint, measure_workload, scaling_study
+from .topdown import TopDownResult, analyze
+
+__all__ = [
+    "HotspotReport",
+    "hotspot_report",
+    "prevalence_symbol",
+    "MetricSet",
+    "metric_set",
+    "percent_diff",
+    "speedup",
+    "ScalingPoint",
+    "measure_workload",
+    "scaling_study",
+    "TopDownResult",
+    "analyze",
+]

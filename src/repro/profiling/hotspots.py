@@ -1,0 +1,88 @@
+"""Function-level hotspot analysis (VTune bottom-up view; Fig. 4).
+
+Aggregates the simulator's per-function clockticks, finds the functions
+inside the top-5%-of-clockticks hotspot set, and summarizes each Fig. 4
+category's prevalence within that set.
+"""
+
+from __future__ import annotations
+
+from ..trace import functions as ftab
+
+__all__ = ["HotspotReport", "hotspot_report", "prevalence_symbol"]
+
+# Fig. 4 color thresholds on the fraction of top hotspots per category.
+_SYMBOLS = (
+    (0.75, "R"),   # red:    > 75%
+    (0.50, "O"),   # orange: 50-75%
+    (0.25, "Y"),   # yellow: 25-50%
+    (0.00, "G"),   # green:  < 25%
+)
+
+
+def prevalence_symbol(fraction):
+    """Map a hotspot fraction to its Fig. 4 dot color letter."""
+    for threshold, symbol in _SYMBOLS:
+        if fraction > threshold:
+            return symbol
+    return "G" if fraction > 0 else "-"
+
+
+class HotspotReport:
+    """Hotspot summary for one workload."""
+
+    def __init__(self, name, func_ticks, threshold=0.05):
+        self.name = name
+        self.threshold = threshold
+        total = max(sum(func_ticks.values()), 1)
+        # Hot set: functions contributing to the top 5% of clockticks —
+        # i.e. every function whose share exceeds 5% of total ticks plus
+        # the single largest (there is always at least one hotspot).
+        shares = {
+            fid: ticks / total for fid, ticks in func_ticks.items()
+        }
+        hot = {fid for fid, s in shares.items() if s >= threshold}
+        if not hot and shares:
+            hot = {max(shares, key=shares.get)}
+        self.shares = shares
+        self.hot_functions = hot
+
+    def top_functions(self, k=10):
+        """The k hottest functions as (name, category, share)."""
+        ranked = sorted(self.shares.items(), key=lambda kv: -kv[1])[:k]
+        out = []
+        for fid, share in ranked:
+            f = ftab.info(fid)
+            out.append((f.name, f.category, share))
+        return out
+
+    def category_prevalence(self):
+        """Clocktick share of the hot set owned by each Fig. 4 category.
+
+        Weighting by ticks (not function count) matches how VTune's
+        bottom-up view apportions the top-5% set: one dominant assembly
+        routine outweighs several minor helpers.
+        """
+        if not self.hot_functions:
+            return {c: 0.0 for c in ftab.CATEGORIES}
+        ticks = {c: 0.0 for c in ftab.CATEGORIES}
+        for fid in self.hot_functions:
+            ticks[ftab.info(fid).category] += self.shares[fid]
+        total = sum(ticks.values()) or 1.0
+        return {c: ticks[c] / total for c in ftab.CATEGORIES}
+
+    def category_symbols(self):
+        """Fig. 4 dot letters per category (R/O/Y/G, '-' = absent)."""
+        prev = self.category_prevalence()
+        out = {}
+        for cat, frac in prev.items():
+            present = any(
+                ftab.info(fid).category == cat for fid in self.hot_functions
+            )
+            out[cat] = prevalence_symbol(frac) if present else "-"
+        return out
+
+
+def hotspot_report(stats, name=""):
+    """Build a :class:`HotspotReport` from simulator statistics."""
+    return HotspotReport(name or stats.config_name, stats.func_clockticks)

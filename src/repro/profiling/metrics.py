@@ -1,0 +1,63 @@
+"""Derived performance metrics (CPI, MPKI, bandwidth, speedups)."""
+
+from __future__ import annotations
+
+__all__ = ["MetricSet", "metric_set", "percent_diff", "speedup"]
+
+
+class MetricSet:
+    """The metric bundle Belenos reports per (workload, config) run."""
+
+    def __init__(self, name, ipc, cpi, seconds, l1i_mpki, l1d_mpki, l2_mpki,
+                 branch_mpki, dram_gbps):
+        self.name = name
+        self.ipc = ipc
+        self.cpi = cpi
+        self.seconds = seconds
+        self.l1i_mpki = l1i_mpki
+        self.l1d_mpki = l1d_mpki
+        self.l2_mpki = l2_mpki
+        self.branch_mpki = branch_mpki
+        self.dram_gbps = dram_gbps
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "ipc": self.ipc,
+            "cpi": self.cpi,
+            "seconds": self.seconds,
+            "l1i_mpki": self.l1i_mpki,
+            "l1d_mpki": self.l1d_mpki,
+            "l2_mpki": self.l2_mpki,
+            "branch_mpki": self.branch_mpki,
+            "dram_gbps": self.dram_gbps,
+        }
+
+
+def metric_set(stats, name=""):
+    """Extract a :class:`MetricSet` from simulator statistics."""
+    return MetricSet(
+        name or stats.config_name,
+        ipc=stats.ipc,
+        cpi=stats.cpi,
+        seconds=stats.seconds,
+        l1i_mpki=stats.mpki("l1i"),
+        l1d_mpki=stats.mpki("l1d"),
+        l2_mpki=stats.mpki("l2"),
+        branch_mpki=stats.branch_mpki,
+        dram_gbps=stats.dram_bandwidth_gbps,
+    )
+
+
+def percent_diff(value, baseline):
+    """Signed percent difference vs a baseline (Figs. 10-12 metric)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (value - baseline) / baseline
+
+
+def speedup(baseline_time, time):
+    """Baseline-relative speedup (> 1 means faster)."""
+    if time == 0:
+        return float("inf")
+    return baseline_time / time

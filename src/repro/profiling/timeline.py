@@ -1,0 +1,55 @@
+"""Wall-clock measurement of real solver runs (Figs. 5 and 6).
+
+Unlike the trace-driven figures, the scaling study measures the actual
+Python FE solver: Belenos measures FEBio's end-to-end Stage-2 time, and
+our direct analog is the end-to-end time of :func:`repro.fem.solve_model`
+— a genuinely executing FEA code whose cost scales with the same model
+properties (mesh size, physics, solver iterations).
+"""
+
+from __future__ import annotations
+
+from ..fem import feb_bytes, solve_model
+
+__all__ = ["ScalingPoint", "measure_workload", "scaling_study"]
+
+
+class ScalingPoint:
+    """One (model size, solve time) observation."""
+
+    def __init__(self, name, category, size_kb, seconds, neq, newton_iters,
+                 case_study=False):
+        self.name = name
+        self.category = category
+        self.size_kb = float(size_kb)
+        self.seconds = float(seconds)
+        self.neq = int(neq)
+        self.newton_iters = int(newton_iters)
+        self.case_study = bool(case_study)
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "category": self.category,
+            "size_kb": self.size_kb,
+            "seconds": self.seconds,
+            "neq": self.neq,
+            "newton_iters": self.newton_iters,
+            "case_study": self.case_study,
+        }
+
+
+def measure_workload(spec, scale="tiny"):
+    """Solve one workload and measure size + wall time."""
+    model = spec.build(scale)
+    size_kb = feb_bytes(model) / 1024.0
+    _, record = solve_model(model)
+    return ScalingPoint(
+        spec.name, spec.category, size_kb, record.wall_time, model.neq,
+        record.total_newton_iterations, spec.case_study,
+    )
+
+
+def scaling_study(specs, scale="tiny"):
+    """Measure a list of workload specs; returns ScalingPoints."""
+    return [measure_workload(spec, scale) for spec in specs]

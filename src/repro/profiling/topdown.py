@@ -1,0 +1,91 @@
+"""Top-Down Microarchitecture Analysis (TMA) — the VTune analog.
+
+VTune estimates TMA categories from PMU events; our simulator counts the
+slot categories directly, so ``analyze`` is exact rather than sampled.
+The category definitions follow the standard taxonomy (Yasin 2014) used
+by the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TopDownResult", "analyze"]
+
+
+class TopDownResult:
+    """Level-1 + level-2 top-down breakdown for one workload run."""
+
+    LEVEL1 = ("retiring", "bad_speculation", "frontend_bound",
+              "backend_bound")
+
+    def __init__(self, name, level1, fe_split, be_split, ipc, cpi):
+        self.name = name
+        self.level1 = dict(level1)
+        self.fe_split = dict(fe_split)   # latency / bandwidth
+        self.be_split = dict(be_split)   # memory / core
+        self.ipc = float(ipc)
+        self.cpi = float(cpi)
+
+    @property
+    def retiring(self):
+        return self.level1["retiring"]
+
+    @property
+    def backend_bound(self):
+        return self.level1["backend_bound"]
+
+    @property
+    def frontend_bound(self):
+        return self.level1["frontend_bound"]
+
+    @property
+    def bad_speculation(self):
+        return self.level1["bad_speculation"]
+
+    @property
+    def memory_bound(self):
+        return self.be_split["memory"]
+
+    @property
+    def core_bound(self):
+        return self.be_split["core"]
+
+    def row(self):
+        """Figure-2-style row of percentages."""
+        return {
+            "workload": self.name,
+            "retiring_pct": 100 * self.retiring,
+            "frontend_pct": 100 * self.frontend_bound,
+            "bad_spec_pct": 100 * self.bad_speculation,
+            "backend_pct": 100 * self.backend_bound,
+        }
+
+    def stall_row(self):
+        """Figure-3-style row of percentages."""
+        return {
+            "workload": self.name,
+            "fe_latency_pct": 100 * self.fe_split["latency"],
+            "fe_bandwidth_pct": 100 * self.fe_split["bandwidth"],
+            "be_core_pct": 100 * self.be_split["core"],
+            "be_memory_pct": 100 * self.be_split["memory"],
+        }
+
+    def __repr__(self):
+        return (
+            f"TopDownResult({self.name}: ret={self.retiring:.1%}, "
+            f"fe={self.frontend_bound:.1%}, bs={self.bad_speculation:.1%}, "
+            f"be={self.backend_bound:.1%})"
+        )
+
+
+def analyze(stats, name=""):
+    """Build a :class:`TopDownResult` from simulator statistics."""
+    level1 = stats.topdown()
+    split = stats.stall_split()
+    return TopDownResult(
+        name or stats.config_name,
+        level1,
+        {"latency": split["fe_latency"], "bandwidth": split["fe_bandwidth"]},
+        {"memory": split["be_memory"], "core": split["be_core"]},
+        stats.ipc,
+        stats.cpi,
+    )

@@ -1,0 +1,28 @@
+"""From-scratch sparse linear algebra used by the FE solver and tracers."""
+
+from .coo import COOBuilder
+from .csr import CSRMatrix
+from .pattern import (
+    PatternSummary,
+    bandwidth,
+    fill_in_estimate,
+    profile,
+    reuse_distance_histogram,
+    row_irregularity,
+    summarize_pattern,
+)
+from .reorder import natural_order, reverse_cuthill_mckee
+
+__all__ = [
+    "COOBuilder",
+    "CSRMatrix",
+    "PatternSummary",
+    "bandwidth",
+    "fill_in_estimate",
+    "natural_order",
+    "profile",
+    "reuse_distance_histogram",
+    "reverse_cuthill_mckee",
+    "row_irregularity",
+    "summarize_pattern",
+]

@@ -1,0 +1,91 @@
+"""Coordinate (COO) sparse matrix format.
+
+COO is the natural format for finite element assembly: each element
+contributes a small dense block of (row, col, value) triplets, and the
+global matrix is the sum of all triplets.  The class accumulates triplets
+cheaply and converts to :class:`~repro.sparse.csr.CSRMatrix` for solving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["COOBuilder"]
+
+
+class COOBuilder:
+    """Accumulates (row, col, value) triplets for a square sparse matrix.
+
+    Duplicate entries are summed on conversion, matching the semantics of
+    finite element assembly where multiple elements contribute to the same
+    global entry.
+    """
+
+    def __init__(self, n, nnz_hint=0):
+        if n < 0:
+            raise ValueError(f"matrix dimension must be non-negative, got {n}")
+        self.n = int(n)
+        self._rows = []
+        self._cols = []
+        self._vals = []
+        self._chunks = 0
+        if nnz_hint:
+            # Hint is advisory; chunked numpy appends keep cost linear.
+            pass
+
+    @property
+    def triplet_count(self):
+        """Number of raw triplets added so far (before duplicate summing)."""
+        return sum(len(r) for r in self._rows)
+
+    def add(self, row, col, value):
+        """Add a single triplet."""
+        self._rows.append(np.asarray([row], dtype=np.int64))
+        self._cols.append(np.asarray([col], dtype=np.int64))
+        self._vals.append(np.asarray([value], dtype=np.float64))
+
+    def add_block(self, rows, cols, block):
+        """Add a dense block contribution.
+
+        Parameters
+        ----------
+        rows, cols:
+            1-D integer arrays of global row / column indices.  Entries with
+            a negative index are treated as constrained DOFs and dropped.
+        block:
+            Dense ``(len(rows), len(cols))`` array of values.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        block = np.asarray(block, dtype=np.float64)
+        if block.shape != (rows.size, cols.size):
+            raise ValueError(
+                f"block shape {block.shape} does not match index sizes "
+                f"({rows.size}, {cols.size})"
+            )
+        rr = np.repeat(rows, cols.size)
+        cc = np.tile(cols, rows.size)
+        vv = block.ravel()
+        keep = (rr >= 0) & (cc >= 0)
+        if not keep.all():
+            rr, cc, vv = rr[keep], cc[keep], vv[keep]
+        self._rows.append(rr)
+        self._cols.append(cc)
+        self._vals.append(vv)
+
+    def to_arrays(self):
+        """Return concatenated (rows, cols, vals) triplet arrays."""
+        if not self._rows:
+            empty_i = np.zeros(0, dtype=np.int64)
+            return empty_i, empty_i.copy(), np.zeros(0, dtype=np.float64)
+        rows = np.concatenate(self._rows)
+        cols = np.concatenate(self._cols)
+        vals = np.concatenate(self._vals)
+        return rows, cols, vals
+
+    def to_csr(self):
+        """Convert to CSR, summing duplicate entries."""
+        from .csr import CSRMatrix
+
+        rows, cols, vals = self.to_arrays()
+        return CSRMatrix.from_coo(self.n, rows, cols, vals)

@@ -1,0 +1,189 @@
+"""Compressed Sparse Row (CSR) matrix, built from scratch on numpy arrays.
+
+This is the workhorse format of the solver stack: SpMV, row slicing,
+diagonal extraction, transpose, and structural queries all operate on the
+classic three-array representation (``indptr``, ``indices``, ``data``).
+The same arrays are later *walked* by the trace generators in
+:mod:`repro.trace.kernels`, so the access patterns the CPU simulator sees
+are exactly the access patterns these kernels perform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Square sparse matrix in CSR format.
+
+    Attributes
+    ----------
+    n:
+        Matrix dimension.
+    indptr:
+        ``(n + 1,)`` int64 array; row ``i`` occupies ``indices[indptr[i]:
+        indptr[i + 1]]``.
+    indices:
+        Column indices, sorted within each row.
+    data:
+        Nonzero values aligned with ``indices``.
+    """
+
+    def __init__(self, n, indptr, indices, data):
+        self.n = int(n)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.indptr.shape != (self.n + 1,):
+            raise ValueError(
+                f"indptr must have shape ({self.n + 1},), got {self.indptr.shape}"
+            )
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data must have identical shapes")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr does not describe the index array")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, n, rows, cols, vals):
+        """Build CSR from COO triplets, summing duplicates."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if rows.size == 0:
+            return cls(n, np.zeros(n + 1, dtype=np.int64), rows, vals)
+        if rows.min() < 0 or rows.max() >= n or cols.min() < 0 or cols.max() >= n:
+            raise ValueError("COO index out of range")
+        # Sort by (row, col) then collapse runs of equal keys.
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        key_change = np.empty(rows.size, dtype=bool)
+        key_change[0] = True
+        key_change[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        unique_idx = np.flatnonzero(key_change)
+        out_rows = rows[unique_idx]
+        out_cols = cols[unique_idx]
+        out_vals = np.add.reduceat(vals, unique_idx)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, out_rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(n, indptr, out_cols, out_vals)
+
+    @classmethod
+    def from_dense(cls, dense, tol=0.0):
+        """Build CSR from a dense array, dropping entries with ``|v| <= tol``."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise ValueError("from_dense requires a square 2-D array")
+        rows, cols = np.nonzero(np.abs(dense) > tol)
+        return cls.from_coo(dense.shape[0], rows, cols, dense[rows, cols])
+
+    @classmethod
+    def identity(cls, n):
+        """The n-by-n identity matrix."""
+        idx = np.arange(n, dtype=np.int64)
+        return cls(n, np.arange(n + 1, dtype=np.int64), idx, np.ones(n))
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self):
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    def row(self, i):
+        """Return (column indices, values) of row ``i`` as views."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_nnz(self):
+        """Per-row nonzero counts."""
+        return np.diff(self.indptr)
+
+    def diagonal(self):
+        """Extract the main diagonal (zeros where structurally absent)."""
+        diag = np.zeros(self.n)
+        for i in range(self.n):
+            cols, vals = self.row(i)
+            hit = np.searchsorted(cols, i)
+            if hit < cols.size and cols[hit] == i:
+                diag[i] = vals[hit]
+        return diag
+
+    def get(self, i, j):
+        """Value at (i, j); 0.0 where structurally absent."""
+        cols, vals = self.row(i)
+        hit = np.searchsorted(cols, j)
+        if hit < cols.size and cols[hit] == j:
+            return float(vals[hit])
+        return 0.0
+
+    def is_structurally_symmetric(self):
+        """True if the sparsity pattern equals its transpose's pattern."""
+        t = self.transpose()
+        return (
+            np.array_equal(self.indptr, t.indptr)
+            and np.array_equal(self.indices, t.indices)
+        )
+
+    # ------------------------------------------------------------------
+    # Numerical kernels
+    # ------------------------------------------------------------------
+    def matvec(self, x):
+        """Sparse matrix-vector product ``A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise ValueError(f"x must have shape ({self.n},), got {x.shape}")
+        if self.nnz == 0:
+            return np.zeros(self.n)
+        prod = self.data * x[self.indices]
+        # Segment sums via cumulative differences; robust to empty rows.
+        csum = np.concatenate(([0.0], np.cumsum(prod)))
+        return csum[self.indptr[1:]] - csum[self.indptr[:-1]]
+
+    def transpose(self):
+        """Return the transposed matrix as a new CSR."""
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.row_nnz())
+        return CSRMatrix.from_coo(self.n, self.indices, rows, self.data)
+
+    def scale_rows(self, s):
+        """Return ``diag(s) @ A`` as a new CSR."""
+        s = np.asarray(s, dtype=np.float64)
+        data = self.data * np.repeat(s, self.row_nnz())
+        return CSRMatrix(self.n, self.indptr.copy(), self.indices.copy(), data)
+
+    def add_scaled_identity(self, alpha):
+        """Return ``A + alpha * I`` as a new CSR."""
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.row_nnz())
+        rows = np.concatenate([rows, np.arange(self.n, dtype=np.int64)])
+        cols = np.concatenate([self.indices, np.arange(self.n, dtype=np.int64)])
+        vals = np.concatenate([self.data, np.full(self.n, float(alpha))])
+        return CSRMatrix.from_coo(self.n, rows, cols, vals)
+
+    def to_dense(self):
+        """Materialize the matrix as a dense array (small matrices only)."""
+        out = np.zeros((self.n, self.n))
+        for i in range(self.n):
+            cols, vals = self.row(i)
+            out[i, cols] = vals
+        return out
+
+    def permuted(self, perm):
+        """Return ``P A Pᵀ`` for the permutation ``perm`` (new-to-old order)."""
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (self.n,):
+            raise ValueError("permutation has wrong length")
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(self.n, dtype=np.int64)
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.row_nnz())
+        return CSRMatrix.from_coo(
+            self.n, inv[rows], inv[self.indices], self.data
+        )
+
+    def __repr__(self):
+        return f"CSRMatrix(n={self.n}, nnz={self.nnz})"

@@ -1,0 +1,41 @@
+"""Micro-op trace generation from real solver data structures."""
+
+from .builder import Region, TraceBuilder
+from .functions import CATEGORIES, CATEGORY_LABELS, FUNCTIONS, by_category, func_id, info
+from .ops import (
+    BRANCH,
+    FP_ADD,
+    FP_DIV,
+    FP_MUL,
+    INT_ALU,
+    KIND_NAMES,
+    LOAD,
+    PAUSE,
+    STORE,
+    Trace,
+)
+from .solvertrace import TraceRequest, trace_from_record, workload_trace
+
+__all__ = [
+    "Region",
+    "TraceBuilder",
+    "CATEGORIES",
+    "CATEGORY_LABELS",
+    "FUNCTIONS",
+    "by_category",
+    "func_id",
+    "info",
+    "BRANCH",
+    "FP_ADD",
+    "FP_DIV",
+    "FP_MUL",
+    "INT_ALU",
+    "KIND_NAMES",
+    "LOAD",
+    "PAUSE",
+    "STORE",
+    "Trace",
+    "TraceRequest",
+    "trace_from_record",
+    "workload_trace",
+]

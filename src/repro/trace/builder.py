@@ -1,0 +1,204 @@
+"""Trace builder: address-space management and op emission.
+
+The builder owns a virtual data address space in which every solver array
+(CSR indptr/indices/data, solution vectors, nodal coordinates, element
+connectivity, material state) gets a region; kernel tracers emit loads
+and stores at the *real indices* they would touch, so spatial and
+temporal locality in the trace is the locality of the actual data
+structures.
+
+Program counters come from the function table: each emission site within
+a function maps to a distinct PC inside the function's code region, and
+functions with larger static size spread sites across more I-cache lines
+(the ``code_footprint`` trace hint scales this further).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functions as ftab
+from .ops import (
+    BRANCH, FP_ADD, FP_DIV, FP_MUL, INT_ALU, LOAD, PAUSE, STORE, Trace,
+)
+
+__all__ = ["Region", "TraceBuilder"]
+
+_DATA_BASE = 0x10000000
+_LINE = 64
+
+
+class Region:
+    """A named, contiguous data region (one solver array)."""
+
+    def __init__(self, name, base, nbytes, stride=8):
+        self.name = name
+        self.base = int(base)
+        self.nbytes = int(nbytes)
+        self.stride = int(stride)
+
+    def addr(self, index):
+        """Byte address of element ``index``."""
+        return self.base + int(index) * self.stride
+
+    def __repr__(self):
+        return f"Region({self.name!r}, base=0x{self.base:x}, {self.nbytes}B)"
+
+
+class TraceBuilder:
+    """Accumulates micro-ops; produces an immutable :class:`Trace`."""
+
+    def __init__(self, code_bloat=1.0, replicas=1):
+        self._kind = []
+        self._addr = []
+        self._pc = []
+        self._taken = []
+        self._dep1 = []
+        self._dep2 = []
+        self._func = []
+        self._next_base = _DATA_BASE
+        self._regions = {}
+        self._fid = 0
+        self._pc_base = ftab.FUNCTIONS[0].pc_base
+        self._pc_lines = ftab.FUNCTIONS[0].pc_lines
+        self._pc_off = 0
+        self.code_bloat = float(code_bloat)
+        # Number of specialized copies of each function's code (models
+        # C++ template/inlining bloat); outer loops rotate across them,
+        # which is what gives large-footprint workloads their I-cache
+        # pressure.
+        self.replicas = max(int(replicas), 1)
+
+    # ------------------------------------------------------------------
+    # Address space
+    # ------------------------------------------------------------------
+    def region(self, name, count, stride=8):
+        """Allocate (or fetch) a region of ``count`` elements."""
+        if name in self._regions:
+            return self._regions[name]
+        nbytes = count * stride
+        base = self._next_base
+        # Line-align and leave a guard line between regions.
+        self._next_base += ((nbytes + _LINE - 1) // _LINE + 1) * _LINE
+        region = Region(name, base, nbytes, stride)
+        self._regions[name] = region
+        return region
+
+    def regions(self):
+        return dict(self._regions)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def set_function(self, name):
+        """Route subsequent ops to the named function's code region."""
+        f = ftab.FUNCTIONS[ftab.func_id(name)]
+        self._fid = f.fid
+        # Each function owns a 1 MB-aligned code region so that bloated
+        # replicas never collide with a neighboring function.
+        self._pc_base = 0x400000 + f.fid * 0x100000
+        self._pc_lines = max(1, int(round(f.pc_lines * self.code_bloat)))
+        self._replica_stride = self._pc_lines * 16 * 4
+        self._pc_off = 0
+        self._body_pos = 0
+        return f.fid
+
+    def set_replica(self, i):
+        """Select a specialized copy of the current function.
+
+        Replica selection is skewed toward copy 0 (the generic hot path);
+        odd iterations rotate through the specialized variants.  This
+        hot/cold mix keeps I-cache miss curves smooth instead of the
+        all-or-nothing behavior of a pure cyclic walk.
+        """
+        # Hash-mix the iteration index so strided outer loops still rotate
+        # replicas (a plain modulo correlates with even sampling strides).
+        h = (int(i) * 2654435761) & 0xFFFFFFFF
+        replica = 0 if (h >> 3) % 2 == 0 else (
+            1 + (h >> 7) % max(self.replicas - 1, 1)
+        )
+        replica %= self.replicas
+        self._pc_off = replica * self._replica_stride
+        self._body_pos = 0
+
+    def _site_pc(self, site):
+        # The PC walks the function body: each emitted op is the next
+        # static instruction, wrapping at the (bloated) function size.
+        # This makes the trace's I-footprint equal the static code the
+        # loop body would occupy, which is what the I-cache sees.
+        span = self._pc_lines * 16
+        pc = self._pc_base + self._pc_off + (self._body_pos % span) * 4
+        self._body_pos += 1
+        return pc
+
+    def emit(self, kind, site, addr=0, taken=0, dep1=0, dep2=0):
+        """Emit one op; returns its index in the trace."""
+        self._kind.append(kind)
+        self._addr.append(addr)
+        self._pc.append(self._site_pc(site))
+        self._taken.append(taken)
+        self._dep1.append(dep1)
+        self._dep2.append(dep2)
+        self._func.append(self._fid)
+        return len(self._kind) - 1
+
+    # Convenience wrappers ------------------------------------------------
+    def load(self, site, region, index, dep1=0, dep2=0):
+        return self.emit(LOAD, site, region.addr(index), dep1=dep1,
+                         dep2=dep2)
+
+    def store(self, site, region, index, dep1=0, dep2=0):
+        return self.emit(STORE, site, region.addr(index), dep1=dep1,
+                         dep2=dep2)
+
+    def int_op(self, site, dep1=0, dep2=0):
+        return self.emit(INT_ALU, site, dep1=dep1, dep2=dep2)
+
+    def fp_add(self, site, dep1=0, dep2=0):
+        return self.emit(FP_ADD, site, dep1=dep1, dep2=dep2)
+
+    def fp_mul(self, site, dep1=0, dep2=0):
+        return self.emit(FP_MUL, site, dep1=dep1, dep2=dep2)
+
+    def fp_div(self, site, dep1=0, dep2=0):
+        return self.emit(FP_DIV, site, dep1=dep1, dep2=dep2)
+
+    def branch(self, site, taken, dep1=0):
+        """Emit a branch with a *stable* PC for its static site.
+
+        Unlike straight-line ops (whose PCs walk the function body),
+        branches keep one PC per (function, replica, site) so predictors
+        see each static branch repeatedly — matching real loop code.
+        """
+        span = self._pc_lines * 16
+        pc = self._pc_base + self._pc_off + (site % span) * 4
+        self._kind.append(BRANCH)
+        self._addr.append(0)
+        self._pc.append(pc)
+        self._taken.append(1 if taken else 0)
+        self._dep1.append(dep1)
+        self._dep2.append(0)
+        self._func.append(self._fid)
+        return len(self._kind) - 1
+
+    def pause(self, site):
+        return self.emit(PAUSE, site)
+
+    def dep_to(self, index):
+        """Backward distance from the *next* op to trace index ``index``."""
+        return len(self._kind) - index
+
+    def __len__(self):
+        return len(self._kind)
+
+    def build(self):
+        """Freeze into a :class:`Trace`."""
+        return Trace(
+            np.asarray(self._kind, dtype=np.int8),
+            np.asarray(self._addr, dtype=np.int64),
+            np.asarray(self._pc, dtype=np.int64),
+            np.asarray(self._taken, dtype=np.int8),
+            np.asarray(self._dep1, dtype=np.int32),
+            np.asarray(self._dep2, dtype=np.int32),
+            np.asarray(self._func, dtype=np.int16),
+        )

@@ -1,0 +1,101 @@
+"""Function table: the Fig. 4 hotspot taxonomy.
+
+Every traced kernel is tagged with a function id; hotspot analysis groups
+ids into the paper's six categories:
+
+* ``internal``   — FEBio's own stiffness assembly / residual / force code
+* ``sparsity``   — sparse-structure manipulation (CSR search, scatter)
+* ``matrix``     — dense (non-sparse) matrix helpers
+* ``febio``      — FEBio-specific machinery (contact, DOF maps, curves)
+* ``mkl_blas``   — vector/dense BLAS kernels (dot, axpy, small gemm)
+* ``pardiso``    — the direct sparse solver (factorization, tri-solve)
+"""
+
+from __future__ import annotations
+
+__all__ = ["CATEGORIES", "FUNCTIONS", "FunctionInfo", "func_id", "info",
+           "by_category"]
+
+CATEGORIES = (
+    "internal", "sparsity", "matrix", "febio", "mkl_blas", "pardiso",
+)
+
+# Display names used in Fig. 4 row labels.
+CATEGORY_LABELS = {
+    "internal": "Internal Functions",
+    "sparsity": "Sparsity Functions",
+    "matrix": "Matrix Functions (Not Sparse)",
+    "febio": "Febio Specific Functions",
+    "mkl_blas": "MKL BLAS Library Functions",
+    "pardiso": "MKL Pardiso Library Functions",
+}
+
+
+class FunctionInfo:
+    """One synthetic 'function' in the traced program."""
+
+    def __init__(self, fid, name, category, pc_base, pc_lines):
+        self.fid = fid
+        self.name = name
+        self.category = category
+        self.pc_base = pc_base
+        self.pc_lines = pc_lines  # static code size in cache lines
+
+    def __repr__(self):
+        return f"FunctionInfo({self.name!r}, {self.category!r})"
+
+
+# (name, category, code size in 64-byte lines).  PC bases are assigned
+# sequentially with gaps, giving each function a distinct I-cache region.
+_TABLE = [
+    ("stiffness_assembly", "internal", 14),
+    ("residual_eval", "internal", 8),
+    ("element_force", "internal", 8),
+    ("constitutive_update", "internal", 12),
+    ("state_integration", "internal", 8),
+    ("csr_scatter", "sparsity", 6),
+    ("csr_row_search", "sparsity", 4),
+    ("pattern_update", "sparsity", 4),
+    ("gather_x", "sparsity", 3),
+    ("small_gemm", "matrix", 5),
+    ("small_inverse", "matrix", 4),
+    ("jacobian_eval", "matrix", 5),
+    ("contact_search", "febio", 10),
+    ("contact_response", "febio", 6),
+    ("dof_expansion", "febio", 5),
+    ("loadcurve_eval", "febio", 2),
+    ("rigid_kinematics", "febio", 6),
+    ("omp_barrier_wait", "febio", 2),
+    ("blas_dot", "mkl_blas", 2),
+    ("blas_axpy", "mkl_blas", 2),
+    ("blas_spmv", "mkl_blas", 6),
+    ("blas_norm", "mkl_blas", 2),
+    ("pardiso_factor", "pardiso", 16),
+    ("pardiso_trisolve", "pardiso", 8),
+    ("pardiso_reorder", "pardiso", 9),
+]
+
+FUNCTIONS = {}
+_BY_NAME = {}
+_pc = 0x400000
+for _fid, (_name, _cat, _lines) in enumerate(_TABLE):
+    FUNCTIONS[_fid] = FunctionInfo(_fid, _name, _cat, _pc, _lines)
+    _BY_NAME[_name] = FUNCTIONS[_fid]
+    _pc += (_lines + 4) * 64  # gap between functions
+
+
+def func_id(name):
+    """Function id by name (raises KeyError for unknown names)."""
+    return _BY_NAME[name].fid
+
+
+def info(fid):
+    """FunctionInfo by id."""
+    return FUNCTIONS[int(fid)]
+
+
+def by_category(category):
+    """All FunctionInfo in one category."""
+    if category not in CATEGORIES:
+        raise KeyError(f"unknown category {category!r}")
+    return [f for f in FUNCTIONS.values() if f.category == category]

@@ -1,0 +1,395 @@
+"""Instrumented kernel models: emit the micro-op streams of the solver's
+hot loops while walking the *real* data structures.
+
+Each tracer mirrors a numeric kernel in :mod:`repro.fem` /
+:mod:`repro.sparse`: same loop structure, same index arrays, same
+dependency shape.  The counts they emit are what the CPU simulator
+replays, so e.g. SpMV traffic follows the actual CSR column indices of
+the assembled stiffness matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "trace_spmv",
+    "trace_dot",
+    "trace_axpy",
+    "trace_element_assembly",
+    "trace_csr_scatter",
+    "trace_factorization",
+    "trace_trisolve",
+    "trace_contact_search",
+    "trace_spin_wait",
+    "trace_residual",
+    "trace_rigid_kinematics",
+]
+
+
+def trace_spmv(tb, matrix, x_name="x", y_name="y", row_stride=1,
+               max_rows=None, max_ops=None, row_offset=0):
+    """SpMV ``y = A x`` over the real CSR arrays (sampled rows)."""
+    tb.set_function("blas_spmv")
+    start = len(tb)
+    indptr = tb.region("A.indptr", matrix.n + 1)
+    indices = tb.region("A.indices", max(matrix.nnz, 1))
+    data = tb.region("A.data", max(matrix.nnz, 1))
+    x = tb.region(x_name, matrix.n)
+    y = tb.region(y_name, matrix.n)
+    rows = range(min(row_offset, matrix.n - 1), matrix.n,
+                 max(row_stride, 1))
+    if max_rows is not None:
+        rows = list(rows)[:max_rows]
+    for r in rows:
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        tb.set_replica(r)
+        lo = int(matrix.indptr[r])
+        hi = int(matrix.indptr[r + 1])
+        tb.load(0, indptr, r)
+        tb.load(1, indptr, r + 1)
+        acc = None
+        for j in range(lo, hi):
+            col = int(matrix.indices[j])
+            lc = tb.load(2, indices, j)
+            tb.int_op(9, dep1=1)  # column-index address arithmetic
+            lv = tb.load(3, data, j)
+            lx = tb.load(4, x, col, dep1=tb.dep_to(lc))
+            m = tb.fp_mul(5, dep1=tb.dep_to(lv), dep2=tb.dep_to(lx))
+            # Loop-carried accumulation chain.
+            acc = tb.fp_add(
+                6,
+                dep1=tb.dep_to(m),
+                dep2=tb.dep_to(acc) if acc is not None else 0,
+            )
+            tb.branch(7, taken=(j + 1 < hi))
+        tb.store(8, y, r, dep1=tb.dep_to(acc) if acc is not None else 0)
+    return tb
+
+
+def trace_dot(tb, n, unroll=4, a_name="p", b_name="q", max_ops=None):
+    """Dot product with ``unroll`` independent accumulators (BLAS style)."""
+    tb.set_function("blas_dot")
+    start = len(tb)
+    a = tb.region(a_name, n)
+    b = tb.region(b_name, n)
+    accs = [None] * max(unroll, 1)
+    for i in range(n):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        if i % 8 == 0:
+            tb.int_op(6)  # index increment (amortized by unrolling)
+        la = tb.load(0, a, i)
+        lb = tb.load(1, b, i)
+        m = tb.fp_mul(2, dep1=tb.dep_to(la), dep2=tb.dep_to(lb))
+        lane = i % len(accs)
+        accs[lane] = tb.fp_add(
+            3, dep1=tb.dep_to(m),
+            dep2=tb.dep_to(accs[lane]) if accs[lane] is not None else 0,
+        )
+        tb.branch(4, taken=(i + 1 < n))
+    return tb
+
+
+def trace_axpy(tb, n, x_name="ax", y_name="ay", max_ops=None):
+    """``y += alpha x`` — streaming, fully parallel FP."""
+    tb.set_function("blas_axpy")
+    start = len(tb)
+    x = tb.region(x_name, n)
+    y = tb.region(y_name, n)
+    for i in range(n):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        if i % 8 == 0:
+            tb.int_op(6)
+        lx = tb.load(0, x, i)
+        ly = tb.load(1, y, i)
+        m = tb.fp_mul(2, dep1=tb.dep_to(lx))
+        s = tb.fp_add(3, dep1=tb.dep_to(m), dep2=tb.dep_to(ly))
+        tb.store(4, y, i, dep1=tb.dep_to(s))
+        tb.branch(5, taken=(i + 1 < n))
+    return tb
+
+
+def trace_element_assembly(tb, connectivity, node_count, fp_intensity=1.0,
+                           dep_chain=3, elem_stride=1, ngp=8,
+                           dofs_per_node=3, max_ops=None):
+    """Element stiffness computation: gather, constitutive FP, local K.
+
+    Walks the real connectivity with ``elem_stride`` sampling; the FP
+    block per Gauss point is scaled by ``fp_intensity`` (the material
+    cost) and its chain structure by ``dep_chain``.
+    """
+    conn_region = tb.region("elem.conn", max(connectivity.size, 1))
+    coords = tb.region("mesh.nodes", node_count * 3)
+    nelem = connectivity.shape[0]
+    nn = connectivity.shape[1]
+    fp_per_gp = max(int(10 * fp_intensity), 4)
+    start = len(tb)
+    for e in range(0, nelem, max(elem_stride, 1)):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        tb.set_function("stiffness_assembly")
+        tb.set_replica(e)
+        base = e * nn
+        node_loads = []
+        for a in range(nn):
+            node = int(connectivity[e, a])
+            lc = tb.load(0, conn_region, base + a)
+            tb.int_op(4, dep1=tb.dep_to(lc))  # node id -> byte offset
+            # Gather the three coordinates of this node (real node id).
+            for ax in range(3):
+                node_loads.append(
+                    tb.load(1 + ax, coords, node * 3 + ax,
+                            dep1=tb.dep_to(lc))
+                )
+        tb.set_function("jacobian_eval")
+        tb.set_replica(e)
+        j_ops = []
+        for k in range(9):
+            src = node_loads[k % len(node_loads)]
+            m = tb.fp_mul(0, dep1=tb.dep_to(src))
+            j_ops.append(tb.fp_add(1, dep1=tb.dep_to(m)))
+        det = tb.fp_div(2, dep1=tb.dep_to(j_ops[-1]))
+        tb.set_function("constitutive_update")
+        tb.set_replica(e)
+        for _gp in range(ngp):
+            tb.int_op(7)  # Gauss-point loop bookkeeping
+            chain = det
+            for k in range(fp_per_gp):
+                if k % max(dep_chain, 1) == 0:
+                    # Break the chain: new independent computation.
+                    chain = tb.fp_mul(3, dep1=tb.dep_to(node_loads[0]))
+                else:
+                    chain = tb.fp_add(4, dep1=tb.dep_to(chain))
+            tb.branch(5, taken=(_gp + 1 < ngp))
+        tb.branch(6, taken=(e + elem_stride < nelem))
+    return tb
+
+
+def trace_csr_scatter(tb, matrix, connectivity, dof_per_node=3,
+                      elem_stride=1, pairs_per_elem=None, max_ops=None):
+    """Scatter of element blocks into global CSR: row search + store.
+
+    For each sampled element, a sample of its (row, col) DOF pairs is
+    located in the real CSR row via a linear scan of the column indices
+    (what a binary search degenerates to at FE row lengths), then
+    accumulated — the paper's canonical 'sparsity function'.
+    """
+    indptr = tb.region("A.indptr", matrix.n + 1)
+    indices = tb.region("A.indices", max(matrix.nnz, 1))
+    data = tb.region("A.data", max(matrix.nnz, 1))
+    nelem = connectivity.shape[0]
+    nn = connectivity.shape[1]
+    if pairs_per_elem is None:
+        pairs_per_elem = min(nn * dof_per_node, 12)
+    start = len(tb)
+    for e in range(0, nelem, max(elem_stride, 1)):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        tb.set_function("csr_scatter")
+        tb.set_replica(e)
+        for p in range(pairs_per_elem):
+            tb.int_op(7)  # (row, col) pair computation
+            na = int(connectivity[e, p % nn])
+            nb = int(connectivity[e, (p + 1) % nn])
+            row = (na * dof_per_node + p % dof_per_node) % matrix.n
+            col = (nb * dof_per_node) % matrix.n
+            lo = int(matrix.indptr[row])
+            hi = int(matrix.indptr[row + 1])
+            tb.load(0, indptr, row)
+            tb.load(1, indptr, row + 1)
+            # Locate the column: FEBio-style assemblers cache a per-element
+            # offset map, so the search is a short bounded probe (the
+            # final compare is the data-dependent branch).
+            found = lo
+            for j in range(lo, hi):
+                if int(matrix.indices[j]) >= col:
+                    found = j
+                    break
+            probes = min(max(found - lo, 0), 3)
+            lc = None
+            for j in range(found - probes, found + 1):
+                lc = tb.load(2, indices, max(j, lo))
+                tb.branch(3, taken=(j < found), dep1=tb.dep_to(lc))
+            lv = tb.load(4, data, found)
+            s = tb.fp_add(5, dep1=tb.dep_to(lv))
+            tb.store(6, data, found, dep1=tb.dep_to(s))
+    return tb
+
+
+def trace_factorization(tb, matrix, row_stride=1, fill_factor=1.0,
+                        max_ops=None):
+    """Sparse LDL'/LU factorization over the matrix profile.
+
+    Models a profile (skyline) factorization: for each sampled row, walk
+    the row's lower entries and, for each, stream a dot product over the
+    overlap with the pivot column — the access pattern of
+    :class:`repro.fem.solver.skyline.SkylineLDL`.
+    """
+    tb.set_function("pardiso_factor")
+    # The factor fills the skyline profile; size the region accordingly
+    # and index it by column offsets so the trace's working set matches
+    # the real factorization footprint (what drives L2 pressure in
+    # direct-solver workloads).
+    avg_height = max(int(matrix.nnz * fill_factor / max(matrix.n, 1)), 1)
+    factor_count = max(matrix.n * avg_height, 1)
+    factor = tb.region("L.data", factor_count)
+    diag = tb.region("L.diag", matrix.n)
+    start = len(tb)
+    for i in range(0, matrix.n, max(row_stride, 1)):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        tb.set_replica(i)
+        cols, _ = matrix.row(i)
+        lower = cols[cols < i]
+        acc = None
+        for j in lower:
+            tb.int_op(9)  # column offset arithmetic
+            span = min(int(i - j), 2)  # dense-block tip of the update
+            col_base = int(j) * avg_height
+            row_base = int(i) * avg_height
+            for k in range(span):
+                la = tb.load(0, factor, (col_base + k) % factor_count)
+                lb = tb.load(1, factor, (row_base + k) % factor_count)
+                m = tb.fp_mul(2, dep1=tb.dep_to(la), dep2=tb.dep_to(lb))
+                acc = tb.fp_add(
+                    3, dep1=tb.dep_to(m),
+                    dep2=tb.dep_to(acc) if acc is not None else 0,
+                )
+                tb.branch(4, taken=(k + 1 < span))
+            d = tb.load(5, diag, int(j))
+            q = tb.fp_div(6, dep1=tb.dep_to(d),
+                          dep2=tb.dep_to(acc) if acc is not None else 0)
+            tb.store(7, factor, col_base % factor_count,
+                     dep1=tb.dep_to(q))
+        tb.store(8, diag, i)
+    return tb
+
+
+def trace_trisolve(tb, matrix, row_stride=1, max_ops=None):
+    """Forward/backward substitution over the real row structure."""
+    tb.set_function("pardiso_trisolve")
+    avg_height = max(int(matrix.nnz / max(matrix.n, 1)), 1)
+    factor_count = max(matrix.n * avg_height, 1)
+    factor = tb.region("L.data", factor_count)
+    x = tb.region("solve.x", matrix.n)
+    start = len(tb)
+    for i in range(0, matrix.n, max(row_stride, 1)):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        tb.set_replica(i)
+        cols, _ = matrix.row(i)
+        lower = cols[cols < i]
+        acc = None
+        for j in lower:
+            tb.int_op(7)
+            lv = tb.load(0, factor, (int(j) * avg_height) % factor_count)
+            lx = tb.load(1, x, int(j))
+            m = tb.fp_mul(2, dep1=tb.dep_to(lv), dep2=tb.dep_to(lx))
+            acc = tb.fp_add(
+                3, dep1=tb.dep_to(m),
+                dep2=tb.dep_to(acc) if acc is not None else 0,
+            )
+            tb.branch(4, taken=True)
+        tb.store(5, x, i, dep1=tb.dep_to(acc) if acc is not None else 0)
+        tb.branch(6, taken=(i + row_stride < matrix.n))
+    return tb
+
+
+def trace_contact_search(tb, slave_nodes, face_nodes, active_mask,
+                         pair_stride=1, max_ops=None):
+    """Contact broad+narrow phase: gap tests with real outcomes.
+
+    ``active_mask[k]`` is the real penetration outcome of candidate pair
+    ``k`` — the data-dependent branch the paper blames for contact's
+    irregular control flow.
+    """
+    tb.set_function("contact_search")
+    coords = tb.region("mesh.nodes", int(max(
+        slave_nodes.max() if slave_nodes.size else 1,
+        face_nodes.max() if face_nodes.size else 1,
+    ) + 1) * 3)
+    npairs = len(active_mask)
+    start = len(tb)
+    for k in range(0, npairs, max(pair_stride, 1)):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        tb.set_replica(k)
+        s = int(slave_nodes[k % len(slave_nodes)])
+        tb.int_op(6)  # candidate-pair index arithmetic
+        loads = [tb.load(0, coords, s * 3 + ax) for ax in range(3)]
+        for m in range(4):
+            fnode = int(face_nodes[(k * 4 + m) % len(face_nodes)])
+            loads.append(tb.load(1, coords, fnode * 3))
+        d1 = tb.fp_add(2, dep1=tb.dep_to(loads[0]), dep2=tb.dep_to(loads[3]))
+        d2 = tb.fp_mul(3, dep1=tb.dep_to(d1))
+        gap = tb.fp_add(4, dep1=tb.dep_to(d2))
+        tb.branch(5, taken=bool(active_mask[k]), dep1=tb.dep_to(gap))
+        if active_mask[k]:
+            tb.set_function("contact_response")
+            f = tb.fp_mul(0, dep1=tb.dep_to(gap))
+            for ax in range(3):
+                tb.store(1 + ax, coords, s * 3 + ax, dep1=tb.dep_to(f))
+            tb.set_function("contact_search")
+    return tb
+
+
+def trace_spin_wait(tb, n_iterations):
+    """OpenMP barrier spin loop: load flag, test, PAUSE, loop back.
+
+    The PAUSE op serializes the pipeline — the mechanism behind the
+    material models' core-bound profile in Fig. 3.
+    """
+    tb.set_function("omp_barrier_wait")
+    flag = tb.region("omp.flag", 8)
+    for k in range(n_iterations):
+        lf = tb.load(0, flag, 0)
+        tb.int_op(1, dep1=tb.dep_to(lf))
+        tb.pause(2)
+        tb.branch(3, taken=(k + 1 < n_iterations))
+    return tb
+
+
+def trace_residual(tb, matrix, vec_stride=1, max_ops=None):
+    """Residual evaluation: gather internal forces, subtract externals."""
+    tb.set_function("residual_eval")
+    fint = tb.region("f.int", matrix.n)
+    fext = tb.region("f.ext", matrix.n)
+    res = tb.region("f.res", matrix.n)
+    start = len(tb)
+    for i in range(0, matrix.n, max(vec_stride, 1)):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        if i % 4 == 0:
+            tb.int_op(5)
+        a = tb.load(0, fint, i)
+        b = tb.load(1, fext, i)
+        s = tb.fp_add(2, dep1=tb.dep_to(a), dep2=tb.dep_to(b))
+        tb.store(3, res, i, dep1=tb.dep_to(s))
+        tb.branch(4, taken=(i + vec_stride < matrix.n))
+    return tb
+
+
+def trace_rigid_kinematics(tb, n_bodies, n_slave_nodes, node_stride=1,
+                           max_ops=None):
+    """Rigid-body slave-node update: u = u_c + theta x r per node."""
+    tb.set_function("rigid_kinematics")
+    q = tb.region("rigid.q", max(n_bodies, 1) * 6)
+    coords = tb.region("mesh.nodes", max(n_slave_nodes, 1) * 3)
+    start = len(tb)
+    for k in range(0, n_slave_nodes, max(node_stride, 1)):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        body = k % max(n_bodies, 1)
+        lq = [tb.load(0, q, body * 6 + d) for d in range(6)]
+        for ax in range(3):
+            lx = tb.load(1, coords, k * 3 + ax)
+            m1 = tb.fp_mul(2, dep1=tb.dep_to(lq[3 + (ax + 1) % 3]),
+                           dep2=tb.dep_to(lx))
+            m2 = tb.fp_mul(3, dep1=tb.dep_to(lq[3 + (ax + 2) % 3]))
+            s = tb.fp_add(4, dep1=tb.dep_to(m1), dep2=tb.dep_to(m2))
+            tb.store(5, coords, k * 3 + ax, dep1=tb.dep_to(s))
+        tb.branch(6, taken=(k + node_stride < n_slave_nodes))
+    return tb

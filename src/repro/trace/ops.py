@@ -1,0 +1,120 @@
+"""Micro-op encoding for instruction traces.
+
+A trace is a struct-of-arrays: per-op kind, memory address, program
+counter, branch outcome, up to two backward dependency distances, and a
+function tag.  Kinds mirror the execution-unit classes the gem5 stats in
+Fig. 7 distinguish (int, FP, load, store, branch) plus the PAUSE
+serializing op the paper identifies as the material models' bottleneck.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "INT_ALU", "FP_ADD", "FP_MUL", "FP_DIV", "LOAD", "STORE", "BRANCH",
+    "PAUSE", "KIND_NAMES", "Trace",
+]
+
+INT_ALU = 0
+FP_ADD = 1
+FP_MUL = 2
+FP_DIV = 3
+LOAD = 4
+STORE = 5
+BRANCH = 6
+PAUSE = 7
+
+KIND_NAMES = {
+    INT_ALU: "int",
+    FP_ADD: "fp_add",
+    FP_MUL: "fp_mul",
+    FP_DIV: "fp_div",
+    LOAD: "load",
+    STORE: "store",
+    BRANCH: "branch",
+    PAUSE: "pause",
+}
+
+FP_KINDS = (FP_ADD, FP_MUL, FP_DIV)
+
+
+class Trace:
+    """An immutable micro-op trace.
+
+    Attributes (all numpy arrays of equal length ``n``):
+
+    * ``kind``   — op class (int8, one of the module constants)
+    * ``addr``   — byte address for loads/stores, 0 otherwise (int64)
+    * ``pc``     — static program counter of the emitting site (int64)
+    * ``taken``  — branch outcome (int8; meaningful for BRANCH ops)
+    * ``dep1``/``dep2`` — backward dependency distances in ops
+      (int32; 0 = no dependency).  ``ops[i]`` depends on ``ops[i - dep]``.
+    * ``func``   — function-table id of the emitting kernel (int16)
+    """
+
+    def __init__(self, kind, addr, pc, taken, dep1, dep2, func):
+        self.kind = np.asarray(kind, dtype=np.int8)
+        n = self.kind.size
+        self.addr = np.asarray(addr, dtype=np.int64)
+        self.pc = np.asarray(pc, dtype=np.int64)
+        self.taken = np.asarray(taken, dtype=np.int8)
+        self.dep1 = np.asarray(dep1, dtype=np.int32)
+        self.dep2 = np.asarray(dep2, dtype=np.int32)
+        self.func = np.asarray(func, dtype=np.int16)
+        for arr in (self.addr, self.pc, self.taken, self.dep1, self.dep2,
+                    self.func):
+            if arr.size != n:
+                raise ValueError("trace arrays must have equal lengths")
+
+    def __len__(self):
+        return int(self.kind.size)
+
+    def kind_counts(self):
+        """Mapping kind-name -> op count."""
+        out = {}
+        for code, name in KIND_NAMES.items():
+            out[name] = int((self.kind == code).sum())
+        return out
+
+    def memory_ops(self):
+        return int(((self.kind == LOAD) | (self.kind == STORE)).sum())
+
+    def branch_count(self):
+        return int((self.kind == BRANCH).sum())
+
+    def code_footprint_bytes(self):
+        """Distinct instruction-cache lines touched by the trace."""
+        return int(np.unique(self.pc >> 6).size) * 64
+
+    def data_footprint_bytes(self):
+        """Distinct data-cache lines touched by the trace."""
+        mem = self.addr[(self.kind == LOAD) | (self.kind == STORE)]
+        if mem.size == 0:
+            return 0
+        return int(np.unique(mem >> 6).size) * 64
+
+    def slice(self, start, stop):
+        """A sub-trace (dependencies crossing the cut are clamped)."""
+        sl = slice(start, stop)
+        dep1 = self.dep1[sl].copy()
+        dep2 = self.dep2[sl].copy()
+        idx = np.arange(dep1.size)
+        dep1[dep1 > idx] = 0
+        dep2[dep2 > idx] = 0
+        return Trace(
+            self.kind[sl], self.addr[sl], self.pc[sl], self.taken[sl],
+            dep1, dep2, self.func[sl],
+        )
+
+    def concat(self, other):
+        """Concatenate two traces."""
+        return Trace(
+            np.concatenate([self.kind, other.kind]),
+            np.concatenate([self.addr, other.addr]),
+            np.concatenate([self.pc, other.pc]),
+            np.concatenate([self.taken, other.taken]),
+            np.concatenate([self.dep1, other.dep1]),
+            np.concatenate([self.dep2, other.dep2]),
+            np.concatenate([self.func, other.func]),
+        )

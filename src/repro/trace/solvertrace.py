@@ -1,0 +1,243 @@
+"""Compose a full Stage-2 instruction trace for a workload.
+
+``workload_trace`` solves the model (or accepts a prior
+:class:`~repro.fem.solver.newton.SolveRecord`), then replays the solve's
+phase structure as micro-ops:
+
+1. per Newton iteration: element constitutive + assembly, CSR scatter,
+   residual evaluation;
+2. the linear solve, routed by the method the solver actually used
+   (direct -> factorization + tri-solve; cg/fgmres -> SpMV + BLAS-1 per
+   recorded iteration);
+3. contact search with the recorded candidate/active counts;
+4. rigid-body kinematics when bodies exist;
+5. OpenMP barrier spin-wait sized by the workload's
+   ``spin_wait_weight`` hint (the multithreaded load imbalance the paper
+   measures on the real system but a single trace cannot exhibit
+   natively).
+
+Each phase gets a fixed share of the op budget (overridable through the
+workload's ``phase_weights`` hint — the knob behind Fig. 4's per-category
+hotspot profiles); sampling strides spread a phase's budget across the
+whole data structure rather than truncating to a prefix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fem.solver import solve_model
+from .builder import TraceBuilder
+from . import kernels as tk
+
+__all__ = ["TraceRequest", "workload_trace", "trace_from_record",
+           "DEFAULT_PHASE_WEIGHTS"]
+
+_CODE_BLOAT = {"small": 0.8, "medium": 1.0, "large": 1.5}
+# Specialized code copies per function: models template/inlining bloat.
+# "large" workloads cycle through enough copies to overflow a 32 kB L1I.
+_REPLICAS = {"small": 2, "medium": 6, "large": 16}
+
+# Baseline op share per phase (FEBio's internal functions dominate; the
+# solver is next; sparsity bookkeeping and residual follow — Fig. 4).
+DEFAULT_PHASE_WEIGHTS = {
+    "assembly": 0.42,
+    "sparsity": 0.12,
+    "residual": 0.05,
+    "solver": 0.29,
+    "contact": 0.07,
+    "rigid": 0.05,
+}
+
+
+class TraceRequest:
+    """Parameters of trace generation."""
+
+    def __init__(self, budget=60_000, scale="tiny", newton_samples=2):
+        self.budget = int(budget)
+        self.scale = scale
+        self.newton_samples = int(newton_samples)
+
+
+def workload_trace(spec, request=None, model=None, record=None):
+    """Generate the Stage-2 trace for a workload spec.
+
+    Returns ``(trace, record)``; the record is the solve record used
+    (freshly computed when not supplied).
+    """
+    request = request or TraceRequest()
+    if record is None:
+        if model is None:
+            model = spec.build(request.scale)
+        _, record = solve_model(model)
+        record.model = model
+    if model is None:
+        model = getattr(record, "model", None)
+    return trace_from_record(spec, model, record, request), record
+
+
+def trace_from_record(spec, model, record, request=None):
+    """Build the trace from an existing model + solve record."""
+    request = request or TraceRequest()
+    hints = spec.hints
+    matrix = record.matrix
+    if matrix is None:
+        raise ValueError("solve record has no stiffness matrix")
+    tb = TraceBuilder(
+        code_bloat=_CODE_BLOAT[hints.code_footprint],
+        replicas=_REPLICAS[hints.code_footprint],
+    )
+
+    blocks = [b for b in model.mesh.blocks
+              if not model.is_rigid_block(b)] if model else []
+    nelem = sum(b.nelem for b in blocks) if blocks else max(matrix.n // 24, 1)
+    ngp = 8
+    newton_iters = max(record.total_newton_iterations, 1)
+    n_newton = max(min(request.newton_samples, newton_iters), 1)
+
+    contact_pairs = sum(s.contact_candidates for s in record.steps)
+    has_rigid = bool(model is not None and model.rigid_bodies)
+    weights = dict(getattr(hints, "phase_weights", None)
+                   or DEFAULT_PHASE_WEIGHTS)
+    if not contact_pairs:
+        weights["assembly"] = weights.get("assembly", 0.4) \
+            + weights.pop("contact", 0.0)
+    if not has_rigid:
+        weights["assembly"] = weights.get("assembly", 0.4) \
+            + weights.pop("rigid", 0.0)
+    total_w = sum(weights.values())
+
+    spin_frac = hints.spin_wait_weight
+    budget_work = request.budget * (1.0 - spin_frac) / n_newton
+    phase_ops = {
+        k: max(int(budget_work * w / total_w), 32)
+        for k, w in weights.items()
+    }
+
+    # Sampling strides spread each phase budget across the structure.
+    fp_per_gp = max(int(10 * hints.fp_intensity), 4)
+    assembly_unit = 6 * 8 + 19 + ngp * (2 + fp_per_gp)
+    elem_stride = max(
+        nelem * assembly_unit // max(phase_ops["assembly"], 1), 1)
+    scatter_stride = max(
+        nelem * 12 * 7 // max(phase_ops["sparsity"], 1), 1)
+    row_unit = max(int(_mean_row_nnz(matrix) * 6), 6)
+    vec_stride = max(matrix.n * 5 // max(phase_ops["residual"], 1), 1)
+
+    conn = _stacked_connectivity(blocks, matrix.n)
+    for _ in range(n_newton):
+        start_len = len(tb)
+        tk.trace_element_assembly(
+            tb, conn, node_count=model.mesh.nnodes if model else matrix.n,
+            fp_intensity=hints.fp_intensity,
+            dep_chain=hints.dependency_chain,
+            elem_stride=elem_stride, ngp=ngp,
+            max_ops=phase_ops["assembly"],
+        )
+        tk.trace_csr_scatter(tb, matrix, conn, elem_stride=scatter_stride,
+                             max_ops=phase_ops["sparsity"])
+        tk.trace_residual(tb, matrix, vec_stride=vec_stride,
+                          max_ops=phase_ops["residual"])
+        if contact_pairs:
+            _trace_contact_phase(tb, model, record,
+                                 max_ops=phase_ops["contact"])
+        if has_rigid:
+            n_slaves = sum(len(b.nodes) for b in model.rigid_bodies)
+            tk.trace_rigid_kinematics(
+                tb, len(model.rigid_bodies), n_slaves,
+                max_ops=phase_ops["rigid"],
+            )
+        _trace_solver_phase(tb, record, matrix, phase_ops["solver"])
+        # Spin-wait block proportional to the work just emitted — the
+        # barrier at the end of each parallel region.
+        if spin_frac > 0.0:
+            emitted = len(tb) - start_len
+            n_pause = int(emitted * spin_frac / (1.0 - spin_frac) / 4)
+            if n_pause > 0:
+                tk.trace_spin_wait(tb, n_pause)
+    return tb.build()
+
+
+def _stacked_connectivity(blocks, fallback_n):
+    """All element connectivities padded/stacked to a common width."""
+    if not blocks:
+        # Synthetic 8-node connectivity for record-only traces.
+        n_nodes = max(fallback_n // 3, 8)
+        rng = np.random.default_rng(0)
+        return rng.integers(0, n_nodes, size=(max(fallback_n // 24, 1), 8))
+    width = max(b.connectivity.shape[1] for b in blocks)
+    rows = []
+    for b in blocks:
+        c = b.connectivity
+        if c.shape[1] < width:
+            c = np.concatenate(
+                [c, np.repeat(c[:, -1:], width - c.shape[1], axis=1)], axis=1
+            )
+        rows.append(c)
+    return np.concatenate(rows, axis=0)
+
+
+def _mean_row_nnz(matrix):
+    return matrix.nnz / max(matrix.n, 1)
+
+
+def _trace_solver_phase(tb, record, matrix, budget):
+    """Emit the linear-solver phase within ``budget`` ops."""
+    methods = record.solver_methods() or {"direct"}
+    direct = "direct" in methods or "skyline" in methods
+    krylov = "cg" in methods or "fgmres" in methods
+    shares = (0.5, 0.5) if (direct and krylov) else (1.0, 1.0)
+    if direct:
+        b = int(budget * shares[0])
+        # Factorization is ~4x the tri-solve cost per row.
+        row_unit = max(int(_mean_row_nnz(matrix) / 2 * 28), 12)
+        stride = max(matrix.n * row_unit // max(int(b * 0.8), 1), 1)
+        tk.trace_factorization(tb, matrix, row_stride=stride,
+                               max_ops=int(b * 0.8))
+        tk.trace_trisolve(tb, matrix, row_stride=stride,
+                          max_ops=int(b * 0.2))
+    if krylov:
+        b = int(budget * shares[1])
+        iters = max(
+            record.total_linear_iterations
+            // max(record.total_newton_iterations, 1), 1,
+        )
+        krylov_samples = min(iters, 4)
+        per_sample = max(b // krylov_samples, 24)
+        spmv_unit = max(int(_mean_row_nnz(matrix) * 7), 7)
+        stride = max(
+            matrix.n * spmv_unit // max(int(per_sample * 0.7), 1), 1)
+        for k in range(krylov_samples):
+            # Alternate sampling phase so consecutive Krylov iterations
+            # cover distinct row sets and revisit them one sample later —
+            # the reuse pattern behind the L2 capacity knees of Fig. 9d.
+            tk.trace_spmv(tb, matrix, row_stride=stride,
+                          max_ops=int(per_sample * 0.7),
+                          row_offset=(k % 2) * (stride // 2))
+            n_vec = max(matrix.n // stride, 4)
+            tk.trace_dot(tb, n_vec, max_ops=int(per_sample * 0.15))
+            tk.trace_axpy(tb, n_vec, max_ops=int(per_sample * 0.15))
+
+
+def _trace_contact_phase(tb, model, record, max_ops):
+    contact = model.contacts[0] if model and model.contacts else None
+    candidates = max(sum(s.contact_candidates for s in record.steps), 1)
+    active = sum(s.contact_active for s in record.steps)
+    n_pairs = max(min(candidates, max_ops // 12), 4)
+    rng = np.random.default_rng(13)
+    mask = np.zeros(n_pairs, dtype=bool)
+    n_active = min(int(round(n_pairs * active / candidates)), n_pairs)
+    if n_active:
+        mask[rng.choice(n_pairs, size=n_active, replace=False)] = True
+    if contact is not None and hasattr(contact, "slave_nodes"):
+        slaves = np.asarray(contact.slave_nodes)
+        faces = np.asarray(
+            [n for f in contact.master_faces for n in f], dtype=np.int64
+        )
+    elif contact is not None:
+        slaves = np.asarray(contact.nodes)
+        faces = slaves
+    else:
+        slaves = np.arange(8)
+        faces = np.arange(8)
+    tk.trace_contact_search(tb, slaves, faces, mask, max_ops=max_ops)

@@ -1,0 +1,36 @@
+"""Trace-driven out-of-order CPU simulator (the gem5 analog)."""
+
+from .branch import (
+    LTAGE,
+    BranchPredictor,
+    LocalBP,
+    PerceptronBP,
+    PREDICTORS,
+    TournamentBP,
+    make_predictor,
+)
+from .cache import Cache
+from .config import CacheConfig, CoreConfig, gem5_baseline, host_i9
+from .hierarchy import MemoryHierarchy
+from .pipeline import simulate
+from .stats import SimStats
+from .tlb import TLB
+
+__all__ = [
+    "LTAGE",
+    "BranchPredictor",
+    "LocalBP",
+    "PerceptronBP",
+    "PREDICTORS",
+    "TournamentBP",
+    "make_predictor",
+    "Cache",
+    "CacheConfig",
+    "CoreConfig",
+    "gem5_baseline",
+    "host_i9",
+    "MemoryHierarchy",
+    "simulate",
+    "SimStats",
+    "TLB",
+]

@@ -1,0 +1,34 @@
+"""Branch predictors: LocalBP, TournamentBP, LTAGE, PerceptronBP."""
+
+from .base import BranchPredictor
+from .local import LocalBP
+from .ltage import LTAGE
+from .perceptron import PerceptronBP
+from .tournament import TournamentBP
+
+__all__ = [
+    "BranchPredictor",
+    "LocalBP",
+    "LTAGE",
+    "PerceptronBP",
+    "TournamentBP",
+    "make_predictor",
+    "PREDICTORS",
+]
+
+PREDICTORS = {
+    "local": LocalBP,
+    "tournament": TournamentBP,
+    "ltage": LTAGE,
+    "perceptron": PerceptronBP,
+}
+
+
+def make_predictor(name):
+    """Instantiate a predictor by registry name."""
+    try:
+        return PREDICTORS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown branch predictor {name!r}; known: {sorted(PREDICTORS)}"
+        ) from None

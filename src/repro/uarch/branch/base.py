@@ -1,0 +1,41 @@
+"""Branch predictor interface and shared helpers."""
+
+from __future__ import annotations
+
+__all__ = ["BranchPredictor", "saturate"]
+
+
+def saturate(value, delta, lo, hi):
+    """Saturating counter update."""
+    return min(max(value + delta, lo), hi)
+
+
+class BranchPredictor:
+    """Interface: ``predict(pc) -> bool`` then ``update(pc, taken)``.
+
+    Implementations keep their own global/local history; ``update`` must
+    be called for every branch in program order (the simulator resolves
+    branches speculatively in fetch order, which is adequate for trace-
+    driven studies).
+    """
+
+    name = "base"
+
+    def __init__(self):
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict(self, pc):
+        raise NotImplementedError
+
+    def update(self, pc, taken):
+        raise NotImplementedError
+
+    def record(self, predicted, taken):
+        self.lookups += 1
+        if bool(predicted) != bool(taken):
+            self.mispredicts += 1
+
+    @property
+    def mispredict_rate(self):
+        return self.mispredicts / self.lookups if self.lookups else 0.0

@@ -1,0 +1,40 @@
+"""LocalBP: gem5's local-history two-level predictor (simplified)."""
+
+from __future__ import annotations
+
+from .base import BranchPredictor, saturate
+
+__all__ = ["LocalBP"]
+
+
+class LocalBP(BranchPredictor):
+    """Per-PC local history indexing a table of 2-bit counters."""
+
+    name = "local"
+
+    def __init__(self, history_bits=10, counter_bits=2, table_size=2048):
+        super().__init__()
+        self.history_bits = history_bits
+        self.hist_mask = (1 << history_bits) - 1
+        self.table_size = table_size
+        self.max_counter = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)
+        self._histories = {}
+        self._counters = [self.threshold] * table_size
+
+    def _index(self, pc):
+        hist = self._histories.get(pc >> 2, 0)
+        return ((pc >> 2) ^ hist) % self.table_size
+
+    def predict(self, pc):
+        return self._counters[self._index(pc)] >= self.threshold
+
+    def update(self, pc, taken):
+        idx = self._index(pc)
+        self._counters[idx] = saturate(
+            self._counters[idx], 1 if taken else -1, 0, self.max_counter
+        )
+        key = pc >> 2
+        hist = self._histories.get(key, 0)
+        self._histories[key] = ((hist << 1) | (1 if taken else 0)) \
+            & self.hist_mask

@@ -1,0 +1,96 @@
+"""LTAGE: a bimodal base predictor plus tagged tables indexed with
+geometrically increasing history lengths (Seznec's TAGE, simplified, with
+the loop predictor folded into the longest table)."""
+
+from __future__ import annotations
+
+from .base import BranchPredictor, saturate
+
+__all__ = ["LTAGE"]
+
+
+class _TaggedTable:
+    def __init__(self, size, hist_len, tag_bits=9):
+        self.size = size
+        self.hist_len = hist_len
+        self.tag_mask = (1 << tag_bits) - 1
+        self.tags = [0] * size
+        self.ctr = [0] * size      # signed counter in [-4, 3]
+        self.useful = [0] * size
+
+    def index(self, pc, ghist):
+        folded = 0
+        h = ghist & ((1 << self.hist_len) - 1)
+        while h:
+            folded ^= h & (self.size - 1)
+            h >>= (self.size.bit_length() - 1)
+        return ((pc >> 2) ^ folded) % self.size
+
+    def tag(self, pc, ghist):
+        h = ghist & ((1 << self.hist_len) - 1)
+        return ((pc >> 2) ^ (h * 2654435761)) & self.tag_mask
+
+
+class LTAGE(BranchPredictor):
+    name = "ltage"
+
+    def __init__(self, table_size=1024, hist_lengths=(4, 8, 16, 32, 64)):
+        super().__init__()
+        self._bimodal = [1] * 4096
+        self.tables = [_TaggedTable(table_size, h) for h in hist_lengths]
+        self.ghist = 0
+        self._last = None  # (provider_idx, index, pred, alt_pred)
+
+    def _bim_index(self, pc):
+        return (pc >> 2) % len(self._bimodal)
+
+    def _lookup(self, pc):
+        provider = None
+        alt = self._bimodal[self._bim_index(pc)] >= 2
+        pred = alt
+        for ti in range(len(self.tables) - 1, -1, -1):
+            t = self.tables[ti]
+            idx = t.index(pc, self.ghist)
+            if t.tags[idx] == t.tag(pc, self.ghist):
+                provider = (ti, idx)
+                pred = t.ctr[idx] >= 0
+                break
+        return provider, pred, alt
+
+    def predict(self, pc):
+        provider, pred, alt = self._lookup(pc)
+        self._last = (pc, provider, pred, alt)
+        return pred
+
+    def update(self, pc, taken):
+        if self._last is None or self._last[0] != pc:
+            self.predict(pc)
+        _, provider, pred, alt = self._last
+        correct = pred == taken
+        if provider is not None:
+            ti, idx = provider
+            t = self.tables[ti]
+            t.ctr[idx] = saturate(t.ctr[idx], 1 if taken else -1, -4, 3)
+            if pred != alt:
+                t.useful[idx] = saturate(
+                    t.useful[idx], 1 if correct else -1, 0, 3
+                )
+        else:
+            bi = self._bim_index(pc)
+            self._bimodal[bi] = saturate(
+                self._bimodal[bi], 1 if taken else -1, 0, 3
+            )
+        # On a mispredict, allocate in a longer-history table.
+        if not correct:
+            start = provider[0] + 1 if provider is not None else 0
+            for ti in range(start, len(self.tables)):
+                t = self.tables[ti]
+                idx = t.index(pc, self.ghist)
+                if t.useful[idx] == 0:
+                    t.tags[idx] = t.tag(pc, self.ghist)
+                    t.ctr[idx] = 0 if taken else -1
+                    break
+                t.useful[idx] -= 1
+        self.ghist = ((self.ghist << 1) | (1 if taken else 0)) \
+            & ((1 << 64) - 1)
+        self._last = None

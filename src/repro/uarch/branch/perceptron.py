@@ -1,0 +1,52 @@
+"""Multiperspective-perceptron-style predictor (Jimenez), simplified to a
+global-history perceptron with per-PC weight vectors."""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+
+__all__ = ["PerceptronBP"]
+
+
+class PerceptronBP(BranchPredictor):
+    name = "perceptron"
+
+    def __init__(self, table_size=512, history_len=24, weight_max=63):
+        super().__init__()
+        self.table_size = table_size
+        self.history_len = history_len
+        self.weight_max = weight_max
+        # Training threshold from the original paper: 1.93 h + 14.
+        self.theta = int(1.93 * history_len + 14)
+        self._weights = [[0] * (history_len + 1)
+                         for _ in range(table_size)]
+        self._ghist = [0] * history_len  # +-1 encoding
+
+    def _row(self, pc):
+        return self._weights[(pc >> 2) % self.table_size]
+
+    def _output(self, pc):
+        w = self._row(pc)
+        y = w[0]
+        ghist = self._ghist
+        for i in range(self.history_len):
+            y += w[i + 1] * ghist[i]
+        return y
+
+    def predict(self, pc):
+        return self._output(pc) >= 0
+
+    def update(self, pc, taken):
+        y = self._output(pc)
+        pred = y >= 0
+        t = 1 if taken else -1
+        if pred != taken or abs(y) <= self.theta:
+            w = self._row(pc)
+            wm = self.weight_max
+            w[0] = min(max(w[0] + t, -wm - 1), wm)
+            ghist = self._ghist
+            for i in range(self.history_len):
+                delta = t * ghist[i]
+                w[i + 1] = min(max(w[i + 1] + delta, -wm - 1), wm)
+        self._ghist.pop()
+        self._ghist.insert(0, t)

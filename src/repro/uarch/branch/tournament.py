@@ -1,0 +1,46 @@
+"""TournamentBP: local + global (gshare) predictors with a chooser —
+the Alpha 21264 / gem5 TournamentBP structure and Table II's baseline."""
+
+from __future__ import annotations
+
+from .base import BranchPredictor, saturate
+from .local import LocalBP
+
+__all__ = ["TournamentBP"]
+
+
+class TournamentBP(BranchPredictor):
+    name = "tournament"
+
+    def __init__(self, global_bits=12, table_size=4096):
+        super().__init__()
+        self.local = LocalBP(table_size=table_size)
+        self.global_mask = (1 << global_bits) - 1
+        self.ghist = 0
+        self._gshare = [1] * (1 << global_bits)
+        self._chooser = [1] * (1 << global_bits)  # 0-1 local, 2-3 global
+
+    def _gindex(self, pc):
+        return ((pc >> 2) ^ self.ghist) & self.global_mask
+
+    def predict(self, pc):
+        use_global = self._chooser[self._gindex(pc)] >= 2
+        if use_global:
+            return self._gshare[self._gindex(pc)] >= 2
+        return self.local.predict(pc)
+
+    def update(self, pc, taken):
+        gi = self._gindex(pc)
+        local_pred = self.local.predict(pc)
+        global_pred = self._gshare[gi] >= 2
+        # Train the chooser toward whichever component was right.
+        if local_pred != global_pred:
+            self._chooser[gi] = saturate(
+                self._chooser[gi], 1 if global_pred == taken else -1, 0, 3
+            )
+        self._gshare[gi] = saturate(
+            self._gshare[gi], 1 if taken else -1, 0, 3
+        )
+        self.local.update(pc, taken)
+        self.ghist = ((self.ghist << 1) | (1 if taken else 0)) \
+            & self.global_mask

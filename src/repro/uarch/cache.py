@@ -1,0 +1,76 @@
+"""Set-associative cache with LRU replacement.
+
+Optimized for the simulator's hot path: each set is a plain list used as
+an LRU stack (most recent at the end); hit/miss bookkeeping is inlined.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Cache"]
+
+
+class Cache:
+    """One cache level (tag store only; data is never modeled).
+
+    ``interference_period`` models a second core sharing this level
+    (Table II simulates two cores with a shared L2 and background OS
+    activity pinned to core 2): every N-th access additionally installs
+    a foreign line into the touched set, evicting this core's LRU line.
+    """
+
+    def __init__(self, config, name="cache", interference_period=0):
+        self.name = name
+        self.config = config
+        self.sets_mask = config.sets - 1
+        self.assoc = config.assoc
+        self.line_shift = config.line.bit_length() - 1
+        self._sets = [[] for _ in range(config.sets)]
+        self.accesses = 0
+        self.misses = 0
+        self.interference_period = int(interference_period)
+        self._interference_clock = 0
+        self._foreign_tag = -1
+
+    def access(self, addr):
+        """Access the line containing ``addr``; returns True on hit."""
+        line = addr >> self.line_shift
+        s = self._sets[line & self.sets_mask]
+        self.accesses += 1
+        hit = line in s
+        if hit:
+            # LRU update: move to the back (most recently used).
+            s.remove(line)
+            s.append(line)
+        else:
+            self.misses += 1
+            if len(s) >= self.assoc:
+                s.pop(0)
+            s.append(line)
+        if self.interference_period:
+            self._interference_clock += 1
+            if self._interference_clock >= self.interference_period:
+                self._interference_clock = 0
+                if len(s) >= self.assoc:
+                    s.pop(0)
+                s.append(self._foreign_tag)
+                self._foreign_tag -= 1
+        return hit
+
+    def contains(self, addr):
+        """Non-modifying lookup (used by tests)."""
+        line = addr >> self.line_shift
+        return line in self._sets[line & self.sets_mask]
+
+    def reset_stats(self):
+        self.accesses = 0
+        self.misses = 0
+
+    @property
+    def miss_rate(self):
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __repr__(self):
+        return (
+            f"Cache({self.name}, {self.config.size_kb}kB, "
+            f"{self.accesses} acc, {self.misses} miss)"
+        )

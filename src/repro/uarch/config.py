@@ -1,0 +1,195 @@
+"""Simulator configuration: core, cache hierarchy, and presets.
+
+``gem5_baseline()`` reproduces Table II of the paper; ``host_i9()``
+approximates the i9-14900K P-core used for the VTune measurements (wide
+pipeline, three cache levels).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CacheConfig", "CoreConfig", "gem5_baseline", "host_i9"]
+
+
+class CacheConfig:
+    """One cache level."""
+
+    def __init__(self, size_kb, assoc, hit_latency, line=64, mshrs=32,
+                 uncore_ns=0.0):
+        self.size_kb = int(size_kb)
+        self.assoc = int(assoc)
+        self.hit_latency = int(hit_latency)
+        self.line = int(line)
+        self.mshrs = int(mshrs)
+        # Fixed-wall-clock component of the hit latency: caches beyond L1
+        # sit in the uncore clock domain, so part of their latency does
+        # not scale with core frequency (the mechanism behind sublinear
+        # frequency scaling in Fig. 8).
+        self.uncore_ns = float(uncore_ns)
+        sets = self.size_kb * 1024 // (self.line * self.assoc)
+        if sets < 1 or sets & (sets - 1):
+            raise ValueError(
+                f"cache geometry {size_kb}kB/{assoc}-way must give a "
+                f"power-of-two set count, got {sets}"
+            )
+        self.sets = sets
+
+    def hit_latency_at(self, freq_ghz):
+        """Total hit latency in core cycles at the given frequency."""
+        return self.hit_latency + int(round(self.uncore_ns * freq_ghz))
+
+    def describe(self):
+        extra = f"+{self.uncore_ns:g}ns" if self.uncore_ns else ""
+        return f"{self.size_kb}kB {self.assoc}-way, {self.hit_latency}cy{extra}"
+
+
+class CoreConfig:
+    """Out-of-order core + memory system configuration."""
+
+    def __init__(self, name="core", freq_ghz=3.0, fetch_width=4,
+                 dispatch_width=6, issue_width=6, commit_width=4,
+                 rob_entries=224, iq_entries=128, lq_entries=72,
+                 sq_entries=56, branch_predictor="tournament",
+                 l1i=None, l1d=None, l2=None, l3=None,
+                 mem_latency_ns=70.0, mem_bw_gbps=19.2,
+                 int_latency=1, fp_add_latency=3, fp_mul_latency=4,
+                 fp_div_latency=12, pause_latency=10,
+                 mispredict_penalty=8, itlb_entries=64,
+                 itlb_miss_penalty_ns=22.0, scheduler_window=48,
+                 l2_interference_period=0):
+        self.name = name
+        self.freq_ghz = float(freq_ghz)
+        self.fetch_width = int(fetch_width)
+        self.dispatch_width = int(dispatch_width)
+        self.issue_width = int(issue_width)
+        self.commit_width = int(commit_width)
+        self.rob_entries = int(rob_entries)
+        self.iq_entries = int(iq_entries)
+        self.lq_entries = int(lq_entries)
+        self.sq_entries = int(sq_entries)
+        self.branch_predictor = branch_predictor
+        self.l1i = l1i or CacheConfig(32, 8, 1)
+        self.l1d = l1d or CacheConfig(32, 8, 4)
+        self.l2 = l2 or CacheConfig(1024, 16, 14)
+        self.l3 = l3
+        self.mem_latency_ns = float(mem_latency_ns)
+        self.mem_bw_gbps = float(mem_bw_gbps)
+        self.int_latency = int(int_latency)
+        self.fp_add_latency = int(fp_add_latency)
+        self.fp_mul_latency = int(fp_mul_latency)
+        self.fp_div_latency = int(fp_div_latency)
+        self.pause_latency = int(pause_latency)
+        self.mispredict_penalty = int(mispredict_penalty)
+        self.itlb_entries = int(itlb_entries)
+        # Page walks traverse the memory hierarchy: wall-clock cost.
+        self.itlb_miss_penalty_ns = float(itlb_miss_penalty_ns)
+        self.scheduler_window = int(scheduler_window)
+        # Shared-LLC interference from the second simulated core (one
+        # foreign line installed every N own accesses; 0 disables).
+        self.l2_interference_period = int(l2_interference_period)
+
+    @property
+    def dram_latency_cycles(self):
+        return max(int(round(self.mem_latency_ns * self.freq_ghz)), 1)
+
+    def with_changes(self, **kwargs):
+        """A copy with selected fields replaced (sweep support)."""
+        fields = dict(
+            name=self.name, freq_ghz=self.freq_ghz,
+            fetch_width=self.fetch_width, dispatch_width=self.dispatch_width,
+            issue_width=self.issue_width, commit_width=self.commit_width,
+            rob_entries=self.rob_entries, iq_entries=self.iq_entries,
+            lq_entries=self.lq_entries, sq_entries=self.sq_entries,
+            branch_predictor=self.branch_predictor, l1i=self.l1i,
+            l1d=self.l1d, l2=self.l2, l3=self.l3,
+            mem_latency_ns=self.mem_latency_ns,
+            mem_bw_gbps=self.mem_bw_gbps, int_latency=self.int_latency,
+            fp_add_latency=self.fp_add_latency,
+            fp_mul_latency=self.fp_mul_latency,
+            fp_div_latency=self.fp_div_latency,
+            pause_latency=self.pause_latency,
+            mispredict_penalty=self.mispredict_penalty,
+            itlb_entries=self.itlb_entries,
+            itlb_miss_penalty_ns=self.itlb_miss_penalty_ns,
+            scheduler_window=self.scheduler_window,
+            l2_interference_period=self.l2_interference_period,
+        )
+        fields.update(kwargs)
+        return CoreConfig(**fields)
+
+    def digest(self):
+        """Stable short string identifying this configuration."""
+        parts = [
+            f"f{self.freq_ghz:g}",
+            f"w{self.fetch_width}-{self.dispatch_width}"
+            f"-{self.issue_width}-{self.commit_width}",
+            f"rob{self.rob_entries}", f"iq{self.iq_entries}",
+            f"lq{self.lq_entries}_{self.sq_entries}",
+            f"bp-{self.branch_predictor}",
+            f"l1i{self.l1i.size_kb}", f"l1d{self.l1d.size_kb}",
+            f"l2-{self.l2.size_kb}",
+        ]
+        if self.l3 is not None:
+            parts.append(f"l3-{self.l3.size_kb}")
+        return "_".join(parts)
+
+    def table(self):
+        """Table II-style rows: list of (parameter, value)."""
+        rows = [
+            ("ISA", "abstract micro-op"),
+            ("CPU model", "trace-driven OoO"),
+            ("Core clock frequency", f"{self.freq_ghz:g} GHz"),
+            ("Pipeline width (fetch/dispatch/issue/commit)",
+             f"{self.fetch_width} / {self.dispatch_width} / "
+             f"{self.issue_width} / {self.commit_width}"),
+            ("Reorder Buffer (ROB) entries", str(self.rob_entries)),
+            ("Issue Queue (IQ) entries", str(self.iq_entries)),
+            ("Load Queue / Store Queue entries",
+             f"{self.lq_entries} / {self.sq_entries}"),
+            ("L1I cache", self.l1i.describe()),
+            ("L1D cache", self.l1d.describe()),
+            ("L2 cache", self.l2.describe()),
+        ]
+        if self.l3 is not None:
+            rows.append(("L3 cache", self.l3.describe()))
+        rows.extend([
+            ("Memory latency", f"{self.mem_latency_ns:g} ns"),
+            ("Branch predictor", self.branch_predictor),
+        ])
+        return rows
+
+
+def gem5_baseline(**overrides):
+    """The paper's Table II baseline configuration."""
+    cfg = CoreConfig(
+        name="gem5-baseline",
+        freq_ghz=3.0,
+        fetch_width=4, dispatch_width=6, issue_width=6, commit_width=4,
+        rob_entries=224, iq_entries=128, lq_entries=72, sq_entries=56,
+        branch_predictor="tournament",
+        l1i=CacheConfig(32, 8, 1, mshrs=32),
+        l1d=CacheConfig(32, 8, 4, mshrs=32),
+        l2=CacheConfig(1024, 16, 2, uncore_ns=4.0),  # ~14cy at 3 GHz
+        l3=None,
+        mem_latency_ns=75.0,  # DDR4-2400 class
+        mem_bw_gbps=19.2,
+        l2_interference_period=24,  # background-OS core sharing the L2
+    )
+    return cfg.with_changes(**overrides) if overrides else cfg
+
+
+def host_i9(**overrides):
+    """Approximation of the i9-14900K P-core used for VTune profiling."""
+    cfg = CoreConfig(
+        name="host-i9",
+        freq_ghz=5.0,
+        fetch_width=6, dispatch_width=6, issue_width=8, commit_width=6,
+        rob_entries=512, iq_entries=192, lq_entries=128, sq_entries=96,
+        branch_predictor="ltage",
+        l1i=CacheConfig(32, 8, 1, mshrs=32),
+        l1d=CacheConfig(48, 12, 5, mshrs=48),
+        l2=CacheConfig(2048, 16, 8, uncore_ns=1.6),
+        l3=CacheConfig(4096, 16, 14, uncore_ns=6.0),  # LLC slice share
+        mem_latency_ns=65.0,  # DDR5-6000 class
+        mem_bw_gbps=60.0,
+    )
+    return cfg.with_changes(**overrides) if overrides else cfg

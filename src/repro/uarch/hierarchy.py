@@ -1,0 +1,85 @@
+"""The cache/memory hierarchy: L1I, L1D, shared L2, optional L3, DRAM.
+
+Latencies of on-chip levels are fixed cycle counts (they scale with the
+clock); DRAM latency is specified in nanoseconds and converted at the
+configured frequency — the mechanism that makes higher clocks expose
+memory stalls (Fig. 8's falling IPC).
+"""
+
+from __future__ import annotations
+
+from .cache import Cache
+
+__all__ = ["MemoryHierarchy"]
+
+
+class MemoryHierarchy:
+    """Owns the cache levels and answers access-latency queries."""
+
+    def __init__(self, config):
+        self.config = config
+        self.l1i = Cache(config.l1i, "l1i")
+        self.l1d = Cache(config.l1d, "l1d")
+        self.l2 = Cache(
+            config.l2, "l2",
+            interference_period=getattr(config, "l2_interference_period", 0),
+        )
+        self.l3 = Cache(config.l3, "l3") if config.l3 is not None else None
+        self.dram_latency = config.dram_latency_cycles
+        self.dram_accesses = 0
+        self.dram_bytes = 0
+
+    def access_data(self, addr):
+        """Data-side access; returns total latency in cycles."""
+        freq = self.config.freq_ghz
+        if self.l1d.access(addr):
+            return self.config.l1d.hit_latency
+        if self.l2.access(addr):
+            return self.config.l2.hit_latency_at(freq)
+        if self.l3 is not None:
+            if self.l3.access(addr):
+                return self.config.l3.hit_latency_at(freq)
+        self.dram_accesses += 1
+        self.dram_bytes += self.config.l1d.line
+        return self.dram_latency
+
+    def access_inst(self, addr):
+        """Instruction-side access; returns *added* latency (0 = L1I hit).
+
+        A next-line prefetcher fills ``addr + line`` on every demand miss
+        (for free, like real fetch units): sequential code pays roughly
+        one miss per fresh region instead of one per line, keeping
+        front-end stalls at the moderate levels the paper reports while
+        preserving the relative I-footprint pressure across workloads.
+        """
+        if self.l1i.access(addr):
+            return 0
+        line = self.config.l1i.line
+        self._inst_prefetch(addr + line)
+        freq = self.config.freq_ghz
+        if self.l2.access(addr):
+            return self.config.l2.hit_latency_at(freq)
+        if self.l3 is not None:
+            if self.l3.access(addr):
+                return self.config.l3.hit_latency_at(freq)
+        self.dram_accesses += 1
+        self.dram_bytes += self.config.l1i.line
+        return self.dram_latency
+
+    def _inst_prefetch(self, addr):
+        """Install the next line into L1I (and L2) without charging time."""
+        if not self.l1i.contains(addr):
+            self.l1i.access(addr)
+            self.l2.access(addr)
+
+    def mpki(self, instructions):
+        """Misses per kilo-instruction for each level."""
+        k = max(instructions, 1) / 1000.0
+        out = {
+            "l1i": self.l1i.misses / k,
+            "l1d": self.l1d.misses / k,
+            "l2": self.l2.misses / k,
+        }
+        if self.l3 is not None:
+            out["l3"] = self.l3.misses / k
+        return out

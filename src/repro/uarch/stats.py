@@ -1,0 +1,176 @@
+"""Simulation statistics: raw counters plus derived metrics.
+
+``SimStats`` is the single currency between the simulator, the top-down
+profiler, and the figure generators; it serializes to a plain dict for
+result caching.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimStats"]
+
+
+class SimStats:
+    """All counters from one simulation run."""
+
+    def __init__(self, config_name="", freq_ghz=3.0):
+        self.config_name = config_name
+        self.freq_ghz = freq_ghz
+        self.instructions = 0
+        self.cycles = 0
+        # Top-down slot accounting (slot = dispatch_width x cycles).
+        self.dispatch_width = 0
+        self.slots_retiring = 0
+        self.slots_bad_spec = 0
+        self.slots_fe_latency = 0
+        self.slots_fe_bandwidth = 0
+        self.slots_be_memory = 0
+        self.slots_be_core = 0
+        # Fetch-stage cycle classification (Fig. 7a).
+        self.fetch_active_cycles = 0
+        self.fetch_icache_stall_cycles = 0
+        self.fetch_tlb_cycles = 0
+        self.fetch_squash_cycles = 0
+        self.fetch_misc_stall_cycles = 0
+        # Instruction mixes (Fig. 7b/7c).
+        self.issued_by_kind = {}
+        self.committed_by_kind = {}
+        # Branch prediction.
+        self.branches = 0
+        self.branch_mispredicts = 0
+        # Memory system.
+        self.cache = {}          # level -> {"accesses": n, "misses": n}
+        self.dram_accesses = 0
+        self.dram_bytes = 0
+        # Hotspots: function id -> clockticks.
+        self.func_clockticks = {}
+        # Serialization.
+        self.pause_ops = 0
+        self.serialize_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self):
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def seconds(self):
+        return self.cycles / (self.freq_ghz * 1e9) if self.freq_ghz else 0.0
+
+    @property
+    def total_slots(self):
+        return self.dispatch_width * self.cycles
+
+    def topdown(self):
+        """Top-down breakdown as fractions summing to ~1."""
+        total = max(self.total_slots, 1)
+        return {
+            "retiring": self.slots_retiring / total,
+            "bad_speculation": self.slots_bad_spec / total,
+            "frontend_bound": (self.slots_fe_latency
+                               + self.slots_fe_bandwidth) / total,
+            "backend_bound": (self.slots_be_memory
+                              + self.slots_be_core) / total,
+        }
+
+    def stall_split(self):
+        """Fig. 3 split: FE latency / FE bandwidth / BE core / BE memory."""
+        total = max(self.total_slots, 1)
+        return {
+            "fe_latency": self.slots_fe_latency / total,
+            "fe_bandwidth": self.slots_fe_bandwidth / total,
+            "be_core": self.slots_be_core / total,
+            "be_memory": self.slots_be_memory / total,
+        }
+
+    def mpki(self, level):
+        c = self.cache.get(level)
+        if not c or not self.instructions:
+            return 0.0
+        return c["misses"] / (self.instructions / 1000.0)
+
+    @property
+    def branch_mpki(self):
+        if not self.instructions:
+            return 0.0
+        return self.branch_mispredicts / (self.instructions / 1000.0)
+
+    @property
+    def dram_bandwidth_gbps(self):
+        if not self.cycles:
+            return 0.0
+        seconds = self.cycles / (self.freq_ghz * 1e9)
+        return self.dram_bytes / seconds / 1e9
+
+    def fetch_profile(self):
+        """Normalized fetch-stage activity (Fig. 7a)."""
+        total = max(self.cycles, 1)
+        return {
+            "activeFetchCycles": self.fetch_active_cycles / total,
+            "icacheStallCycles": self.fetch_icache_stall_cycles / total,
+            "tlbCycles": self.fetch_tlb_cycles / total,
+            "squashCycles": self.fetch_squash_cycles / total,
+            "miscStallCycles": self.fetch_misc_stall_cycles / total,
+        }
+
+    def kind_profile(self, committed=True):
+        """Normalized instruction mix (Fig. 7b/7c)."""
+        table = self.committed_by_kind if committed else self.issued_by_kind
+        total = max(sum(table.values()), 1)
+        return {k: v / total for k, v in table.items()}
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def as_dict(self):
+        return {
+            "config_name": self.config_name,
+            "freq_ghz": self.freq_ghz,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "dispatch_width": self.dispatch_width,
+            "slots_retiring": self.slots_retiring,
+            "slots_bad_spec": self.slots_bad_spec,
+            "slots_fe_latency": self.slots_fe_latency,
+            "slots_fe_bandwidth": self.slots_fe_bandwidth,
+            "slots_be_memory": self.slots_be_memory,
+            "slots_be_core": self.slots_be_core,
+            "fetch_active_cycles": self.fetch_active_cycles,
+            "fetch_icache_stall_cycles": self.fetch_icache_stall_cycles,
+            "fetch_tlb_cycles": self.fetch_tlb_cycles,
+            "fetch_squash_cycles": self.fetch_squash_cycles,
+            "fetch_misc_stall_cycles": self.fetch_misc_stall_cycles,
+            "issued_by_kind": dict(self.issued_by_kind),
+            "committed_by_kind": dict(self.committed_by_kind),
+            "branches": self.branches,
+            "branch_mispredicts": self.branch_mispredicts,
+            "cache": {k: dict(v) for k, v in self.cache.items()},
+            "dram_accesses": self.dram_accesses,
+            "dram_bytes": self.dram_bytes,
+            "func_clockticks": dict(self.func_clockticks),
+            "pause_ops": self.pause_ops,
+            "serialize_stall_cycles": self.serialize_stall_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        stats = cls(data.get("config_name", ""), data.get("freq_ghz", 3.0))
+        for key, value in data.items():
+            if key in ("config_name", "freq_ghz"):
+                continue
+            if key == "func_clockticks":
+                value = {int(k): v for k, v in value.items()}
+            setattr(stats, key, value)
+        return stats
+
+    def __repr__(self):
+        return (
+            f"SimStats({self.config_name}, {self.instructions} instrs, "
+            f"{self.cycles} cycles, IPC={self.ipc:.3f})"
+        )

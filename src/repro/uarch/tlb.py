@@ -1,0 +1,37 @@
+"""A small fully-associative TLB with LRU replacement (4 kB pages)."""
+
+from __future__ import annotations
+
+__all__ = ["TLB"]
+
+_PAGE_SHIFT = 12
+
+
+class TLB:
+    """Instruction or data TLB."""
+
+    def __init__(self, entries=64, miss_penalty=20, name="itlb"):
+        self.entries = int(entries)
+        self.miss_penalty = int(miss_penalty)
+        self.name = name
+        self._pages = []
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr):
+        """Translate; returns the added latency (0 on hit)."""
+        page = addr >> _PAGE_SHIFT
+        self.accesses += 1
+        if page in self._pages:
+            self._pages.remove(page)
+            self._pages.append(page)
+            return 0
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.pop(0)
+        self._pages.append(page)
+        return self.miss_penalty
+
+    def reset_stats(self):
+        self.accesses = 0
+        self.misses = 0

@@ -1,0 +1,29 @@
+"""The Belenos workload suite: FEBio test-suite analogs + the eye model."""
+
+from .registry import (
+    REGISTRY,
+    TABLE1_PAPER_RANGES,
+    TraceHints,
+    WorkloadSpec,
+    build,
+    categories,
+    gem5_workloads,
+    get,
+    names,
+    register,
+    vtune_workloads,
+)
+
+__all__ = [
+    "REGISTRY",
+    "TABLE1_PAPER_RANGES",
+    "TraceHints",
+    "WorkloadSpec",
+    "build",
+    "categories",
+    "gem5_workloads",
+    "get",
+    "names",
+    "register",
+    "vtune_workloads",
+]

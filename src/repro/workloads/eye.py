@@ -1,0 +1,104 @@
+"""The ocular biomechanics case study (glaucoma / negative-pressure
+goggles model of Safa et al., TVST 2023).
+
+A partial spherical shell represents the corneoscleral envelope with two
+material regions (stiff sclera, compliant cornea) and an optic-nerve-head
+(ONH) region near the posterior pole.  Loading combines intraocular
+pressure on the inner surface with ramped *negative* periocular pressure
+on the anterior outer surface — the goggle treatment the paper's case
+study simulates.
+
+This is the suite's largest, most irregular model: curved geometry,
+heterogeneous materials, time-dependent pressures.  The paper's eye model
+(98.6 MB input, 32 GB working set) is far beyond a pure-Python substrate,
+so scales here are reduced; DESIGN.md records the substitution.  What is
+preserved is the *relative* position of the eye: largest input file,
+largest stiffness matrix, most irregular sparsity, disproportionate
+solve time (Fig. 5's above-trend point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fem import (
+    ElementBlock,
+    FEModel,
+    NeoHookean,
+    StepSettings,
+    ramp,
+    spherical_shell_hex,
+    step_after,
+)
+from .registry import TraceHints, WorkloadSpec, register
+
+_EYE_MESH = {
+    "tiny": dict(n_lat=4, n_lon=8, n_rad=1),
+    "default": dict(n_lat=8, n_lon=16, n_rad=2),
+    "large": dict(n_lat=12, n_lon=24, n_rad=3),
+}
+
+
+def build_eye(scale="default"):
+    """Construct the ocular model at the given scale."""
+    params = _EYE_MESH[scale]
+    mesh = spherical_shell_hex(
+        **params, r_inner=11.0, r_outer=12.0, lat_max=np.pi * 0.78,
+        name="globe", material="sclera",
+    )
+    # Split the shell by colatitude: anterior cap = cornea, posterior rim
+    # region = optic nerve head, remainder = sclera.
+    conn = mesh.blocks[0].connectivity
+    centroid = mesh.nodes[conn].mean(axis=1)
+    r = np.linalg.norm(centroid, axis=1)
+    colat = np.arccos(np.clip(centroid[:, 2] / r, -1.0, 1.0))
+    cornea = conn[colat < np.pi * 0.22]
+    onh = conn[colat > np.pi * 0.70]
+    sclera = conn[(colat >= np.pi * 0.22) & (colat <= np.pi * 0.70)]
+    mesh.blocks = []
+    mesh.add_block(ElementBlock("cornea", "hex8", cornea, "cornea"))
+    mesh.add_block(ElementBlock("sclera", "hex8", sclera, "sclera"))
+    mesh.add_block(ElementBlock("onh", "hex8", onh, "onh"))
+
+    model = FEModel(mesh, name="eye")
+    model.add_material(NeoHookean(E=0.3, nu=0.42, name="cornea"))
+    model.add_material(NeoHookean(E=3.0, nu=0.42, name="sclera"))
+    model.add_material(NeoHookean(E=0.1, nu=0.45, name="onh"))
+
+    # Clamp the posterior rim (where the shell is cut off).
+    lo, hi = mesh.bounding_box()
+    rim = mesh.nodes_where(lambda x, y, z: z < lo[2] + 0.35)
+    model.fix(rim, ("ux", "uy", "uz"))
+
+    # Intraocular pressure on the inner surface (always on).
+    faces = mesh.boundary_faces()
+    inner, outer_anterior = [], []
+    for f in faces:
+        pts = mesh.nodes[list(f)]
+        rr = np.linalg.norm(pts, axis=1).mean()
+        zz = pts[:, 2].mean()
+        if rr < 11.2:
+            inner.append(f)
+        elif rr > 11.8 and zz > 6.0:
+            outer_anterior.append(f)
+    iop = 15.0 / 7500.0  # 15 mmHg in MPa-ish units
+    model.add_pressure(inner, -iop, ramp())  # inflation
+    # Negative periocular pressure goggles: suction on the anterior
+    # outer surface, switched on mid-simulation.
+    npp = -10.0 / 7500.0
+    model.add_pressure(outer_anterior, -npp, step_after(0.5, 1.0, rise=0.1))
+
+    model.step = StepSettings(duration=1.0, n_steps=2, max_newton=40,
+                              rtol=1e-5)
+    return model
+
+
+register(WorkloadSpec(
+    "eye", "Eye", build_eye,
+    description="Ocular biomechanics case study: IOP + negative-pressure "
+                "goggles on a corneoscleral shell",
+    vtune=True, case_study=True,
+    hints=TraceHints(code_footprint="large", spin_wait_weight=0.06,
+                     branch_profile="data", fp_intensity=1.5,
+                     dependency_chain=6),
+))

@@ -1,0 +1,202 @@
+"""Workload registry: every Belenos model, with Table I metadata.
+
+A :class:`WorkloadSpec` couples a model builder with the paper-facing
+metadata (category label, Table I size range, VTune/gem5 membership) and
+the *trace hints* that parameterize instruction-stream synthesis (code
+footprint class, OpenMP spin-wait weight, branch behavior).  Trace hints
+encode facts the paper states about each workload family — e.g. material
+models (`ma*`) spend most backend time in PAUSE spin-waits, rigid-joint
+models have large instruction footprints — that in the real system come
+from the binary, not the mesh.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TraceHints",
+    "WorkloadSpec",
+    "REGISTRY",
+    "register",
+    "build",
+    "names",
+    "vtune_workloads",
+    "gem5_workloads",
+    "categories",
+    "TABLE1_PAPER_RANGES",
+]
+
+# Paper Table I: category label -> (lower kB, upper kB) of input files.
+TABLE1_PAPER_RANGES = {
+    "AR": (8.0, 637.0),
+    "BP": (6.7, 474.5),
+    "CO": (5.4, 314.0),
+    "FL": (1100.0, 7400.0),
+    "MU": (4.3, 4.5),
+    "MP": (14.0, 137.4),
+    "TE": (3.7, 431.0),
+    "RI": (4700.0, 4700.0),
+    "PS": (6400.0, 6400.0),
+    "PD": (4.9, 4.9),
+    "MG": (178.4, 271.9),
+    "FS": (21.5, 761.6),
+    "MI": (1100.0, 4100.0),
+    "MA": (4.0, 680.2),
+    "DM": (4.7, 460.2),
+    "TU": (60.0, 83.0),
+    "RJ": (5.0, 76.0),
+    "VC": (271.1, 734.5),
+    "BI": (1500.0, 7500.0),
+    "Eye": (98600.0, 98600.0),
+}
+
+SCALES = ("tiny", "default", "large")
+
+
+class TraceHints:
+    """Per-workload knobs for instruction-stream synthesis.
+
+    Parameters
+    ----------
+    code_footprint:
+        "small" | "medium" | "large" — number of distinct static PCs the
+        workload touches (drives I-cache behavior; RJ/DM are large per
+        Fig. 9a).
+    spin_wait_weight:
+        Fraction [0, 1] of solver slots spent in OpenMP barrier PAUSE
+        loops (material models are dominated by these per Fig. 3).
+    branch_profile:
+        "regular" (long counted loops), "data" (data-dependent branches
+        from sparse structures), "mixed".
+    fp_intensity:
+        Relative weight of floating-point work in the element loop
+        (constitutive-model cost).
+    dependency_chain:
+        Typical dependent-op chain length in the numeric kernels; longer
+        chains mean less ILP (limits pipeline-width benefit).
+    """
+
+    def __init__(self, code_footprint="medium", spin_wait_weight=0.0,
+                 branch_profile="mixed", fp_intensity=1.0,
+                 dependency_chain=3, phase_weights=None):
+        if code_footprint not in ("small", "medium", "large"):
+            raise ValueError(f"bad code_footprint {code_footprint!r}")
+        if not 0.0 <= spin_wait_weight <= 1.0:
+            raise ValueError("spin_wait_weight must be in [0, 1]")
+        if branch_profile not in ("regular", "data", "mixed"):
+            raise ValueError(f"bad branch_profile {branch_profile!r}")
+        self.code_footprint = code_footprint
+        self.spin_wait_weight = float(spin_wait_weight)
+        self.branch_profile = branch_profile
+        self.fp_intensity = float(fp_intensity)
+        self.dependency_chain = int(dependency_chain)
+        # Optional override of the trace phase-op shares (see
+        # repro.trace.solvertrace.DEFAULT_PHASE_WEIGHTS); drives the
+        # per-category hotspot profiles of Fig. 4.
+        self.phase_weights = dict(phase_weights) if phase_weights else None
+
+
+class WorkloadSpec:
+    """A named, buildable workload."""
+
+    def __init__(self, name, category, builder, description="",
+                 vtune=False, gem5=False, hints=None, case_study=False):
+        self.name = name
+        self.category = category
+        self.builder = builder
+        self.description = description
+        self.vtune = bool(vtune)
+        self.gem5 = bool(gem5)
+        self.hints = hints or TraceHints()
+        self.case_study = bool(case_study)
+
+    def build(self, scale="default"):
+        """Construct and finalize the FE model at the requested scale."""
+        if scale not in SCALES:
+            raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+        model = self.builder(scale)
+        model.name = self.name
+        if model.dofs is None:
+            model.finalize()
+        return model
+
+    def __repr__(self):
+        return f"WorkloadSpec({self.name!r}, category={self.category!r})"
+
+
+REGISTRY = {}
+
+
+def register(spec):
+    """Add a workload to the global registry (name collision is an error)."""
+    if spec.name in REGISTRY:
+        raise ValueError(f"duplicate workload name {spec.name!r}")
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def build(name, scale="default"):
+    """Build a registered workload by name."""
+    _ensure_loaded()
+    try:
+        spec = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+    return spec.build(scale)
+
+
+def names():
+    _ensure_loaded()
+    return sorted(REGISTRY)
+
+
+def get(name):
+    """Look up a :class:`WorkloadSpec` by name."""
+    _ensure_loaded()
+    return REGISTRY[name]
+
+
+def vtune_workloads():
+    """The 12 VTune-profiled workloads (Figs. 2-3), paper order."""
+    _ensure_loaded()
+    order = [
+        "bp07", "bp08", "bp09", "fl33", "fl34",
+        "ma26", "ma27", "ma28", "ma29", "ma30", "ma31", "eye",
+    ]
+    return [REGISTRY[n] for n in order]
+
+
+def gem5_workloads():
+    """The six gem5 sensitivity workloads (Figs. 7-12), paper order."""
+    _ensure_loaded()
+    return [REGISTRY[n] for n in ("ar", "co", "dm", "ma", "rj", "tu")]
+
+
+def categories():
+    """Mapping category label -> list of specs, Table I order."""
+    _ensure_loaded()
+    out = {}
+    for label in TABLE1_PAPER_RANGES:
+        out[label] = [s for s in REGISTRY.values() if s.category == label]
+    return out
+
+
+_LOADED = False
+
+
+def _ensure_loaded():
+    """Import the builder modules exactly once (they self-register)."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from . import eye  # noqa: F401
+    from .testsuite import (  # noqa: F401
+        arterial,
+        biphasic_like,
+        contact_rigid,
+        fluid_like,
+        material_models,
+        solid_basic,
+    )

@@ -1,0 +1,61 @@
+"""AR — arterial tissue workloads: pressurized vessel wall segments.
+
+Hyperelastic cylinder shells under internal pressure.  Regular structured
+meshes and FP-heavy constitutive updates make these the most "numeric"
+models in the suite: high ILP, wide-pipeline friendly, and the most
+branch-predictor sensitive (long regular loops with correlated exit
+branches) — matching the paper's `ar` behavior in Figs. 10 and 12.
+"""
+
+from __future__ import annotations
+
+from ...fem import FEModel, NeoHookean, StepSettings, cylinder_shell_hex, ramp
+from ..registry import TraceHints, WorkloadSpec, register
+
+_MESH = {
+    "tiny": dict(n_circ=6, n_rad=1, n_axial=2),
+    "default": dict(n_circ=12, n_rad=2, n_axial=4),
+    "large": dict(n_circ=20, n_rad=3, n_axial=8),
+}
+
+
+def _build_arterial(scale, pressure=0.02, stiffness=1.0):
+    mesh = cylinder_shell_hex(
+        **_MESH[scale], r_inner=1.0, r_outer=1.3, length=2.0,
+        name="wall", material="artery",
+    )
+    model = FEModel(mesh)
+    model.add_material(NeoHookean(E=stiffness, nu=0.35, name="artery"))
+    # Clamp both cylinder ends axially; pin a cross pattern for rigid modes.
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    model.fix(mesh.nodes_on_plane(2, hi[2]), ("uz",))
+    # Internal pressure on the inner surface faces.
+    inner = [
+        f for f in mesh.boundary_faces()
+        if all((mesh.nodes[n][0] ** 2 + mesh.nodes[n][1] ** 2) < 1.02 ** 2
+               for n in f)
+    ]
+    model.add_pressure(inner, -pressure, ramp())  # inflate outward
+    model.step = StepSettings(duration=1.0, n_steps=2, rtol=1e-6)
+    return model
+
+
+_AR_HINTS = TraceHints(
+    code_footprint="small",
+    spin_wait_weight=0.05,
+    branch_profile="regular",
+    fp_intensity=2.0,
+    dependency_chain=2,
+)
+
+register(WorkloadSpec(
+    "ar", "AR", lambda s: _build_arterial(s),
+    description="Arterial wall segment, neo-Hookean, internal pressure",
+    gem5=True, hints=_AR_HINTS,
+))
+register(WorkloadSpec(
+    "ar02", "AR", lambda s: _build_arterial(s, pressure=0.05, stiffness=0.5),
+    description="Compliant arterial wall at elevated pressure",
+    hints=_AR_HINTS,
+))

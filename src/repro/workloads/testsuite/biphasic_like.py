@@ -1,0 +1,146 @@
+"""BP / MP / BI — biphasic, multiphasic, and biphasic-FSI workloads.
+
+The ``bp07``-``bp09`` group reproduces the paper's Group 1: identical
+meshes, hydraulic permeability anisotropy swept from isotropic to 100:1.
+The extra pressure DOF enlarges and irregularizes the stiffness pattern,
+making these the memory-bound representatives of the suite (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from ...fem import (
+    BiphasicMaterial,
+    ElementBlock,
+    FEModel,
+    LinearElastic,
+    MultiphasicMaterial,
+    NewtonianFluid,
+    StepSettings,
+    box_hex,
+    ramp,
+)
+from ..registry import TraceHints, WorkloadSpec, register
+
+_BP_MESH = {
+    "tiny": (2, 2, 3),
+    "default": (4, 4, 6),
+    "large": (6, 6, 10),
+}
+
+_BP_HINTS = TraceHints(
+    code_footprint="medium",
+    spin_wait_weight=0.10,
+    branch_profile="data",
+    fp_intensity=1.2,
+    dependency_chain=4,
+)
+
+
+def _build_bp(scale, anisotropy):
+    """Confined compression of a biphasic plug, free-draining top."""
+    nx, ny, nz = _BP_MESH[scale]
+    mesh = box_hex(nx, ny, nz, 1.0, 1.0, 1.5, name="plug",
+                   material="tissue", physics="biphasic")
+    model = FEModel(mesh)
+    k_axial = 1.0
+    model.add_material(BiphasicMaterial(
+        LinearElastic(E=1.0, nu=0.2),
+        permeability=(k_axial / anisotropy, k_axial / anisotropy, k_axial),
+        name="tissue",
+    ))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    sides = mesh.nodes_where(
+        lambda x, y, z: (abs(x - lo[0]) < 1e-9) | (abs(x - hi[0]) < 1e-9)
+        | (abs(y - lo[1]) < 1e-9) | (abs(y - hi[1]) < 1e-9)
+    )
+    model.fix(sides, ("ux", "uy"))          # confined: no lateral motion
+    top = mesh.nodes_on_plane(2, hi[2])
+    model.fix(top, ("p",))                   # free draining
+    model.prescribe(top, "uz", -0.08, ramp())
+    model.step = StepSettings(duration=1.0, n_steps=3)
+    return model
+
+
+for _name, _aniso in (("bp07", 1.0), ("bp08", 10.0), ("bp09", 100.0)):
+    register(WorkloadSpec(
+        _name, "BP",
+        (lambda a: (lambda s: _build_bp(s, a)))(_aniso),
+        description=f"Biphasic confined compression, permeability "
+                    f"anisotropy {_aniso:g}:1",
+        vtune=True, hints=_BP_HINTS,
+    ))
+
+register(WorkloadSpec(
+    "bp01", "BP", lambda s: _build_bp(s, 3.0),
+    description="Biphasic confined compression (baseline anisotropy)",
+    hints=_BP_HINTS,
+))
+
+
+def _build_mp(scale):
+    """Multiphasic osmotic loading: solute ramp on the top face."""
+    nx, ny, nz = _BP_MESH[scale]
+    mesh = box_hex(nx, ny, max(nz - 2, 1), name="gel",
+                   material="gel", physics="multiphasic")
+    model = FEModel(mesh)
+    model.add_material(MultiphasicMaterial(
+        LinearElastic(E=0.5, nu=0.2), permeability=1.0, diffusivity=0.4,
+        solubility=0.8, osmotic_coeff=0.15, name="gel",
+    ))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    top = mesh.nodes_on_plane(2, hi[2])
+    model.fix(top, ("p",))
+    model.prescribe(top, "c", 1.0, ramp())
+    model.step = StepSettings(duration=1.0, n_steps=3)
+    return model
+
+
+register(WorkloadSpec(
+    "mp01", "MP", _build_mp,
+    description="Multiphasic gel under osmotic solute loading",
+    hints=TraceHints(code_footprint="medium", spin_wait_weight=0.08,
+                     branch_profile="data", fp_intensity=1.3,
+                     dependency_chain=4),
+))
+
+
+def _build_bi(scale):
+    """Biphasic-FSI: a biphasic bed under a fluid channel (two physics)."""
+    nx, ny, nz = _BP_MESH[scale]
+    nz_solid = max(nz // 2, 1)
+    mesh = box_hex(nx, ny, nz_solid + max(nz_solid, 1), 1.0, 1.0, 1.0,
+                   name="all", material="tissue", physics="biphasic")
+    conn = mesh.blocks[0].connectivity
+    zc = mesh.nodes[conn].mean(axis=1)[:, 2]
+    cut = 0.5
+    lower = conn[zc < cut]
+    upper = conn[zc >= cut]
+    mesh.blocks = []
+    mesh.add_block(ElementBlock("bed", "hex8", lower, "tissue", "biphasic"))
+    mesh.add_block(ElementBlock("channel", "hex8", upper, "plasma", "fluid"))
+    model = FEModel(mesh)
+    model.add_material(BiphasicMaterial(
+        LinearElastic(E=1.0, nu=0.2), permeability=(1.0, 1.0, 0.3),
+        name="tissue",
+    ))
+    model.add_material(NewtonianFluid(viscosity=0.8, bulk_modulus=40.0,
+                                      convective=False, name="plasma"))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    model.fix(mesh.nodes_on_plane(2, hi[2]), ("vy", "vz"))
+    model.prescribe(mesh.nodes_on_plane(2, hi[2]), "vx", 0.1, ramp())
+    inlet = mesh.nodes_on_plane(0, lo[0])
+    model.fix(inlet, ("vx", "vy", "vz"))
+    model.step = StepSettings(duration=0.6, n_steps=2)
+    return model
+
+
+register(WorkloadSpec(
+    "bi01", "BI", _build_bi,
+    description="Biphasic bed coupled to a driven fluid channel",
+    hints=TraceHints(code_footprint="large", spin_wait_weight=0.08,
+                     branch_profile="data", fp_intensity=1.1,
+                     dependency_chain=5),
+))

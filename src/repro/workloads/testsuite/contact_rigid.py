@@ -1,0 +1,210 @@
+"""CO / RI / RJ — contact, rigid body, and rigid joint workloads.
+
+Contact is the suite's branch-heavy, irregular-memory representative:
+candidate search + gap tests dominate, the active set changes across
+Newton iterations, and load/store traffic is high (the paper's ``co``
+shows ~26% memory operations in the execute stage).  Rigid-joint models
+(``rj``) thread long call chains through body kinematics, joint
+constraint evaluation, and contact — a large instruction footprint with
+low ILP, matching their L1I sensitivity in Fig. 9a.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...fem import (
+    ElementBlock,
+    FEModel,
+    LinearElastic,
+    NeoHookean,
+    NodeSurfaceContact,
+    RigidBody,
+    RigidJoint,
+    RigidMaterial,
+    RigidPlaneContact,
+    StepSettings,
+    box_hex,
+    ramp,
+)
+from ..registry import TraceHints, WorkloadSpec, register
+
+_CO_MESH = {
+    "tiny": (2, 2, 2),
+    "default": (4, 4, 3),
+    "large": (6, 6, 5),
+}
+
+_CO_HINTS = TraceHints(
+    code_footprint="medium",
+    spin_wait_weight=0.05,
+    branch_profile="data",
+    fp_intensity=0.8,
+    dependency_chain=5,
+)
+
+
+def _build_contact(scale):
+    """Two stacked blocks pressed together through node-surface contact."""
+    nx, ny, nz = _CO_MESH[scale]
+    bottom = box_hex(nx, ny, nz, 1.0, 1.0, 0.5, name="bottom",
+                     material="soft")
+    gap = 0.02
+    top_mesh = box_hex(nx, ny, nz, 1.0, 1.0, 0.5, name="top",
+                       material="soft")
+    # Merge the two meshes into one node table.
+    offset = bottom.nnodes
+    nodes = np.vstack([bottom.nodes,
+                       top_mesh.nodes + np.array([0.0, 0.0, 0.5 + gap])])
+    from ...fem import Mesh
+
+    mesh = Mesh(nodes)
+    mesh.add_block(ElementBlock("bottom", "hex8",
+                                bottom.blocks[0].connectivity, "soft"))
+    mesh.add_block(ElementBlock("top", "hex8",
+                                top_mesh.blocks[0].connectivity + offset,
+                                "soft"))
+    model = FEModel(mesh)
+    model.add_material(LinearElastic(E=5.0, nu=0.3, name="soft"))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    top_face = mesh.nodes_on_plane(2, hi[2])
+    model.fix(top_face, ("ux", "uy"))
+    model.prescribe(top_face, "uz", -(gap + 0.06), ramp())
+    # Contact: bottom face of the top block against top faces of the
+    # bottom block.
+    slave = mesh.nodes_where(
+        lambda x, y, z: np.abs(z - (0.5 + gap)) < 1e-9
+    )
+    master_faces = [
+        f for f in mesh.boundary_faces("bottom")
+        if all(abs(mesh.nodes[n][2] - 0.5) < 1e-9 for n in f)
+    ]
+    model.add_contact(NodeSurfaceContact(
+        slave, master_faces, penalty=200.0, search_radius=0.8,
+    ))
+    # Penalty contact uses an inconsistent (frozen-geometry) stiffness, so
+    # Newton converges linearly; the tolerance matches that reality.
+    model.step = StepSettings(duration=1.0, n_steps=3, max_newton=60,
+                              rtol=2e-4)
+    return model
+
+
+register(WorkloadSpec(
+    "co", "CO", _build_contact,
+    description="Two-block node-on-surface contact under compression",
+    gem5=True, hints=_CO_HINTS,
+))
+
+
+def _build_rigid(scale):
+    """A rigid indenter pressed into a soft slab (RI group)."""
+    nx, ny, nz = _CO_MESH[scale]
+    slab = box_hex(nx + 2, ny + 2, nz, 1.4, 1.4, 0.5, name="slab",
+                   material="soft")
+    punch = box_hex(max(nx // 2, 1), max(ny // 2, 1), 1, 0.5, 0.5, 0.2,
+                    name="punch", material="stiff")
+    offset = slab.nnodes
+    from ...fem import Mesh
+
+    nodes = np.vstack([
+        slab.nodes,
+        punch.nodes + np.array([0.45, 0.45, 0.5 + 0.01]),
+    ])
+    mesh = Mesh(nodes)
+    mesh.add_block(ElementBlock("slab", "hex8",
+                                slab.blocks[0].connectivity, "soft"))
+    mesh.add_block(ElementBlock("punch", "hex8",
+                                punch.blocks[0].connectivity + offset,
+                                "stiff"))
+    model = FEModel(mesh)
+    model.add_material(NeoHookean(E=2.0, nu=0.35, name="soft"))
+    model.add_material(RigidMaterial(name="stiff"))
+    body = model.add_rigid_body(RigidBody("punch", ["punch"]))
+    body.prescribe("tz", -0.05, ramp())
+    for d in ("tx", "ty", "rx", "ry", "rz"):
+        body.fixed_dofs += (d,)
+    lo, _ = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    slave = mesh.nodes_where(
+        lambda x, y, z: np.abs(z - (0.5 + 0.01)) < 1e-9
+    )
+    master_faces = [
+        f for f in mesh.boundary_faces("slab")
+        if all(abs(mesh.nodes[n][2] - 0.5) < 1e-9 for n in f)
+    ]
+    model.add_contact(NodeSurfaceContact(
+        slave, master_faces, penalty=150.0, search_radius=0.6,
+    ))
+    model.step = StepSettings(duration=1.0, n_steps=2, max_newton=60,
+                              rtol=2e-4)
+    return model
+
+
+register(WorkloadSpec(
+    "ri01", "RI", _build_rigid,
+    description="Rigid punch indentation into a soft slab",
+    hints=TraceHints(code_footprint="large", spin_wait_weight=0.05,
+                     branch_profile="data", fp_intensity=0.9,
+                     dependency_chain=4),
+))
+
+
+def _build_rigid_joint(scale):
+    """Two rigid segments connected by a revolute joint, soft wrapping.
+
+    A linkage: ground-pinned proximal bone, revolute joint, distal bone
+    loaded transversely, embedded in soft tissue.
+    """
+    sizes = {"tiny": (3, 3, 6), "default": (6, 6, 10), "large": (8, 8, 14)}
+    nx, ny, nlayers = sizes[scale]
+    mesh = box_hex(nx, ny, nlayers, 1.0, 1.0, 2.0, name="all",
+                   material="soft")
+    conn = mesh.blocks[0].connectivity
+    centroid = mesh.nodes[conn].mean(axis=1)
+    xc, yc, zc = centroid[:, 0], centroid[:, 1], centroid[:, 2]
+    # Carve two rigid "bone" cores out of the interior of the column,
+    # leaving a soft band between them (so the bodies never share nodes)
+    # and a soft sheath around them (so both stay elastically grounded).
+    h = 1.0 / nx
+    core = (np.abs(xc - 0.5) < h * 0.9) & (np.abs(yc - 0.5) < h * 0.9)
+    prox_sel = core & (zc < 0.8)
+    dist_sel = core & (zc > 1.2)
+    prox = conn[prox_sel]
+    dist = conn[dist_sel]
+    soft = conn[~(prox_sel | dist_sel)]
+    mesh.blocks = []
+    mesh.add_block(ElementBlock("soft", "hex8", soft, "soft"))
+    mesh.add_block(ElementBlock("prox", "hex8", prox, "bone"))
+    mesh.add_block(ElementBlock("dist", "hex8", dist, "bone"))
+    model = FEModel(mesh)
+    model.add_material(LinearElastic(E=1.0, nu=0.35, name="soft"))
+    model.add_material(RigidMaterial(density=2.0, name="bone"))
+    prox_body = model.add_rigid_body(RigidBody("prox", ["prox"]))
+    dist_body = model.add_rigid_body(RigidBody("dist", ["dist"]))
+    model.add_rigid_joint(RigidJoint(
+        "ground", prox_body, None, point=(0.5, 0.5, 0.4),
+        kind="spherical", penalty=5e3,
+    ))
+    model.add_rigid_joint(RigidJoint(
+        "knee", prox_body, dist_body, point=(0.5, 0.5, 1.0),
+        axis=(0, 1, 0), kind="revolute", penalty=5e3,
+    ))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    model.add_nodal_load(mesh.nodes_on_plane(2, hi[2]), "ux", 0.02, ramp())
+    model.step = StepSettings(duration=1.0, n_steps=2, max_newton=40)
+    return model
+
+
+register(WorkloadSpec(
+    "rj", "RJ", _build_rigid_joint,
+    description="Two-bone revolute joint linkage in soft tissue",
+    gem5=True,
+    hints=TraceHints(code_footprint="large", spin_wait_weight=0.04,
+                     branch_profile="mixed", fp_intensity=0.7,
+                     dependency_chain=6,
+                     phase_weights={"assembly": 0.24, "sparsity": 0.10,
+                                    "residual": 0.04, "solver": 0.50,
+                                    "contact": 0.0, "rigid": 0.12}),
+))

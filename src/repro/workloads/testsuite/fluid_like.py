@@ -1,0 +1,115 @@
+"""FL / FS — fluid dynamics and fluid-structure-interaction workloads.
+
+``fl33`` is the steady-state channel (linear, symmetric-ish solve) and
+``fl34`` the transient convective one (nonsymmetric, more Newton work) —
+the exact contrast of the paper's Group 3.  Fluid models carry 4 DOFs per
+node and a widened stencil, producing the highest memory-bound stall
+share among the test-suite groups (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from ...fem import (
+    ElementBlock,
+    FEModel,
+    LinearElastic,
+    NewtonianFluid,
+    StepSettings,
+    box_hex,
+    ramp,
+)
+from ..registry import TraceHints, WorkloadSpec, register
+
+_FL_MESH = {
+    "tiny": (3, 2, 2),
+    "default": (8, 4, 4),
+    "large": (14, 6, 6),
+}
+
+_FL_HINTS = TraceHints(
+    code_footprint="medium",
+    spin_wait_weight=0.06,
+    branch_profile="data",
+    fp_intensity=1.4,
+    dependency_chain=5,
+)
+
+
+def _build_fluid(scale, steady):
+    nx, ny, nz = _FL_MESH[scale]
+    mesh = box_hex(nx, ny, nz, 2.0, 1.0, 1.0, name="channel",
+                   material="fluid", physics="fluid")
+    model = FEModel(mesh)
+    fluid = NewtonianFluid(viscosity=0.6, bulk_modulus=60.0,
+                           convective=not steady, name="fluid")
+    fluid.steady = steady
+    model.add_material(fluid)
+    lo, hi = mesh.bounding_box()
+    walls = mesh.nodes_where(
+        lambda x, y, z: (abs(y - lo[1]) < 1e-9) | (abs(y - hi[1]) < 1e-9)
+        | (abs(z - lo[2]) < 1e-9) | (abs(z - hi[2]) < 1e-9)
+    )
+    model.fix(walls, ("vx", "vy", "vz"))      # no-slip walls
+    inlet = mesh.nodes_on_plane(0, lo[0])
+    interior_inlet = [n for n in inlet if n not in set(walls.tolist())]
+    model.fix(inlet, ("vy", "vz"))
+    model.prescribe(interior_inlet, "vx", 0.2, ramp())
+    model.step = StepSettings(
+        duration=1.0 if steady else 0.6,
+        n_steps=1 if steady else 3,
+    )
+    return model
+
+
+register(WorkloadSpec(
+    "fl33", "FL", lambda s: _build_fluid(s, steady=True),
+    description="Steady-state channel flow",
+    vtune=True, hints=_FL_HINTS,
+))
+register(WorkloadSpec(
+    "fl34", "FL", lambda s: _build_fluid(s, steady=False),
+    description="Transient convective channel flow",
+    vtune=True, hints=_FL_HINTS,
+))
+
+
+def _build_fsi(scale):
+    """Fluid channel over an elastic bed with pressure coupling."""
+    nx, ny, nz = _FL_MESH[scale]
+    mesh = box_hex(nx, ny, max(nz, 2), 2.0, 1.0, 1.0, name="all",
+                   material="fluid", physics="fluid")
+    conn = mesh.blocks[0].connectivity
+    zc = mesh.nodes[conn].mean(axis=1)[:, 2]
+    lower = conn[zc < 0.5]
+    upper = conn[zc >= 0.5]
+    mesh.blocks = []
+    mesh.add_block(ElementBlock("wall", "hex8", lower, "tissue", "solid"))
+    mesh.add_block(ElementBlock("lumen", "hex8", upper, "blood", "fluid"))
+    model = FEModel(mesh)
+    model.add_material(LinearElastic(E=2.0, nu=0.4, name="tissue"))
+    model.add_material(NewtonianFluid(viscosity=0.5, bulk_modulus=50.0,
+                                      convective=True, name="blood"))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    # No-slip on the fluid top wall; driven inlet.
+    model.fix(mesh.nodes_on_plane(2, hi[2]), ("vx", "vy", "vz"))
+    inlet = mesh.nodes_on_plane(0, lo[0])
+    model.fix(inlet, ("vy", "vz"))
+    model.prescribe(inlet, "vx", 0.15, ramp())
+    # Fluid pressure pushes on the interface faces of the solid wall.
+    interface = [
+        f for f in mesh.boundary_faces("wall")
+        if all(abs(mesh.nodes[n][2] - 0.5) < 0.3 for n in f)
+    ]
+    model.add_pressure(interface, 0.02, ramp())
+    model.step = StepSettings(duration=0.6, n_steps=2)
+    return model
+
+
+register(WorkloadSpec(
+    "fs01", "FS", _build_fsi,
+    description="Fluid channel driving an elastic wall (one-way FSI)",
+    hints=TraceHints(code_footprint="large", spin_wait_weight=0.07,
+                     branch_profile="data", fp_intensity=1.3,
+                     dependency_chain=5),
+))

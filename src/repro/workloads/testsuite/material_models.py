@@ -1,0 +1,255 @@
+"""MA / MU / DM / PD / MG / TU — constitutive-model-centric workloads.
+
+The ``ma26``-``ma31`` group reproduces the paper's Group 2: one mesh,
+six parameterizations of a reactive viscoelastic material.  These small
+models are compute-dense per element but synchronization-bound in the
+real system — FEBio's OpenMP element loop spins at barriers, which is why
+the paper finds them 75-81% core-bound on PAUSE serialization.  Their
+trace hints carry the highest ``spin_wait_weight`` in the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...fem import (
+    ElasticDamage,
+    ElementBlock,
+    FEModel,
+    LinearElastic,
+    MultigenerationGrowth,
+    PlastiDamage,
+    ReactiveViscoelastic,
+    StepSettings,
+    TransIsoActive,
+    VolumetricGrowth,
+    box_hex,
+    ramp,
+    sinusoid,
+)
+from ..registry import TraceHints, WorkloadSpec, register
+
+_MA_MESH = {
+    "tiny": (2, 2, 2),
+    "default": (3, 3, 3),
+    "large": (5, 5, 5),
+}
+
+# (n_bonds, k0, beta) parameterizations, increasing integration cost.
+_MA_PARAMS = {
+    "ma26": (2, 1.0, 0.25),
+    "ma27": (3, 1.0, 0.50),
+    "ma28": (6, 2.0, 0.75),
+    "ma29": (4, 0.5, 0.50),
+    "ma30": (6, 4.0, 1.00),
+    "ma31": (3, 2.0, 0.25),
+}
+
+
+def _build_ma(scale, n_bonds, k0, beta):
+    nx, ny, nz = _MA_MESH[scale]
+    mesh = box_hex(nx, ny, nz, name="sample", material="rv")
+    model = FEModel(mesh)
+    model.add_material(ReactiveViscoelastic(
+        LinearElastic(E=1.0, nu=0.3), n_bonds=n_bonds, k0=k0, beta=beta,
+        name="rv",
+    ))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    model.prescribe(mesh.nodes_on_plane(2, hi[2]), "uz", -0.06, ramp())
+    model.step = StepSettings(duration=1.0, n_steps=4)
+    return model
+
+
+def _ma_hints(n_bonds):
+    # More bond generations -> heavier per-element FP work and a larger
+    # share of barrier spin (the paper's worst cases ma28/ma30 pair with
+    # the biggest parameterizations).
+    return TraceHints(
+        code_footprint="small",
+        spin_wait_weight=min(0.32 + 0.045 * n_bonds, 0.62),
+        branch_profile="regular",
+        fp_intensity=0.8 + 0.25 * n_bonds,
+        dependency_chain=4,
+    )
+
+
+for _name, (_nb, _k0, _beta) in _MA_PARAMS.items():
+    register(WorkloadSpec(
+        _name, "MA",
+        (lambda nb, k0, b: (lambda s: _build_ma(s, nb, k0, b)))(
+            _nb, _k0, _beta),
+        description=f"Reactive viscoelastic sample "
+                    f"(n_bonds={_nb}, k0={_k0}, beta={_beta})",
+        vtune=True, hints=_ma_hints(_nb),
+    ))
+
+# Canonical gem5 `ma` — mid-range parameterization.
+register(WorkloadSpec(
+    "ma", "MA", lambda s: _build_ma(s, 4, 1.0, 0.5),
+    description="Reactive viscoelastic sample (gem5 representative)",
+    gem5=True, hints=_ma_hints(4),
+))
+
+
+def _build_mu(scale):
+    """Active muscle strip: fiber contraction against a fixed end."""
+    nx, ny, nz = _MA_MESH[scale]
+    mesh = box_hex(nx, ny, nz + 2, 0.4, 0.4, 1.5, name="strip",
+                   material="muscle")
+    model = FEModel(mesh)
+    model.add_material(TransIsoActive(
+        E=1.0, nu=0.35, fiber_dir=(0, 0, 1), c_fiber=0.6,
+        sigma_active=0.15, activation=sinusoid(period=2.0, amplitude=0.8,
+                                               offset=0.2),
+        name="muscle",
+    ))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    model.fix(mesh.nodes_on_plane(2, hi[2]), ("ux", "uy"))
+    model.step = StepSettings(duration=1.0, n_steps=3, max_newton=40)
+    return model
+
+
+register(WorkloadSpec(
+    "mu01", "MU", _build_mu,
+    description="Active transversely isotropic muscle strip",
+    hints=TraceHints(code_footprint="small", spin_wait_weight=0.30,
+                     branch_profile="regular", fp_intensity=2.2,
+                     dependency_chain=3),
+))
+
+
+_DM_MESH = {
+    "tiny": (4, 2, 2),
+    "default": (10, 6, 5),
+    "large": (14, 8, 6),
+}
+
+
+def _build_dm(scale):
+    """Damage accumulation in a slab under tension.
+
+    The default mesh is the largest of the gem5 six: damage models in the
+    paper run long solves through the direct solver, giving them the
+    deepest working sets (they flatten only at a 1 MB L2 in Fig. 9d).
+    """
+    nx, ny, nz = _DM_MESH[scale]
+    mesh = box_hex(nx, ny, nz, 1.5, 1.0, 0.5, name="slab", material="dmg")
+    model = FEModel(mesh)
+    model.add_material(ElasticDamage(
+        LinearElastic(E=1.0, nu=0.3), kappa0=0.02, kappa_c=0.1, d_max=0.6,
+        name="dmg",
+    ))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(0, lo[0]), ("ux", "uy", "uz"))
+    model.prescribe(mesh.nodes_on_plane(0, hi[0]), "ux", 0.08, ramp())
+    # The secant damage tangent is SPD, so CG keeps the large default
+    # mesh tractable (the dense direct path would dominate build time).
+    model.step = StepSettings(duration=1.0, n_steps=3, solver="cg")
+    return model
+
+
+register(WorkloadSpec(
+    "dm", "DM", _build_dm,
+    description="Elastic damage accumulation in a slab under tension",
+    gem5=True,
+    hints=TraceHints(code_footprint="large", spin_wait_weight=0.10,
+                     branch_profile="mixed", fp_intensity=0.9,
+                     dependency_chain=6,
+                     phase_weights={"assembly": 0.22, "sparsity": 0.08,
+                                    "residual": 0.04, "solver": 0.61,
+                                    "contact": 0.0, "rigid": 0.05}),
+))
+
+
+def _build_pd(scale):
+    """Plasti-damage block under reversed shear-like loading."""
+    nx, ny, nz = _MA_MESH[scale]
+    mesh = box_hex(nx, ny, nz, name="block", material="pd")
+    model = FEModel(mesh)
+    model.add_material(PlastiDamage(
+        LinearElastic(E=1.0, nu=0.3), yield_stress=0.03, hardening=0.2,
+        kappa_c=0.3, d_max=0.4, name="pd",
+    ))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    top = mesh.nodes_on_plane(2, hi[2])
+    model.fix(top, ("uy", "uz"))
+    model.prescribe(top, "ux", 0.12, sinusoid(period=1.0, amplitude=1.0))
+    # The plasti-damage tangent is secant-consistent only; Newton converges
+    # linearly near the yield surface, so the tolerance is set accordingly.
+    model.step = StepSettings(duration=1.0, n_steps=4, max_newton=60,
+                              rtol=1e-4)
+    return model
+
+
+register(WorkloadSpec(
+    "pd01", "PD", _build_pd,
+    description="J2 plasti-damage block under reversing shear",
+    hints=TraceHints(code_footprint="medium", spin_wait_weight=0.20,
+                     branch_profile="mixed", fp_intensity=1.5,
+                     dependency_chain=5),
+))
+
+
+def _build_mg(scale):
+    """Multigeneration growth: eigenstrain increments at t = 0.25/0.5/0.75."""
+    nx, ny, nz = _MA_MESH[scale]
+    mesh = box_hex(nx + 1, ny + 1, nz, name="tissue", material="mg")
+    gens = [
+        (0.25, np.array([0.01, 0.01, 0.0, 0.0, 0.0, 0.0])),
+        (0.50, np.array([0.01, 0.0, 0.01, 0.0, 0.0, 0.0])),
+        (0.75, np.array([0.0, 0.01, 0.01, 0.0, 0.0, 0.0])),
+    ]
+    model = FEModel(mesh)
+    model.add_material(MultigenerationGrowth(
+        LinearElastic(E=1.0, nu=0.3), gens, name="mg",
+    ))
+    lo, _ = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    model.step = StepSettings(duration=1.0, n_steps=4)
+    return model
+
+
+register(WorkloadSpec(
+    "mg01", "MG", _build_mg,
+    description="Multigeneration eigenstrain growth",
+    hints=TraceHints(code_footprint="medium", spin_wait_weight=0.15,
+                     branch_profile="regular", fp_intensity=1.1,
+                     dependency_chain=3),
+))
+
+
+def _build_tu(scale):
+    """Tumor growth: an expanding core loading the surrounding shell."""
+    nx, ny, nz = _MA_MESH[scale]
+    mesh = box_hex(nx + 2, ny + 2, nz + 2, name="all", material="host")
+    conn = mesh.blocks[0].connectivity
+    centroid = mesh.nodes[conn].mean(axis=1)
+    center = mesh.nodes.mean(axis=0)
+    r = np.linalg.norm(centroid - center, axis=1)
+    core = conn[r < 0.3]
+    host = conn[r >= 0.3]
+    mesh.blocks = []
+    mesh.add_block(ElementBlock("tumor", "hex8", core, "tumor"))
+    mesh.add_block(ElementBlock("host", "hex8", host, "host"))
+    model = FEModel(mesh)
+    model.add_material(VolumetricGrowth(
+        LinearElastic(E=0.8, nu=0.35), rate=0.08, name="tumor",
+    ))
+    model.add_material(LinearElastic(E=0.4, nu=0.35, name="host"))
+    surface = mesh.surface_nodes()
+    model.fix(surface, ("ux", "uy", "uz"))
+    model.step = StepSettings(duration=1.0, n_steps=3)
+    return model
+
+
+register(WorkloadSpec(
+    "tu", "TU", _build_tu,
+    description="Volumetric tumor growth inside host tissue",
+    gem5=True,
+    hints=TraceHints(code_footprint="small", spin_wait_weight=0.10,
+                     branch_profile="data", fp_intensity=1.6,
+                     dependency_chain=3),
+))

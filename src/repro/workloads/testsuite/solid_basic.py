@@ -1,0 +1,147 @@
+"""TE / MI / VC / PS — basic solid-mechanics workloads.
+
+TE exercises the tetrahedral element path; MI combines several blocks,
+materials, and load types in one model (the suite's grab-bag, like
+FEBio's misc. group); VC uses a volume-penalized Mooney-Rivlin at
+near-incompressibility; PS applies a prescribed prestrain field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...fem import (
+    ElementBlock,
+    FEModel,
+    LinearElastic,
+    MooneyRivlin,
+    OrthotropicElastic,
+    PrestrainElastic,
+    PronyViscoelastic,
+    StepSettings,
+    box_hex,
+    box_tet,
+    perturbed_box_hex,
+    ramp,
+)
+from ..registry import TraceHints, WorkloadSpec, register
+
+_TE_MESH = {
+    "tiny": (2, 2, 2),
+    "default": (4, 4, 4),
+    "large": (6, 6, 6),
+}
+
+
+def _build_te(scale):
+    nx, ny, nz = _TE_MESH[scale]
+    mesh = box_tet(nx, ny, nz, name="body", material="mat")
+    model = FEModel(mesh)
+    model.add_material(LinearElastic(E=1.0, nu=0.3, name="mat"))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    model.add_nodal_load(mesh.nodes_on_plane(2, hi[2]), "uz", -0.005, ramp())
+    model.step = StepSettings(duration=1.0, n_steps=2)
+    return model
+
+
+register(WorkloadSpec(
+    "te01", "TE", _build_te,
+    description="Tetrahedral cantilever block under end load",
+    hints=TraceHints(code_footprint="small", spin_wait_weight=0.06,
+                     branch_profile="regular", fp_intensity=0.9,
+                     dependency_chain=3),
+))
+
+
+def _build_mi(scale):
+    """Misc.: irregular mesh, three materials, pressure + body force."""
+    nx, ny, nz = _TE_MESH[scale]
+    mesh = perturbed_box_hex(nx + 2, ny, nz + 1, 1.5, 1.0, 1.2,
+                             amplitude=0.2, seed=7, name="all",
+                             material="core")
+    conn = mesh.blocks[0].connectivity
+    xc = mesh.nodes[conn].mean(axis=1)[:, 0]
+    left = conn[xc < 0.5]
+    mid = conn[(xc >= 0.5) & (xc < 1.0)]
+    right = conn[xc >= 1.0]
+    mesh.blocks = []
+    mesh.add_block(ElementBlock("left", "hex8", left, "core"))
+    mesh.add_block(ElementBlock("mid", "hex8", mid, "visco"))
+    mesh.add_block(ElementBlock("right", "hex8", right, "ortho"))
+    model = FEModel(mesh)
+    model.add_material(LinearElastic(E=1.0, nu=0.3, name="core"))
+    model.add_material(PronyViscoelastic(
+        LinearElastic(E=2.0, nu=0.3), g=(0.4, 0.2), tau=(0.1, 1.0),
+        name="visco",
+    ))
+    model.add_material(OrthotropicElastic(
+        E=(2.0, 1.0, 0.5), nu=(0.3, 0.3, 0.2), G=(0.5, 0.4, 0.3),
+        name="ortho",
+    ))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(0, lo[0]), ("ux", "uy", "uz"))
+    top_faces = [
+        f for f in mesh.boundary_faces()
+        if all(abs(mesh.nodes[n][2] - hi[2]) < 1e-6 for n in f)
+    ]
+    model.add_pressure(top_faces, 0.01, ramp())
+    model.add_body_force("mid", (0, 0, -1), 0.02, ramp())
+    model.step = StepSettings(duration=1.0, n_steps=3)
+    return model
+
+
+register(WorkloadSpec(
+    "mi01", "MI", _build_mi,
+    description="Mixed-material irregular block (misc. group)",
+    hints=TraceHints(code_footprint="large", spin_wait_weight=0.10,
+                     branch_profile="mixed", fp_intensity=1.2,
+                     dependency_chain=4),
+))
+
+
+def _build_vc(scale):
+    """Near-incompressible Mooney-Rivlin block (volume constraint)."""
+    nx, ny, nz = _TE_MESH[scale]
+    mesh = box_hex(nx, ny, nz, name="block", material="mr")
+    model = FEModel(mesh)
+    model.add_material(MooneyRivlin(c1=0.3, c2=0.1, k=30.0, name="mr"))
+    lo, hi = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    model.prescribe(mesh.nodes_on_plane(2, hi[2]), "uz", -0.08, ramp())
+    model.step = StepSettings(duration=1.0, n_steps=2, max_newton=40)
+    return model
+
+
+register(WorkloadSpec(
+    "vc01", "VC", _build_vc,
+    description="Near-incompressible Mooney-Rivlin compression",
+    hints=TraceHints(code_footprint="medium", spin_wait_weight=0.12,
+                     branch_profile="regular", fp_intensity=2.5,
+                     dependency_chain=4),
+))
+
+
+def _build_ps(scale):
+    """Prestrained slab: residual stress field equilibrates at t = 0+."""
+    nx, ny, nz = _TE_MESH[scale]
+    mesh = box_hex(nx + 1, ny + 1, nz, 1.2, 1.2, 0.6, name="slab",
+                   material="ps")
+    eig = np.array([0.02, -0.01, 0.0, 0.01, 0.0, 0.0])
+    model = FEModel(mesh)
+    model.add_material(PrestrainElastic(
+        LinearElastic(E=1.0, nu=0.3), eig, name="ps",
+    ))
+    lo, _ = mesh.bounding_box()
+    model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+    model.step = StepSettings(duration=1.0, n_steps=1)
+    return model
+
+
+register(WorkloadSpec(
+    "ps01", "PS", _build_ps,
+    description="Prestrained slab relaxing to equilibrium",
+    hints=TraceHints(code_footprint="small", spin_wait_weight=0.08,
+                     branch_profile="regular", fp_intensity=1.0,
+                     dependency_chain=3),
+))

@@ -1,0 +1,175 @@
+"""Tests for quadrature, shape functions, meshes, and generators."""
+
+import numpy as np
+import pytest
+
+from repro.fem import (
+    ElementBlock,
+    Mesh,
+    box_hex,
+    box_tet,
+    cylinder_shell_hex,
+    perturbed_box_hex,
+    spherical_shell_hex,
+)
+from repro.fem.quadrature import hex_rule, quad_rule, tet_rule
+from repro.fem.shape import Hex8, Quad4, Tet4, element_class, jacobian
+
+
+class TestQuadrature:
+    def test_hex_rule_weights_sum_to_volume(self):
+        assert np.isclose(hex_rule(2).weights.sum(), 8.0)
+        assert np.isclose(hex_rule(1).weights.sum(), 8.0)
+
+    def test_tet_rule_weights_sum_to_volume(self):
+        assert np.isclose(tet_rule(1).weights.sum(), 1.0 / 6.0)
+        assert np.isclose(tet_rule(2).weights.sum(), 1.0 / 6.0)
+
+    def test_quad_rule_weights(self):
+        assert np.isclose(quad_rule(2).weights.sum(), 4.0)
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            hex_rule(3)
+
+    def test_hex_rule_integrates_quadratic_exactly(self):
+        rule = hex_rule(2)
+        total = sum(w * (xi[0] ** 2) for xi, w in rule)
+        assert np.isclose(total, 8.0 / 3.0)
+
+
+class TestShapeFunctions:
+    @pytest.mark.parametrize("cls", [Hex8, Tet4, Quad4])
+    def test_partition_of_unity(self, cls):
+        xi = np.full(cls.ndim, 0.17)
+        assert np.isclose(cls.values(xi).sum(), 1.0)
+
+    @pytest.mark.parametrize("cls", [Hex8, Tet4, Quad4])
+    def test_gradient_rows_sum_to_zero(self, cls):
+        xi = np.full(cls.ndim, -0.2 if cls is not Tet4 else 0.2)
+        assert np.allclose(cls.gradients(xi).sum(axis=0), 0.0)
+
+    def test_hex8_kronecker_delta(self):
+        for a, signs in enumerate(Hex8._signs):
+            vals = Hex8.values(signs)
+            expected = np.zeros(8)
+            expected[a] = 1.0
+            assert np.allclose(vals, expected)
+
+    def test_jacobian_of_unit_cube(self):
+        coords = (Hex8._signs + 1.0) / 2.0  # unit cube
+        _, detJ, dN = jacobian(coords, Hex8.gradients(np.zeros(3)))
+        assert np.isclose(detJ, 1.0 / 8.0)
+        # Physical gradients reproduce linear fields exactly.
+        f = coords @ np.array([2.0, 3.0, 4.0])
+        grad = dN.T @ f
+        assert np.allclose(grad, [2.0, 3.0, 4.0])
+
+    def test_negative_jacobian_raises(self):
+        coords = (Hex8._signs + 1.0) / 2.0
+        mirrored = coords * np.array([-1.0, 1.0, 1.0])  # left-handed
+        with pytest.raises(ValueError):
+            jacobian(mirrored, Hex8.gradients(np.zeros(3)))
+
+    def test_element_class_lookup(self):
+        assert element_class("hex8") is Hex8
+        with pytest.raises(KeyError):
+            element_class("hex20")
+
+
+def _all_jacobians_positive(mesh):
+    for blk in mesh.blocks:
+        cls = Hex8 if blk.elem_type == "hex8" else Tet4
+        rule = hex_rule(2) if blk.elem_type == "hex8" else tet_rule(1)
+        for conn in blk.connectivity:
+            coords = mesh.nodes[conn]
+            for xi, _ in rule:
+                jacobian(coords, cls.gradients(xi))
+    return True
+
+
+class TestMeshGenerators:
+    def test_box_hex_counts(self):
+        mesh = box_hex(2, 3, 4)
+        assert mesh.nnodes == 3 * 4 * 5
+        assert mesh.nelem == 24
+
+    def test_box_tet_counts(self):
+        mesh = box_tet(2, 2, 2)
+        assert mesh.nelem == 8 * 6
+
+    def test_box_volume_via_jacobians(self):
+        mesh = box_hex(3, 3, 3, 2.0, 1.0, 1.0)
+        vol = 0.0
+        for conn in mesh.blocks[0].connectivity:
+            coords = mesh.nodes[conn]
+            for xi, w in hex_rule(2):
+                _, detJ, _ = jacobian(coords, Hex8.gradients(xi))
+                vol += w * detJ
+        assert np.isclose(vol, 2.0)
+
+    @pytest.mark.parametrize("builder", [
+        lambda: box_hex(3, 3, 3),
+        lambda: box_tet(2, 3, 2),
+        lambda: perturbed_box_hex(4, 4, 4, amplitude=0.2, seed=1),
+        lambda: cylinder_shell_hex(8, 2, 3),
+        lambda: spherical_shell_hex(4, 8, 2),
+    ])
+    def test_generators_produce_valid_elements(self, builder):
+        assert _all_jacobians_positive(builder())
+
+    def test_perturbed_box_keeps_surface(self):
+        mesh = perturbed_box_hex(3, 3, 3, amplitude=0.25, seed=2)
+        ref = box_hex(3, 3, 3)
+        surface = mesh.surface_nodes()
+        assert np.allclose(mesh.nodes[surface], ref.nodes[surface])
+
+    def test_perturbed_box_deterministic(self):
+        a = perturbed_box_hex(3, 3, 3, seed=9).nodes
+        b = perturbed_box_hex(3, 3, 3, seed=9).nodes
+        assert np.array_equal(a, b)
+
+    def test_cylinder_radius_range(self):
+        mesh = cylinder_shell_hex(8, 2, 2, r_inner=1.0, r_outer=1.5)
+        r = np.linalg.norm(mesh.nodes[:, :2], axis=1)
+        assert r.min() >= 1.0 - 1e-9
+        assert r.max() <= 1.5 + 1e-9
+
+
+class TestMesh:
+    def test_boundary_faces_of_unit_box(self):
+        mesh = box_hex(2, 2, 2)
+        faces = mesh.boundary_faces()
+        assert len(faces) == 6 * 4  # 4 faces per side
+
+    def test_surface_nodes_of_box(self):
+        mesh = box_hex(2, 2, 2)
+        assert mesh.surface_nodes().size == 27 - 1  # all but center node
+
+    def test_nodes_on_plane(self):
+        mesh = box_hex(2, 2, 2)
+        assert mesh.nodes_on_plane(2, 0.0).size == 9
+
+    def test_nodes_where(self):
+        mesh = box_hex(2, 2, 2)
+        sel = mesh.nodes_where(lambda x, y, z: (x > 0.9) & (z < 0.1))
+        assert sel.size == 3
+
+    def test_block_validation(self):
+        mesh = Mesh(np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            mesh.add_block(
+                ElementBlock("b", "tet4", np.array([[0, 1, 2, 9]]), "m")
+            )
+
+    def test_block_lookup(self):
+        mesh = box_hex(1, 1, 1, name="solo")
+        assert mesh.block("solo").nelem == 1
+        with pytest.raises(KeyError):
+            mesh.block("nope")
+
+    def test_bounding_box(self):
+        mesh = box_hex(1, 1, 1, 2.0, 3.0, 4.0)
+        lo, hi = mesh.bounding_box()
+        assert np.allclose(lo, 0.0)
+        assert np.allclose(hi, [2.0, 3.0, 4.0])

@@ -1,0 +1,293 @@
+"""Tests for the constitutive model library."""
+
+import numpy as np
+import pytest
+
+from repro.fem import (
+    BiphasicMaterial,
+    ElasticDamage,
+    LinearElastic,
+    MooneyRivlin,
+    MultigenerationGrowth,
+    MultiphasicMaterial,
+    NeoHookean,
+    NewtonianFluid,
+    OrthotropicElastic,
+    PlastiDamage,
+    PrestrainElastic,
+    PronyViscoelastic,
+    ReactiveViscoelastic,
+    RigidMaterial,
+    TransIsoActive,
+    VolumetricGrowth,
+)
+from repro.fem.loadcurve import constant
+from repro.fem.materials.base import isotropic_tangent
+
+_VOIGT_PAIRS = ((0, 0), (1, 1), (2, 2), (0, 1), (1, 2), (2, 0))
+
+
+def numeric_pk2_tangent(material, C, h=1e-6):
+    """Central-difference material tangent DD[I,J] = 2 dS_I/dC_J."""
+    DD = np.empty((6, 6))
+    for J, (k, l) in enumerate(_VOIGT_PAIRS):
+        dC = np.zeros((3, 3))
+        dC[k, l] += 0.5 * h
+        dC[l, k] += 0.5 * h
+        Sp, _, _ = material.pk2_response(C + dC, {}, 0.1, 0.0)
+        Sm, _, _ = material.pk2_response(C - dC, {}, 0.1, 0.0)
+        dS = (Sp - Sm) / h
+        # Engineering-shear Voigt convention: DD[:, J] = dS_I / dE_J.
+        DD[:, J] = np.array([dS[i, j] for (i, j) in _VOIGT_PAIRS])
+    return DD
+
+
+class TestLinearElastic:
+    def test_uniaxial_stress(self):
+        mat = LinearElastic(E=2.0, nu=0.0)
+        eps = np.array([0.01, 0, 0, 0, 0, 0.0])
+        sig, D, _ = mat.small_strain_response(eps, {}, 0.1, 0.0)
+        assert np.isclose(sig[0], 0.02)
+        assert np.isclose(sig[1], 0.0)
+
+    def test_tangent_is_spd(self):
+        D = isotropic_tangent(1.0, 0.3)
+        assert np.all(np.linalg.eigvalsh(D) > 0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LinearElastic(E=-1.0)
+        with pytest.raises(ValueError):
+            LinearElastic(nu=0.6)
+
+    def test_moduli(self):
+        mat = LinearElastic(E=1.0, nu=0.25)
+        assert np.isclose(mat.shear_modulus, 0.4)
+        assert np.isclose(mat.bulk_modulus, 1.0 / 1.5)
+
+
+class TestOrthotropic:
+    def test_reduces_to_isotropic(self):
+        E, nu = 1.0, 0.3
+        G = E / (2 * (1 + nu))
+        mat = OrthotropicElastic(E=(E, E, E), nu=(nu, nu, nu), G=(G, G, G))
+        assert np.allclose(mat._D, isotropic_tangent(E, nu), atol=1e-10)
+
+    def test_direction_dependence(self):
+        mat = OrthotropicElastic(E=(2.0, 1.0, 0.5), nu=(0.2, 0.2, 0.1),
+                                 G=(0.5, 0.4, 0.3))
+        e1 = np.array([0.01, 0, 0, 0, 0, 0.0])
+        e3 = np.array([0, 0, 0.01, 0, 0, 0.0])
+        s1, _, _ = mat.small_strain_response(e1, {}, 0.1, 0.0)
+        s3, _, _ = mat.small_strain_response(e3, {}, 0.1, 0.0)
+        assert s1[0] > s3[2]
+
+
+class TestNeoHookean:
+    def test_stress_free_at_identity(self):
+        mat = NeoHookean(E=1.0, nu=0.3)
+        S, DD, _ = mat.pk2_response(np.eye(3), {}, 0.1, 0.0)
+        assert np.allclose(S, 0.0, atol=1e-12)
+
+    def test_tangent_matches_numeric(self):
+        mat = NeoHookean(E=1.0, nu=0.3)
+        F = np.eye(3) + np.array(
+            [[0.05, 0.02, 0.0], [0.0, -0.03, 0.01], [0.0, 0.0, 0.04]]
+        )
+        C = F.T @ F
+        _, DD, _ = mat.pk2_response(C, {}, 0.1, 0.0)
+        assert np.allclose(DD, numeric_pk2_tangent(mat, C), rtol=2e-4,
+                           atol=1e-6)
+
+    def test_small_strain_consistency_with_linear(self):
+        mat = NeoHookean(E=1.0, nu=0.3)
+        lin = LinearElastic(E=1.0, nu=0.3)
+        eps = 1e-6
+        F = np.eye(3)
+        F[0, 0] += eps
+        S, _, _ = mat.pk2_response(F.T @ F, {}, 0.1, 0.0)
+        sig, _, _ = lin.small_strain_response(
+            np.array([eps, 0, 0, 0, 0, 0.0]), {}, 0.1, 0.0
+        )
+        assert np.isclose(S[0, 0], sig[0], rtol=1e-3)
+
+    def test_det_negative_raises(self):
+        mat = NeoHookean()
+        with pytest.raises(ValueError):
+            mat.pk2_response(-np.eye(3), {}, 0.1, 0.0)
+
+
+class TestMooneyRivlin:
+    def test_stress_free_at_identity(self):
+        mat = MooneyRivlin(c1=0.3, c2=0.1, k=10.0)
+        S, _, _ = mat.pk2_response(np.eye(3), {}, 0.1, 0.0)
+        assert np.allclose(S, 0.0, atol=1e-10)
+
+    def test_tangent_symmetric(self):
+        mat = MooneyRivlin(c1=0.3, c2=0.1, k=10.0)
+        F = np.eye(3) * 1.02
+        _, DD, _ = mat.pk2_response(F.T @ F, {}, 0.1, 0.0)
+        assert np.allclose(DD, DD.T)
+
+    def test_volumetric_penalty_resists_compression(self):
+        mat = MooneyRivlin(c1=0.3, c2=0.0, k=50.0)
+        C = np.eye(3) * 0.9 ** 2
+        S, _, _ = mat.pk2_response(C, {}, 0.1, 0.0)
+        assert S[0, 0] < 0  # compressive stress resisting volume loss
+
+
+class TestMuscle:
+    def test_active_stress_follows_activation(self):
+        lc = constant(0.5)
+        mat = TransIsoActive(E=1.0, nu=0.3, sigma_active=0.2, activation=lc)
+        S, _, _ = mat.pk2_response(np.eye(3), {}, 0.1, 1.0)
+        assert np.isclose(S[2, 2], 0.1)  # 0.2 * 0.5 along default fiber z
+
+    def test_passive_fiber_only_in_tension(self):
+        mat = TransIsoActive(E=1.0, nu=0.3, c_fiber=1.0, sigma_active=0.0)
+        C_comp = np.diag([1.0, 1.0, 0.95])
+        S_comp, _, _ = mat.pk2_response(C_comp, {}, 0.1, 0.0)
+        nh = NeoHookean(E=1.0, nu=0.3)
+        S_nh, _, _ = nh.pk2_response(C_comp, {}, 0.1, 0.0)
+        assert np.allclose(S_comp, S_nh)  # fibers slack in compression
+
+
+class TestViscoelastic:
+    def test_instantaneous_then_relaxing(self):
+        mat = PronyViscoelastic(LinearElastic(E=1.0, nu=0.3),
+                                g=(0.5,), tau=(1.0,))
+        eps = np.array([0.01, 0, 0, 0, 0, 0.0])
+        state = {k: np.zeros(s) for k, s in mat.state_layout().items()}
+        sig1, _, state = mat.small_strain_response(eps, state, 0.01, 0.01)
+        # Hold the strain: stress must decay toward the long-term value.
+        sig = sig1
+        for i in range(200):
+            sig, _, state = mat.small_strain_response(eps, state, 0.05, i * 0.05)
+        dev1 = sig1[0] - sig1[:3].mean()
+        dev_end = sig[0] - sig[:3].mean()
+        assert dev_end < dev1
+        assert dev_end > 0.4 * dev1  # g_inf = 0.5 floor
+
+    def test_g_sum_validation(self):
+        with pytest.raises(ValueError):
+            PronyViscoelastic(LinearElastic(), g=(0.7, 0.4), tau=(1.0, 2.0))
+
+    def test_reactive_state_layout(self):
+        mat = ReactiveViscoelastic(LinearElastic(), n_bonds=3)
+        layout = mat.state_layout()
+        assert layout["bond_strain"] == (3, 6)
+        assert layout["bond_frac"] == (3,)
+
+    def test_reactive_stress_bounded_by_elastic(self):
+        base = LinearElastic(E=1.0, nu=0.3)
+        mat = ReactiveViscoelastic(base, n_bonds=2, k0=1.0, beta=0.5)
+        eps = np.array([0.02, 0, 0, 0, 0, 0.0])
+        state = {k: np.zeros(s) for k, s in mat.state_layout().items()}
+        sig, _, state = mat.small_strain_response(eps, state, 0.1, 0.1)
+        sig_e, _, _ = base.small_strain_response(eps, {}, 0.1, 0.1)
+        assert abs(sig[0]) <= abs(sig_e[0]) * 1.5
+
+
+class TestDamage:
+    def test_no_damage_below_threshold(self):
+        mat = ElasticDamage(LinearElastic(E=1.0, nu=0.3), kappa0=0.05)
+        eps = np.array([0.01, 0, 0, 0, 0, 0.0])
+        sig, _, state = mat.small_strain_response(
+            eps, {"kappa": np.zeros(1)}, 0.1, 0.0)
+        base, _, _ = LinearElastic(E=1.0, nu=0.3).small_strain_response(
+            eps, {}, 0.1, 0.0)
+        assert np.allclose(sig, base)
+
+    def test_damage_softens_and_is_irreversible(self):
+        mat = ElasticDamage(LinearElastic(E=1.0, nu=0.3), kappa0=0.01,
+                            kappa_c=0.05, d_max=0.8)
+        big = np.array([0.1, 0, 0, 0, 0, 0.0])
+        small = np.array([0.01, 0, 0, 0, 0, 0.0])
+        _, _, state = mat.small_strain_response(
+            big, {"kappa": np.zeros(1)}, 0.1, 0.0)
+        sig_after, _, _ = mat.small_strain_response(small, state, 0.1, 0.0)
+        sig_virgin, _, _ = mat.small_strain_response(
+            small, {"kappa": np.zeros(1)}, 0.1, 0.0)
+        assert abs(sig_after[0]) < abs(sig_virgin[0])  # damage persists
+
+    def test_dmax_validation(self):
+        with pytest.raises(ValueError):
+            ElasticDamage(LinearElastic(), d_max=1.0)
+
+
+class TestPlastiDamage:
+    def test_elastic_below_yield(self):
+        mat = PlastiDamage(LinearElastic(E=1.0, nu=0.3), yield_stress=1.0)
+        eps = np.array([0.001, 0, 0, 0, 0, 0.0])
+        state = {k: np.zeros(s) for k, s in mat.state_layout().items()}
+        _, _, new_state = mat.small_strain_response(eps, state, 0.1, 0.0)
+        assert np.allclose(new_state["eps_p"], 0.0)
+
+    def test_plastic_flow_above_yield(self):
+        mat = PlastiDamage(LinearElastic(E=1.0, nu=0.3),
+                           yield_stress=0.001, hardening=0.1)
+        eps = np.array([0.0, 0, 0, 0.05, 0, 0.0])  # shear
+        state = {k: np.zeros(s) for k, s in mat.state_layout().items()}
+        _, _, new_state = mat.small_strain_response(eps, state, 0.1, 0.0)
+        assert new_state["alpha"][0] > 0
+        assert np.linalg.norm(new_state["eps_p"]) > 0
+
+    def test_stress_on_yield_surface_after_return(self):
+        ys = 0.01
+        mat = PlastiDamage(LinearElastic(E=1.0, nu=0.3), yield_stress=ys,
+                           hardening=0.0, d_max=0.0)
+        eps = np.array([0.0, 0, 0, 0.05, 0, 0.0])
+        state = {k: np.zeros(s) for k, s in mat.state_layout().items()}
+        sig, _, _ = mat.small_strain_response(eps, state, 0.1, 0.0)
+        dev = sig.copy()
+        dev[:3] -= sig[:3].mean()
+        s_norm = np.sqrt(dev[:3] @ dev[:3] + 2 * (dev[3:] @ dev[3:]))
+        assert np.isclose(s_norm, np.sqrt(2.0 / 3.0) * ys, rtol=1e-6)
+
+
+class TestGrowthFamily:
+    def test_prestrain_shifts_equilibrium(self):
+        eig = np.array([0.01, 0, 0, 0, 0, 0.0])
+        mat = PrestrainElastic(LinearElastic(E=1.0, nu=0.0), eig)
+        sig, _, _ = mat.small_strain_response(eig, {}, 0.1, 0.0)
+        assert np.allclose(sig, 0.0, atol=1e-14)
+
+    def test_multigeneration_activation(self):
+        gens = [(0.5, np.array([0.01, 0, 0, 0, 0, 0.0]))]
+        mat = MultigenerationGrowth(LinearElastic(E=1.0, nu=0.0), gens)
+        assert np.allclose(mat.eigenstrain_at(0.4), 0.0)
+        assert np.isclose(mat.eigenstrain_at(0.6)[0], 0.01)
+
+    def test_volumetric_growth_rate(self):
+        mat = VolumetricGrowth(LinearElastic(E=1.0, nu=0.0), rate=0.3)
+        zero = np.zeros(6)
+        sig_early, _, _ = mat.small_strain_response(zero, {}, 0.1, 0.1)
+        sig_late, _, _ = mat.small_strain_response(zero, {}, 0.1, 1.0)
+        assert sig_late[0] < sig_early[0] < 0  # growing compression
+
+
+class TestOtherMaterials:
+    def test_biphasic_permeability_forms(self):
+        solid = LinearElastic(E=1.0, nu=0.3)
+        assert BiphasicMaterial(solid, 2.0).anisotropy_ratio == 1.0
+        aniso = BiphasicMaterial(solid, (1.0, 1.0, 10.0))
+        assert np.isclose(aniso.anisotropy_ratio, 10.0)
+        with pytest.raises(ValueError):
+            BiphasicMaterial(solid, (-1.0, 1.0, 1.0))
+
+    def test_multiphasic_describe(self):
+        mat = MultiphasicMaterial(LinearElastic(), diffusivity=0.5,
+                                  osmotic_coeff=0.1)
+        d = mat.describe()
+        assert d["type"] == "MultiphasicMaterial"
+        assert d["osmotic_coeff"] == 0.1
+
+    def test_fluid_validation(self):
+        with pytest.raises(ValueError):
+            NewtonianFluid(viscosity=0.0)
+        with pytest.raises(ValueError):
+            NewtonianFluid(bulk_modulus=-1.0)
+
+    def test_rigid_marker(self):
+        mat = RigidMaterial(density=2.0)
+        assert mat.describe()["density"] == 2.0

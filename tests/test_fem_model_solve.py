@@ -1,0 +1,220 @@
+"""Integration tests of the nonlinear solver across element physics."""
+
+import numpy as np
+import pytest
+
+from repro.fem import (
+    BiphasicMaterial,
+    FEModel,
+    LinearElastic,
+    NeoHookean,
+    NewtonianFluid,
+    NewtonError,
+    RigidBody,
+    RigidMaterial,
+    RigidPlaneContact,
+    StepSettings,
+    box_hex,
+    box_tet,
+    ramp,
+    solve_model,
+)
+from repro.fem.kernels import pressure_face_load, solid_element
+from repro.fem.mesh import ElementBlock
+
+
+def cantilever(nx=2, E=10.0, nu=0.3, load=-0.02, material=None):
+    mesh = box_hex(nx, nx, nx)
+    model = FEModel(mesh, name="cantilever")
+    model.add_material(material or LinearElastic(E=E, nu=nu, name="mat"))
+    model.fix(mesh.nodes_on_plane(2, 0.0), ("ux", "uy", "uz"))
+    model.add_nodal_load(mesh.nodes_on_plane(2, 1.0), "uz", load)
+    model.finalize()
+    return model
+
+
+class TestElementKernels:
+    def test_patch_rigid_translation_gives_zero_force(self):
+        mesh = box_hex(1, 1, 1)
+        coords = mesh.nodes[mesh.blocks[0].connectivity[0]]
+        u = np.full((8, 3), 0.37)  # rigid translation
+        mat = LinearElastic(E=1.0, nu=0.3)
+        f, K, _ = solid_element(coords, u, mat, {}, 0.1, 0.0)
+        assert np.allclose(f, 0.0, atol=1e-12)
+
+    def test_stiffness_symmetric(self):
+        mesh = box_hex(1, 1, 1)
+        coords = mesh.nodes[mesh.blocks[0].connectivity[0]]
+        mat = LinearElastic(E=1.0, nu=0.3)
+        _, K, _ = solid_element(coords, np.zeros((8, 3)), mat, {}, 0.1, 0.0)
+        assert np.allclose(K, K.T)
+
+    def test_stiffness_is_force_jacobian(self):
+        mesh = box_hex(1, 1, 1)
+        coords = mesh.nodes[mesh.blocks[0].connectivity[0]]
+        mat = NeoHookean(E=1.0, nu=0.3)
+        rng = np.random.default_rng(0)
+        u = rng.random((8, 3)) * 0.02
+        f0, K, _ = solid_element(coords, u, mat, {}, 0.1, 0.0)
+        h = 1e-7
+        for dof in (0, 7, 13):
+            du = np.zeros(24)
+            du[dof] = h
+            f1, _, _ = solid_element(
+                coords, u + du.reshape(8, 3), mat, {}, 0.1, 0.0
+            )
+            assert np.allclose((f1 - f0) / h, K[:, dof], rtol=2e-4,
+                               atol=1e-6)
+
+    def test_pressure_face_load_total_force(self):
+        face = np.array(
+            [[0.0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]], dtype=float
+        )
+        forces = pressure_face_load(face, 2.0)
+        # Unit face, outward normal +z: total force = -p * A * n.
+        assert np.allclose(forces.sum(axis=0), [0.0, 0.0, -2.0])
+
+
+class TestSolidSolves:
+    def test_linear_one_iteration(self):
+        model = cantilever()
+        _, record = solve_model(model)
+        assert record.converged
+        assert record.total_newton_iterations == 1
+
+    def test_tip_deflection_direction(self):
+        model = cantilever()
+        values, _ = solve_model(model)
+        tip = model.mesh.nodes_on_plane(2, 1.0)
+        assert values[tip, 2].mean() < 0
+
+    def test_stiffer_material_deflects_less(self):
+        soft, _ = solve_model(cantilever(E=1.0))
+        stiff, _ = solve_model(cantilever(E=100.0))
+        assert abs(stiff[:, 2]).max() < abs(soft[:, 2]).max()
+
+    def test_neohookean_converges_quadratically_enough(self):
+        model = cantilever(material=NeoHookean(E=10.0, nu=0.3, name="mat"),
+                           load=-0.05)
+        _, record = solve_model(model)
+        assert record.converged
+        assert record.total_newton_iterations <= 8
+
+    def test_tet_mesh_solves(self):
+        mesh = box_tet(2, 2, 2)
+        model = FEModel(mesh)
+        model.add_material(LinearElastic(E=5.0, nu=0.3, name="mat"))
+        model.fix(mesh.nodes_on_plane(2, 0.0), ("ux", "uy", "uz"))
+        model.add_nodal_load(mesh.nodes_on_plane(2, 1.0), "uz", -0.01)
+        model.finalize()
+        _, record = solve_model(model)
+        assert record.converged
+
+    def test_nonconvergence_raises(self):
+        model = cantilever(material=NeoHookean(E=0.1, nu=0.3, name="mat"),
+                           load=-50.0)
+        model.step = StepSettings(n_steps=1, max_newton=3)
+        with pytest.raises(NewtonError):
+            solve_model(model)
+
+    def test_record_summary_fields(self):
+        _, record = solve_model(cantilever())
+        s = record.summary()
+        for key in ("neq", "nnz", "newton_iterations", "wall_time",
+                    "solvers"):
+            assert key in s
+
+
+class TestMultiphysicsSolves:
+    def test_biphasic_consolidation_pressure_decays(self):
+        mesh = box_hex(2, 2, 3, physics="biphasic")
+        mesh.blocks[0].physics = "biphasic"
+        model = FEModel(mesh)
+        model.add_material(BiphasicMaterial(
+            LinearElastic(E=1.0, nu=0.2), permeability=1.0, name="mat"))
+        lo, hi = mesh.bounding_box()
+        model.fix(mesh.nodes_on_plane(2, lo[2]), ("ux", "uy", "uz"))
+        top = mesh.nodes_on_plane(2, hi[2])
+        model.fix(top, ("p",))
+        model.prescribe(top, "uz", -0.05, ramp())
+        model.step = StepSettings(duration=4.0, n_steps=4)
+        model.finalize()
+        values, record = solve_model(model)
+        assert record.converged
+        # Pore pressure should be non-negative under compression and zero
+        # at the drained surface.
+        assert values[top, 3].max() <= 1e-12
+
+    def test_fluid_inlet_flow(self):
+        mesh = box_hex(3, 2, 2, physics="fluid")
+        mesh.blocks[0].physics = "fluid"
+        model = FEModel(mesh)
+        model.add_material(NewtonianFluid(viscosity=0.5, bulk_modulus=50.0,
+                                          name="mat"))
+        lo, hi = mesh.bounding_box()
+        walls = mesh.nodes_where(
+            lambda x, y, z: (abs(y - lo[1]) < 1e-9) | (abs(y - hi[1]) < 1e-9)
+            | (abs(z - lo[2]) < 1e-9) | (abs(z - hi[2]) < 1e-9))
+        model.fix(walls, ("vx", "vy", "vz"))
+        inlet = [n for n in mesh.nodes_on_plane(0, lo[0])
+                 if n not in set(walls.tolist())]
+        model.prescribe(inlet, "vx", 0.1, ramp())
+        model.step = StepSettings(duration=0.5, n_steps=2)
+        model.finalize()
+        values, record = solve_model(model)
+        assert record.converged
+        assert values[:, 5].max() > 0  # vx field developed
+
+    def test_contact_limits_penetration(self):
+        mesh = box_hex(2, 2, 2)
+        model = FEModel(mesh)
+        model.add_material(LinearElastic(E=5.0, nu=0.3, name="mat"))
+        top = mesh.nodes_on_plane(2, 1.0)
+        model.fix(top, ("ux", "uy"))
+        model.prescribe(top, "uz", -0.3, ramp())
+        model.add_contact(RigidPlaneContact(
+            mesh.nodes_on_plane(2, 0.0), normal=(0, 0, 1), offset=-0.1,
+            penalty=500.0))
+        model.step = StepSettings(duration=1.0, n_steps=2, rtol=1e-5)
+        model.finalize()
+        values, record = solve_model(model)
+        assert record.converged
+        bottom = mesh.nodes_on_plane(2, 0.0)
+        # Bottom nodes pushed below the plane only by the penalty scale.
+        assert values[bottom, 2].min() > -0.12
+
+    def test_rigid_body_prescribed_translation(self):
+        mesh = box_hex(2, 2, 4, lz=2.0)
+        conn = mesh.blocks[0].connectivity
+        zc = mesh.nodes[conn].mean(axis=1)[:, 2]
+        mesh.blocks = []
+        mesh.add_block(ElementBlock("soft", "hex8", conn[zc < 1.0], "mat"))
+        mesh.add_block(ElementBlock("hard", "hex8", conn[zc >= 1.0],
+                                    "rigid"))
+        model = FEModel(mesh)
+        model.add_material(LinearElastic(E=5.0, nu=0.3, name="mat"))
+        model.add_material(RigidMaterial(name="rigid"))
+        body = model.add_rigid_body(RigidBody("hard", ["hard"]))
+        body.prescribe("tz", -0.05, ramp())
+        model.fix(mesh.nodes_on_plane(2, 0.0), ("ux", "uy", "uz"))
+        model.finalize()
+        values, record = solve_model(model)
+        assert record.converged
+        # Every rigid node moved down by exactly the prescribed amount.
+        for node in body.nodes:
+            assert np.isclose(values[node, 2], -0.05, atol=1e-9)
+
+    def test_rigid_nodes_have_no_equations(self):
+        mesh = box_hex(1, 1, 2, lz=2.0)
+        conn = mesh.blocks[0].connectivity
+        mesh.blocks = []
+        mesh.add_block(ElementBlock("soft", "hex8", conn[:1], "mat"))
+        mesh.add_block(ElementBlock("hard", "hex8", conn[1:], "rigid"))
+        model = FEModel(mesh)
+        model.add_material(LinearElastic(name="mat"))
+        model.add_material(RigidMaterial(name="rigid"))
+        body = model.add_rigid_body(RigidBody("hard", ["hard"]))
+        model.fix(mesh.nodes_on_plane(2, 0.0), ("ux", "uy", "uz"))
+        model.finalize()
+        for node in body.nodes:
+            assert model.dofs.eq(int(node), "ux") == -1

@@ -1,0 +1,199 @@
+"""Tests for the linear solver suite (direct, skyline, iterative)."""
+
+import numpy as np
+import pytest
+
+from repro.fem.solver import (
+    DenseLU,
+    ILU0Preconditioner,
+    JacobiPreconditioner,
+    SkylineLDL,
+    SkylineMatrix,
+    cholesky_solve,
+    conjugate_gradient,
+    dense_cholesky,
+    fgmres,
+    is_numerically_symmetric,
+    solve_linear,
+)
+from repro.sparse import CSRMatrix
+
+
+def spd_matrix(n, seed=0):
+    rng = np.random.default_rng(seed)
+    A = rng.random((n, n)) * 0.2
+    A = 0.5 * (A + A.T) + np.eye(n) * (n * 0.3)
+    return A
+
+
+def laplacian_csr(n):
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        rows.append(i); cols.append(i); vals.append(2.0)
+        if i > 0:
+            rows.append(i); cols.append(i - 1); vals.append(-1.0)
+        if i < n - 1:
+            rows.append(i); cols.append(i + 1); vals.append(-1.0)
+    return CSRMatrix.from_coo(n, rows, cols, vals)
+
+
+class TestDenseLU:
+    def test_solves_random_system(self):
+        A = spd_matrix(20, 1)
+        b = np.arange(20, dtype=float)
+        x = DenseLU(A).solve(b)
+        assert np.allclose(A @ x, b, atol=1e-10)
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        A = np.array([[0.0, 1.0], [1.0, 0.0]])
+        x = DenseLU(A).solve(np.array([2.0, 3.0]))
+        assert np.allclose(x, [3.0, 2.0])
+
+    def test_singular_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            DenseLU(np.zeros((3, 3)))
+
+    def test_determinant(self):
+        A = np.array([[2.0, 0.0], [0.0, 3.0]])
+        assert np.isclose(DenseLU(A).determinant(), 6.0)
+        B = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert np.isclose(DenseLU(B).determinant(), -1.0)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            DenseLU(np.zeros((2, 3)))
+
+
+class TestCholesky:
+    def test_factor_and_solve(self):
+        A = spd_matrix(15, 2)
+        L = dense_cholesky(A)
+        assert np.allclose(L @ L.T, A)
+        b = np.ones(15)
+        x = cholesky_solve(L, b)
+        assert np.allclose(A @ x, b, atol=1e-10)
+
+    def test_indefinite_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            dense_cholesky(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+
+class TestSkyline:
+    def test_from_csr_roundtrip(self):
+        m = laplacian_csr(6)
+        sky = SkylineMatrix.from_csr(m)
+        assert np.allclose(sky.to_dense(), m.to_dense())
+
+    def test_ldl_solves(self):
+        m = laplacian_csr(10)
+        b = np.linspace(1, 2, 10)
+        x = SkylineLDL(SkylineMatrix.from_csr(m)).solve(b)
+        assert np.allclose(m.to_dense() @ x, b, atol=1e-10)
+
+    def test_dense_spd_via_skyline(self):
+        A = spd_matrix(8, 3)
+        m = CSRMatrix.from_dense(A)
+        x = SkylineLDL(SkylineMatrix.from_csr(m)).solve(np.ones(8))
+        assert np.allclose(A @ x, np.ones(8), atol=1e-9)
+
+    def test_profile_outside_raises(self):
+        sky = SkylineMatrix(3, [1, 1, 1])  # diagonal-only profile
+        with pytest.raises(IndexError):
+            sky.set(2, 0, 1.0)
+
+
+class TestIterative:
+    def test_cg_on_laplacian(self):
+        m = laplacian_csr(50)
+        b = np.ones(50)
+        res = conjugate_gradient(m, b, JacobiPreconditioner(m), rtol=1e-10)
+        assert res.converged
+        assert np.allclose(m.matvec(res.x), b, atol=1e-7)
+
+    def test_cg_zero_rhs(self):
+        m = laplacian_csr(10)
+        res = conjugate_gradient(m, np.zeros(10))
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_cg_detects_indefinite(self):
+        A = np.diag([1.0, -1.0, 2.0])
+        m = CSRMatrix.from_dense(A)
+        res = conjugate_gradient(m, np.array([1.0, 1.0, 1.0]), max_iter=10)
+        assert not res.converged
+
+    def test_fgmres_on_nonsymmetric(self):
+        rng = np.random.default_rng(4)
+        A = np.eye(30) * 4.0 + rng.random((30, 30)) * 0.3
+        m = CSRMatrix.from_dense(A)
+        b = rng.random(30)
+        res = fgmres(m, b, ILU0Preconditioner(m), rtol=1e-10)
+        assert res.converged
+        assert np.allclose(A @ res.x, b, atol=1e-6)
+
+    def test_fgmres_restart_path(self):
+        m = laplacian_csr(40)
+        b = np.ones(40)
+        res = fgmres(m, b, None, rtol=1e-10, restart=20)
+        assert res.converged
+        assert np.allclose(m.matvec(res.x), b, atol=1e-6)
+
+    def test_history_monotone_enough(self):
+        m = laplacian_csr(30)
+        res = conjugate_gradient(m, np.ones(30),
+                                 JacobiPreconditioner(m), rtol=1e-12)
+        assert res.history[-1] < res.history[0]
+
+
+class TestPreconditioners:
+    def test_jacobi_scales_by_diagonal(self):
+        m = CSRMatrix.from_dense(np.diag([2.0, 4.0]))
+        p = JacobiPreconditioner(m)
+        assert np.allclose(p.apply(np.array([2.0, 4.0])), [1.0, 1.0])
+
+    def test_ilu0_exact_on_triangular_pattern(self):
+        # For a dense matrix ILU(0) == full LU: solve exactly.
+        A = spd_matrix(8, 5)
+        m = CSRMatrix.from_dense(A)
+        p = ILU0Preconditioner(m)
+        b = np.ones(8)
+        assert np.allclose(A @ p.apply(b), b, atol=1e-8)
+
+    def test_ilu0_requires_diagonal(self):
+        m = CSRMatrix.from_coo(2, [0, 1], [1, 0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            ILU0Preconditioner(m)
+
+
+class TestRouting:
+    def test_auto_small_uses_direct(self):
+        m = laplacian_csr(10)
+        x, info = solve_linear(m, np.ones(10))
+        assert info.method == "direct"
+        assert np.allclose(m.matvec(x), np.ones(10), atol=1e-9)
+
+    def test_explicit_methods_agree(self):
+        m = laplacian_csr(12)
+        b = np.linspace(0, 1, 12)
+        answers = {}
+        for method in ("direct", "skyline", "cg", "fgmres"):
+            x, info = solve_linear(m, b, method=method, rtol=1e-12)
+            answers[method] = x
+            assert info.method in (method, "direct")
+        for method, x in answers.items():
+            assert np.allclose(x, answers["direct"], atol=1e-6), method
+
+    def test_symmetry_probe(self):
+        assert is_numerically_symmetric(laplacian_csr(20))
+        asym = CSRMatrix.from_dense(
+            np.array([[1.0, 2.0], [3.0, 1.0]])
+        )
+        assert not is_numerically_symmetric(asym)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            solve_linear(laplacian_csr(4), np.ones(4), method="magic")
+
+    def test_rhs_shape_check(self):
+        with pytest.raises(ValueError):
+            solve_linear(laplacian_csr(4), np.ones(5))

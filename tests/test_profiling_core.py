@@ -1,0 +1,178 @@
+"""Tests for the profiling layer and the characterization core."""
+
+import numpy as np
+import pytest
+
+from repro.core import default_runner, table1_rows, table2_rows
+from repro.core.characterize import characterize
+from repro.core.runner import Runner
+from repro.core import sweeps
+from repro.io import render_bars, render_stacked, render_table, save_json, load_json
+from repro.profiling import (
+    analyze,
+    hotspot_report,
+    measure_workload,
+    metric_set,
+    percent_diff,
+    prevalence_symbol,
+    speedup,
+)
+from repro.trace import TraceBuilder
+from repro.trace import kernels as tk
+from repro.uarch import gem5_baseline, simulate
+from repro.workloads import get
+
+
+def small_stats():
+    tb = TraceBuilder()
+    tb.set_function("blas_axpy")
+    r = tb.region("v", 512)
+    for i in range(400):
+        lx = tb.load(0, r, i)
+        s = tb.fp_add(1, dep1=tb.dep_to(lx))
+        tb.store(2, r, i, dep1=tb.dep_to(s))
+        tb.branch(3, taken=(i % 4 != 3))
+    return simulate(tb.build(), gem5_baseline())
+
+
+class TestTopDown:
+    def test_level1_sums_to_one(self):
+        td = analyze(small_stats(), "t")
+        assert np.isclose(sum(td.level1.values()), 1.0, atol=1e-9)
+
+    def test_row_fields(self):
+        row = analyze(small_stats(), "t").row()
+        assert set(row) == {"workload", "retiring_pct", "frontend_pct",
+                            "bad_spec_pct", "backend_pct"}
+
+    def test_stall_row_consistent_with_level1(self):
+        td = analyze(small_stats(), "t")
+        be = td.be_split["memory"] + td.be_split["core"]
+        assert np.isclose(be, td.backend_bound, atol=1e-9)
+
+
+class TestHotspots:
+    def test_symbols(self):
+        assert prevalence_symbol(0.9) == "R"
+        assert prevalence_symbol(0.6) == "O"
+        assert prevalence_symbol(0.3) == "Y"
+        assert prevalence_symbol(0.1) == "G"
+
+    def test_report_identifies_hot_function(self):
+        stats = small_stats()
+        report = hotspot_report(stats, "t")
+        names = [n for n, _, _ in report.top_functions(3)]
+        assert "blas_axpy" in names
+
+    def test_category_symbols_cover_all(self):
+        report = hotspot_report(small_stats(), "t")
+        symbols = report.category_symbols()
+        assert set(symbols) == {"internal", "sparsity", "matrix", "febio",
+                                "mkl_blas", "pardiso"}
+        assert symbols["mkl_blas"] in "ROYG"
+
+
+class TestMetrics:
+    def test_metric_set_fields(self):
+        m = metric_set(small_stats(), "t")
+        assert m.ipc > 0
+        assert m.seconds > 0
+        d = m.as_dict()
+        assert "l1d_mpki" in d
+
+    def test_percent_diff(self):
+        assert percent_diff(110.0, 100.0) == pytest.approx(10.0)
+        assert percent_diff(90.0, 100.0) == pytest.approx(-10.0)
+        assert percent_diff(5.0, 0.0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+
+class TestTimeline:
+    def test_measure_workload(self):
+        point = measure_workload(get("te01"), "tiny")
+        assert point.seconds > 0
+        assert point.size_kb > 0
+        assert point.category == "TE"
+        assert not point.case_study
+
+
+class TestRunner:
+    def test_trace_memoized(self, tmp_path):
+        r = Runner(cache_dir=str(tmp_path))
+        t1, _ = r.trace_for("te01", "tiny", 5000)
+        t2, _ = r.trace_for("te01", "tiny", 5000)
+        assert t1 is t2
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        r = Runner(cache_dir=str(tmp_path))
+        cfg = gem5_baseline()
+        s1 = r.stats_for("te01", cfg, scale="tiny", budget=5000)
+        s2 = r.stats_for("te01", cfg, scale="tiny", budget=5000)
+        assert s1.cycles == s2.cycles
+        assert list(tmp_path.glob("*.json"))
+
+    def test_clear_cache(self, tmp_path):
+        r = Runner(cache_dir=str(tmp_path))
+        r.stats_for("te01", gem5_baseline(), scale="tiny", budget=5000)
+        r.clear_disk_cache()
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestSweepsAndTables:
+    def test_width_sweep_shape(self, tmp_path):
+        r = Runner(cache_dir=str(tmp_path))
+        data = sweeps.width_sweep(workloads=("te01",), widths=(2, 6),
+                                  scale="tiny", budget=8000, runner=r)
+        assert set(data["te01"]) == {2, 6}
+        # Narrower pipeline must not be faster.
+        assert data["te01"][2].seconds >= data["te01"][6].seconds * 0.99
+
+    def test_bp_sweep_runs_all_predictors(self, tmp_path):
+        r = Runner(cache_dir=str(tmp_path))
+        data = sweeps.branch_predictor_sweep(
+            workloads=("te01",), scale="tiny", budget=8000, runner=r)
+        assert set(data["te01"]) == {"local", "tournament", "ltage",
+                                     "perceptron"}
+
+    def test_characterize_bundle(self, tmp_path):
+        r = Runner(cache_dir=str(tmp_path))
+        c = characterize("ma26", gem5_baseline(), scale="tiny",
+                         budget=8000, runner=r)
+        assert c.topdown.backend_bound > 0.3
+        summary = c.summary()
+        assert "ipc" in summary
+
+    def test_table2_matches_paper_rows(self):
+        rows = dict(table2_rows())
+        assert rows["Load Queue / Store Queue entries"] == "72 / 56"
+        assert "3 GHz" in rows["Core clock frequency"]
+
+    def test_table1_has_all_categories(self):
+        rows = table1_rows(scales=("tiny",))
+        labels = {r["category"] for r in rows}
+        assert "Eye" in labels
+        assert len(labels) == 20
+        for r in rows:
+            assert r["measured_lo_kb"] <= r["measured_hi_kb"]
+
+
+class TestIO:
+    def test_render_table(self):
+        text = render_table([{"a": 1, "b": 2.5}], title="T")
+        assert "T" in text and "2.50" in text
+
+    def test_render_bars_handles_negative(self):
+        text = render_bars([("x", -5.0), ("y", 10.0)])
+        assert "-" in text
+
+    def test_render_stacked(self):
+        rows = [{"w": "a", "p": 0.5, "q": 0.5}]
+        text = render_stacked(rows, "w", ["p", "q"])
+        assert "legend" in text
+
+    def test_json_roundtrip(self, tmp_path):
+        path = str(tmp_path / "x.json")
+        save_json(path, {"a": [1, 2]})
+        assert load_json(path) == {"a": [1, 2]}

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fem.loadcurve import LoadCurve
+from repro.fem.materials import LinearElastic, NeoHookean
+from repro.fem.solver import DenseLU
+from repro.sparse import CSRMatrix, reverse_cuthill_mckee
+from repro.trace import TraceBuilder
+from repro.uarch import Cache, CacheConfig, make_predictor
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def coo_triplets(draw, max_n=12, max_nnz=40):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    k = draw(st.integers(min_value=0, max_value=max_nnz))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    vals = draw(st.lists(
+        st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+        min_size=k, max_size=k))
+    return n, rows, cols, vals
+
+
+@st.composite
+def spd_dense(draw, max_n=8):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    A = rng.random((n, n)) * 0.3
+    return 0.5 * (A + A.T) + np.eye(n) * n
+
+
+# ---------------------------------------------------------------------------
+# Sparse algebra properties
+# ---------------------------------------------------------------------------
+
+
+class TestCSRProperties:
+    @given(coo_triplets())
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_matches_dense(self, triplets):
+        n, rows, cols, vals = triplets
+        m = CSRMatrix.from_coo(n, rows, cols, vals)
+        x = np.linspace(-1, 1, n)
+        assert np.allclose(m.matvec(x), m.to_dense() @ x, atol=1e-9)
+
+    @given(coo_triplets())
+    @settings(max_examples=40, deadline=None)
+    def test_double_transpose_identity(self, triplets):
+        n, rows, cols, vals = triplets
+        m = CSRMatrix.from_coo(n, rows, cols, vals)
+        tt = m.transpose().transpose()
+        assert np.allclose(tt.to_dense(), m.to_dense())
+
+    @given(coo_triplets())
+    @settings(max_examples=40, deadline=None)
+    def test_indices_sorted_within_rows(self, triplets):
+        n, rows, cols, vals = triplets
+        m = CSRMatrix.from_coo(n, rows, cols, vals)
+        for i in range(n):
+            c, _ = m.row(i)
+            assert np.all(np.diff(c) > 0)
+
+    @given(coo_triplets())
+    @settings(max_examples=30, deadline=None)
+    def test_rcm_always_a_permutation(self, triplets):
+        n, rows, cols, vals = triplets
+        # Symmetrize the pattern so RCM's precondition holds.
+        m = CSRMatrix.from_coo(
+            n, rows + cols + list(range(n)), cols + rows + list(range(n)),
+            [1.0] * (2 * len(rows)) + [1.0] * n)
+        perm = reverse_cuthill_mckee(m)
+        assert sorted(perm.tolist()) == list(range(n))
+
+
+class TestSolverProperties:
+    @given(spd_dense())
+    @settings(max_examples=30, deadline=None)
+    def test_dense_lu_solves_spd(self, A):
+        n = A.shape[0]
+        b = np.linspace(1, 2, n)
+        x = DenseLU(A).solve(b)
+        assert np.allclose(A @ x, b, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Material properties
+# ---------------------------------------------------------------------------
+
+
+class TestMaterialProperties:
+    @given(st.floats(0.1, 100.0), st.floats(-0.4, 0.45))
+    @settings(max_examples=40, deadline=None)
+    def test_linear_elastic_tangent_spd(self, E, nu):
+        mat = LinearElastic(E=E, nu=nu)
+        eigs = np.linalg.eigvalsh(mat._D)
+        assert eigs.min() > 0
+
+    @given(st.floats(-0.05, 0.05), st.floats(-0.05, 0.05),
+           st.floats(-0.05, 0.05))
+    @settings(max_examples=40, deadline=None)
+    def test_neohookean_tangent_symmetric(self, a, b, c):
+        mat = NeoHookean(E=1.0, nu=0.3)
+        F = np.eye(3) + np.diag([a, b, c])
+        _, DD, _ = mat.pk2_response(F.T @ F, {}, 0.1, 0.0)
+        assert np.allclose(DD, DD.T, atol=1e-10)
+
+    @given(st.floats(0.0, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_load_curve_clamps_and_interpolates(self, t):
+        lc = LoadCurve([0.0, 1.0], [0.0, 1.0])
+        v = lc(t)
+        assert 0.0 <= v <= 1.0
+        if t <= 1.0:
+            assert np.isclose(v, t)
+
+
+# ---------------------------------------------------------------------------
+# Microarchitecture properties
+# ---------------------------------------------------------------------------
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cfg = CacheConfig(1, 2, 1)
+        c = Cache(cfg)
+        for a in addrs:
+            c.access(a)
+        for s in c._sets:
+            assert len(s) <= cfg.assoc
+
+    @given(st.lists(st.integers(0, 2**16), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_immediate_rereference_hits(self, addrs):
+        c = Cache(CacheConfig(4, 4, 1))
+        for a in addrs:
+            c.access(a)
+            assert c.access(a)  # immediate re-reference always hits
+
+    @given(st.lists(st.integers(0, 2**16), min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_misses_never_exceed_accesses(self, addrs):
+        c = Cache(CacheConfig(1, 2, 1))
+        for a in addrs:
+            c.access(a)
+        assert 0 <= c.misses <= c.accesses
+
+
+class TestPredictorProperties:
+    @given(st.sampled_from(["local", "tournament", "ltage", "perceptron"]),
+           st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_predictors_never_crash_and_count(self, name, outcomes):
+        bp = make_predictor(name)
+        pc = 0x7000
+        for taken in outcomes:
+            pred = bp.predict(pc)
+            bp.record(pred, taken)
+            bp.update(pc, taken)
+        assert bp.lookups == len(outcomes)
+        assert 0 <= bp.mispredicts <= bp.lookups
+
+    @given(st.sampled_from(["local", "tournament", "ltage", "perceptron"]))
+    @settings(max_examples=8, deadline=None)
+    def test_biased_branch_high_accuracy(self, name):
+        bp = make_predictor(name)
+        pc = 0x8000
+        for i in range(500):
+            pred = bp.predict(pc)
+            bp.record(pred, True)
+            bp.update(pc, True)
+        assert bp.mispredict_rate < 0.05
+
+
+class TestTraceProperties:
+    @given(st.integers(1, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_dependencies_point_backward(self, n):
+        tb = TraceBuilder()
+        tb.set_function("blas_dot")
+        prev = None
+        for i in range(n):
+            dep = tb.dep_to(prev) if prev is not None else 0
+            prev = tb.fp_add(0, dep1=dep)
+        trace = tb.build()
+        idx = np.arange(len(trace))
+        assert np.all(trace.dep1 <= idx)
+        assert np.all(trace.dep1 >= 0)

@@ -1,0 +1,144 @@
+"""Unit tests for the CSR matrix."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOBuilder, CSRMatrix
+
+
+def dense_example():
+    return np.array(
+        [
+            [4.0, 1.0, 0.0, 0.0],
+            [1.0, 5.0, 2.0, 0.0],
+            [0.0, 2.0, 6.0, 3.0],
+            [0.0, 0.0, 3.0, 7.0],
+        ]
+    )
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        d = dense_example()
+        m = CSRMatrix.from_dense(d)
+        assert m.n == 4
+        assert m.nnz == 10
+        assert np.allclose(m.to_dense(), d)
+
+    def test_from_coo_sums_duplicates(self):
+        m = CSRMatrix.from_coo(2, [0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0])
+        assert m.get(0, 0) == 3.0
+        assert m.get(1, 1) == 5.0
+        assert m.nnz == 2
+
+    def test_from_coo_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo(2, [0, 2], [0, 0], [1.0, 1.0])
+
+    def test_identity(self):
+        m = CSRMatrix.identity(5)
+        assert np.allclose(m.to_dense(), np.eye(5))
+
+    def test_empty_matrix(self):
+        m = CSRMatrix.from_coo(3, [], [], [])
+        assert m.nnz == 0
+        assert np.allclose(m.matvec(np.ones(3)), 0.0)
+
+    def test_indices_sorted_within_rows(self):
+        m = CSRMatrix.from_coo(3, [0, 0, 0], [2, 0, 1], [1.0, 2.0, 3.0])
+        cols, _ = m.row(0)
+        assert list(cols) == [0, 1, 2]
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(2, [0, 1], [0], [1.0])
+
+
+class TestKernels:
+    def test_matvec_matches_dense(self):
+        d = dense_example()
+        m = CSRMatrix.from_dense(d)
+        x = np.array([1.0, -2.0, 0.5, 3.0])
+        assert np.allclose(m.matvec(x), d @ x)
+
+    def test_matvec_with_empty_rows(self):
+        m = CSRMatrix.from_coo(4, [0, 3], [1, 2], [2.0, 5.0])
+        y = m.matvec(np.array([1.0, 1.0, 1.0, 1.0]))
+        assert np.allclose(y, [2.0, 0.0, 0.0, 5.0])
+
+    def test_matvec_rejects_wrong_shape(self):
+        m = CSRMatrix.identity(3)
+        with pytest.raises(ValueError):
+            m.matvec(np.ones(4))
+
+    def test_transpose(self):
+        d = np.triu(dense_example())
+        m = CSRMatrix.from_dense(d)
+        assert np.allclose(m.transpose().to_dense(), d.T)
+
+    def test_diagonal(self):
+        m = CSRMatrix.from_dense(dense_example())
+        assert np.allclose(m.diagonal(), [4.0, 5.0, 6.0, 7.0])
+
+    def test_get_absent_entry_is_zero(self):
+        m = CSRMatrix.from_dense(dense_example())
+        assert m.get(0, 3) == 0.0
+
+    def test_scale_rows(self):
+        d = dense_example()
+        m = CSRMatrix.from_dense(d).scale_rows(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert np.allclose(m.to_dense(), np.diag([1, 2, 3, 4]) @ d)
+
+    def test_add_scaled_identity(self):
+        d = dense_example()
+        m = CSRMatrix.from_dense(d).add_scaled_identity(2.5)
+        assert np.allclose(m.to_dense(), d + 2.5 * np.eye(4))
+
+    def test_permuted_congruence(self):
+        d = dense_example()
+        m = CSRMatrix.from_dense(d)
+        perm = np.array([2, 0, 3, 1])
+        p = m.permuted(perm)
+        # A'[i, j] = A[perm[i], perm[j]] (perm maps new -> old).
+        expected = d[np.ix_(perm, perm)]
+        assert np.allclose(p.to_dense(), expected)
+
+    def test_structural_symmetry(self):
+        assert CSRMatrix.from_dense(dense_example()).is_structurally_symmetric()
+        asym = CSRMatrix.from_coo(2, [0], [1], [1.0])
+        assert not asym.is_structurally_symmetric()
+
+    def test_row_nnz(self):
+        m = CSRMatrix.from_dense(dense_example())
+        assert list(m.row_nnz()) == [2, 3, 3, 2]
+
+
+class TestCOOBuilder:
+    def test_add_block(self):
+        b = COOBuilder(3)
+        b.add_block([0, 1], [0, 1], np.array([[1.0, 2.0], [3.0, 4.0]]))
+        m = b.to_csr()
+        assert m.get(0, 0) == 1.0
+        assert m.get(1, 0) == 3.0
+
+    def test_add_block_drops_negative_indices(self):
+        b = COOBuilder(3)
+        b.add_block([0, -1], [0, 1], np.array([[1.0, 2.0], [3.0, 4.0]]))
+        m = b.to_csr()
+        assert m.nnz == 2  # row -1 dropped entirely
+        assert m.get(0, 1) == 2.0
+
+    def test_block_shape_mismatch(self):
+        b = COOBuilder(3)
+        with pytest.raises(ValueError):
+            b.add_block([0, 1], [0], np.zeros((2, 2)))
+
+    def test_accumulation_across_blocks(self):
+        b = COOBuilder(2)
+        for _ in range(3):
+            b.add_block([0], [0], np.array([[1.0]]))
+        assert b.to_csr().get(0, 0) == 3.0
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            COOBuilder(-1)

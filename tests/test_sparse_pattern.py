@@ -1,0 +1,98 @@
+"""Tests for sparsity-pattern analytics and reordering."""
+
+import numpy as np
+
+from repro.sparse import (
+    CSRMatrix,
+    bandwidth,
+    fill_in_estimate,
+    natural_order,
+    profile,
+    reuse_distance_histogram,
+    reverse_cuthill_mckee,
+    row_irregularity,
+    summarize_pattern,
+)
+
+
+def tridiag(n):
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        for j in (i - 1, i, i + 1):
+            if 0 <= j < n:
+                rows.append(i)
+                cols.append(j)
+                vals.append(1.0)
+    return CSRMatrix.from_coo(n, rows, cols, vals)
+
+
+class TestMetrics:
+    def test_bandwidth_tridiagonal(self):
+        assert bandwidth(tridiag(6)) == 1
+
+    def test_bandwidth_empty(self):
+        assert bandwidth(CSRMatrix.from_coo(4, [], [], [])) == 0
+
+    def test_profile_tridiagonal(self):
+        # Each row past the first reaches one column below the diagonal.
+        assert profile(tridiag(5)) == 4
+
+    def test_row_irregularity_uniform(self):
+        m = CSRMatrix.identity(8)
+        assert row_irregularity(m) == 0.0
+
+    def test_row_irregularity_varied(self):
+        m = CSRMatrix.from_coo(
+            3, [0, 0, 0, 1], [0, 1, 2, 1], [1.0] * 4
+        )
+        assert row_irregularity(m) > 0.5
+
+    def test_fill_estimate_bounds_profile(self):
+        m = tridiag(7)
+        assert fill_in_estimate(m) == profile(m) + 7
+
+    def test_reuse_histogram_shapes(self):
+        edges, counts = reuse_distance_histogram(tridiag(10))
+        assert counts.sum() > 0
+        assert edges.size == counts.size + 1
+
+    def test_summary_dict(self):
+        s = summarize_pattern(tridiag(5)).as_dict()
+        assert s["n"] == 5
+        assert s["nnz"] == 13
+        assert 0 < s["density"] <= 1
+
+
+class TestRCM:
+    def test_identity_permutation_on_diagonal(self):
+        perm = reverse_cuthill_mckee(CSRMatrix.identity(5))
+        assert sorted(perm.tolist()) == list(range(5))
+
+    def test_rcm_is_permutation(self):
+        rng = np.random.default_rng(3)
+        d = (rng.random((12, 12)) < 0.2).astype(float)
+        d = d + d.T + np.eye(12)
+        m = CSRMatrix.from_dense(d)
+        perm = reverse_cuthill_mckee(m)
+        assert sorted(perm.tolist()) == list(range(12))
+
+    def test_rcm_reduces_bandwidth_of_shuffled_band(self):
+        n = 24
+        base = tridiag(n)
+        rng = np.random.default_rng(5)
+        shuffle = rng.permutation(n)
+        shuffled = base.permuted(shuffle)
+        perm = reverse_cuthill_mckee(shuffled)
+        restored = shuffled.permuted(np.argsort(np.argsort(perm)))
+        # RCM on a shuffled banded matrix should get close to banded again.
+        assert bandwidth(shuffled.permuted(perm)) <= bandwidth(shuffled)
+
+    def test_natural_order(self):
+        assert list(natural_order(4)) == [0, 1, 2, 3]
+
+    def test_rcm_handles_disconnected_components(self):
+        m = CSRMatrix.from_coo(
+            4, [0, 1, 2, 3], [1, 0, 3, 2], [1.0] * 4
+        )
+        perm = reverse_cuthill_mckee(m)
+        assert sorted(perm.tolist()) == [0, 1, 2, 3]

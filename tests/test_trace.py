@@ -1,0 +1,225 @@
+"""Tests for trace encoding, building, and kernel tracers."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix
+from repro.trace import (
+    BRANCH,
+    FP_ADD,
+    INT_ALU,
+    LOAD,
+    PAUSE,
+    STORE,
+    Trace,
+    TraceBuilder,
+    TraceRequest,
+    func_id,
+    workload_trace,
+)
+from repro.trace import kernels as tk
+from repro.trace.functions import CATEGORIES, FUNCTIONS, by_category, info
+from repro.workloads import get
+
+
+def laplacian(n):
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        rows.append(i); cols.append(i); vals.append(2.0)
+        if i > 0:
+            rows.append(i); cols.append(i - 1); vals.append(-1.0)
+        if i < n - 1:
+            rows.append(i); cols.append(i + 1); vals.append(-1.0)
+    return CSRMatrix.from_coo(n, rows, cols, vals)
+
+
+class TestFunctionTable:
+    def test_categories_cover_fig4(self):
+        assert set(CATEGORIES) == {
+            "internal", "sparsity", "matrix", "febio", "mkl_blas",
+            "pardiso",
+        }
+
+    def test_every_function_has_valid_category(self):
+        for f in FUNCTIONS.values():
+            assert f.category in CATEGORIES
+
+    def test_lookup(self):
+        fid = func_id("blas_spmv")
+        assert info(fid).name == "blas_spmv"
+        assert by_category("pardiso")
+
+    def test_unknown_function(self):
+        with pytest.raises(KeyError):
+            func_id("nonexistent")
+
+
+class TestTraceBuilder:
+    def test_region_allocation_disjoint(self):
+        tb = TraceBuilder()
+        a = tb.region("a", 100)
+        b = tb.region("b", 100)
+        assert a.base + a.nbytes <= b.base
+
+    def test_region_memoized(self):
+        tb = TraceBuilder()
+        assert tb.region("x", 10) is tb.region("x", 10)
+
+    def test_emitted_ops_roundtrip(self):
+        tb = TraceBuilder()
+        tb.set_function("blas_dot")
+        r = tb.region("v", 8)
+        i0 = tb.load(0, r, 3)
+        i1 = tb.fp_add(1, dep1=tb.dep_to(i0))
+        tb.branch(2, taken=True, dep1=tb.dep_to(i1))
+        trace = tb.build()
+        assert len(trace) == 3
+        assert trace.kind[0] == LOAD
+        assert trace.kind[1] == FP_ADD
+        assert trace.kind[2] == BRANCH
+        assert trace.dep1[1] == 1  # depends on the load just before
+        assert trace.taken[2] == 1
+
+    def test_dep_to_distances(self):
+        tb = TraceBuilder()
+        tb.set_function("blas_dot")
+        i0 = tb.int_op(0)
+        tb.int_op(1)
+        assert tb.dep_to(i0) == 2
+
+    def test_replicas_expand_code_footprint(self):
+        def build(replicas):
+            tb = TraceBuilder(replicas=replicas)
+            tb.set_function("stiffness_assembly")
+            for e in range(64):
+                tb.set_replica(e)
+                for k in range(20):
+                    tb.int_op(k)
+            return tb.build().code_footprint_bytes()
+
+        assert build(8) > build(1)
+
+    def test_branch_pcs_stable_across_replica_iterations(self):
+        tb = TraceBuilder(replicas=1)
+        tb.set_function("blas_spmv")
+        pcs = []
+        for it in range(3):
+            tb.set_replica(0)
+            tb.int_op(0)
+            idx = tb.branch(7, taken=True)
+            pcs.append(tb.build if False else None)
+        trace = tb.build()
+        branch_pcs = trace.pc[trace.kind == BRANCH]
+        assert len(set(branch_pcs.tolist())) == 1
+
+    def test_trace_slice_clamps_deps(self):
+        tb = TraceBuilder()
+        tb.set_function("blas_dot")
+        a = tb.int_op(0)
+        b = tb.fp_add(1, dep1=tb.dep_to(a))
+        trace = tb.build()
+        sub = trace.slice(1, 2)
+        assert sub.dep1[0] == 0  # dependency crossed the cut
+
+    def test_concat(self):
+        tb1 = TraceBuilder(); tb1.set_function("blas_dot"); tb1.int_op(0)
+        tb2 = TraceBuilder(); tb2.set_function("blas_dot"); tb2.fp_add(0)
+        joined = tb1.build().concat(tb2.build())
+        assert len(joined) == 2
+
+
+class TestKernelTracers:
+    def test_spmv_walks_every_nonzero(self):
+        m = laplacian(10)
+        tb = TraceBuilder()
+        tk.trace_spmv(tb, m)
+        trace = tb.build()
+        # One fp_mul per nonzero.
+        from repro.trace import FP_MUL
+        assert int((trace.kind == FP_MUL).sum()) == m.nnz
+
+    def test_spmv_row_stride_samples(self):
+        m = laplacian(20)
+        tb = TraceBuilder()
+        tk.trace_spmv(tb, m, row_stride=4)
+        trace = tb.build()
+        full = TraceBuilder()
+        tk.trace_spmv(full, m)
+        assert len(trace) < len(full.build())
+
+    def test_max_ops_respected(self):
+        m = laplacian(50)
+        tb = TraceBuilder()
+        tk.trace_spmv(tb, m, max_ops=60)
+        assert len(tb) < 120  # budget + at most one row overshoot
+
+    def test_spin_wait_emits_pauses(self):
+        tb = TraceBuilder()
+        tk.trace_spin_wait(tb, 10)
+        trace = tb.build()
+        assert int((trace.kind == PAUSE).sum()) == 10
+
+    def test_assembly_uses_real_connectivity(self):
+        conn = np.array([[0, 1, 2, 3, 4, 5, 6, 7]])
+        tb = TraceBuilder()
+        tk.trace_element_assembly(tb, conn, node_count=8)
+        trace = tb.build()
+        loads = trace.addr[trace.kind == LOAD]
+        assert loads.size > 8  # conn + coordinate gathers
+
+    def test_contact_branch_outcomes_follow_mask(self):
+        tb = TraceBuilder()
+        mask = np.array([True, False, True, False])
+        tk.trace_contact_search(tb, np.arange(4), np.arange(16), mask)
+        trace = tb.build()
+        gap_branches = trace.taken[trace.kind == BRANCH]
+        assert gap_branches.sum() == 2
+
+    def test_factorization_and_trisolve_emit(self):
+        m = laplacian(16)
+        tb = TraceBuilder()
+        tk.trace_factorization(tb, m)
+        tk.trace_trisolve(tb, m)
+        trace = tb.build()
+        assert int((trace.kind == STORE).sum()) > 0
+        assert len(trace) > 50
+
+
+class TestWorkloadTrace:
+    def test_trace_budget_roughly_met(self):
+        spec = get("ma26")
+        trace, record = workload_trace(
+            spec, TraceRequest(budget=20_000, scale="tiny"))
+        assert 10_000 <= len(trace) <= 60_000
+        assert record.converged
+
+    def test_spin_weight_appears_as_pause_share(self):
+        spec = get("ma28")  # highest spin weight in the suite
+        trace, _ = workload_trace(
+            spec, TraceRequest(budget=20_000, scale="tiny"))
+        pause_share = (trace.kind == PAUSE).sum() / len(trace)
+        assert pause_share > 0.08
+
+    def test_contact_workload_traces_contact(self):
+        spec = get("co")
+        trace, _ = workload_trace(
+            spec, TraceRequest(budget=20_000, scale="tiny"))
+        contact_fid = func_id("contact_search")
+        assert int((trace.func == contact_fid).sum()) > 0
+
+    def test_rigid_workload_traces_kinematics(self):
+        spec = get("rj")
+        trace, _ = workload_trace(
+            spec, TraceRequest(budget=20_000, scale="tiny"))
+        fid = func_id("rigid_kinematics")
+        assert int((trace.func == fid).sum()) > 0
+
+    def test_deterministic(self):
+        spec = get("te01")
+        t1, _ = workload_trace(spec, TraceRequest(budget=10_000,
+                                                  scale="tiny"))
+        t2, _ = workload_trace(spec, TraceRequest(budget=10_000,
+                                                  scale="tiny"))
+        assert np.array_equal(t1.kind, t2.kind)
+        assert np.array_equal(t1.addr, t2.addr)
+        assert np.array_equal(t1.pc, t2.pc)

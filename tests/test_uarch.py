@@ -1,0 +1,316 @@
+"""Tests for the CPU simulator: caches, TLB, predictors, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.trace import TraceBuilder
+from repro.trace import kernels as tk
+from repro.uarch import (
+    LTAGE,
+    Cache,
+    CacheConfig,
+    CoreConfig,
+    LocalBP,
+    MemoryHierarchy,
+    PerceptronBP,
+    TLB,
+    TournamentBP,
+    gem5_baseline,
+    host_i9,
+    make_predictor,
+    simulate,
+)
+from repro.uarch.stats import SimStats
+
+
+class TestCache:
+    def test_hit_after_fill(self):
+        c = Cache(CacheConfig(1, 2, 1))
+        assert not c.access(0x1000)
+        assert c.access(0x1000)
+
+    def test_same_line_aliases(self):
+        c = Cache(CacheConfig(1, 2, 1))
+        c.access(0x1000)
+        assert c.access(0x103F)  # same 64B line
+
+    def test_lru_eviction(self):
+        cfg = CacheConfig(1, 2, 1)  # 8 sets, 2-way
+        c = Cache(cfg)
+        s = cfg.sets * 64
+        c.access(0x0)
+        c.access(0x0 + s)      # same set, second way
+        c.access(0x0 + 2 * s)  # evicts 0x0
+        assert not c.access(0x0)
+
+    def test_lru_refresh_on_hit(self):
+        cfg = CacheConfig(1, 2, 1)
+        c = Cache(cfg)
+        s = cfg.sets * 64
+        c.access(0x0)
+        c.access(s)
+        c.access(0x0)          # refresh
+        c.access(2 * s)        # evicts s, not 0x0
+        assert c.contains(0x0)
+        assert not c.contains(s)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(3, 7, 1)
+
+    def test_interference_evicts(self):
+        cfg = CacheConfig(1, 2, 1)
+        quiet = Cache(cfg)
+        noisy = Cache(cfg, interference_period=1)
+        for addr in (0x0, 0x0):
+            quiet.access(addr)
+            noisy.access(addr)
+        # Foreign line installed after each access pressures the set.
+        assert noisy.misses >= quiet.misses
+
+    def test_miss_rate(self):
+        c = Cache(CacheConfig(1, 2, 1))
+        c.access(0x0)
+        c.access(0x0)
+        assert c.miss_rate == 0.5
+
+
+class TestTLB:
+    def test_hit_miss_and_penalty(self):
+        t = TLB(entries=2, miss_penalty=10)
+        assert t.access(0x1000) == 10
+        assert t.access(0x1fff) == 0  # same page
+        t.access(0x2000)
+        t.access(0x3000)  # evicts 0x1000's page
+        assert t.access(0x1000) == 10
+
+    def test_stats(self):
+        t = TLB(entries=4, miss_penalty=5)
+        t.access(0x0)
+        t.access(0x0)
+        assert t.accesses == 2
+        assert t.misses == 1
+
+
+class TestBranchPredictors:
+    @pytest.mark.parametrize("name", ["local", "tournament", "ltage",
+                                      "perceptron"])
+    def test_learns_always_taken(self, name):
+        bp = make_predictor(name)
+        pc = 0x4000
+        for _ in range(64):
+            bp.predict(pc)
+            bp.update(pc, True)
+        assert bp.predict(pc) is True
+
+    @pytest.mark.parametrize("name", ["local", "tournament", "ltage",
+                                      "perceptron"])
+    def test_learns_always_not_taken(self, name):
+        bp = make_predictor(name)
+        pc = 0x4040
+        for _ in range(64):
+            bp.predict(pc)
+            bp.update(pc, False)
+        assert bp.predict(pc) is False
+
+    def test_history_predictors_learn_alternation(self):
+        """LTAGE and perceptron should learn T/N alternation; a plain
+        bimodal-style local predictor cannot."""
+        pattern = [True, False] * 200
+        scores = {}
+        for name in ("ltage", "perceptron", "local"):
+            bp = make_predictor(name)
+            pc = 0x5000
+            correct = 0
+            for taken in pattern:
+                if bp.predict(pc) == taken:
+                    correct += 1
+                bp.record(bp.predict(pc), taken)
+                bp.update(pc, taken)
+            scores[name] = correct / len(pattern)
+        assert scores["ltage"] > scores["local"]
+        assert scores["perceptron"] > scores["local"]
+
+    def test_mispredict_rate_tracked(self):
+        bp = LocalBP()
+        bp.record(True, False)
+        bp.record(True, True)
+        assert bp.mispredict_rate == 0.5
+
+    def test_unknown_predictor(self):
+        with pytest.raises(KeyError):
+            make_predictor("oracle")
+
+    def test_classes_exported(self):
+        assert isinstance(make_predictor("tournament"), TournamentBP)
+        assert isinstance(make_predictor("ltage"), LTAGE)
+        assert isinstance(make_predictor("perceptron"), PerceptronBP)
+
+
+class TestConfig:
+    def test_gem5_baseline_matches_table2(self):
+        cfg = gem5_baseline()
+        assert cfg.freq_ghz == 3.0
+        assert (cfg.fetch_width, cfg.dispatch_width, cfg.issue_width,
+                cfg.commit_width) == (4, 6, 6, 4)
+        assert cfg.rob_entries == 224
+        assert cfg.iq_entries == 128
+        assert (cfg.lq_entries, cfg.sq_entries) == (72, 56)
+        assert cfg.l1i.size_kb == 32
+        assert cfg.l2.size_kb == 1024
+        assert cfg.branch_predictor == "tournament"
+
+    def test_with_changes_is_nondestructive(self):
+        base = gem5_baseline()
+        fast = base.with_changes(freq_ghz=4.0)
+        assert base.freq_ghz == 3.0
+        assert fast.freq_ghz == 4.0
+
+    def test_digest_distinguishes_configs(self):
+        a = gem5_baseline().digest()
+        b = gem5_baseline(freq_ghz=2.0).digest()
+        assert a != b
+
+    def test_dram_latency_scales_with_frequency(self):
+        slow = gem5_baseline(freq_ghz=1.0)
+        fast = gem5_baseline(freq_ghz=4.0)
+        assert fast.dram_latency_cycles == 4 * slow.dram_latency_cycles
+
+    def test_table_rows(self):
+        rows = dict(gem5_baseline().table())
+        assert rows["Reorder Buffer (ROB) entries"] == "224"
+
+    def test_host_has_three_levels(self):
+        assert host_i9().l3 is not None
+
+
+def _simple_trace(n_ops=2000, with_branches=True):
+    tb = TraceBuilder()
+    tb.set_function("blas_axpy")
+    r = tb.region("v", n_ops)
+    for i in range(n_ops // 4):
+        lx = tb.load(0, r, i)
+        s = tb.fp_add(1, dep1=tb.dep_to(lx))
+        tb.store(2, r, i, dep1=tb.dep_to(s))
+        if with_branches:
+            tb.branch(3, taken=(i % 8 != 7))
+        else:
+            tb.int_op(3)
+    return tb.build()
+
+
+class TestPipeline:
+    def test_all_instructions_commit(self):
+        trace = _simple_trace()
+        stats = simulate(trace, gem5_baseline())
+        assert stats.instructions == len(trace)
+        assert stats.cycles > 0
+        assert 0 < stats.ipc <= gem5_baseline().dispatch_width
+
+    def test_slot_accounting_sums_to_total(self):
+        trace = _simple_trace()
+        stats = simulate(trace, gem5_baseline())
+        total = (stats.slots_retiring + stats.slots_bad_spec
+                 + stats.slots_fe_latency + stats.slots_fe_bandwidth
+                 + stats.slots_be_memory + stats.slots_be_core)
+        assert total == stats.total_slots
+
+    def test_retiring_slots_equal_instructions(self):
+        trace = _simple_trace()
+        stats = simulate(trace, gem5_baseline())
+        assert stats.slots_retiring == len(trace)
+
+    def test_wider_pipeline_not_slower(self):
+        trace = _simple_trace()
+        narrow = simulate(trace, gem5_baseline(
+            fetch_width=2, dispatch_width=2, issue_width=2, commit_width=2))
+        wide = simulate(trace, gem5_baseline())
+        assert wide.cycles <= narrow.cycles
+
+    def test_higher_frequency_not_slower_in_seconds(self):
+        trace = _simple_trace()
+        slow = simulate(trace, gem5_baseline(freq_ghz=1.0))
+        fast = simulate(trace, gem5_baseline(freq_ghz=4.0))
+        assert fast.seconds < slow.seconds
+
+    def test_pause_serializes(self):
+        tb = TraceBuilder()
+        tk.trace_spin_wait(tb, 50)
+        stats = simulate(tb.build(), gem5_baseline())
+        assert stats.pause_ops == 50
+        assert stats.serialize_stall_cycles > 0
+        split = stats.stall_split()
+        assert split["be_core"] > 0.5
+
+    def test_dependent_chain_slower_than_parallel(self):
+        def chain_trace(dependent):
+            tb = TraceBuilder()
+            tb.set_function("blas_dot")
+            prev = None
+            for i in range(3000):
+                dep = tb.dep_to(prev) if (dependent and prev is not None) \
+                    else 0
+                prev = tb.fp_add(0, dep1=dep)
+            return tb.build()
+
+        serial = simulate(chain_trace(True), gem5_baseline())
+        parallel = simulate(chain_trace(False), gem5_baseline())
+        assert serial.cycles > 1.5 * parallel.cycles
+
+    def test_branch_mispredicts_counted(self):
+        rng = np.random.default_rng(7)
+        tb = TraceBuilder()
+        tb.set_function("contact_search")
+        for i in range(4000):
+            tb.int_op(0)
+            tb.branch(1, taken=bool(rng.integers(0, 2)))
+        stats = simulate(tb.build(), gem5_baseline())
+        assert stats.branch_mispredicts > 100  # random branches mispredict
+
+    def test_warmup_removes_cold_misses(self):
+        trace = _simple_trace()
+        cold = simulate(trace, gem5_baseline(), warm=False)
+        warm = simulate(trace, gem5_baseline(), warm=True)
+        assert warm.mpki("l1d") <= cold.mpki("l1d")
+
+    def test_empty_trace(self):
+        tb = TraceBuilder()
+        stats = simulate(tb.build(), gem5_baseline())
+        assert stats.instructions == 0
+        assert stats.cycles == 0
+
+    def test_stats_roundtrip_serialization(self):
+        trace = _simple_trace(800)
+        stats = simulate(trace, gem5_baseline())
+        clone = SimStats.from_dict(stats.as_dict())
+        assert clone.cycles == stats.cycles
+        assert clone.topdown() == stats.topdown()
+        assert clone.mpki("l1d") == stats.mpki("l1d")
+
+    def test_determinism(self):
+        trace = _simple_trace()
+        a = simulate(trace, gem5_baseline())
+        b = simulate(trace, gem5_baseline())
+        assert a.cycles == b.cycles
+        assert a.as_dict() == b.as_dict()
+
+
+class TestHierarchy:
+    def test_data_miss_escalates_levels(self):
+        cfg = gem5_baseline()
+        h = MemoryHierarchy(cfg)
+        lat_miss = h.access_data(0x100000)
+        lat_hit = h.access_data(0x100000)
+        assert lat_miss >= cfg.dram_latency_cycles
+        assert lat_hit == cfg.l1d.hit_latency
+
+    def test_inst_prefetch_next_line(self):
+        h = MemoryHierarchy(gem5_baseline())
+        h.access_inst(0x400000)
+        assert h.l1i.contains(0x400040)  # next line prefetched
+
+    def test_mpki_computation(self):
+        h = MemoryHierarchy(gem5_baseline())
+        h.access_data(0x0)
+        out = h.mpki(1000)
+        assert out["l1d"] == 1.0

@@ -1,0 +1,129 @@
+"""Tests for the workload registry, builders, and .feb serialization."""
+
+import numpy as np
+import pytest
+
+from repro.fem import feb_bytes, read_feb_geometry, solve_model, write_feb
+from repro.workloads import (
+    REGISTRY,
+    TABLE1_PAPER_RANGES,
+    TraceHints,
+    build,
+    categories,
+    gem5_workloads,
+    names,
+    vtune_workloads,
+)
+
+
+class TestRegistry:
+    def test_all_categories_populated(self):
+        cats = categories()
+        for label in TABLE1_PAPER_RANGES:
+            assert cats[label], f"category {label} has no workloads"
+
+    def test_vtune_set_matches_paper(self):
+        assert [s.name for s in vtune_workloads()] == [
+            "bp07", "bp08", "bp09", "fl33", "fl34",
+            "ma26", "ma27", "ma28", "ma29", "ma30", "ma31", "eye",
+        ]
+
+    def test_gem5_set_matches_paper(self):
+        assert [s.name for s in gem5_workloads()] == [
+            "ar", "co", "dm", "ma", "rj", "tu",
+        ]
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            build("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            build("ma", scale="huge")
+
+    def test_hints_validation(self):
+        with pytest.raises(ValueError):
+            TraceHints(code_footprint="giant")
+        with pytest.raises(ValueError):
+            TraceHints(spin_wait_weight=1.5)
+        with pytest.raises(ValueError):
+            TraceHints(branch_profile="chaotic")
+
+    def test_every_workload_builds_tiny(self):
+        for name in names():
+            model = build(name, "tiny")
+            assert model.neq > 0, name
+
+    def test_bp_group_varies_anisotropy_only(self):
+        models = {n: build(n, "tiny") for n in ("bp07", "bp08", "bp09")}
+        sizes = {n: m.mesh.nelem for n, m in models.items()}
+        assert len(set(sizes.values())) == 1  # identical meshes
+        ratios = [
+            m.materials["tissue"].anisotropy_ratio for m in models.values()
+        ]
+        assert len(set(round(r, 3) for r in ratios)) == 3
+
+    def test_ma_group_identical_mesh(self):
+        meshes = {build(n, "tiny").mesh.nelem
+                  for n in ("ma26", "ma28", "ma31")}
+        assert len(meshes) == 1
+
+    def test_eye_is_largest_input(self):
+        eye_size = feb_bytes(build("eye", "tiny"))
+        others = [feb_bytes(build(n, "tiny"))
+                  for n in ("ma26", "bp07", "te01")]
+        assert eye_size > max(others)
+
+    def test_fl33_steady_fl34_transient(self):
+        m33 = build("fl33", "tiny")
+        m34 = build("fl34", "tiny")
+        assert m33.materials["fluid"].steady
+        assert not m34.materials["fluid"].steady
+        assert m34.materials["fluid"].convective
+
+
+class TestWorkloadSolves:
+    @pytest.mark.parametrize("name", ["bp07", "fl34", "ma28", "tu", "rj"])
+    def test_representative_solves(self, name):
+        model = build(name, "tiny")
+        _, record = solve_model(model)
+        assert record.converged
+        assert record.matrix is not None
+        assert record.nnz > 0
+
+    def test_eye_tiny_solves(self):
+        _, record = solve_model(build("eye", "tiny"))
+        assert record.converged
+
+
+class TestFebFile:
+    def test_roundtrip_geometry(self):
+        model = build("ma26", "tiny")
+        text = write_feb(model)
+        mesh = read_feb_geometry(text)
+        assert mesh.nnodes == model.mesh.nnodes
+        assert mesh.nelem == model.mesh.nelem
+        assert np.allclose(mesh.nodes, model.mesh.nodes)
+
+    def test_size_grows_with_scale(self):
+        small = feb_bytes(build("te01", "tiny"))
+        big = feb_bytes(build("te01", "default"))
+        assert big > small
+
+    def test_file_contains_sections(self):
+        text = write_feb(build("bp07", "tiny"))
+        for section in ("<Material>", "<Mesh>", "<Boundary>", "<LoadData>"):
+            assert section in text
+
+    def test_write_to_disk(self, tmp_path):
+        path = tmp_path / "model.feb"
+        write_feb(build("ma26", "tiny"), str(path))
+        assert path.stat().st_size > 1000
+
+    def test_category_size_ordering_tracks_paper(self):
+        """The eye must dominate; MA tiny must be among the smallest."""
+        sizes = {}
+        for name in ("eye", "ma26", "mu01", "fl33", "bp07"):
+            sizes[name] = feb_bytes(build(name, "tiny"))
+        assert sizes["eye"] == max(sizes.values())
+        assert sizes["ma26"] <= sizes["fl33"]
