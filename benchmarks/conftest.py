@@ -15,6 +15,13 @@ from repro.core.runner import Runner
 _OUT = os.path.join(os.path.dirname(__file__), "_output")
 _CACHE = os.path.join(os.path.dirname(__file__), "_results")
 
+# Opt-in parallelism: REPRO_BENCH_WORKERS=N routes every sweep the
+# figure tests run through the engine's process pool (REPRO_WORKERS is
+# what core.sweeps reads when no explicit workers= is passed).
+_BENCH_WORKERS = os.environ.get("REPRO_BENCH_WORKERS", "")
+if _BENCH_WORKERS.strip():
+    os.environ.setdefault("REPRO_WORKERS", _BENCH_WORKERS.strip())
+
 
 @pytest.fixture(scope="session")
 def runner():

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands
+-----------
+``repro sweep <name>``    run one paper sweep through the engine
+``repro run <workload>``  simulate a single workload under a config
+``repro cache stats``     result-store size and hit/miss accounting
+``repro cache clear``     drop every cached result
+``repro list``            available sweeps and workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import sweeps
+from .core.runner import Runner, default_cache_dir
+from .engine import Progress, ResultStore, resolve_workers
+from .io.textplot import render_table
+from .profiling import metric_set
+from .uarch.config import gem5_baseline, host_i9
+from .workloads import names as workload_names
+
+SWEEPS = {
+    "frequency": sweeps.frequency_sweep,
+    "l1i": sweeps.l1i_sweep,
+    "l1d": sweeps.l1d_sweep,
+    "l2": sweeps.l2_sweep,
+    "width": sweeps.width_sweep,
+    "lsq": sweeps.lsq_sweep,
+    "branch": sweeps.branch_predictor_sweep,
+    "rob_iq": sweeps.rob_iq_sweep,
+}
+
+_METRICS = ("ipc", "cpi", "seconds", "l1i_mpki", "l1d_mpki", "l2_mpki",
+            "branch_mpki", "dram_gbps")
+
+
+def _split_workloads(raw):
+    if not raw:
+        return sweeps.GEM5_WORKLOADS
+    return tuple(w.strip() for w in raw.split(",") if w.strip())
+
+
+def _store_for(args):
+    return ResultStore(args.cache_dir or default_cache_dir())
+
+
+def _human_bytes(n):
+    for unit in ("B", "kB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024.0
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_sweep(args):
+    fn = SWEEPS[args.name]
+    workloads = _split_workloads(args.workloads)
+    workers = resolve_workers(args.workers)
+    kw = dict(workloads=workloads, scale=args.scale, budget=args.budget,
+              workers=workers)
+    if args.cache_dir:
+        kw["runner"] = Runner(cache_dir=args.cache_dir)
+
+    progress = None if args.quiet else Progress(0, label=f"sweep:{args.name}")
+    try:
+        data = fn(progress=progress, **kw)
+    except KeyError as exc:
+        print(f"error: unknown workload {exc}", file=sys.stderr)
+        return 2
+    if progress is not None:
+        progress.finish()
+        print(progress.summary(), file=sys.stderr)
+
+    rows = []
+    for w, by_label in data.items():
+        row = {"workload": w}
+        for label, m in by_label.items():
+            row[str(label)] = getattr(m, args.metric)
+        rows.append(row)
+    print(render_table(
+        rows, floatfmt="{:.4f}",
+        title=f"{args.name} sweep — {args.metric} "
+              f"(scale={args.scale}, budget={args.budget}, "
+              f"workers={workers})"))
+    return 0
+
+
+def cmd_run(args):
+    runner = Runner(cache_dir=args.cache_dir) if args.cache_dir else Runner()
+    if not args.cache:
+        runner.use_disk_cache = False
+    base = host_i9 if args.host else gem5_baseline
+    overrides = {}
+    if args.freq_ghz is not None:
+        overrides["freq_ghz"] = args.freq_ghz
+    if args.branch_predictor is not None:
+        overrides["branch_predictor"] = args.branch_predictor
+    config = base(**overrides)
+    try:
+        stats = runner.stats_for(args.workload, config, scale=args.scale,
+                                 budget=args.budget)
+    except KeyError as exc:
+        print(f"error: unknown workload {exc}", file=sys.stderr)
+        return 2
+    m = metric_set(stats, f"{args.workload}@{config.name}")
+    rows = [{"metric": k, "value": v} for k, v in m.as_dict().items()
+            if k != "name"]
+    print(render_table(rows, floatfmt="{:.4f}", title=m.name))
+    td = stats.topdown()
+    rows = [{"slot class": k, "fraction": v} for k, v in td.items()]
+    print(render_table(rows, floatfmt="{:.3f}", title="top-down"))
+    return 0
+
+
+def cmd_cache(args):
+    store = _store_for(args)
+    if args.action == "stats":
+        s = store.stats()
+        rows = [
+            {"field": "root", "value": s["root"]},
+            {"field": "entries (indexed)", "value": str(s["entries"])},
+            {"field": "entries (unindexed legacy)",
+             "value": str(s["unindexed_files"])},
+            {"field": "total size", "value": _human_bytes(s["total_bytes"])},
+            {"field": "hits (all time)", "value": str(s["hits"])},
+            {"field": "misses (all time)", "value": str(s["misses"])},
+        ]
+        print(render_table(rows, title="result store"))
+    else:
+        removed = store.clear()
+        print(f"cleared {removed} entries from {store.root}")
+    return 0
+
+
+def cmd_list(args):
+    print("sweeps:")
+    for name in sorted(SWEEPS):
+        print(f"  {name:10s} {SWEEPS[name].__doc__.splitlines()[0]}")
+    print("\nworkloads:")
+    print("  " + ", ".join(sorted(workload_names())))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Belenos reproduction: sweeps, runs, and result cache.",
+    )
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-store directory (default: "
+                             "REPRO_CACHE_DIR or auto-detected)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sweep", help="run one paper sweep via the engine")
+    p.add_argument("name", choices=sorted(SWEEPS))
+    p.add_argument("--workloads", default="",
+                   help="comma-separated workload names "
+                        "(default: the gem5 six)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (0 = all cores; "
+                        "default: REPRO_WORKERS or 1)")
+    p.add_argument("--scale", default="default")
+    p.add_argument("--budget", type=int, default=80_000)
+    p.add_argument("--metric", choices=_METRICS, default="ipc")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the progress meter")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("run", help="simulate one workload")
+    p.add_argument("workload")
+    p.add_argument("--scale", default="default")
+    p.add_argument("--budget", type=int, default=80_000)
+    p.add_argument("--freq-ghz", type=float, default=None)
+    p.add_argument("--branch-predictor", default=None)
+    p.add_argument("--host", action="store_true",
+                   help="use the host-i9 config instead of gem5 baseline")
+    p.add_argument("--no-cache", dest="cache", action="store_false")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("cache", help="inspect or clear the result store")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("list", help="available sweeps and workloads")
+    p.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("\ninterrupted (completed jobs remain in the result store)",
+              file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

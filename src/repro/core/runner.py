@@ -2,35 +2,60 @@
 
 * In-process: solves and traces are memoized per (workload, scale,
   budget) — sweeps reuse one trace across dozens of configs.
-* On disk: ``SimStats`` are cached as JSON keyed by (workload, scale,
-  budget, config digest) so benchmark re-renders are instant.
+* On disk: ``SimStats`` are cached in a
+  :class:`repro.engine.store.ResultStore` keyed by (workload, scale,
+  budget, config fingerprint) so benchmark re-renders are instant and
+  any number of pool workers can share one cache safely.
 """
 
 from __future__ import annotations
 
-import json
 import os
 
+from ..engine.jobs import JobSpec
+from ..engine.store import ResultStore
 from ..trace import TraceRequest, workload_trace
 from ..uarch import SimStats, simulate
 from ..workloads import get as get_workload
 
-__all__ = ["Runner", "default_runner"]
+__all__ = ["Runner", "default_cache_dir", "default_runner"]
 
-_DEFAULT_CACHE_DIR = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__))))),
-    "benchmarks", "_results",
-)
+
+def default_cache_dir():
+    """Resolve the on-disk result-store location.
+
+    Priority: the ``REPRO_CACHE_DIR`` env var, then the repo-local
+    ``benchmarks/_results`` when running from a source checkout, then a
+    per-user cache directory (installed packages live in site-packages,
+    where walking up from ``__file__`` finds no ``benchmarks/``).
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    if os.path.isdir(os.path.join(repo_root, "benchmarks")):
+        return os.path.join(repo_root, "benchmarks", "_results")
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(xdg, "repro")
 
 
 class Runner:
     """Caching orchestrator for workload simulations."""
 
-    def __init__(self, cache_dir=None, use_disk_cache=True):
-        self.cache_dir = cache_dir or _DEFAULT_CACHE_DIR
+    def __init__(self, cache_dir=None, use_disk_cache=True, store=None):
+        self.cache_dir = cache_dir or default_cache_dir()
         self.use_disk_cache = use_disk_cache
+        self._store = store
         self._traces = {}
+
+    @property
+    def store(self):
+        """Lazily opened result store backing the disk cache."""
+        if self._store is None:
+            self._store = ResultStore(self.cache_dir)
+        return self._store
 
     # ------------------------------------------------------------------
     def trace_for(self, workload, scale="default", budget=80_000):
@@ -45,26 +70,24 @@ class Runner:
 
     def stats_for(self, workload, config, scale="default", budget=80_000):
         """Simulate a workload under a config (disk-cached)."""
-        cache_key = f"{workload}_{scale}_{budget}_{config.digest()}.json"
-        path = os.path.join(self.cache_dir, cache_key)
-        if self.use_disk_cache and os.path.exists(path):
-            with open(path) as fh:
-                return SimStats.from_dict(json.load(fh))
+        job = JobSpec(workload, config, scale=scale, budget=budget)
+        if self.use_disk_cache:
+            payload = self.store.get(job.key(), job.legacy_key())
+            if payload is not None:
+                return SimStats.from_dict(payload)
         trace, _ = self.trace_for(workload, scale, budget)
         stats = simulate(trace, config)
         if self.use_disk_cache:
-            os.makedirs(self.cache_dir, exist_ok=True)
-            tmp = path + ".tmp"
-            with open(tmp, "w") as fh:
-                json.dump(stats.as_dict(), fh)
-            os.replace(tmp, path)
+            self.store.put(job.key(), stats.as_dict(), meta=job.meta())
         return stats
 
     def clear_disk_cache(self):
         if os.path.isdir(self.cache_dir):
-            for name in os.listdir(self.cache_dir):
-                if name.endswith(".json"):
-                    os.remove(os.path.join(self.cache_dir, name))
+            # Clear through our own store handle if one exists so its
+            # pending hit/adoption bookkeeping resets with the files.
+            store = (self._store if self._store is not None
+                     else ResultStore(self.cache_dir, create=False))
+            store.clear()
 
 
 _runner = None

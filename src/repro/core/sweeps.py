@@ -3,13 +3,20 @@
 Every sweep holds the Table II baseline fixed, varies one parameter, and
 reports per-workload metrics.  Results are plain dicts:
 ``{workload: {param_value: MetricSet}}``.
+
+All sweeps execute through :mod:`repro.engine`: the grid expands to a
+``JobSpec`` list and runs via ``run_jobs``.  Every sweep accepts
+``workers=N`` (default: the ``REPRO_WORKERS`` env var, else serial) to
+fan the grid out over a process pool, plus ``runner=`` and
+``progress=`` passthroughs; result dicts are identical to the serial
+path regardless of worker count.
 """
 
 from __future__ import annotations
 
+from ..engine import expand_grid, run_jobs
 from ..profiling import metric_set
 from ..uarch.config import CacheConfig, gem5_baseline
-from .runner import default_runner
 
 __all__ = [
     "GEM5_WORKLOADS",
@@ -29,14 +36,15 @@ _SCALE = "default"
 _BUDGET = 80_000
 
 
-def _run(workloads, configs, scale=_SCALE, budget=_BUDGET, runner=None):
-    runner = runner or default_runner()
+def _run(workloads, configs, scale=_SCALE, budget=_BUDGET, runner=None,
+         workers=None, progress=None):
+    jobs = expand_grid(workloads, configs, scale=scale, budget=budget)
+    stats_list = run_jobs(jobs, workers=workers, runner=runner,
+                          progress=progress)
     out = {}
-    for w in workloads:
-        out[w] = {}
-        for label, cfg in configs:
-            stats = runner.stats_for(w, cfg, scale=scale, budget=budget)
-            out[w][label] = metric_set(stats, f"{w}@{label}")
+    for job, stats in zip(jobs, stats_list):
+        out.setdefault(job.workload, {})[job.label] = metric_set(
+            stats, job.describe())
     return out
 
 

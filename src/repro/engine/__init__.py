@@ -1,0 +1,24 @@
+"""Sweep-execution engine: job descriptions, process pool, result store.
+
+This subsystem separates *what to simulate* (:class:`JobSpec` lists,
+built with :func:`expand_grid`) from *how it runs* (:func:`run_jobs`,
+serial or across a process pool) and *where results live*
+(:class:`ResultStore`, an indexed, concurrency-safe on-disk cache).
+``core.sweeps`` expresses every paper sweep as a job list executed
+here; ``python -m repro`` drives the same machinery from the shell.
+"""
+
+from .jobs import JobSpec, config_fingerprint, expand_grid
+from .pool import resolve_workers, run_jobs
+from .progress import Progress
+from .store import ResultStore
+
+__all__ = [
+    "JobSpec",
+    "Progress",
+    "ResultStore",
+    "config_fingerprint",
+    "expand_grid",
+    "resolve_workers",
+    "run_jobs",
+]

@@ -1,0 +1,178 @@
+"""Parallel job execution with per-worker runners.
+
+``run_jobs`` executes a list of :class:`~repro.engine.jobs.JobSpec`
+over a process pool.  Cache hits are served from the result store in
+the parent, so only misses are dispatched.  Each worker process owns a
+private ``Runner`` whose in-process trace memo persists across jobs,
+and pending jobs are sorted by trace key before dispatch so a worker
+tends to see every config of a workload and builds each trace once.
+
+Results always come back in input-job order regardless of worker
+count.  ``workers=1`` — or a platform where a process pool cannot be
+created — takes the plain serial path, identical to the pre-engine
+behavior.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import sys
+
+from .store import ResultStore
+
+__all__ = ["run_jobs", "resolve_workers"]
+
+# Per-worker-process state, populated by the pool initializer: a
+# disk-cache-free Runner (trace memoization only) and a store handle.
+_STATE = {}
+
+
+def resolve_workers(workers=None):
+    """Worker count: explicit value, else ``REPRO_WORKERS``, else 1.
+
+    ``0`` (from either source) means "all available cores".
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        try:
+            workers = int(raw)
+        except ValueError:
+            workers = 1
+    workers = int(workers)
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def _mp_context():
+    # Fork is cheap and shares the warm trace memo, but CPython only
+    # considers it safe on Linux (macOS made spawn the default after
+    # fork-with-threads crashes in system libraries and BLAS).
+    if (sys.platform.startswith("linux")
+            and "fork" in multiprocessing.get_all_start_methods()):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _init_worker(store_root, in_worker=True):
+    from ..core.runner import Runner
+
+    if in_worker:
+        # Ctrl-C is the parent's to handle; it terminates the pool.
+        try:
+            import signal
+            signal.signal(signal.SIGINT, signal.SIG_IGN)
+        except (ImportError, ValueError, OSError):
+            pass
+    _STATE["runner"] = Runner(use_disk_cache=False)
+    _STATE["store"] = ResultStore(store_root) if store_root else None
+
+
+def _execute(job):
+    """Trace (memoized per worker), simulate, persist, return payload."""
+    from ..uarch import simulate
+
+    runner = _STATE["runner"]
+    trace, _ = runner.trace_for(job.workload, job.scale, job.budget)
+    stats = simulate(trace, job.config)
+    payload = stats.as_dict()
+    store = _STATE["store"]
+    if store is not None:
+        store.put(job.key(), payload, meta=job.meta())
+    return payload
+
+
+def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
+    """Execute *jobs*, returning ``SimStats`` aligned with input order.
+
+    Serial path (``workers<=1``): every job goes through
+    ``runner.stats_for`` (the ``default_runner`` when none is given),
+    preserving the exact pre-engine execution order and caching.
+
+    Parallel path: hits are resolved against *store* up front (the
+    runner's store by default), misses fan out over a process pool, and
+    workers persist their results to the shared store as they finish.
+    """
+    from ..core.runner import Runner, default_runner
+    from ..uarch import SimStats
+
+    jobs = list(jobs)
+    workers = resolve_workers(workers)
+    if progress is not None and getattr(progress, "total", 0) <= 0:
+        progress.total = len(jobs)
+
+    if workers <= 1 or len(jobs) <= 1:
+        if runner is None:
+            # Honor an explicit store even on the serial path.
+            runner = (Runner(cache_dir=store.root, store=store)
+                      if store is not None else default_runner())
+        out = []
+        for job in jobs:
+            cached = None
+            if progress is not None and runner.use_disk_cache:
+                cached = runner.store.contains(job.key(), job.legacy_key())
+            stats = runner.stats_for(job.workload, job.config,
+                                     scale=job.scale, budget=job.budget)
+            if progress is not None:
+                progress.step(job.describe(), cached=cached)
+            out.append(stats)
+        if runner.use_disk_cache:
+            runner.store.flush()
+        return out
+
+    if store is None:
+        runner = runner or default_runner()
+        store = runner.store if runner.use_disk_cache else None
+
+    results = [None] * len(jobs)
+    pending = []
+    for i, job in enumerate(jobs):
+        payload = store.get(job.key(), job.legacy_key()) if store else None
+        if payload is not None:
+            results[i] = SimStats.from_dict(payload)
+            if progress is not None:
+                progress.step(job.describe(), cached=True)
+        else:
+            pending.append((i, job))
+
+    if not pending:
+        if store is not None:
+            store.flush()
+        return results
+
+    # Same trace key => same contiguous chunk => same worker's memo.
+    pending.sort(key=lambda item: (item[1].trace_key, item[0]))
+    todo = [job for _, job in pending]
+    n = min(workers, len(pending))
+    chunksize = max(1, math.ceil(len(pending) / n))
+
+    pool = None
+    try:
+        ctx = _mp_context()
+        pool = ctx.Pool(processes=n, initializer=_init_worker,
+                        initargs=(store.root if store else None,))
+    except (OSError, ValueError, ImportError):
+        pool = None
+
+    if pool is None:
+        # No usable process pool on this platform: compute in-parent
+        # through the same worker entry point.
+        _init_worker(store.root if store else None, in_worker=False)
+        payloads = (_execute(job) for job in todo)
+    else:
+        payloads = pool.imap(_execute, todo, chunksize=chunksize)
+
+    try:
+        for (i, job), payload in zip(pending, payloads):
+            results[i] = SimStats.from_dict(payload)
+            if progress is not None:
+                progress.step(job.describe(), cached=False)
+    finally:
+        if pool is not None:
+            pool.terminate()  # what `with pool:` would do; results are
+            pool.join()       # already drained on the success path
+        if store is not None:
+            store.flush()
+    return results

@@ -1,0 +1,75 @@
+"""Lightweight progress reporting for the execution engine and CLI."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["Progress"]
+
+
+class Progress:
+    """Line-oriented progress meter for a batch of jobs.
+
+    Writes to stderr: carriage-return updates on a TTY, rate-limited
+    plain lines otherwise (so CI logs stay readable).  Pass an instance
+    as ``progress=`` to ``run_jobs`` or any sweep function.
+    """
+
+    def __init__(self, total, label="", stream=None, enabled=True,
+                 min_interval=0.5):
+        self.total = int(total)
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.done = 0
+        self.hits = 0
+        self.runs = 0
+        self._started = time.monotonic()
+        self._last_emit = -1e9
+        self._use_cr = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.min_interval = 0.0 if self._use_cr else min_interval
+
+    def step(self, what="", cached=False):
+        """Record one finished job (``cached=None`` means 'unknown')."""
+        self.done += 1
+        if cached:
+            self.hits += 1
+        elif cached is not None:
+            self.runs += 1
+        self._emit(what, cached)
+
+    def finish(self):
+        """Terminate a carriage-return meter whose total was unknown."""
+        if self.enabled and self._use_cr and self.done and self.total <= 0:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    @property
+    def elapsed(self):
+        return time.monotonic() - self._started
+
+    def _emit(self, what, cached):
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        final = self.total > 0 and self.done >= self.total
+        if not final and now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        tag = "hit" if cached else ("job" if cached is None else "run")
+        head = f"{self.label}: " if self.label else ""
+        total = str(self.total) if self.total > 0 else "?"
+        line = (f"{head}[{self.done}/{total}] {what} ({tag}) "
+                f"{self.elapsed:.1f}s")
+        if self._use_cr:
+            self.stream.write("\r" + line.ljust(79))
+            if final:
+                self.stream.write("\n")
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def summary(self):
+        return (f"{self.done} jobs ({self.hits} cache hits, "
+                f"{self.runs} simulated) in {self.elapsed:.1f}s")

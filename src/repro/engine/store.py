@@ -1,0 +1,299 @@
+"""Persistent, concurrency-safe result store for simulation statistics.
+
+Layout: one JSON file per entry under the store root, named
+``<key>.json``, plus a ``manifest.json`` index holding per-entry
+metadata (size, workload, config digest) and cumulative hit/miss
+counters.  Entry writes are atomic (write-temp + ``os.replace``);
+manifest updates are serialized across processes with an advisory file
+lock, so any number of pool workers can record results concurrently
+without corrupting the index.
+
+The store also *adopts* cache files written by the pre-engine
+``Runner`` (same JSON payload, ``CoreConfig.digest()``-based names): a
+lookup that misses under the content-hash key falls back to the legacy
+name and registers the old file in the manifest, keeping committed warm
+caches warm across the migration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import weakref
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+__all__ = ["ResultStore"]
+
+MANIFEST_NAME = "manifest.json"
+_LOCK_NAME = ".manifest.lock"
+
+
+class _FileLock:
+    """Advisory cross-process lock: flock on POSIX, spin-file elsewhere."""
+
+    def __init__(self, path, timeout=30.0):
+        self.path = path
+        self.timeout = timeout
+        self._fh = None
+        self._fd = None
+
+    def __enter__(self):
+        if fcntl is not None:
+            self._fh = open(self.path, "a")
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
+        else:  # pragma: no cover - non-POSIX platforms
+            deadline = time.monotonic() + self.timeout
+            while True:
+                try:
+                    self._fd = os.open(
+                        self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                    break
+                except FileExistsError:
+                    if time.monotonic() > deadline:
+                        raise TimeoutError(
+                            f"could not acquire store lock {self.path}")
+                    time.sleep(0.01)
+        return self
+
+    def __exit__(self, *exc):
+        if self._fh is not None:
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            self._fh.close()
+            self._fh = None
+        if self._fd is not None:  # pragma: no cover - non-POSIX platforms
+            os.close(self._fd)
+            os.unlink(self.path)
+            self._fd = None
+        return False
+
+
+def _manifest_path_at(root):
+    return os.path.join(root, MANIFEST_NAME)
+
+
+def _read_manifest_at(root):
+    try:
+        with open(_manifest_path_at(root)) as fh:
+            manifest = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        manifest = {}
+    manifest.setdefault("version", 1)
+    manifest.setdefault("entries", {})
+    manifest.setdefault("counters", {"hits": 0, "misses": 0})
+    return manifest
+
+
+def _write_manifest_at(root, manifest):
+    tmp = f"{_manifest_path_at(root)}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+    os.replace(tmp, _manifest_path_at(root))
+
+
+def _update_manifest_at(root, mutate):
+    with _FileLock(os.path.join(root, _LOCK_NAME)):
+        manifest = _read_manifest_at(root)
+        mutate(manifest)
+        _write_manifest_at(root, manifest)
+
+
+def _describe_entry(root, name):
+    try:
+        size = os.path.getsize(os.path.join(root, name + ".json"))
+    except OSError:
+        size = 0
+    return {"file": name + ".json", "bytes": size}
+
+
+def _fold_pending(root, pending, manifest):
+    """Fold drained counter/adoption state into an open manifest."""
+    manifest["counters"]["hits"] += pending.pop("hits", 0)
+    manifest["counters"]["misses"] += pending.pop("misses", 0)
+    for key, name in pending.pop("adopt", {}).items():
+        if key not in manifest["entries"]:
+            manifest["entries"][key] = _describe_entry(root, name)
+
+
+def _drain_pending(root, pending):
+    """Persist a store's pending accounting.
+
+    Module-level so a ``weakref.finalize`` can run it at GC or
+    interpreter exit without keeping the store instance alive.
+    """
+    if not (pending["hits"] or pending["misses"] or pending["adopt"]):
+        return
+    drained = {"hits": pending["hits"], "misses": pending["misses"],
+               "adopt": dict(pending["adopt"])}
+    pending["hits"] = 0
+    pending["misses"] = 0
+    pending["adopt"].clear()
+    if not os.path.isdir(root):
+        # Store directory vanished (temp dir at interpreter exit):
+        # drop the bookkeeping rather than recreate it.
+        return
+    try:
+        _update_manifest_at(root, lambda m: _fold_pending(root, drained, m))
+    except OSError:  # pragma: no cover - exit-time best effort
+        pass
+
+
+class ResultStore:
+    """Indexed on-disk store of simulation result payloads."""
+
+    def __init__(self, root, create=True):
+        self.root = os.path.abspath(root)
+        if create:
+            os.makedirs(self.root, exist_ok=True)
+        # Per-instance accounting for this process/session only; the
+        # manifest carries the cumulative cross-process totals.
+        self.session_hits = 0
+        self.session_misses = 0
+        # Lookups stay lock-free: counter bumps and legacy-file
+        # adoptions accumulate here and reach the manifest on the next
+        # put(), an explicit flush(), garbage collection, or
+        # interpreter exit (the finalizer holds only root + this dict,
+        # so instances stay collectable).
+        self._pending = {"hits": 0, "misses": 0, "adopt": {}}
+        self._finalizer = weakref.finalize(
+            self, _drain_pending, self.root, self._pending)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _entry_path(self, name):
+        return os.path.join(self.root, name + ".json")
+
+    @property
+    def manifest_path(self):
+        return _manifest_path_at(self.root)
+
+    def _lock(self):
+        return _FileLock(os.path.join(self.root, _LOCK_NAME))
+
+    def _read_manifest(self):
+        return _read_manifest_at(self.root)
+
+    def _update_manifest(self, mutate):
+        _update_manifest_at(self.root, mutate)
+
+    def _load(self, key, legacy_key=None):
+        for name in (key, legacy_key):
+            if not name:
+                continue
+            try:
+                with open(self._entry_path(name)) as fh:
+                    return json.load(fh), name
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue
+        return None, None
+
+    def _describe_file(self, name):
+        return _describe_entry(self.root, name)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def get(self, key, legacy_key=None):
+        """Payload stored under *key* (or its legacy alias), else None.
+
+        Every call counts one hit or one miss; counts become durable in
+        the manifest at the next :meth:`put`, :meth:`flush`, or process
+        exit, keeping the warm lookup path free of locks and writes.
+        """
+        payload, found_name = self._load(key, legacy_key)
+        if payload is None:
+            self.session_misses += 1
+            self._pending["misses"] += 1
+            return None
+        self.session_hits += 1
+        self._pending["hits"] += 1
+        if found_name != key:
+            # Adopt the legacy-named file into the index in place.
+            self._pending["adopt"][key] = found_name
+        return payload
+
+    def flush(self):
+        """Fold pending counters and adoptions into the manifest."""
+        _drain_pending(self.root, self._pending)
+
+    def contains(self, key, legacy_key=None):
+        """Like :meth:`get` but without payload I/O or accounting."""
+        return any(
+            os.path.exists(self._entry_path(name))
+            for name in (key, legacy_key) if name
+        )
+
+    def put(self, key, payload, meta=None):
+        """Atomically write *payload* under *key* and index it."""
+        path = self._entry_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+
+        entry = self._describe_file(key)
+        if meta:
+            entry.update(meta)
+        drained = {"hits": self._pending["hits"],
+                   "misses": self._pending["misses"],
+                   "adopt": dict(self._pending["adopt"])}
+        self._pending["hits"] = 0
+        self._pending["misses"] = 0
+        self._pending["adopt"].clear()
+
+        def index(manifest):
+            manifest["entries"][key] = entry
+            _fold_pending(self.root, drained, manifest)
+
+        self._update_manifest(index)
+        return path
+
+    def keys(self):
+        return sorted(self._read_manifest()["entries"])
+
+    def stats(self):
+        """Entry count, byte total, and cumulative hit/miss counters."""
+        self.flush()
+        manifest = self._read_manifest()
+        entries = manifest["entries"]
+        indexed_files = {e.get("file") for e in entries.values()}
+        unindexed = 0
+        if os.path.isdir(self.root):
+            for name in os.listdir(self.root):
+                if (name.endswith(".json") and name != MANIFEST_NAME
+                        and name not in indexed_files):
+                    unindexed += 1
+        return {
+            "root": self.root,
+            "entries": len(entries),
+            "unindexed_files": unindexed,
+            "total_bytes": sum(e.get("bytes", 0) for e in entries.values()),
+            "hits": manifest["counters"]["hits"],
+            "misses": manifest["counters"]["misses"],
+            "session_hits": self.session_hits,
+            "session_misses": self.session_misses,
+        }
+
+    def clear(self):
+        """Remove every entry, the index, and the counters."""
+        if not os.path.isdir(self.root):
+            return 0
+        removed = 0
+        with self._lock():
+            for name in os.listdir(self.root):
+                path = os.path.join(self.root, name)
+                if name == MANIFEST_NAME or name.endswith(".json"):
+                    os.remove(path)
+                    if name != MANIFEST_NAME:
+                        removed += 1
+        self.session_hits = 0
+        self.session_misses = 0
+        self._pending["hits"] = 0
+        self._pending["misses"] = 0
+        self._pending["adopt"].clear()
+        return removed

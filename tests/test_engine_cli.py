@@ -1,0 +1,59 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    return tmp_path
+
+
+def test_sweep_then_cache_stats(cache_dir, capsys):
+    rc = main(["sweep", "l2", "--workloads", "ar", "--scale", "tiny",
+               "--budget", "4000", "--workers", "2", "--quiet",
+               "--metric", "ipc"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "l2 sweep" in out and "ar" in out
+
+    rc = main(["cache", "stats"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "entries (indexed)" in out
+    # Four L2 sizes for one workload, all cold.
+    assert any("4" in line for line in out.splitlines()
+               if "entries (indexed)" in line)
+    assert any("4" in line for line in out.splitlines()
+               if "misses" in line)
+
+
+def test_cache_clear(cache_dir, capsys):
+    main(["run", "ar", "--scale", "tiny", "--budget", "4000"])
+    capsys.readouterr()
+    rc = main(["cache", "clear"])
+    assert rc == 0
+    assert "cleared 1 entries" in capsys.readouterr().out
+
+
+def test_run_reports_metrics(cache_dir, capsys):
+    rc = main(["run", "ar", "--scale", "tiny", "--budget", "4000",
+               "--freq-ghz", "2.0", "--no-cache"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ipc" in out and "top-down" in out
+    # --no-cache must leave the store untouched.
+    assert not (cache_dir / "manifest.json").exists()
+
+
+def test_list_and_bad_workload(cache_dir, capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "frequency" in out and "ar" in out
+
+    rc = main(["sweep", "l2", "--workloads", "nope", "--scale", "tiny",
+               "--budget", "4000", "--quiet"])
+    assert rc == 2

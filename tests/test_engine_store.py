@@ -1,0 +1,177 @@
+"""ResultStore: atomic writes, manifest index, concurrency, accounting."""
+
+import json
+import multiprocessing
+import os
+
+from repro.engine.jobs import JobSpec, config_fingerprint, expand_grid
+from repro.engine.store import ResultStore
+from repro.uarch.config import gem5_baseline
+
+
+# ----------------------------------------------------------------------
+# JobSpec identity
+# ----------------------------------------------------------------------
+def test_jobspec_keys_and_grid():
+    cfg = gem5_baseline()
+    job = JobSpec("ar", cfg, label=3.0, scale="tiny", budget=4000)
+    assert job.key().startswith("ar_tiny_4000_")
+    assert job.legacy_key() == f"ar_tiny_4000_{cfg.digest()}"
+    assert job.trace_key == ("ar", "tiny", 4000)
+
+    jobs = expand_grid(("ar", "co"), [("a", cfg), ("b", cfg)], scale="tiny")
+    assert [(j.workload, j.label) for j in jobs] == [
+        ("ar", "a"), ("ar", "b"), ("co", "a"), ("co", "b")]
+
+
+def test_legacy_key_gated_by_digest_faithfulness():
+    from repro.uarch.config import CacheConfig
+
+    # Preset + digest-visible tweaks: the legacy fallback is safe.
+    assert JobSpec("ar", gem5_baseline()).legacy_key() is not None
+    assert JobSpec("ar", gem5_baseline(freq_ghz=2.0)).legacy_key() is not None
+    assert JobSpec(
+        "ar", gem5_baseline(l1i=CacheConfig(16, 8, 1))).legacy_key() is not None
+    # Digest-omitted field tweaked: same digest as the baseline, so the
+    # legacy file would be a different config's stats — refuse it.
+    assert JobSpec(
+        "ar", gem5_baseline(mem_latency_ns=120.0)).legacy_key() is None
+    # A cache differing from the preset beyond its size is ambiguous
+    # too (l2_sweep's L2 has hit_latency=14/uncore=0 vs the baseline's
+    # 2cy + 4ns).
+    assert JobSpec(
+        "ar", gem5_baseline(l2=CacheConfig(512, 16, 14))).legacy_key() is None
+    # Unknown preset name: no reference to validate against.
+    assert JobSpec(
+        "ar", gem5_baseline().with_changes(name="custom")).legacy_key() is None
+
+
+def test_stale_legacy_entry_not_served_for_colliding_config(tmp_path):
+    # A committed baseline cache file must not satisfy a config that
+    # shares its digest but differs in a digest-omitted field.
+    baseline_job = JobSpec("ar", gem5_baseline(), scale="tiny", budget=4000)
+    stale = {"cycles": 1, "instructions": 1}
+    (tmp_path / (baseline_job.legacy_key() + ".json")).write_text(
+        json.dumps(stale))
+
+    store = ResultStore(tmp_path)
+    tweaked = JobSpec("ar", gem5_baseline(mem_latency_ns=120.0),
+                      scale="tiny", budget=4000)
+    assert store.get(tweaked.key(), tweaked.legacy_key()) is None
+    # The honest baseline config still reuses it.
+    assert store.get(baseline_job.key(), baseline_job.legacy_key()) == stale
+
+
+def test_fingerprint_sees_fields_digest_misses():
+    base = gem5_baseline()
+    # mem_latency_ns is absent from the short digest() string but must
+    # change the content hash.
+    tweaked = gem5_baseline(mem_latency_ns=120.0)
+    assert base.digest() == tweaked.digest()
+    assert config_fingerprint(base) != config_fingerprint(tweaked)
+    assert config_fingerprint(base) == config_fingerprint(gem5_baseline())
+
+
+# ----------------------------------------------------------------------
+# Store basics
+# ----------------------------------------------------------------------
+def test_put_get_roundtrip_and_manifest(tmp_path):
+    store = ResultStore(tmp_path)
+    payload = {"cycles": 123, "instructions": 456}
+    store.put("k1", payload, meta={"workload": "ar"})
+
+    assert store.get("k1") == payload
+    with open(store.manifest_path) as fh:
+        manifest = json.load(fh)
+    assert manifest["entries"]["k1"]["workload"] == "ar"
+    assert manifest["entries"]["k1"]["bytes"] > 0
+    assert store.keys() == ["k1"]
+
+
+def test_hit_miss_accounting_persists(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get("missing") is None
+    store.put("k", {"x": 1})
+    assert store.get("k") == {"x": 1}
+    assert store.session_hits == 1 and store.session_misses == 1
+    store.flush()
+
+    # Cumulative counters survive a fresh handle (new process analog).
+    fresh = ResultStore(tmp_path)
+    s = fresh.stats()
+    assert s["hits"] == 1 and s["misses"] == 1
+    assert s["entries"] == 1
+    assert fresh.session_hits == 0 and fresh.session_misses == 0
+
+
+def test_legacy_file_adoption(tmp_path):
+    # A pre-engine cache file sits under the digest()-based name only.
+    legacy = tmp_path / "ar_tiny_4000_olddigest.json"
+    legacy.write_text(json.dumps({"cycles": 7}))
+    store = ResultStore(tmp_path)
+    assert store.get("ar_tiny_4000_deadbeef", "ar_tiny_4000_olddigest") == {
+        "cycles": 7}
+    s = store.stats()
+    assert s["hits"] == 1
+    # Adopted in place: indexed under the new key, old file still there.
+    assert "ar_tiny_4000_deadbeef" in store.keys()
+    assert legacy.exists()
+    assert s["unindexed_files"] == 0
+
+
+def test_clear_resets_everything(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("a", {"x": 1})
+    store.put("b", {"x": 2})
+    store.get("a")
+    removed = store.clear()
+    assert removed == 2
+    assert store.get("a") is None
+    s = store.stats()
+    assert s["entries"] == 0
+    assert s["hits"] == 0  # counters reset with the manifest
+
+
+# ----------------------------------------------------------------------
+# Concurrency
+# ----------------------------------------------------------------------
+def _hammer(root, worker_id, n):
+    store = ResultStore(root)
+    for i in range(n):
+        # Every worker fights over one shared key and owns private ones.
+        store.put("shared", {"worker": worker_id, "i": i})
+        store.put(f"w{worker_id}_k{i}", {"worker": worker_id, "i": i})
+        store.get("shared")
+    store.flush()  # multiprocessing children skip atexit handlers
+
+
+def test_concurrent_writers_leave_valid_manifest(tmp_path):
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn")
+    n_workers, n_iters = 4, 8
+    procs = [
+        ctx.Process(target=_hammer, args=(str(tmp_path), w, n_iters))
+        for w in range(n_workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(60)
+        assert p.exitcode == 0
+
+    store = ResultStore(tmp_path)
+    with open(store.manifest_path) as fh:
+        manifest = json.load(fh)  # must parse: no torn writes
+    # The contested key holds one complete payload from some writer.
+    winner = store.get("shared")
+    assert set(winner) == {"worker", "i"}
+    s = store.stats()
+    assert s["entries"] == n_workers * n_iters + 1
+    # Every get() across every process was counted (the +1 is the
+    # winner-check get above; the manifest snapshot predates it).
+    assert s["hits"] + s["misses"] == n_workers * n_iters + 1
+    assert manifest["counters"]["hits"] + manifest["counters"]["misses"] == (
+        n_workers * n_iters)
+    assert s["unindexed_files"] == 0
+    assert not [f for f in os.listdir(tmp_path) if ".tmp." in f]
