@@ -1,0 +1,73 @@
+"""Fidelity-tier cross-check: the interval model vs the cycle model.
+
+Re-runs the Fig. 9d/e L2 sweep with ``model="interval"`` and compares
+it point-for-point against the cycle tier: IPC must track within the
+tier's fidelity envelope and the capacity trend must agree.  The
+artifact records both tiers side by side so EXPERIMENTS.md can show
+what the fast tier trades away.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import sweeps
+from repro.io import render_table
+
+WORKLOADS = ("ar", "co", "dm", "ma", "rj", "tu")
+SIZES = (256, 512, 1024, 2048)
+
+
+@pytest.fixture(scope="module")
+def l2_both_tiers(runner):
+    return {
+        model: sweeps.l2_sweep(runner=runner, model=model)
+        for model in ("cycle", "interval")
+    }
+
+
+def test_interval_l2_sweep_tracks_cycle_tier(benchmark, output_dir, runner,
+                                             l2_both_tiers):
+    benchmark.pedantic(
+        lambda: sweeps.l2_sweep(runner=runner, model="interval"),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for w in WORKLOADS:
+        for size in SIZES:
+            cyc = l2_both_tiers["cycle"][w][size]
+            itv = l2_both_tiers["interval"][w][size]
+            rows.append(
+                {
+                    "workload": w,
+                    "size_kb": size,
+                    "cycle_ipc": cyc.ipc,
+                    "interval_ipc": itv.ipc,
+                    "ipc_err_pct": 100.0 * (itv.ipc - cyc.ipc) / cyc.ipc,
+                }
+            )
+    emit(output_dir, "fig9_interval.txt", render_table(
+        rows, floatfmt="{:.3f}",
+        title="L2 sweep - interval tier vs cycle tier (IPC)"))
+    # Shape checks run here too so --benchmark-only exercises them
+    # (same idiom as test_fig9_cache.py).
+    test_interval_tier_fidelity(l2_both_tiers)
+    test_interval_tier_monotone(l2_both_tiers)
+
+
+def test_interval_tier_fidelity(l2_both_tiers):
+    # The baseline point sits inside the calibrated 15% envelope; give
+    # off-baseline L2 geometries a little more slack (their hit latency
+    # differs from the calibration grid's).
+    for w in WORKLOADS:
+        for size in SIZES:
+            cyc = l2_both_tiers["cycle"][w][size]
+            itv = l2_both_tiers["interval"][w][size]
+            err = abs(itv.ipc - cyc.ipc) / cyc.ipc
+            assert err <= 0.25, (w, size, cyc.ipc, itv.ipc)
+
+
+def test_interval_tier_monotone(l2_both_tiers):
+    for w in WORKLOADS:
+        seconds = [l2_both_tiers["interval"][w][s].seconds for s in SIZES]
+        assert all(a >= b - 1e-12 for a, b in zip(seconds, seconds[1:])), (
+            w, seconds)

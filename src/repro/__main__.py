@@ -2,25 +2,39 @@
 
 Subcommands
 -----------
-``repro sweep <name>``    run one paper sweep through the engine
-``repro run <workload>``  simulate a single workload under a config
-``repro cache stats``     result-store size and hit/miss accounting
-``repro cache clear``     drop every cached result
-``repro list``            available sweeps and workloads
+``repro sweep <name>``         run one paper sweep through the engine
+``repro run <workload>``       simulate a single workload under a config
+``repro characterize [w...]``  top-down + metrics for workloads (engine)
+``repro figures <name>``       regenerate one figure's data as JSON
+``repro cache stats``          result-store size and hit/miss accounting
+``repro cache prune``          LRU-evict the store down to a size cap
+``repro cache clear``          drop every cached result
+``repro list``                 available sweeps, figures, and workloads
+
+``sweep``, ``characterize``, and ``figures`` all execute through
+:mod:`repro.engine` job lists: ``--workers N`` fans out over a process
+pool, and ``--model interval`` swaps the cycle-accurate simulator for
+the vectorized interval tier (roughly an order of magnitude faster).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 
+from .core import figures as figmod
 from .core import sweeps
+from .core.characterize import characterize_jobs, run_characterizations
 from .core.runner import Runner, default_cache_dir
 from .engine import Progress, ResultStore, resolve_workers
 from .io.textplot import render_table
 from .profiling import metric_set
+from .uarch import MODELS
 from .uarch.config import gem5_baseline, host_i9
 from .workloads import names as workload_names
+from .workloads import vtune_workloads
 
 SWEEPS = {
     "frequency": sweeps.frequency_sweep,
@@ -31,6 +45,20 @@ SWEEPS = {
     "lsq": sweeps.lsq_sweep,
     "branch": sweeps.branch_predictor_sweep,
     "rob_iq": sweeps.rob_iq_sweep,
+}
+
+FIGURES = {
+    "fig2": figmod.fig2_topdown,
+    "fig3": figmod.fig3_stall_split,
+    "fig4": figmod.fig4_hotspots,
+    "fig5": figmod.fig5_scaling,
+    "fig6": figmod.fig6_cpu_time,
+    "fig7": figmod.fig7_pipeline_stages,
+    "fig8": figmod.fig8_frequency,
+    "fig9": figmod.fig9_cache,
+    "fig10": figmod.fig10_width,
+    "fig11": figmod.fig11_lsq,
+    "fig12": figmod.fig12_branch_predictor,
 }
 
 _METRICS = ("ipc", "cpi", "seconds", "l1i_mpki", "l1d_mpki", "l2_mpki",
@@ -54,6 +82,16 @@ def _human_bytes(n):
         n /= 1024.0
 
 
+def _progress(args, label):
+    return None if args.quiet else Progress(0, label=label)
+
+
+def _finish_progress(progress):
+    if progress is not None:
+        progress.finish()
+        print(progress.summary(), file=sys.stderr)
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -62,19 +100,17 @@ def cmd_sweep(args):
     workloads = _split_workloads(args.workloads)
     workers = resolve_workers(args.workers)
     kw = dict(workloads=workloads, scale=args.scale, budget=args.budget,
-              workers=workers)
+              workers=workers, model=args.model)
     if args.cache_dir:
         kw["runner"] = Runner(cache_dir=args.cache_dir)
 
-    progress = None if args.quiet else Progress(0, label=f"sweep:{args.name}")
+    progress = _progress(args, f"sweep:{args.name}")
     try:
         data = fn(progress=progress, **kw)
     except KeyError as exc:
         print(f"error: unknown workload {exc}", file=sys.stderr)
         return 2
-    if progress is not None:
-        progress.finish()
-        print(progress.summary(), file=sys.stderr)
+    _finish_progress(progress)
 
     rows = []
     for w, by_label in data.items():
@@ -86,7 +122,7 @@ def cmd_sweep(args):
         rows, floatfmt="{:.4f}",
         title=f"{args.name} sweep — {args.metric} "
               f"(scale={args.scale}, budget={args.budget}, "
-              f"workers={workers})"))
+              f"workers={workers}, model={args.model})"))
     return 0
 
 
@@ -103,7 +139,7 @@ def cmd_run(args):
     config = base(**overrides)
     try:
         stats = runner.stats_for(args.workload, config, scale=args.scale,
-                                 budget=args.budget)
+                                 budget=args.budget, model=args.model)
     except KeyError as exc:
         print(f"error: unknown workload {exc}", file=sys.stderr)
         return 2
@@ -117,20 +153,108 @@ def cmd_run(args):
     return 0
 
 
+def cmd_characterize(args):
+    workloads = (list(args.workloads)
+                 or [spec.name for spec in vtune_workloads()])
+    config = gem5_baseline() if args.gem5 else host_i9()
+    jobs = characterize_jobs(workloads, config=config, scale=args.scale,
+                             budget=args.budget, model=args.model)
+    workers = resolve_workers(args.workers)
+    # A fresh Runner (not the process-global one) so --cache-dir and
+    # REPRO_CACHE_DIR are honored per invocation, like `repro run`.
+    runner = Runner(cache_dir=args.cache_dir) if args.cache_dir else Runner()
+    progress = _progress(args, "characterize")
+    try:
+        chars = run_characterizations(jobs, runner=runner, workers=workers,
+                                      progress=progress)
+    except KeyError as exc:
+        print(f"error: unknown workload {exc}", file=sys.stderr)
+        return 2
+    _finish_progress(progress)
+
+    rows = []
+    for c in chars:
+        row = {"workload": c.workload}
+        row.update(c.summary())
+        rows.append(row)
+    print(render_table(
+        rows, floatfmt="{:.3f}",
+        title=f"characterization — {config.name} (scale={args.scale}, "
+              f"budget={args.budget}, workers={workers}, "
+              f"model={args.model})"))
+    return 0
+
+
+def cmd_figures(args):
+    fn = FIGURES[args.name]
+    accepted = inspect.signature(fn).parameters
+    kw = {}
+    dropped = []
+    if "workers" in accepted:
+        kw["workers"] = resolve_workers(args.workers)
+        kw["model"] = args.model
+        if not args.quiet:
+            kw["progress"] = Progress(0, label=args.name)
+    else:
+        if args.workers is not None:
+            dropped.append("--workers")
+        if args.model != "cycle":
+            dropped.append("--model")
+    if "scale" in accepted:
+        if args.scale is not None:
+            kw["scale"] = args.scale
+    elif args.scale is not None:
+        dropped.append("--scale")
+    if dropped:
+        print(f"note: {args.name} does not take "
+              f"{', '.join(dropped)}; ignoring", file=sys.stderr)
+    if "runner" in accepted:
+        # Fresh per invocation so --cache-dir / REPRO_CACHE_DIR apply.
+        kw["runner"] = (Runner(cache_dir=args.cache_dir)
+                        if args.cache_dir else Runner())
+    data = fn(**kw)
+    _finish_progress(kw.get("progress"))
+    text = json.dumps(data, indent=1, sort_keys=True, default=str)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.name} data to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def cmd_cache(args):
     store = _store_for(args)
     if args.action == "stats":
         s = store.stats()
+        cap = (_human_bytes(s["max_bytes"]) if s["max_bytes"] is not None
+               else "unlimited")
         rows = [
             {"field": "root", "value": s["root"]},
             {"field": "entries (indexed)", "value": str(s["entries"])},
             {"field": "entries (unindexed legacy)",
              "value": str(s["unindexed_files"])},
             {"field": "total size", "value": _human_bytes(s["total_bytes"])},
+            {"field": "size cap", "value": cap},
             {"field": "hits (all time)", "value": str(s["hits"])},
             {"field": "misses (all time)", "value": str(s["misses"])},
+            {"field": "evictions (all time)", "value": str(s["evictions"])},
         ]
         print(render_table(rows, title="result store"))
+    elif args.action == "prune":
+        if args.max_mb is None and store.max_bytes is None:
+            print("error: no size cap — pass --max-mb or set "
+                  "REPRO_CACHE_MAX_MB", file=sys.stderr)
+            return 2
+        if args.max_mb is not None and args.max_mb <= 0:
+            print("error: --max-mb must be positive "
+                  "(use `cache clear` to empty the store)",
+                  file=sys.stderr)
+            return 2
+        removed, freed = store.prune(args.max_mb)
+        print(f"pruned {removed} entries ({_human_bytes(freed)}) "
+              f"from {store.root}")
     else:
         removed = store.clear()
         print(f"cleared {removed} entries from {store.root}")
@@ -141,12 +265,21 @@ def cmd_list(args):
     print("sweeps:")
     for name in sorted(SWEEPS):
         print(f"  {name:10s} {SWEEPS[name].__doc__.splitlines()[0]}")
+    print("\nfigures:")
+    for name in sorted(FIGURES, key=lambda n: int(n[3:])):
+        print(f"  {name:10s} {FIGURES[name].__doc__.splitlines()[0]}")
     print("\nworkloads:")
     print("  " + ", ".join(sorted(workload_names())))
     return 0
 
 
 # ----------------------------------------------------------------------
+def _add_model_arg(p):
+    p.add_argument("--model", choices=MODELS, default="cycle",
+                   help="simulator fidelity tier (interval = fast "
+                        "vectorized estimate)")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -168,6 +301,7 @@ def build_parser():
     p.add_argument("--scale", default="default")
     p.add_argument("--budget", type=int, default=80_000)
     p.add_argument("--metric", choices=_METRICS, default="ipc")
+    _add_model_arg(p)
     p.add_argument("--quiet", action="store_true",
                    help="suppress the progress meter")
     p.set_defaults(func=cmd_sweep)
@@ -180,11 +314,46 @@ def build_parser():
     p.add_argument("--branch-predictor", default=None)
     p.add_argument("--host", action="store_true",
                    help="use the host-i9 config instead of gem5 baseline")
+    _add_model_arg(p)
     p.add_argument("--no-cache", dest="cache", action="store_false")
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("cache", help="inspect or clear the result store")
-    p.add_argument("action", choices=("stats", "clear"))
+    p = sub.add_parser(
+        "characterize",
+        help="top-down + metric summary for workloads, via the engine")
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: the 12 VTune workloads)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (0 = all cores; "
+                        "default: REPRO_WORKERS or 1)")
+    p.add_argument("--scale", default="default")
+    p.add_argument("--budget", type=int, default=80_000)
+    p.add_argument("--gem5", action="store_true",
+                   help="use the gem5 Table II baseline instead of host-i9")
+    _add_model_arg(p)
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the progress meter")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("figures",
+                       help="regenerate one paper figure's data as JSON")
+    p.add_argument("name", choices=sorted(FIGURES, key=lambda n: int(n[3:])))
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (0 = all cores; "
+                        "default: REPRO_WORKERS or 1)")
+    p.add_argument("--scale", default=None,
+                   help="trace scale override (figure-specific default)")
+    _add_model_arg(p)
+    p.add_argument("--out", default=None,
+                   help="write JSON here instead of stdout")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the progress meter")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("cache", help="inspect, prune, or clear the store")
+    p.add_argument("action", choices=("stats", "prune", "clear"))
+    p.add_argument("--max-mb", type=float, default=None,
+                   help="prune target size (default: REPRO_CACHE_MAX_MB)")
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("list", help="available sweeps and workloads")

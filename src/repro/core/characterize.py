@@ -3,16 +3,26 @@
 This is Belenos's primary contribution: one call produces the top-down
 breakdown, stall split, hotspot report, and metric set for any workload
 on either the host (VTune) or gem5-baseline configuration.
+
+Characterization executes through :mod:`repro.engine` like the sweeps:
+a suite expands to a :class:`~repro.engine.jobs.JobSpec` list and runs
+via ``run_jobs`` — so ``workers=N`` fans the workloads out over a
+process pool, ``progress=`` reports completions, and ``model=`` picks
+the simulator fidelity tier.  Results are identical to the serial path
+regardless of worker count.
 """
 
 from __future__ import annotations
 
+from ..engine import run_jobs
+from ..engine.jobs import JobSpec
 from ..profiling import analyze, hotspot_report, metric_set
 from ..uarch.config import gem5_baseline, host_i9
 from ..workloads import vtune_workloads
 from .runner import default_runner
 
-__all__ = ["Characterization", "characterize", "characterize_vtune_suite"]
+__all__ = ["Characterization", "characterize", "characterize_jobs",
+           "characterize_vtune_suite", "run_characterizations"]
 
 _VTUNE_BUDGET = 80_000
 
@@ -40,27 +50,50 @@ class Characterization:
         return row
 
 
-def characterize(workload, config=None, scale="default",
-                 budget=_VTUNE_BUDGET, runner=None):
-    """Characterize one workload (host config by default)."""
-    runner = runner or default_runner()
-    config = config or host_i9()
-    stats = runner.stats_for(workload, config, scale=scale, budget=budget)
-    return Characterization(workload, stats)
-
-
-def characterize_vtune_suite(scale="default", runner=None, config=None):
-    """Figs. 2-3: characterize the 12 VTune workloads, paper order."""
-    runner = runner or default_runner()
+def characterize_jobs(workloads, config=None, scale="default",
+                      budget=_VTUNE_BUDGET, model="cycle"):
+    """Expand a workload list into the suite's ``JobSpec`` list."""
     config = config or host_i9()
     return [
-        characterize(spec.name, config, scale=scale, runner=runner)
-        for spec in vtune_workloads()
+        JobSpec(w, config, label=config.name, scale=scale, budget=budget,
+                model=model)
+        for w in workloads
     ]
 
 
-def characterize_gem5_baseline(workload, scale="default", runner=None):
+def run_characterizations(jobs, runner=None, workers=None, progress=None):
+    """Execute a ``JobSpec`` list via the engine, one
+    :class:`Characterization` per job, in input order."""
+    stats_list = run_jobs(jobs, workers=workers, runner=runner,
+                          progress=progress)
+    return [Characterization(job.workload, stats)
+            for job, stats in zip(jobs, stats_list)]
+
+
+def characterize(workload, config=None, scale="default",
+                 budget=_VTUNE_BUDGET, runner=None, model="cycle"):
+    """Characterize one workload (host config by default)."""
+    runner = runner or default_runner()
+    config = config or host_i9()
+    stats = runner.stats_for(workload, config, scale=scale, budget=budget,
+                             model=model)
+    return Characterization(workload, stats)
+
+
+def characterize_vtune_suite(scale="default", runner=None, config=None,
+                             workers=None, progress=None, model="cycle",
+                             budget=_VTUNE_BUDGET):
+    """Figs. 2-3: characterize the 12 VTune workloads, paper order."""
+    jobs = characterize_jobs(
+        [spec.name for spec in vtune_workloads()], config=config,
+        scale=scale, budget=budget, model=model)
+    return run_characterizations(jobs, runner=runner, workers=workers,
+                                 progress=progress)
+
+
+def characterize_gem5_baseline(workload, scale="default", runner=None,
+                               model="cycle"):
     """Characterize under the Table II baseline (Fig. 7 companion)."""
     return characterize(
-        workload, gem5_baseline(), scale=scale, runner=runner
+        workload, gem5_baseline(), scale=scale, runner=runner, model=model
     )

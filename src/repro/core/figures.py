@@ -4,16 +4,27 @@ One function per paper figure; each returns plain data (lists/dicts)
 that the benchmark harness renders and EXPERIMENTS.md records.  The
 functions only orchestrate — all analysis lives in
 :mod:`repro.profiling` and :mod:`repro.core.sweeps`.
+
+Every simulation-backed generator executes through the engine: the
+figure's (workload x config) grid expands to a ``JobSpec`` list and
+runs via ``run_jobs``, so all of them accept ``workers=N`` (process
+pool), ``progress=`` and ``model=`` (simulator fidelity tier)
+passthroughs.  ``fig5_scaling`` and ``fig6_cpu_time`` measure host
+wall-clock time and therefore stay serial — timing under a process
+pool would measure contention, not the solver.
 """
 
 from __future__ import annotations
 
+import inspect
+
+from ..engine import run_jobs
+from ..engine.jobs import JobSpec
 from ..profiling import measure_workload
-from ..uarch.config import gem5_baseline
-from ..workloads import REGISTRY, gem5_workloads, names, vtune_workloads
+from ..uarch.config import gem5_baseline, host_i9
+from ..workloads import REGISTRY, gem5_workloads, names
 from ..workloads.registry import get as get_spec
-from .characterize import characterize_vtune_suite
-from .runner import default_runner
+from .characterize import characterize_vtune_suite, run_characterizations
 from . import sweeps
 
 __all__ = [
@@ -37,40 +48,49 @@ _FIG6_GROUPS = {
 }
 
 
-def fig2_topdown(scale="default", runner=None):
+def fig2_topdown(scale="default", runner=None, workers=None, progress=None,
+                 model="cycle"):
     """Fig. 2: top-down pipeline breakdown for the 12 VTune workloads."""
-    chars = characterize_vtune_suite(scale=scale, runner=runner)
+    chars = characterize_vtune_suite(scale=scale, runner=runner,
+                                     workers=workers, progress=progress,
+                                     model=model)
     return [c.topdown.row() for c in chars]
 
 
-def fig3_stall_split(scale="default", runner=None):
+def fig3_stall_split(scale="default", runner=None, workers=None,
+                     progress=None, model="cycle"):
     """Fig. 3: FE latency/bandwidth + BE core/memory split."""
-    chars = characterize_vtune_suite(scale=scale, runner=runner)
+    chars = characterize_vtune_suite(scale=scale, runner=runner,
+                                     workers=workers, progress=progress,
+                                     model=model)
     return [c.topdown.stall_row() for c in chars]
 
 
-def fig4_hotspots(scale="tiny", runner=None, workload_names=None):
+def fig4_hotspots(scale="tiny", runner=None, workload_names=None,
+                  workers=None, progress=None, model="cycle"):
     """Fig. 4: hotspot-category prevalence per workload category.
 
     Uses one representative per category (plus eye); tiny scale keeps
     the full 20-category row affordable.
     """
-    from .characterize import characterize
-    from ..uarch.config import host_i9
-
-    runner = runner or default_runner()
     if workload_names is None:
         chosen = {}
         for n in names():
             spec = REGISTRY[n]
             chosen.setdefault(spec.category, spec.name)
         workload_names = list(chosen.values())
+    cfg = host_i9()
+    jobs = [
+        JobSpec(name, cfg, label=cfg.name, scale=scale, budget=40_000,
+                model=model)
+        for name in workload_names
+    ]
+    chars = run_characterizations(jobs, runner=runner, workers=workers,
+                                  progress=progress)
     rows = []
-    for name in workload_names:
-        c = characterize(name, host_i9(), scale=scale, budget=40_000,
-                         runner=runner)
-        row = {"workload": name,
-               "category": REGISTRY[name].category}
+    for c in chars:
+        row = {"workload": c.workload,
+               "category": REGISTRY[c.workload].category}
         row.update(c.hotspots.category_symbols())
         rows.append(row)
     return rows
@@ -106,19 +126,24 @@ def fig6_cpu_time(scale="default"):
     return rows
 
 
-def fig7_pipeline_stages(scale="default", runner=None):
+def fig7_pipeline_stages(scale="default", runner=None, workers=None,
+                         progress=None, model="cycle"):
     """Fig. 7: fetch / execute / commit stage breakdowns (gem5 set)."""
-    runner = runner or default_runner()
     cfg = gem5_baseline()
+    jobs = [
+        JobSpec(spec.name, cfg, label=cfg.name, scale=scale, model=model)
+        for spec in gem5_workloads()
+    ]
+    stats_list = run_jobs(jobs, workers=workers, runner=runner,
+                          progress=progress)
     out = {"fetch": [], "execute": [], "commit": []}
-    for spec in gem5_workloads():
-        stats = runner.stats_for(spec.name, cfg, scale=scale)
-        fetch = {"workload": spec.name}
+    for job, stats in zip(jobs, stats_list):
+        fetch = {"workload": job.workload}
         fetch.update(stats.fetch_profile())
         out["fetch"].append(fetch)
         mix = stats.kind_profile(committed=False)
         execute = {
-            "workload": spec.name,
+            "workload": job.workload,
             "numBranches": mix.get("branch", 0.0) + mix.get("pause", 0.0),
             "numFpInsts": mix.get("fp", 0.0),
             "numIntInsts": mix.get("int", 0.0),
@@ -131,7 +156,7 @@ def fig7_pipeline_stages(scale="default", runner=None):
             cmix.get(k, 0.0) for k in ("fp", "int", "load", "store")
         ) or 1.0
         commit = {
-            "workload": spec.name,
+            "workload": job.workload,
             "numFpInsts": cmix.get("fp", 0.0) / nonbranch,
             "numIntInsts": cmix.get("int", 0.0) / nonbranch,
             "numLoadInsts": cmix.get("load", 0.0) / nonbranch,
@@ -141,9 +166,10 @@ def fig7_pipeline_stages(scale="default", runner=None):
     return out
 
 
-def fig8_frequency(runner=None):
+def fig8_frequency(runner=None, workers=None, progress=None, model="cycle"):
     """Fig. 8: execution time and IPC vs core frequency."""
-    data = sweeps.frequency_sweep(runner=runner)
+    data = sweeps.frequency_sweep(runner=runner, workers=workers,
+                                  progress=progress, model=model)
     rows = []
     for w, by_freq in data.items():
         base = by_freq[1.0].seconds
@@ -160,15 +186,25 @@ def fig8_frequency(runner=None):
     return rows
 
 
-def fig9_cache(runner=None):
+def fig9_cache(runner=None, workers=None, progress=None, model="cycle"):
     """Fig. 9: L1I/L1D/L2 MPKI and normalized execution time."""
-    out = {}
-    for label, sweep, mpki_key in (
+    grids = (
         ("l1i", sweeps.l1i_sweep, "l1i_mpki"),
         ("l1d", sweeps.l1d_sweep, "l1d_mpki"),
         ("l2", sweeps.l2_sweep, "l2_mpki"),
-    ):
-        data = sweep(runner=runner)
+    )
+    if progress is not None and getattr(progress, "total", 0) <= 0:
+        # Three sweep grids share one meter; run_jobs would otherwise
+        # pin the total to the first grid's job count.  Each sweep's
+        # grid size is its default sizes_kb tuple.
+        progress.total = sum(
+            len(inspect.signature(sweep).parameters["sizes_kb"].default)
+            for _, sweep, _ in grids
+        ) * len(sweeps.GEM5_WORKLOADS)
+    out = {}
+    for label, sweep, mpki_key in grids:
+        data = sweep(runner=runner, workers=workers, progress=progress,
+                     model=model)
         rows = []
         for w, by_size in data.items():
             t_best = min(m.seconds for m in by_size.values())
@@ -204,18 +240,25 @@ def _percent_diff_rows(data, baseline_key):
     return rows
 
 
-def fig10_width(runner=None):
+def fig10_width(runner=None, workers=None, progress=None, model="cycle"):
     """Fig. 10: exec-time % difference vs the width-6 baseline."""
-    return _percent_diff_rows(sweeps.width_sweep(runner=runner), 6)
+    return _percent_diff_rows(
+        sweeps.width_sweep(runner=runner, workers=workers,
+                           progress=progress, model=model), 6)
 
 
-def fig11_lsq(runner=None):
+def fig11_lsq(runner=None, workers=None, progress=None, model="cycle"):
     """Fig. 11: exec-time % difference vs the 72_56 LQ/SQ baseline."""
-    return _percent_diff_rows(sweeps.lsq_sweep(runner=runner), "72_56")
+    return _percent_diff_rows(
+        sweeps.lsq_sweep(runner=runner, workers=workers,
+                         progress=progress, model=model), "72_56")
 
 
-def fig12_branch_predictor(runner=None):
+def fig12_branch_predictor(runner=None, workers=None, progress=None,
+                           model="cycle"):
     """Fig. 12: exec-time % difference vs TournamentBP."""
     return _percent_diff_rows(
-        sweeps.branch_predictor_sweep(runner=runner), "tournament"
+        sweeps.branch_predictor_sweep(runner=runner, workers=workers,
+                                      progress=progress, model=model),
+        "tournament"
     )

@@ -68,15 +68,21 @@ class Runner:
             self._traces[key] = (trace, record)
         return self._traces[key]
 
-    def stats_for(self, workload, config, scale="default", budget=80_000):
-        """Simulate a workload under a config (disk-cached)."""
-        job = JobSpec(workload, config, scale=scale, budget=budget)
+    def stats_for(self, workload, config, scale="default", budget=80_000,
+                  model="cycle"):
+        """Simulate a workload under a config (disk-cached).
+
+        ``model`` selects the simulator fidelity tier; tiers cache
+        under distinct keys.
+        """
+        job = JobSpec(workload, config, scale=scale, budget=budget,
+                      model=model)
         if self.use_disk_cache:
             payload = self.store.get(job.key(), job.legacy_key())
             if payload is not None:
                 return SimStats.from_dict(payload)
         trace, _ = self.trace_for(workload, scale, budget)
-        stats = simulate(trace, config)
+        stats = simulate(trace, config, model=model)
         if self.use_disk_cache:
             self.store.put(job.key(), stats.as_dict(), meta=job.meta())
         return stats

@@ -7,9 +7,11 @@ reports per-workload metrics.  Results are plain dicts:
 All sweeps execute through :mod:`repro.engine`: the grid expands to a
 ``JobSpec`` list and runs via ``run_jobs``.  Every sweep accepts
 ``workers=N`` (default: the ``REPRO_WORKERS`` env var, else serial) to
-fan the grid out over a process pool, plus ``runner=`` and
-``progress=`` passthroughs; result dicts are identical to the serial
-path regardless of worker count.
+fan the grid out over a process pool, plus ``runner=``, ``progress=``,
+and ``model=`` passthroughs (``model="interval"`` runs the vectorized
+fidelity tier — roughly an order of magnitude faster, for outsized
+grids); result dicts are identical to the serial path regardless of
+worker count.
 """
 
 from __future__ import annotations
@@ -37,8 +39,9 @@ _BUDGET = 80_000
 
 
 def _run(workloads, configs, scale=_SCALE, budget=_BUDGET, runner=None,
-         workers=None, progress=None):
-    jobs = expand_grid(workloads, configs, scale=scale, budget=budget)
+         workers=None, progress=None, model="cycle"):
+    jobs = expand_grid(workloads, configs, scale=scale, budget=budget,
+                       model=model)
     stats_list = run_jobs(jobs, workers=workers, runner=runner,
                           progress=progress)
     out = {}

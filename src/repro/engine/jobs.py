@@ -92,17 +92,24 @@ def digest_faithful(config):
 
 
 class JobSpec:
-    """One (workload, scale, budget, config) simulation to run."""
+    """One (workload, scale, budget, config, model) simulation to run.
 
-    __slots__ = ("workload", "config", "label", "scale", "budget")
+    ``model`` selects the simulator fidelity tier (``"cycle"`` |
+    ``"interval"``); tiers cache under distinct store keys, and the
+    default ``"cycle"`` keeps the pre-tier key format so committed warm
+    caches stay valid.
+    """
+
+    __slots__ = ("workload", "config", "label", "scale", "budget", "model")
 
     def __init__(self, workload, config, label=None, scale="default",
-                 budget=80_000):
+                 budget=80_000, model="cycle"):
         self.workload = workload
         self.config = config
         self.label = label if label is not None else config.digest()
         self.scale = scale
         self.budget = int(budget)
+        self.model = model
 
     @property
     def trace_key(self):
@@ -110,19 +117,30 @@ class JobSpec:
         return (self.workload, self.scale, self.budget)
 
     def key(self):
-        """Content-hash store key (human-readable prefix + config hash)."""
+        """Content-hash store key (human-readable prefix + config hash).
+
+        Non-cycle tiers append ``_<model>-v<N>`` where N is the tier's
+        model version, so recalibrating an approximate tier can never
+        be served stale results from an older calibration.
+        """
+        if self.model == "cycle":
+            tier = ""
+        else:
+            from ..uarch.core import MODEL_VERSIONS
+
+            tier = f"_{self.model}-v{MODEL_VERSIONS.get(self.model, 0)}"
         return (f"{self.workload}_{self.scale}_{self.budget}_"
-                f"{config_fingerprint(self.config)}")
+                f"{config_fingerprint(self.config)}{tier}")
 
     def legacy_key(self):
         """Pre-engine cache filename stem, or None when unsafe.
 
         Legacy files are keyed by the short digest, which conflates
         configs differing only in digest-omitted fields; the fallback
-        is offered only for digest-faithful configs (see
+        is offered only for digest-faithful cycle-tier configs (see
         :func:`digest_faithful`).
         """
-        if not digest_faithful(self.config):
+        if self.model != "cycle" or not digest_faithful(self.config):
             return None
         return (f"{self.workload}_{self.scale}_{self.budget}_"
                 f"{self.config.digest()}")
@@ -135,6 +153,7 @@ class JobSpec:
             "scale": self.scale,
             "budget": self.budget,
             "config": self.config.digest(),
+            "model": self.model,
         }
 
     def describe(self):
@@ -142,10 +161,12 @@ class JobSpec:
 
     def __repr__(self):
         return (f"JobSpec({self.workload!r}, {self.label!r}, "
-                f"scale={self.scale!r}, budget={self.budget})")
+                f"scale={self.scale!r}, budget={self.budget}, "
+                f"model={self.model!r})")
 
 
-def expand_grid(workloads, configs, scale="default", budget=80_000):
+def expand_grid(workloads, configs, scale="default", budget=80_000,
+                model="cycle"):
     """Expand a sweep definition into an ordered job list.
 
     ``configs`` is a sequence of ``(label, CoreConfig)`` pairs — the
@@ -153,7 +174,8 @@ def expand_grid(workloads, configs, scale="default", budget=80_000):
     workload-major, matching the serial execution order.
     """
     return [
-        JobSpec(w, cfg, label=label, scale=scale, budget=budget)
+        JobSpec(w, cfg, label=label, scale=scale, budget=budget,
+                model=model)
         for w in workloads
         for label, cfg in configs
     ]

@@ -76,7 +76,7 @@ def _execute(job):
 
     runner = _STATE["runner"]
     trace, _ = runner.trace_for(job.workload, job.scale, job.budget)
-    stats = simulate(trace, job.config)
+    stats = simulate(trace, job.config, model=job.model)
     payload = stats.as_dict()
     store = _STATE["store"]
     if store is not None:
@@ -114,7 +114,8 @@ def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
             if progress is not None and runner.use_disk_cache:
                 cached = runner.store.contains(job.key(), job.legacy_key())
             stats = runner.stats_for(job.workload, job.config,
-                                     scale=job.scale, budget=job.budget)
+                                     scale=job.scale, budget=job.budget,
+                                     model=job.model)
             if progress is not None:
                 progress.step(job.describe(), cached=cached)
             out.append(stats)

@@ -13,6 +13,11 @@ The store also *adopts* cache files written by the pre-engine
 lookup that misses under the content-hash key falls back to the legacy
 name and registers the old file in the manifest, keeping committed warm
 caches warm across the migration.
+
+A size cap (the ``REPRO_CACHE_MAX_MB`` env var, or ``max_bytes=``)
+turns the store into an LRU cache: every ``put`` evicts the
+least-recently-used entries until the total fits, and
+``python -m repro cache prune`` applies the cap on demand.
 """
 
 from __future__ import annotations
@@ -31,6 +36,53 @@ __all__ = ["ResultStore"]
 
 MANIFEST_NAME = "manifest.json"
 _LOCK_NAME = ".manifest.lock"
+MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
+
+def _env_max_bytes():
+    """Size cap from ``REPRO_CACHE_MAX_MB``, in bytes (None = no cap)."""
+    raw = os.environ.get(MAX_MB_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        mb = float(raw)
+    except ValueError:
+        return None
+    return int(mb * 1024 * 1024) if mb > 0 else None
+
+
+def _evict_lru(root, manifest, max_bytes, keep=()):
+    """Drop least-recently-used entries until the total fits the cap.
+
+    Runs inside a locked manifest update.  Entries written before
+    access-time tracking existed sort as oldest.  Returns
+    ``(removed_count, freed_bytes)``.
+    """
+    entries = manifest["entries"]
+    total = sum(e.get("bytes", 0) for e in entries.values())
+    if total <= max_bytes:
+        return 0, 0
+    victims = sorted(
+        (k for k in entries if k not in keep),
+        key=lambda k: entries[k].get("atime", 0.0),
+    )
+    removed = 0
+    freed = 0
+    for key in victims:
+        if total <= max_bytes:
+            break
+        entry = entries.pop(key)
+        size = entry.get("bytes", 0)
+        try:
+            os.remove(os.path.join(root, entry.get("file", key + ".json")))
+        except OSError:
+            pass
+        total -= size
+        freed += size
+        removed += 1
+    counters = manifest["counters"]
+    counters["evictions"] = counters.get("evictions", 0) + removed
+    return removed, freed
 
 
 class _FileLock:
@@ -111,12 +163,16 @@ def _describe_entry(root, name):
 
 
 def _fold_pending(root, pending, manifest):
-    """Fold drained counter/adoption state into an open manifest."""
+    """Fold drained counter/adoption/access state into an open manifest."""
     manifest["counters"]["hits"] += pending.pop("hits", 0)
     manifest["counters"]["misses"] += pending.pop("misses", 0)
     for key, name in pending.pop("adopt", {}).items():
         if key not in manifest["entries"]:
             manifest["entries"][key] = _describe_entry(root, name)
+    for key, ts in pending.pop("touch", {}).items():
+        entry = manifest["entries"].get(key)
+        if entry is not None and ts > entry.get("atime", 0.0):
+            entry["atime"] = ts
 
 
 def _drain_pending(root, pending):
@@ -125,13 +181,16 @@ def _drain_pending(root, pending):
     Module-level so a ``weakref.finalize`` can run it at GC or
     interpreter exit without keeping the store instance alive.
     """
-    if not (pending["hits"] or pending["misses"] or pending["adopt"]):
+    if not (pending["hits"] or pending["misses"] or pending["adopt"]
+            or pending["touch"]):
         return
     drained = {"hits": pending["hits"], "misses": pending["misses"],
-               "adopt": dict(pending["adopt"])}
+               "adopt": dict(pending["adopt"]),
+               "touch": dict(pending["touch"])}
     pending["hits"] = 0
     pending["misses"] = 0
     pending["adopt"].clear()
+    pending["touch"].clear()
     if not os.path.isdir(root):
         # Store directory vanished (temp dir at interpreter exit):
         # drop the bookkeeping rather than recreate it.
@@ -145,20 +204,24 @@ def _drain_pending(root, pending):
 class ResultStore:
     """Indexed on-disk store of simulation result payloads."""
 
-    def __init__(self, root, create=True):
+    def __init__(self, root, create=True, max_bytes=None):
         self.root = os.path.abspath(root)
         if create:
             os.makedirs(self.root, exist_ok=True)
+        # Size cap for LRU eviction: explicit argument, else the
+        # REPRO_CACHE_MAX_MB env var, else unbounded.
+        self.max_bytes = max_bytes if max_bytes is not None \
+            else _env_max_bytes()
         # Per-instance accounting for this process/session only; the
         # manifest carries the cumulative cross-process totals.
         self.session_hits = 0
         self.session_misses = 0
-        # Lookups stay lock-free: counter bumps and legacy-file
-        # adoptions accumulate here and reach the manifest on the next
-        # put(), an explicit flush(), garbage collection, or
-        # interpreter exit (the finalizer holds only root + this dict,
-        # so instances stay collectable).
-        self._pending = {"hits": 0, "misses": 0, "adopt": {}}
+        # Lookups stay lock-free: counter bumps, legacy-file adoptions,
+        # and entry access times accumulate here and reach the manifest
+        # on the next put(), an explicit flush(), garbage collection,
+        # or interpreter exit (the finalizer holds only root + this
+        # dict, so instances stay collectable).
+        self._pending = {"hits": 0, "misses": 0, "adopt": {}, "touch": {}}
         self._finalizer = weakref.finalize(
             self, _drain_pending, self.root, self._pending)
 
@@ -212,6 +275,7 @@ class ResultStore:
             return None
         self.session_hits += 1
         self._pending["hits"] += 1
+        self._pending["touch"][key] = time.time()
         if found_name != key:
             # Adopt the legacy-named file into the index in place.
             self._pending["adopt"][key] = found_name
@@ -229,29 +293,78 @@ class ResultStore:
         )
 
     def put(self, key, payload, meta=None):
-        """Atomically write *payload* under *key* and index it."""
-        path = self._entry_path(key)
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, path)
+        """Atomically write *payload* under *key* and index it.
 
-        entry = self._describe_file(key)
-        if meta:
-            entry.update(meta)
+        When a size cap is configured (``max_bytes`` argument or the
+        ``REPRO_CACHE_MAX_MB`` env var), least-recently-used entries
+        are evicted inside the same locked manifest update until the
+        store fits; the entry just written is never a victim.
+        """
+        path = self._entry_path(key)
         drained = {"hits": self._pending["hits"],
                    "misses": self._pending["misses"],
-                   "adopt": dict(self._pending["adopt"])}
+                   "adopt": dict(self._pending["adopt"]),
+                   "touch": dict(self._pending["touch"])}
         self._pending["hits"] = 0
         self._pending["misses"] = 0
         self._pending["adopt"].clear()
+        self._pending["touch"].clear()
+        max_bytes = self.max_bytes
+
+        def write_payload():
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+
+        if max_bytes is None:
+            # No eviction anywhere: keep the payload write outside the
+            # manifest lock so parallel workers don't serialize on it.
+            write_payload()
 
         def index(manifest):
+            if max_bytes is not None:
+                # With a cap, the payload must land inside the lock so
+                # a concurrent put()'s eviction pass can never unlink a
+                # file that is written but not yet indexed.
+                write_payload()
+            entry = self._describe_file(key)
+            entry["atime"] = time.time()
+            if meta:
+                entry.update(meta)
             manifest["entries"][key] = entry
             _fold_pending(self.root, drained, manifest)
+            if max_bytes is not None:
+                _evict_lru(self.root, manifest, max_bytes, keep=(key,))
 
         self._update_manifest(index)
         return path
+
+    def prune(self, max_mb=None):
+        """Evict LRU entries down to a size cap, explicitly.
+
+        ``max_mb=None`` uses the configured cap (``max_bytes`` /
+        ``REPRO_CACHE_MAX_MB``); ``max_mb=0`` is rejected — use
+        :meth:`clear` to empty the store.  Returns
+        ``(removed_count, freed_bytes)``.
+        """
+        if max_mb is not None:
+            if max_mb <= 0:
+                raise ValueError("prune needs a positive cap; "
+                                 "use clear() to empty the store")
+            max_bytes = int(max_mb * 1024 * 1024)
+        else:
+            max_bytes = self.max_bytes
+        if max_bytes is None:
+            return 0, 0
+        self.flush()  # fold pending access times before choosing victims
+        result = {}
+
+        def evict(manifest):
+            result["out"] = _evict_lru(self.root, manifest, max_bytes)
+
+        self._update_manifest(evict)
+        return result["out"]
 
     def keys(self):
         return sorted(self._read_manifest()["entries"])
@@ -275,6 +388,8 @@ class ResultStore:
             "total_bytes": sum(e.get("bytes", 0) for e in entries.values()),
             "hits": manifest["counters"]["hits"],
             "misses": manifest["counters"]["misses"],
+            "evictions": manifest["counters"].get("evictions", 0),
+            "max_bytes": self.max_bytes,
             "session_hits": self.session_hits,
             "session_misses": self.session_misses,
         }
@@ -296,4 +411,5 @@ class ResultStore:
         self._pending["hits"] = 0
         self._pending["misses"] = 0
         self._pending["adopt"].clear()
+        self._pending["touch"].clear()
         return removed

@@ -70,18 +70,26 @@ class Trace:
     def __len__(self):
         return int(self.kind.size)
 
+    def kind_histogram(self):
+        """Op count per kind code as a length-8 array (one bincount,
+        cached — the trace is immutable)."""
+        hist = getattr(self, "_kind_histogram", None)
+        if hist is None:
+            hist = np.bincount(self.kind, minlength=len(KIND_NAMES))
+            self._kind_histogram = hist
+        return hist
+
     def kind_counts(self):
         """Mapping kind-name -> op count."""
-        out = {}
-        for code, name in KIND_NAMES.items():
-            out[name] = int((self.kind == code).sum())
-        return out
+        hist = self.kind_histogram()
+        return {name: int(hist[code]) for code, name in KIND_NAMES.items()}
 
     def memory_ops(self):
-        return int(((self.kind == LOAD) | (self.kind == STORE)).sum())
+        hist = self.kind_histogram()
+        return int(hist[LOAD] + hist[STORE])
 
     def branch_count(self):
-        return int((self.kind == BRANCH).sum())
+        return int(self.kind_histogram()[BRANCH])
 
     def code_footprint_bytes(self):
         """Distinct instruction-cache lines touched by the trace."""

@@ -11,12 +11,15 @@ from .branch import (
 )
 from .cache import Cache
 from .config import CacheConfig, CoreConfig, gem5_baseline, host_i9
+from .core import MODELS, CycleCore, simulate, simulate_interval
 from .hierarchy import MemoryHierarchy
-from .pipeline import simulate
 from .stats import SimStats
 from .tlb import TLB
 
 __all__ = [
+    "MODELS",
+    "CycleCore",
+    "simulate_interval",
     "LTAGE",
     "BranchPredictor",
     "LocalBP",

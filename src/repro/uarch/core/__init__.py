@@ -1,0 +1,71 @@
+"""Staged out-of-order core model with selectable fidelity tiers.
+
+Two tiers share one entry point:
+
+* ``model="cycle"`` — the cycle-accurate staged pipeline
+  (:class:`CycleCore`): explicit :class:`FrontEnd`, :class:`Dispatch`,
+  :class:`IssueQueue`, :class:`Commit` components over a shared
+  :class:`CoreState`, with TMA slot accounting and hotspot sampling as
+  pluggable :class:`Observer` instances.  Bit-identical to the
+  pre-split monolithic simulator.
+* ``model="interval"`` — a vectorized interval model
+  (:func:`simulate_interval`): batched cache/TLB/branch estimation
+  over NumPy arrays plus an analytical cycle estimate.  Roughly an
+  order of magnitude faster; use it to trade fidelity for sweep-grid
+  size.
+"""
+
+from __future__ import annotations
+
+from .commit import Commit
+from .cycle import CycleCore
+from .dispatch import Dispatch
+from .frontend import FrontEnd
+from .interval import INTERVAL_VERSION, simulate_interval
+from .issue import IssueQueue
+from .observers import HotspotSampler, Observer, TMASlotClassifier
+from .state import CoreState, functional_warmup
+
+__all__ = [
+    "Commit",
+    "CoreState",
+    "CycleCore",
+    "Dispatch",
+    "FrontEnd",
+    "HotspotSampler",
+    "IssueQueue",
+    "MODELS",
+    "Observer",
+    "TMASlotClassifier",
+    "functional_warmup",
+    "simulate",
+    "simulate_interval",
+]
+
+MODELS = ("cycle", "interval")
+
+# Store-key version per fidelity tier.  The cycle tier is pinned by
+# golden-fixture bit-parity, so its keys never change; approximate
+# tiers version their keys so recalibration invalidates old caches.
+MODEL_VERSIONS = {"cycle": 0, "interval": INTERVAL_VERSION}
+
+
+def simulate(trace, config, max_cycles=None, warm=True, model="cycle",
+             observers=None):
+    """Run ``trace`` through a core configured by ``config``.
+
+    ``model`` selects the fidelity tier: ``"cycle"`` (default) steps
+    the staged pipeline cycle by cycle; ``"interval"`` runs the
+    vectorized analytical model (``max_cycles`` and ``observers`` do
+    not apply).  ``warm=True`` performs a functional warmup pass first
+    so counters reflect steady-state behavior rather than cold-start
+    compulsory misses.  Returns a fully populated
+    :class:`~repro.uarch.stats.SimStats`.
+    """
+    if model == "interval":
+        return simulate_interval(trace, config, warm=warm)
+    if model != "cycle":
+        raise ValueError(f"unknown model {model!r}; expected one of "
+                         f"{MODELS}")
+    return CycleCore(trace, config, max_cycles=max_cycles, warm=warm,
+                     observers=observers).run()

@@ -1,0 +1,43 @@
+"""Commit stage: in-order retirement from the head of the ROB."""
+
+from __future__ import annotations
+
+from ...trace.ops import LOAD, STORE
+from .state import KIND_KEYS
+
+__all__ = ["Commit"]
+
+
+class Commit:
+    """Retire up to ``commit_width`` completed ops per cycle, in order.
+
+    The per-kind retirement counters are tallied here — at the point an
+    op actually leaves the machine — which is what keeps
+    ``SimStats.committed_by_kind`` honest (it used to be a copy of the
+    dispatch-time counts).
+    """
+
+    def tick(self, s):
+        rob = s.rob
+        if not rob:
+            return
+        completion = s.completion
+        kinds = s.kinds
+        counts = s.committed_by_kind
+        cycle = s.cycle
+        c = 0
+        width = s.config.commit_width
+        while rob and c < width:
+            head = rob[0]
+            t = completion[head]
+            if t < 0 or t > cycle:
+                break
+            rob.popleft()
+            s.committed += 1
+            c += 1
+            k = kinds[head]
+            if k == LOAD:
+                s.lq_used -= 1
+            elif k == STORE:
+                s.sq_used -= 1
+            counts[KIND_KEYS[k]] += 1

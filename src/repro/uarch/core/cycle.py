@@ -1,0 +1,98 @@
+"""The cycle-accurate tier: staged OoO core driver.
+
+``CycleCore`` wires the four pipeline stages around one
+:class:`~repro.uarch.core.state.CoreState` and steps them in the
+retire-to-fetch order the monolithic simulator used (commit, issue,
+dispatch, fetch), with observers sampling between dispatch and fetch
+and at cycle end.  The result is bit-identical to the pre-refactor
+``pipeline.simulate`` — verified against committed golden fixtures for
+every gem5 workload.
+"""
+
+from __future__ import annotations
+
+from ..stats import SimStats
+from .commit import Commit
+from .dispatch import Dispatch
+from .frontend import FrontEnd
+from .issue import IssueQueue
+from .observers import HotspotSampler, TMASlotClassifier
+from .state import CoreState
+
+__all__ = ["CycleCore"]
+
+
+class CycleCore:
+    """A staged out-of-order core over one trace + config pair."""
+
+    def __init__(self, trace, config, max_cycles=None, warm=True,
+                 observers=None):
+        self.config = config
+        self.stats = SimStats(config.name, config.freq_ghz)
+        self.stats.instructions = len(trace)
+        self.stats.dispatch_width = config.dispatch_width
+        if len(trace) == 0:
+            self.state = None
+        else:
+            self.state = CoreState(trace, config, self.stats,
+                                   max_cycles=max_cycles, warm=warm)
+        self.frontend = FrontEnd()
+        self.dispatch = Dispatch()
+        self.issue = IssueQueue()
+        self.commit = Commit()
+        self.observers = (list(observers) if observers is not None
+                          else [TMASlotClassifier(), HotspotSampler()])
+
+    def run(self):
+        """Step the pipeline to completion; returns populated stats."""
+        s = self.state
+        if s is None:  # empty trace
+            return self.stats
+        commit_tick = self.commit.tick
+        issue_tick = self.issue.tick
+        dispatch_tick = self.dispatch.tick
+        frontend_tick = self.frontend.tick
+        dispatch_hooks = [ob.on_dispatch for ob in self.observers]
+        cycle_end_hooks = [ob.on_cycle_end for ob in self.observers]
+        n = s.n
+        limit = s.limit
+        while s.committed < n and s.cycle < limit:
+            commit_tick(s)
+            issue_tick(s)
+            dispatch_tick(s)
+            for hook in dispatch_hooks:
+                hook(s)
+            frontend_tick(s)
+            for hook in cycle_end_hooks:
+                hook(s)
+            s.cycle += 1
+        if s.committed < n:
+            raise RuntimeError(
+                f"simulation did not finish: {s.committed}/{n} ops in "
+                f"{s.cycle} cycles (deadlock or max_cycles too small)"
+            )
+        return self._finalize()
+
+    def _finalize(self):
+        s = self.state
+        stats = self.stats
+        stats.cycles = s.cycle
+        stats.issued_by_kind = dict(s.issued_by_kind)
+        stats.committed_by_kind = dict(s.committed_by_kind)
+        hier = s.hier
+        stats.branches = s.bp.lookups
+        stats.branch_mispredicts = s.bp.mispredicts
+        stats.cache = {
+            "l1i": {"accesses": hier.l1i.accesses, "misses": hier.l1i.misses},
+            "l1d": {"accesses": hier.l1d.accesses, "misses": hier.l1d.misses},
+            "l2": {"accesses": hier.l2.accesses, "misses": hier.l2.misses},
+        }
+        if hier.l3 is not None:
+            stats.cache["l3"] = {
+                "accesses": hier.l3.accesses, "misses": hier.l3.misses,
+            }
+        stats.dram_accesses = hier.dram_accesses
+        stats.dram_bytes = hier.dram_bytes
+        for ob in self.observers:
+            ob.finalize(s)
+        return stats

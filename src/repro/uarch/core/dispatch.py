@@ -1,0 +1,67 @@
+"""Dispatch stage: in-order ROB/IQ insertion under resource limits.
+
+Dispatch publishes two facts the rest of the cycle consumes: how many
+ops entered the window (``state.dispatched``) and, when the full width
+was not used, which resource blocked first (``state.block_reason``) —
+the raw material for the TMA slot classifier observer.
+"""
+
+from __future__ import annotations
+
+from ...trace.ops import LOAD, PAUSE, STORE
+
+__all__ = ["Dispatch"]
+
+
+class Dispatch:
+    """Move ops from the fetch buffer into ROB + IQ, bounded by
+    ROB/IQ/LQ/SQ occupancy; PAUSE serializes (drains the ROB and blocks
+    dispatch for ``pause_latency`` cycles)."""
+
+    def tick(self, s):
+        kinds = s.kinds
+        fbuf = s.fbuf
+        rob = s.rob
+        iq = s.iq
+        config = s.config
+        cycle = s.cycle
+        dispatched = 0
+        block_reason = None
+        width = s.width
+        while dispatched < width:
+            if not fbuf:
+                block_reason = "frontend"
+                break
+            if cycle < s.serialize_until:
+                block_reason = "serialize"
+                break
+            idx = fbuf[0]
+            k = kinds[idx]
+            if k == PAUSE and rob:
+                block_reason = "serialize"
+                break
+            if len(rob) >= config.rob_entries:
+                block_reason = "rob"
+                break
+            if len(iq) >= config.iq_entries:
+                block_reason = "iq"
+                break
+            if k == LOAD and s.lq_used >= config.lq_entries:
+                block_reason = "lq"
+                break
+            if k == STORE and s.sq_used >= config.sq_entries:
+                block_reason = "sq"
+                break
+            fbuf.popleft()
+            rob.append(idx)
+            iq.append(idx)
+            if k == LOAD:
+                s.lq_used += 1
+            elif k == STORE:
+                s.sq_used += 1
+            elif k == PAUSE:
+                s.serialize_until = cycle + config.pause_latency
+                s.stats.pause_ops += 1
+            dispatched += 1
+        s.dispatched = dispatched
+        s.block_reason = block_reason

@@ -1,0 +1,86 @@
+"""Front-end stage: fetch through L1I + ITLB with branch prediction.
+
+Fetch runs up to ``fetch_width`` ops per cycle into the decoupled fetch
+buffer, one taken branch per cycle (BTB-style same-cycle redirect for
+correctly predicted taken branches), with mispredict squash windows and
+I-cache/ITLB stall modeling.  The stage also owns the per-cycle fetch
+classification behind Fig. 7a's activity breakdown.
+"""
+
+from __future__ import annotations
+
+from ...trace.ops import BRANCH
+
+__all__ = ["FrontEnd"]
+
+
+class FrontEnd:
+    """Fetch stage plus its Fig. 7a cycle classification."""
+
+    def tick(self, s):
+        fetched = 0
+        cycle = s.cycle
+        completion = s.completion
+        squash_pending = s.redirect_branch >= 0
+        if squash_pending:
+            t = completion[s.redirect_branch]
+            if 0 <= t and cycle >= t + s.config.mispredict_penalty:
+                s.redirect_branch = -1
+                squash_pending = False
+        if not squash_pending and cycle >= s.fetch_stall_until:
+            s.fetch_stall_kind = None
+            kinds = s.kinds
+            pcs = s.pcs
+            fbuf = s.fbuf
+            fbuf_cap = s.fbuf_cap
+            fetch_width = s.config.fetch_width
+            n = s.n
+            bp = s.bp
+            while (fetched < fetch_width and s.fetch_idx < n
+                   and len(fbuf) < fbuf_cap):
+                pc = pcs[s.fetch_idx]
+                line = pc >> 6
+                if line != s.last_fetch_line:
+                    tlb_lat = s.itlb.access(pc)
+                    ic_lat = s.hier.access_inst(pc)
+                    s.last_fetch_line = line
+                    if tlb_lat or ic_lat:
+                        s.fetch_stall_until = cycle + tlb_lat + ic_lat
+                        s.fetch_stall_kind = (
+                            "tlb" if tlb_lat >= ic_lat else "icache"
+                        )
+                        break
+                idx = s.fetch_idx
+                k = kinds[idx]
+                if k == BRANCH:
+                    taken = bool(s.takens[idx])
+                    pred = bp.predict(pc)
+                    bp.record(pred, taken)
+                    bp.update(pc, taken)
+                    fbuf.append(idx)
+                    s.fetch_idx += 1
+                    fetched += 1
+                    if pred != taken:
+                        s.redirect_branch = idx
+                        break
+                    # Correctly predicted taken branches redirect within
+                    # the cycle (BTB hit); fetch continues at the
+                    # target, whose line is checked on the next op.
+                else:
+                    fbuf.append(idx)
+                    s.fetch_idx += 1
+                    fetched += 1
+        s.fetched = fetched
+
+        # Fetch-stage cycle classification (Fig. 7a).
+        stats = s.stats
+        if fetched > 0:
+            stats.fetch_active_cycles += 1
+        elif s.redirect_branch >= 0:
+            stats.fetch_squash_cycles += 1
+        elif s.fetch_stall_kind == "icache":
+            stats.fetch_icache_stall_cycles += 1
+        elif s.fetch_stall_kind == "tlb":
+            stats.fetch_tlb_cycles += 1
+        else:
+            stats.fetch_misc_stall_cycles += 1

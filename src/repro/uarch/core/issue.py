@@ -1,0 +1,96 @@
+"""Issue stage: out-of-order scheduler plus load/store unit.
+
+Issue is oldest-first within a bounded scheduler window, with two
+refinements the monolithic loop had: ready branches are scanned first
+(real cores prioritize branch resolution to cut recovery time, two
+resolution ports), and loads are gated by L1D MSHR occupancy so a
+burst of misses throttles further memory issue.
+"""
+
+from __future__ import annotations
+
+from ...trace.ops import BRANCH, LOAD, PAUSE, STORE
+from .state import KIND_KEYS
+
+__all__ = ["IssueQueue"]
+
+
+class IssueQueue:
+    """Dependence-checked OoO issue; memory ops access the hierarchy."""
+
+    def tick(self, s):
+        cycle = s.cycle
+        if s.outstanding_misses:
+            s.outstanding_misses = [
+                t for t in s.outstanding_misses if t > cycle
+            ]
+        completion = s.completion
+        kinds = s.kinds
+        dep1s = s.dep1s
+        dep2s = s.dep2s
+        iq = s.iq
+        window = s.window
+        lat_table = s.lat_table
+        counts = s.issued_by_kind
+        issued = 0
+        # Branches resolve early: scan the window for ready branches
+        # first.
+        i = 0
+        iq_len = len(iq)
+        while i < iq_len and i < window:
+            idx = iq[i]
+            if kinds[idx] == BRANCH:
+                d1 = dep1s[idx]
+                t = completion[idx - d1] if d1 else 0
+                if 0 <= t <= cycle:
+                    completion[idx] = cycle + lat_table[BRANCH]
+                    iq.pop(i)
+                    iq_len -= 1
+                    issued += 1
+                    counts["branch"] += 1
+                    if issued >= 2:  # branch-resolution ports
+                        break
+                    continue
+            i += 1
+        hier = s.hier
+        outstanding = s.outstanding_misses
+        l1d_hit_lat = s.l1d_hit_lat
+        mshrs = s.mshrs
+        issue_width = s.config.issue_width
+        i = 0
+        while issued < issue_width and i < iq_len and i < window:
+            idx = iq[i]
+            d1 = dep1s[idx]
+            ready = True
+            if d1:
+                t = completion[idx - d1]
+                if t < 0 or t > cycle:
+                    ready = False
+            if ready:
+                d2 = dep2s[idx]
+                if d2:
+                    t = completion[idx - d2]
+                    if t < 0 or t > cycle:
+                        ready = False
+            k = kinds[idx]
+            if ready and k == LOAD and len(outstanding) >= mshrs:
+                ready = False
+            if ready:
+                if k == LOAD:
+                    lat = hier.access_data(s.addrs[idx])
+                    if lat > l1d_hit_lat:
+                        outstanding.append(cycle + lat)
+                elif k == STORE:
+                    hier.access_data(s.addrs[idx])
+                    lat = 1
+                elif k == PAUSE:
+                    lat = s.config.pause_latency
+                else:
+                    lat = lat_table[k]
+                completion[idx] = cycle + lat
+                iq.pop(i)
+                iq_len -= 1
+                issued += 1
+                counts[KIND_KEYS[k]] += 1
+            else:
+                i += 1

@@ -1,0 +1,104 @@
+"""Pluggable per-cycle observers: TMA slot accounting and hotspots.
+
+Observers watch the pipeline without influencing it.  Two hook points
+per cycle: ``on_dispatch`` fires after the dispatch stage (front-end
+state still reflects the cycle's start — exactly what slot
+classification needs) and ``on_cycle_end`` fires after fetch.
+``finalize`` runs once, after the last cycle, to publish results into
+the :class:`~repro.uarch.stats.SimStats`.
+
+The default observer set reproduces the monolithic simulator's
+accounting bit for bit; custom observers (e.g. per-cycle traces,
+occupancy histograms) can be appended without touching stage code.
+"""
+
+from __future__ import annotations
+
+from ...trace.ops import LOAD
+
+__all__ = ["Observer", "TMASlotClassifier", "HotspotSampler"]
+
+
+class Observer:
+    """No-op base class for per-cycle pipeline observers."""
+
+    def on_dispatch(self, s):
+        """After dispatch, before fetch mutates front-end state."""
+
+    def on_cycle_end(self, s):
+        """After fetch, just before the cycle counter advances."""
+
+    def finalize(self, s):
+        """Once, after the simulation loop ends."""
+
+
+class TMASlotClassifier(Observer):
+    """Top-down slot accounting, exactly as TMA does it.
+
+    Every cycle contributes ``dispatch_width`` slots: retiring
+    (dispatched ops — every trace op eventually retires), bad
+    speculation (mispredict recovery bubbles), front-end bound
+    (latency: I-cache/ITLB; bandwidth: taken-branch and buffer-fill
+    limits), and back-end bound (memory vs core by the blocking
+    resource and the state of the ROB head).
+    """
+
+    def on_dispatch(self, s):
+        stats = s.stats
+        dispatched = s.dispatched
+        stats.slots_retiring += dispatched
+        leftover = s.width - dispatched
+        if not leftover:
+            return
+        block_reason = s.block_reason
+        if block_reason == "frontend":
+            if s.redirect_branch >= 0:
+                stats.slots_bad_spec += leftover
+            elif s.fetch_stall_kind is not None:
+                stats.slots_fe_latency += leftover
+            else:
+                stats.slots_fe_bandwidth += leftover
+        elif block_reason == "serialize":
+            stats.slots_be_core += leftover
+            stats.serialize_stall_cycles += 1
+        elif block_reason in ("lq", "sq"):
+            stats.slots_be_memory += leftover
+        elif block_reason in ("rob", "iq"):
+            # Classify by what the oldest instruction is waiting on.
+            rob = s.rob
+            if rob:
+                head = rob[0]
+                t = s.completion[head]
+                if s.kinds[head] == LOAD and (t < 0 or t > s.cycle):
+                    stats.slots_be_memory += leftover
+                else:
+                    stats.slots_be_core += leftover
+            else:
+                stats.slots_be_core += leftover
+        else:
+            stats.slots_be_core += leftover
+
+
+class HotspotSampler(Observer):
+    """VTune-style clocktick attribution.
+
+    Each cycle belongs to the oldest in-flight instruction's function
+    (ROB head; the next fetch target when the window is empty).
+    """
+
+    def __init__(self):
+        self.func_ticks = {}
+
+    def on_cycle_end(self, s):
+        rob = s.rob
+        if rob:
+            fid = s.funcs[rob[0]]
+        elif s.fetch_idx < s.n:
+            fid = s.funcs[s.fetch_idx]
+        else:
+            fid = s.funcs[-1]
+        ticks = self.func_ticks
+        ticks[fid] = ticks.get(fid, 0) + 1
+
+    def finalize(self, s):
+        s.stats.func_clockticks = self.func_ticks

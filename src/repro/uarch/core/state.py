@@ -1,0 +1,174 @@
+"""Shared core state and the functional warmup pass.
+
+``CoreState`` is the single mutable object the pipeline stages operate
+on: the decoded trace (plain Python lists — the cycle loop's hot path),
+the microarchitectural structures (ROB, IQ, fetch buffer, LSQ
+occupancy), the memory machinery (cache hierarchy, ITLB, branch
+predictor), and the per-cycle handoff fields each stage publishes for
+the next (``dispatched``, ``block_reason``, ``fetched``).
+
+Keeping every field on one ``__slots__`` object — rather than spread
+across stage instances — is what lets the staged simulator reproduce
+the monolithic loop bit for bit: stages read and write the same state
+in the same order the single function did.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ...trace.ops import (
+    BRANCH, FP_ADD, FP_DIV, FP_MUL, INT_ALU, LOAD, PAUSE, STORE,
+)
+from ..branch import make_predictor
+from ..hierarchy import MemoryHierarchy
+from ..tlb import TLB
+
+__all__ = ["CoreState", "KIND_KEYS", "functional_warmup", "make_machinery"]
+
+# Execution-unit class of each op kind (Fig. 7's stat buckets).
+KIND_KEYS = {
+    INT_ALU: "int",
+    FP_ADD: "fp",
+    FP_MUL: "fp",
+    FP_DIV: "fp",
+    LOAD: "load",
+    STORE: "store",
+    BRANCH: "branch",
+    PAUSE: "pause",
+}
+
+
+def make_machinery(config):
+    """Build the (hierarchy, itlb, predictor) triple for a config."""
+    hier = MemoryHierarchy(config)
+    itlb = TLB(config.itlb_entries,
+               max(int(round(config.itlb_miss_penalty_ns * config.freq_ghz)),
+                   1))
+    bp = make_predictor(config.branch_predictor)
+    return hier, itlb, bp
+
+
+def functional_warmup(trace, hier, itlb, bp):
+    """Warm caches, TLB, and branch predictor with one functional pass.
+
+    Trace-driven timing on short traces is otherwise dominated by
+    compulsory misses that a real profiling run (billions of
+    instructions) never sees.  Capacity and conflict behavior is
+    unaffected: the timed pass replays the same reference stream.
+    """
+    kinds = trace.kind.tolist()
+    addrs = trace.addr.tolist()
+    pcs = trace.pc.tolist()
+    takens = trace.taken.tolist()
+    last_line = -1
+    for i in range(len(kinds)):
+        k = kinds[i]
+        pc = pcs[i]
+        line = pc >> 6
+        if line != last_line:
+            itlb.access(pc)
+            hier.access_inst(pc)
+            last_line = line
+        if k == LOAD or k == STORE:
+            hier.access_data(addrs[i])
+        elif k == BRANCH:
+            bp.predict(pc)
+            bp.update(pc, bool(takens[i]))
+
+
+class CoreState:
+    """Every mutable datum of one in-flight simulation."""
+
+    __slots__ = (
+        # decoded trace (lists: ~2x faster element access than ndarrays)
+        "n", "kinds", "addrs", "pcs", "takens", "dep1s", "dep2s", "funcs",
+        # configuration and derived constants
+        "config", "lat_table", "l1d_hit_lat", "mshrs", "window", "width",
+        "limit", "fbuf_cap",
+        # memory machinery
+        "hier", "itlb", "bp",
+        # microarchitectural structures
+        "completion", "rob", "iq", "fbuf",
+        "fetch_idx", "committed", "lq_used", "sq_used", "cycle",
+        "last_fetch_line", "fetch_stall_until", "fetch_stall_kind",
+        "redirect_branch", "serialize_until", "outstanding_misses",
+        # per-cycle stage handoffs
+        "dispatched", "block_reason", "fetched",
+        # stage-owned counters
+        "issued_by_kind", "committed_by_kind",
+        # the stats object stages and observers write into
+        "stats",
+    )
+
+    def __init__(self, trace, config, stats, max_cycles=None, warm=True):
+        n = len(trace)
+        self.n = n
+        self.kinds = trace.kind.tolist()
+        self.addrs = trace.addr.tolist()
+        self.pcs = trace.pc.tolist()
+        self.takens = trace.taken.tolist()
+        self.dep1s = trace.dep1.tolist()
+        self.dep2s = trace.dep2.tolist()
+        self.funcs = trace.func.tolist()
+
+        self.config = config
+        self.stats = stats
+
+        self.hier, self.itlb, self.bp = make_machinery(config)
+        if warm:
+            functional_warmup(trace, self.hier, self.itlb, self.bp)
+            self.reset_machinery_stats()
+
+        self.lat_table = {
+            INT_ALU: config.int_latency,
+            FP_ADD: config.fp_add_latency,
+            FP_MUL: config.fp_mul_latency,
+            FP_DIV: config.fp_div_latency,
+            BRANCH: config.int_latency,
+        }
+        self.l1d_hit_lat = config.l1d.hit_latency
+        self.mshrs = config.l1d.mshrs
+        self.window = config.scheduler_window
+        self.width = config.dispatch_width
+        self.limit = (max_cycles if max_cycles is not None
+                      else 400 * n + 10_000)
+        self.fbuf_cap = 8 * config.fetch_width  # decoupled front end
+
+        self.completion = [-1] * n  # -1 = not issued yet
+        self.rob = deque()
+        self.iq = []
+        self.fbuf = deque()
+
+        self.fetch_idx = 0
+        self.committed = 0
+        self.lq_used = 0
+        self.sq_used = 0
+        self.cycle = 0
+        self.last_fetch_line = -1
+        self.fetch_stall_until = 0
+        self.fetch_stall_kind = None  # "icache" | "tlb"
+        self.redirect_branch = -1     # index of unresolved mispredicted br
+        self.serialize_until = 0
+        self.outstanding_misses = []  # completion cycles of L1D misses
+
+        self.dispatched = 0
+        self.block_reason = None
+        self.fetched = 0
+
+        zero = {"int": 0, "fp": 0, "load": 0, "store": 0, "branch": 0,
+                "pause": 0}
+        self.issued_by_kind = dict(zero)
+        self.committed_by_kind = dict(zero)
+
+    def reset_machinery_stats(self):
+        """Zero the warmup pass out of every machinery counter."""
+        hier = self.hier
+        for cache in (hier.l1i, hier.l1d, hier.l2, hier.l3):
+            if cache is not None:
+                cache.reset_stats()
+        hier.dram_accesses = 0
+        hier.dram_bytes = 0
+        self.itlb.reset_stats()
+        self.bp.lookups = 0
+        self.bp.mispredicts = 0

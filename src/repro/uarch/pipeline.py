@@ -1,386 +1,21 @@
-"""The trace-driven out-of-order pipeline model.
+"""Compatibility shim for the pre-refactor monolithic simulator.
 
-A cycle-level model of a modern OoO core in the gem5 X86O3CPU mold:
+The cycle-level model now lives in :mod:`repro.uarch.core` as explicit
+pipeline-stage components (``FrontEnd``, ``Dispatch``, ``IssueQueue``,
+``Commit``) over a shared ``CoreState``, with TMA slot accounting and
+hotspot sampling as pluggable observers, plus a vectorized interval
+tier.  This module keeps the old import paths working:
 
-* **fetch** — up to ``fetch_width`` micro-ops per cycle through the L1I +
-  ITLB, one taken branch per cycle, branch prediction with redirect
-  stalls on mispredicts;
-* **dispatch** — in-order insertion into ROB/IQ subject to ROB, IQ, LQ,
-  SQ occupancy; PAUSE serializes (drains the ROB and blocks dispatch);
-* **issue** — out-of-order, oldest-first within a scheduler window,
-  dependence-checked against producer completion times; loads/stores
-  access the cache hierarchy at issue, bounded by L1D MSHRs;
-* **commit** — in-order, up to ``commit_width`` per cycle.
-
-Every cycle contributes ``dispatch_width`` top-down slots, classified
-exactly as TMA does: retiring (dispatched uops — every trace op
-eventually retires), bad speculation (mispredict recovery bubbles),
-front-end bound (latency: I-cache/ITLB; bandwidth: taken-branch and
-buffer-fill limits), and back-end bound (memory vs core by the blocking
-resource and the state of the ROB head).
+* ``repro.uarch.pipeline.simulate`` — the tiered entry point
+  (``model="cycle"`` reproduces the old function bit for bit).
+* ``repro.uarch.pipeline._functional_warmup`` — the warmup pass, now
+  :func:`repro.uarch.core.state.functional_warmup`.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
-from ..trace.ops import BRANCH, FP_ADD, FP_DIV, FP_MUL, INT_ALU, LOAD, PAUSE, STORE
-from .branch import make_predictor
-from .hierarchy import MemoryHierarchy
-from .stats import SimStats
-from .tlb import TLB
+from .core import simulate
+from .core.state import KIND_KEYS as _KIND_KEYS
+from .core.state import functional_warmup as _functional_warmup
 
 __all__ = ["simulate"]
-
-_KIND_KEYS = {
-    INT_ALU: "int",
-    FP_ADD: "fp",
-    FP_MUL: "fp",
-    FP_DIV: "fp",
-    LOAD: "load",
-    STORE: "store",
-    BRANCH: "branch",
-    PAUSE: "pause",
-}
-
-
-def _functional_warmup(trace, hier, itlb, bp):
-    """Warm caches, TLB, and branch predictor with one functional pass.
-
-    Trace-driven timing on short traces is otherwise dominated by
-    compulsory misses that a real profiling run (billions of
-    instructions) never sees.  Capacity and conflict behavior is
-    unaffected: the timed pass replays the same reference stream.
-    """
-    kinds = trace.kind.tolist()
-    addrs = trace.addr.tolist()
-    pcs = trace.pc.tolist()
-    takens = trace.taken.tolist()
-    last_line = -1
-    for i in range(len(kinds)):
-        k = kinds[i]
-        pc = pcs[i]
-        line = pc >> 6
-        if line != last_line:
-            itlb.access(pc)
-            hier.access_inst(pc)
-            last_line = line
-        if k == LOAD or k == STORE:
-            hier.access_data(addrs[i])
-        elif k == BRANCH:
-            bp.predict(pc)
-            bp.update(pc, bool(takens[i]))
-
-
-def simulate(trace, config, max_cycles=None, warm=True):
-    """Run ``trace`` through a core configured by ``config``.
-
-    ``warm=True`` (default) performs a functional warmup pass first so
-    counters reflect steady-state behavior rather than cold-start
-    compulsory misses.  Returns a fully populated
-    :class:`~repro.uarch.stats.SimStats`.
-    """
-    n = len(trace)
-    stats = SimStats(config.name, config.freq_ghz)
-    stats.instructions = n
-    stats.dispatch_width = config.dispatch_width
-    if n == 0:
-        return stats
-
-    kinds = trace.kind.tolist()
-    addrs = trace.addr.tolist()
-    pcs = trace.pc.tolist()
-    takens = trace.taken.tolist()
-    dep1s = trace.dep1.tolist()
-    dep2s = trace.dep2.tolist()
-    funcs = trace.func.tolist()
-
-    hier = MemoryHierarchy(config)
-    itlb = TLB(config.itlb_entries,
-               max(int(round(config.itlb_miss_penalty_ns * config.freq_ghz)), 1))
-    bp = make_predictor(config.branch_predictor)
-    if warm:
-        _functional_warmup(trace, hier, itlb, bp)
-        for cache in (hier.l1i, hier.l1d, hier.l2, hier.l3):
-            if cache is not None:
-                cache.reset_stats()
-        hier.dram_accesses = 0
-        hier.dram_bytes = 0
-        itlb.reset_stats()
-        bp.lookups = 0
-        bp.mispredicts = 0
-
-    lat_table = {
-        INT_ALU: config.int_latency,
-        FP_ADD: config.fp_add_latency,
-        FP_MUL: config.fp_mul_latency,
-        FP_DIV: config.fp_div_latency,
-        BRANCH: config.int_latency,
-    }
-
-    completion = [-1] * n  # -1 = not issued yet
-    rob = deque()
-    iq = []
-    fbuf = deque()
-    fbuf_cap = 8 * config.fetch_width  # decoupled front end
-
-    fetch_idx = 0
-    committed = 0
-    lq_used = 0
-    sq_used = 0
-    cycle = 0
-    last_fetch_line = -1
-    fetch_stall_until = 0
-    fetch_stall_kind = None  # "icache" | "tlb"
-    redirect_branch = -1     # index of unresolved mispredicted branch
-    serialize_until = 0
-    outstanding_misses = []  # completion cycles of in-flight L1D misses
-    l1d_hit_lat = config.l1d.hit_latency
-    mshrs = config.l1d.mshrs
-    window = config.scheduler_window
-    width = config.dispatch_width
-    limit = max_cycles if max_cycles is not None else 400 * n + 10_000
-
-    kind_counts = {"int": 0, "fp": 0, "load": 0, "store": 0, "branch": 0,
-                   "pause": 0}
-    func_ticks = {}
-
-    while committed < n and cycle < limit:
-        # ------------------------------------------------ commit stage
-        c = 0
-        while rob and c < config.commit_width:
-            head = rob[0]
-            t = completion[head]
-            if t < 0 or t > cycle:
-                break
-            rob.popleft()
-            committed += 1
-            c += 1
-            k = kinds[head]
-            if k == LOAD:
-                lq_used -= 1
-            elif k == STORE:
-                sq_used -= 1
-
-        # ------------------------------------------------ issue stage
-        if outstanding_misses:
-            outstanding_misses = [t for t in outstanding_misses if t > cycle]
-        issued = 0
-        # Branches resolve early: scan the window for ready branches first
-        # (real cores prioritize branch resolution to cut recovery time).
-        i = 0
-        iq_len = len(iq)
-        while i < iq_len and i < window:
-            idx = iq[i]
-            if kinds[idx] == BRANCH:
-                d1 = dep1s[idx]
-                t = completion[idx - d1] if d1 else 0
-                if 0 <= t <= cycle:
-                    completion[idx] = cycle + lat_table[BRANCH]
-                    iq.pop(i)
-                    iq_len -= 1
-                    issued += 1
-                    if issued >= 2:  # branch-resolution ports
-                        break
-                    continue
-            i += 1
-        i = 0
-        while issued < config.issue_width and i < iq_len and i < window:
-            idx = iq[i]
-            d1 = dep1s[idx]
-            ready = True
-            if d1:
-                t = completion[idx - d1]
-                if t < 0 or t > cycle:
-                    ready = False
-            if ready:
-                d2 = dep2s[idx]
-                if d2:
-                    t = completion[idx - d2]
-                    if t < 0 or t > cycle:
-                        ready = False
-            k = kinds[idx]
-            if ready and k == LOAD and len(outstanding_misses) >= mshrs:
-                ready = False
-            if ready:
-                if k == LOAD:
-                    lat = hier.access_data(addrs[idx])
-                    if lat > l1d_hit_lat:
-                        outstanding_misses.append(cycle + lat)
-                elif k == STORE:
-                    hier.access_data(addrs[idx])
-                    lat = 1
-                elif k == PAUSE:
-                    lat = config.pause_latency
-                else:
-                    lat = lat_table[k]
-                completion[idx] = cycle + lat
-                iq.pop(i)
-                iq_len -= 1
-                issued += 1
-            else:
-                i += 1
-
-        # ------------------------------------------------ dispatch stage
-        dispatched = 0
-        block_reason = None
-        while dispatched < width:
-            if not fbuf:
-                block_reason = "frontend"
-                break
-            if cycle < serialize_until:
-                block_reason = "serialize"
-                break
-            idx = fbuf[0]
-            k = kinds[idx]
-            if k == PAUSE and rob:
-                block_reason = "serialize"
-                break
-            if len(rob) >= config.rob_entries:
-                block_reason = "rob"
-                break
-            if len(iq) >= config.iq_entries:
-                block_reason = "iq"
-                break
-            if k == LOAD and lq_used >= config.lq_entries:
-                block_reason = "lq"
-                break
-            if k == STORE and sq_used >= config.sq_entries:
-                block_reason = "sq"
-                break
-            fbuf.popleft()
-            rob.append(idx)
-            iq.append(idx)
-            if k == LOAD:
-                lq_used += 1
-            elif k == STORE:
-                sq_used += 1
-            elif k == PAUSE:
-                serialize_until = cycle + config.pause_latency
-                stats.pause_ops += 1
-            kind_counts[_KIND_KEYS[k]] += 1
-            dispatched += 1
-
-        # Top-down slot classification for this cycle.
-        stats.slots_retiring += dispatched
-        leftover = width - dispatched
-        if leftover:
-            if block_reason == "frontend":
-                if redirect_branch >= 0:
-                    stats.slots_bad_spec += leftover
-                elif fetch_stall_kind is not None:
-                    stats.slots_fe_latency += leftover
-                else:
-                    stats.slots_fe_bandwidth += leftover
-            elif block_reason == "serialize":
-                stats.slots_be_core += leftover
-                stats.serialize_stall_cycles += 1
-            elif block_reason in ("lq", "sq"):
-                stats.slots_be_memory += leftover
-            elif block_reason in ("rob", "iq"):
-                # Classify by what the oldest instruction is waiting on.
-                if rob:
-                    head = rob[0]
-                    t = completion[head]
-                    if kinds[head] == LOAD and (t < 0 or t > cycle):
-                        stats.slots_be_memory += leftover
-                    else:
-                        stats.slots_be_core += leftover
-                else:
-                    stats.slots_be_core += leftover
-            else:
-                stats.slots_be_core += leftover
-
-        # ------------------------------------------------ fetch stage
-        fetched = 0
-        squash_pending = redirect_branch >= 0
-        if squash_pending:
-            t = completion[redirect_branch]
-            if 0 <= t and cycle >= t + config.mispredict_penalty:
-                redirect_branch = -1
-                squash_pending = False
-        if not squash_pending and cycle >= fetch_stall_until:
-            fetch_stall_kind = None
-            while (fetched < config.fetch_width and fetch_idx < n
-                   and len(fbuf) < fbuf_cap):
-                pc = pcs[fetch_idx]
-                line = pc >> 6
-                if line != last_fetch_line:
-                    tlb_lat = itlb.access(pc)
-                    ic_lat = hier.access_inst(pc)
-                    last_fetch_line = line
-                    if tlb_lat or ic_lat:
-                        fetch_stall_until = cycle + tlb_lat + ic_lat
-                        fetch_stall_kind = (
-                            "tlb" if tlb_lat >= ic_lat else "icache"
-                        )
-                        break
-                idx = fetch_idx
-                k = kinds[idx]
-                if k == BRANCH:
-                    taken = bool(takens[idx])
-                    pred = bp.predict(pc)
-                    bp.record(pred, taken)
-                    bp.update(pc, taken)
-                    fbuf.append(idx)
-                    fetch_idx += 1
-                    fetched += 1
-                    if pred != taken:
-                        redirect_branch = idx
-                        break
-                    # Correctly predicted taken branches redirect within
-                    # the cycle (BTB hit); fetch continues at the target,
-                    # whose line is checked on the next op as usual.
-                else:
-                    fbuf.append(idx)
-                    fetch_idx += 1
-                    fetched += 1
-
-        # Fetch-stage cycle classification (Fig. 7a).
-        if fetched > 0:
-            stats.fetch_active_cycles += 1
-        elif redirect_branch >= 0:
-            stats.fetch_squash_cycles += 1
-        elif fetch_stall_kind == "icache":
-            stats.fetch_icache_stall_cycles += 1
-        elif fetch_stall_kind == "tlb":
-            stats.fetch_tlb_cycles += 1
-        else:
-            stats.fetch_misc_stall_cycles += 1
-
-        # Hotspot attribution: the cycle belongs to the oldest in-flight
-        # instruction's function (VTune-style clocktick sampling).
-        if rob:
-            fid = funcs[rob[0]]
-        elif fetch_idx < n:
-            fid = funcs[fetch_idx]
-        else:
-            fid = funcs[-1]
-        func_ticks[fid] = func_ticks.get(fid, 0) + 1
-
-        cycle += 1
-
-    if committed < n:
-        raise RuntimeError(
-            f"simulation did not finish: {committed}/{n} ops in {cycle} "
-            f"cycles (deadlock or max_cycles too small)"
-        )
-
-    stats.cycles = cycle
-    stats.issued_by_kind = dict(kind_counts)
-    stats.committed_by_kind = dict(kind_counts)
-    stats.branches = bp.lookups
-    stats.branch_mispredicts = bp.mispredicts
-    stats.cache = {
-        "l1i": {"accesses": hier.l1i.accesses, "misses": hier.l1i.misses},
-        "l1d": {"accesses": hier.l1d.accesses, "misses": hier.l1d.misses},
-        "l2": {"accesses": hier.l2.accesses, "misses": hier.l2.misses},
-    }
-    if hier.l3 is not None:
-        stats.cache["l3"] = {
-            "accesses": hier.l3.accesses, "misses": hier.l3.misses,
-        }
-    stats.dram_accesses = hier.dram_accesses
-    stats.dram_bytes = hier.dram_bytes
-    stats.func_clockticks = func_ticks
-    return stats

@@ -1,0 +1,46 @@
+"""Shared golden-fixture state for the simulator test modules.
+
+A plain helper module (not a conftest: the benchmark harness already
+owns the bare ``conftest`` import name) with process-wide memoization —
+the six default-scale gem5 traces are built once no matter how many
+test modules use them.
+"""
+
+import json
+import os
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+_golden = None
+_traces = None
+
+
+def gem5_golden():
+    """Committed seed-simulator SimStats for the six gem5 workloads."""
+    global _golden
+    if _golden is None:
+        with open(os.path.join(GOLDEN_DIR, "gem5_simstats.json")) as fh:
+            fixtures = json.load(fh)
+        # JSON round-trips func_clockticks keys as strings.
+        for fx in fixtures.values():
+            for mode in fx.values():
+                mode["func_clockticks"] = {
+                    int(k): v for k, v in mode["func_clockticks"].items()
+                }
+        _golden = fixtures
+    return _golden
+
+
+def gem5_traces():
+    """One default-scale, 80k-budget trace per gem5 workload (the grid
+    the golden fixtures were recorded on), built once per process."""
+    global _traces
+    if _traces is None:
+        from repro.core.runner import Runner
+
+        runner = Runner(use_disk_cache=False)
+        _traces = {
+            w: runner.trace_for(w, "default", 80_000)[0]
+            for w in gem5_golden()
+        }
+    return _traces

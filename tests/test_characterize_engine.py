@@ -1,0 +1,106 @@
+"""Engine-routed characterization and figure generation.
+
+``characterize()``, ``characterize_vtune_suite()``, and the
+simulation-backed figure generators expand to ``JobSpec`` lists and
+execute via ``run_jobs`` — results must be identical to the serial
+path for any worker count, for both fidelity tiers.
+"""
+
+import pytest
+
+from repro.core.characterize import (
+    Characterization,
+    characterize,
+    characterize_jobs,
+    characterize_vtune_suite,
+)
+from repro.core.figures import fig4_hotspots, fig7_pipeline_stages
+from repro.core.runner import Runner
+from repro.engine import Progress, run_jobs
+from repro.uarch.config import gem5_baseline, host_i9
+
+_FAST = dict(scale="tiny", budget=2000)
+
+
+def _no_cache_runner():
+    return Runner(use_disk_cache=False)
+
+
+def test_characterize_jobs_expand_the_suite():
+    jobs = characterize_jobs(["ar", "co"], model="interval", **_FAST)
+    assert [j.workload for j in jobs] == ["ar", "co"]
+    assert all(j.model == "interval" for j in jobs)
+    assert all(j.budget == 2000 for j in jobs)
+    # The host config is the default, as before the engine routing.
+    assert jobs[0].config.name == host_i9().name
+    # Tiers never share store keys.
+    cycle_jobs = characterize_jobs(["ar"], **_FAST)
+    assert cycle_jobs[0].key() != jobs[0].key()
+
+
+def test_characterize_single_accepts_model(tmp_path):
+    runner = Runner(cache_dir=tmp_path)
+    c = characterize("ar", runner=runner, model="interval", **_FAST)
+    assert c.workload == "ar"
+    assert c.metrics.ipc > 0
+    assert set(c.topdown.row()) >= {"workload", "retiring_pct"}
+    # The interval result was cached under a tier-suffixed key.
+    assert any("_interval-v" in k for k in runner.store.keys())
+
+
+@pytest.mark.parametrize("model", ("cycle", "interval"))
+def test_vtune_suite_parallel_identical_to_serial(model):
+    serial = characterize_vtune_suite(
+        runner=_no_cache_runner(), workers=1, model=model, **_FAST)
+    parallel = characterize_vtune_suite(
+        runner=_no_cache_runner(), workers=2, model=model, **_FAST)
+    assert len(serial) == len(parallel) == 12
+    for a, b in zip(serial, parallel):
+        assert a.workload == b.workload
+        assert a.stats.as_dict() == b.stats.as_dict()
+        assert a.summary() == b.summary()
+
+
+def test_suite_progress_counts_jobs():
+    progress = Progress(0, enabled=False)
+    chars = characterize_vtune_suite(
+        runner=_no_cache_runner(), workers=1, progress=progress,
+        model="interval", **_FAST)
+    assert progress.done == progress.total == len(chars) == 12
+
+
+def test_fig7_parallel_identical_to_serial():
+    serial = fig7_pipeline_stages(
+        scale="tiny", runner=_no_cache_runner(), workers=1,
+        model="interval")
+    parallel = fig7_pipeline_stages(
+        scale="tiny", runner=_no_cache_runner(), workers=2,
+        model="interval")
+    assert serial == parallel
+    assert [r["workload"] for r in serial["fetch"]] == [
+        "ar", "co", "dm", "ma", "rj", "tu"]
+
+
+def test_fig4_routes_through_engine(tmp_path):
+    runner = Runner(cache_dir=tmp_path)
+    rows = fig4_hotspots(runner=runner, workload_names=["ar", "ma"],
+                         workers=1, model="interval")
+    assert [r["workload"] for r in rows] == ["ar", "ma"]
+    assert all("category" in r for r in rows)
+    # Simulations went through JobSpec keys in the runner's store.
+    assert len(runner.store.keys()) == 2
+
+
+def test_run_jobs_mixed_tiers_share_one_trace(tmp_path):
+    # Same (workload, scale, budget): one memoized trace serves both
+    # tiers, and each tier lands under its own store key.
+    cfg = gem5_baseline()
+    jobs = characterize_jobs(["ar"], config=cfg, **_FAST)
+    jobs += characterize_jobs(["ar"], config=cfg, model="interval", **_FAST)
+    assert jobs[0].trace_key == jobs[1].trace_key
+    runner = Runner(cache_dir=tmp_path)
+    stats = run_jobs(jobs, workers=1, runner=runner)
+    assert stats[0].as_dict() != stats[1].as_dict()  # different tiers
+    assert len(runner.store.keys()) == 2
+    c = Characterization("ar", stats[1])
+    assert c.metrics.ipc > 0

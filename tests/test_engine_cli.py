@@ -52,8 +52,68 @@ def test_run_reports_metrics(cache_dir, capsys):
 def test_list_and_bad_workload(cache_dir, capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    assert "frequency" in out and "ar" in out
+    assert "frequency" in out and "ar" in out and "fig9" in out
 
     rc = main(["sweep", "l2", "--workloads", "nope", "--scale", "tiny",
                "--budget", "4000", "--quiet"])
     assert rc == 2
+
+
+def test_characterize_subcommand(cache_dir, capsys):
+    rc = main(["characterize", "ar", "co", "--scale", "tiny",
+               "--budget", "2000", "--workers", "2", "--quiet"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "characterization" in out and "ar" in out and "co" in out
+    assert "ipc" in out
+    rc = main(["characterize", "nope", "--scale", "tiny", "--quiet"])
+    assert rc == 2
+
+
+def test_characterize_interval_tier(cache_dir, capsys):
+    rc = main(["characterize", "ar", "--scale", "tiny", "--budget", "2000",
+               "--model", "interval", "--gem5", "--quiet"])
+    assert rc == 0
+    assert "model=interval" in capsys.readouterr().out
+    # Cached under the tier-suffixed, model-versioned key.
+    assert any("_interval-v" in f.name for f in cache_dir.iterdir())
+
+
+def test_figures_subcommand_writes_json(cache_dir, capsys, tmp_path):
+    import json as jsonlib
+
+    out_path = tmp_path / "fig7.json"
+    rc = main(["figures", "fig7", "--scale", "tiny", "--model", "interval",
+               "--quiet", "--out", str(out_path)])
+    assert rc == 0
+    data = jsonlib.loads(out_path.read_text())
+    assert set(data) == {"fetch", "execute", "commit"}
+    assert len(data["fetch"]) == 6
+
+    rc = main(["figures", "fig7", "--scale", "tiny", "--model", "interval",
+               "--quiet"])
+    assert rc == 0
+    printed = jsonlib.loads(capsys.readouterr().out)
+    assert printed == data
+
+
+def test_sweep_interval_model(cache_dir, capsys):
+    rc = main(["sweep", "l2", "--workloads", "ar", "--scale", "tiny",
+               "--budget", "4000", "--model", "interval", "--quiet"])
+    assert rc == 0
+    assert "model=interval" in capsys.readouterr().out
+
+
+def test_cache_prune_subcommand(cache_dir, capsys):
+    main(["sweep", "l2", "--workloads", "ar", "--scale", "tiny",
+          "--budget", "4000", "--quiet"])
+    capsys.readouterr()
+    # No cap anywhere: refuse rather than silently no-op.
+    rc = main(["cache", "prune"])
+    assert rc == 2
+    rc = main(["cache", "prune", "--max-mb", "0.0001"])
+    assert rc == 0
+    assert "pruned" in capsys.readouterr().out
+    rc = main(["cache", "stats"])
+    assert rc == 0
+    assert "evictions" in capsys.readouterr().out

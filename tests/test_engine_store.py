@@ -4,6 +4,8 @@ import json
 import multiprocessing
 import os
 
+import pytest
+
 from repro.engine.jobs import JobSpec, config_fingerprint, expand_grid
 from repro.engine.store import ResultStore
 from repro.uarch.config import gem5_baseline
@@ -22,6 +24,29 @@ def test_jobspec_keys_and_grid():
     jobs = expand_grid(("ar", "co"), [("a", cfg), ("b", cfg)], scale="tiny")
     assert [(j.workload, j.label) for j in jobs] == [
         ("ar", "a"), ("ar", "b"), ("co", "a"), ("co", "b")]
+
+
+def test_jobspec_model_tiers_get_distinct_keys():
+    cfg = gem5_baseline()
+    cycle = JobSpec("ar", cfg, scale="tiny", budget=4000)
+    interval = JobSpec("ar", cfg, scale="tiny", budget=4000,
+                       model="interval")
+    from repro.uarch.core import INTERVAL_VERSION
+
+    assert cycle.model == "cycle"
+    assert cycle.key() != interval.key()
+    # Approximate tiers carry their model version in the key, so a
+    # recalibration invalidates older cached results.
+    assert interval.key().endswith(f"_interval-v{INTERVAL_VERSION}")
+    # The cycle tier keeps the pre-tier key format (warm caches stay
+    # valid) and only it may fall back to legacy digest-keyed files.
+    assert not cycle.key().endswith("_cycle")
+    assert cycle.legacy_key() is not None
+    assert interval.legacy_key() is None
+    assert interval.meta()["model"] == "interval"
+
+    grid = expand_grid(("ar",), [("a", cfg)], model="interval")
+    assert all(j.model == "interval" for j in grid)
 
 
 def test_legacy_key_gated_by_digest_faithfulness():
@@ -130,6 +155,70 @@ def test_clear_resets_everything(tmp_path):
     s = store.stats()
     assert s["entries"] == 0
     assert s["hits"] == 0  # counters reset with the manifest
+
+
+# ----------------------------------------------------------------------
+# LRU eviction (REPRO_CACHE_MAX_MB)
+# ----------------------------------------------------------------------
+def _fill(store, count, pad=40):
+    for i in range(count):
+        store.put(f"k{i}", {"v": i, "pad": "x" * pad})
+
+
+def test_put_evicts_lru_beyond_cap(tmp_path):
+    store = ResultStore(tmp_path, max_bytes=400)
+    _fill(store, 10)
+    s = store.stats()
+    assert s["total_bytes"] <= 400
+    assert s["evictions"] > 0
+    # Newest entries survive; oldest were the victims.
+    keys = store.keys()
+    assert "k9" in keys and "k0" not in keys
+    # Evicted payload files are gone from disk too.
+    assert not (tmp_path / "k0.json").exists()
+    assert s["unindexed_files"] == 0
+
+
+def test_get_refreshes_lru_rank(tmp_path):
+    store = ResultStore(tmp_path, max_bytes=400)
+    _fill(store, 6)
+    oldest_survivor = store.keys()[0]
+    assert store.get(oldest_survivor) is not None  # refresh atime
+    store.put("fresh", {"pad": "y" * 40})
+    assert oldest_survivor in store.keys()
+
+
+def test_cap_from_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", str(400 / (1024 * 1024)))
+    store = ResultStore(tmp_path)
+    assert store.max_bytes == 400
+    _fill(store, 10)
+    assert store.stats()["total_bytes"] <= 400
+    monkeypatch.setenv("REPRO_CACHE_MAX_MB", "not-a-number")
+    assert ResultStore(tmp_path).max_bytes is None
+
+
+def test_uncapped_store_never_evicts(tmp_path):
+    store = ResultStore(tmp_path)
+    _fill(store, 10)
+    s = store.stats()
+    assert s["entries"] == 10
+    assert s["evictions"] == 0
+
+
+def test_prune_explicit_cap(tmp_path):
+    store = ResultStore(tmp_path)
+    _fill(store, 10)
+    before = store.stats()["total_bytes"]
+    removed, freed = store.prune(max_mb=200 / (1024 * 1024))
+    assert removed > 0 and freed > 0
+    after = store.stats()["total_bytes"]
+    assert after <= 200
+    assert before - after == freed
+    # No cap configured and none given: prune is a no-op.
+    assert ResultStore(tmp_path).prune() == (0, 0)
+    with pytest.raises(ValueError):
+        store.prune(max_mb=0)
 
 
 # ----------------------------------------------------------------------

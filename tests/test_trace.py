@@ -80,6 +80,32 @@ class TestTraceBuilder:
         assert trace.dep1[1] == 1  # depends on the load just before
         assert trace.taken[2] == 1
 
+    def test_kind_counts_single_bincount(self):
+        tb = TraceBuilder()
+        tb.set_function("blas_dot")
+        r = tb.region("v", 16)
+        for i in range(4):
+            x = tb.load(0, r, i)
+            tb.fp_mul(1, dep1=tb.dep_to(x))
+            tb.store(2, r, i)
+        tb.branch(3, taken=False)
+        tb.pause(4)
+        trace = tb.build()
+        counts = trace.kind_counts()
+        assert counts == {"int": 0, "fp_add": 0, "fp_mul": 4, "fp_div": 0,
+                          "load": 4, "store": 4, "branch": 1, "pause": 1}
+        assert sum(counts.values()) == len(trace)
+        assert trace.memory_ops() == 8
+        assert trace.branch_count() == 1
+        # One cached histogram backs all three summaries.
+        assert trace.kind_histogram() is trace.kind_histogram()
+
+    def test_kind_counts_empty_trace(self):
+        trace = TraceBuilder().build()
+        assert sum(trace.kind_counts().values()) == 0
+        assert trace.memory_ops() == 0
+        assert trace.branch_count() == 0
+
     def test_dep_to_distances(self):
         tb = TraceBuilder()
         tb.set_function("blas_dot")
