@@ -3,18 +3,23 @@
 Subcommands
 -----------
 ``repro sweep <name>``         run one paper sweep through the engine
+``repro study ax=v1,v2 ...``   run an arbitrary user-defined grid
 ``repro run <workload>``       simulate a single workload under a config
 ``repro characterize [w...]``  top-down + metrics for workloads (engine)
 ``repro figures <name>``       regenerate one figure's data as JSON
 ``repro cache stats``          result-store size and hit/miss accounting
 ``repro cache prune``          LRU-evict the store down to a size cap
 ``repro cache clear``          drop every cached result
-``repro list``                 available sweeps, figures, and workloads
+``repro list``                 sweeps, figures, study axes, workloads
 
-``sweep``, ``characterize``, and ``figures`` all execute through
-:mod:`repro.engine` job lists: ``--workers N`` fans out over a process
-pool, and ``--model interval`` swaps the cycle-accurate simulator for
-the vectorized interval tier (roughly an order of magnitude faster).
+``sweep``, ``study``, ``characterize``, and ``figures`` all execute
+through :mod:`repro.engine` studies: ``--workers N`` fans out over a
+process pool, ``--model interval`` swaps the cycle-accurate simulator
+for the vectorized interval tier (roughly an order of magnitude
+faster), and ``--policy adaptive`` scans the whole grid on the
+interval tier and re-runs only each workload's interesting region
+cycle-accurately, labeling every result cell with the tier that
+produced it.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from .core import sweeps
 from .core.characterize import characterize_jobs, run_characterizations
 from .core.runner import Runner, default_cache_dir
 from .engine import Progress, ResultStore, resolve_workers
+from .engine.study import AXIS_BUILDERS, POLICIES, Study, parse_axis
 from .io.textplot import render_table
 from .profiling import metric_set
 from .uarch import MODELS
@@ -95,34 +101,112 @@ def _finish_progress(progress):
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+def _resolve_policy(args):
+    """``--policy`` wins; otherwise ``--model`` names the single tier."""
+    return getattr(args, "policy", None) or args.model
+
+
+def _print_result_table(result, metric, title):
+    """Render a study result, marking non-top-tier cells with ``~``.
+
+    On a mixed (adaptive) table the accurate tier's cells print bare;
+    cells served by the scan tier keep a ``~`` prefix so approximate
+    numbers are never mistaken for cycle-accurate ones.
+    """
+    mixed = len(result.tier_counts()) > 1
+    fmt = "{:.4g}"  # readable for IPC (1.974) and seconds (1.044e-05)
+    tiers = result.tiers()
+    rows = []
+    for w, by_label in result.table().items():
+        row = {"workload": w}
+        for label, m in by_label.items():
+            value = fmt.format(getattr(m, metric))
+            if mixed and tiers[(w, label)] != "cycle":
+                value = "~" + value
+            row[str(label)] = value
+        rows.append(row)
+    print(render_table(rows, title=title))
+    if mixed:
+        counts = result.tier_counts()
+        grid = len(result.cells)
+        print(f"adaptive: {counts.get('cycle', 0)}/{grid} cells "
+              f"cycle-refined (~ = interval scan value); cycle jobs run: "
+              f"{result.jobs_run.get('cycle', 0)} of {grid} grid points")
+
+
 def cmd_sweep(args):
     fn = SWEEPS[args.name]
     workloads = _split_workloads(args.workloads)
     workers = resolve_workers(args.workers)
+    policy = _resolve_policy(args)
     kw = dict(workloads=workloads, scale=args.scale, budget=args.budget,
-              workers=workers, model=args.model)
+              workers=workers, policy=policy, metric=args.metric,
+              full_result=True)
     if args.cache_dir:
         kw["runner"] = Runner(cache_dir=args.cache_dir)
 
     progress = _progress(args, f"sweep:{args.name}")
     try:
-        data = fn(progress=progress, **kw)
+        result = fn(progress=progress, **kw)
     except KeyError as exc:
         print(f"error: unknown workload {exc}", file=sys.stderr)
         return 2
     _finish_progress(progress)
 
-    rows = []
-    for w, by_label in data.items():
-        row = {"workload": w}
-        for label, m in by_label.items():
-            row[str(label)] = getattr(m, args.metric)
-        rows.append(row)
-    print(render_table(
-        rows, floatfmt="{:.4f}",
+    _print_result_table(
+        result, args.metric,
         title=f"{args.name} sweep — {args.metric} "
               f"(scale={args.scale}, budget={args.budget}, "
-              f"workers={workers}, model={args.model})"))
+              f"workers={workers}, model={policy})")
+    return 0
+
+
+def cmd_study(args):
+    workers = resolve_workers(args.workers)
+    policy = _resolve_policy(args)
+    try:
+        axes = [parse_axis(spec) for spec in args.axes]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workloads = _split_workloads(args.workloads)
+    base = host_i9 if args.host else gem5_baseline
+    try:
+        study = Study("study", axes=axes, workloads=workloads, base=base,
+                      scale=args.scale, budget=args.budget,
+                      metric=args.metric)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.host and any(ax.name.endswith("_kb") for ax in axes):
+        print("note: cache axes use the paper's canonical per-level "
+              "geometry (assoc/latency), not the host preset's — "
+              "compare sizes within this study, not against "
+              "`repro characterize` host numbers", file=sys.stderr)
+    runner = Runner(cache_dir=args.cache_dir) if args.cache_dir else Runner()
+    progress = _progress(args, "study")
+    try:
+        result = study.run(policy=policy, workers=workers, runner=runner,
+                           progress=progress)
+    except KeyError as exc:
+        print(f"error: unknown workload {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # e.g. a cache size whose canonical geometry has no power-of-
+        # two set count — the grid is built lazily, at run time.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _finish_progress(progress)
+
+    _print_result_table(
+        result, args.metric,
+        title=f"{study.describe()} — {args.metric} "
+              f"(workers={workers}, model={policy})")
+    best = result.best(args.metric)
+    rows = [{"workload": w, "best": str(label),
+             "tier": result.tiers()[(w, label)]}
+            for w, label in best.items()]
+    print(render_table(rows, title=f"best {args.metric} per workload"))
     return 0
 
 
@@ -157,6 +241,7 @@ def cmd_characterize(args):
     workloads = (list(args.workloads)
                  or [spec.name for spec in vtune_workloads()])
     config = gem5_baseline() if args.gem5 else host_i9()
+    policy = _resolve_policy(args)
     jobs = characterize_jobs(workloads, config=config, scale=args.scale,
                              budget=args.budget, model=args.model)
     workers = resolve_workers(args.workers)
@@ -165,10 +250,17 @@ def cmd_characterize(args):
     runner = Runner(cache_dir=args.cache_dir) if args.cache_dir else Runner()
     progress = _progress(args, "characterize")
     try:
-        chars = run_characterizations(jobs, runner=runner, workers=workers,
-                                      progress=progress)
+        # Raw args.policy, not the resolved one: with no --policy the
+        # jobs already carry --model as their tier and run exactly as
+        # given (the resolved value only labels the table title).
+        chars = run_characterizations(
+            jobs, runner=runner, workers=workers, progress=progress,
+            policy=args.policy)
     except KeyError as exc:
         print(f"error: unknown workload {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     _finish_progress(progress)
 
@@ -181,7 +273,7 @@ def cmd_characterize(args):
         rows, floatfmt="{:.3f}",
         title=f"characterization — {config.name} (scale={args.scale}, "
               f"budget={args.budget}, workers={workers}, "
-              f"model={args.model})"))
+              f"model={policy})"))
     return 0
 
 
@@ -193,6 +285,7 @@ def cmd_figures(args):
     if "workers" in accepted:
         kw["workers"] = resolve_workers(args.workers)
         kw["model"] = args.model
+        kw["policy"] = args.policy
         if not args.quiet:
             kw["progress"] = Progress(0, label=args.name)
     else:
@@ -200,6 +293,8 @@ def cmd_figures(args):
             dropped.append("--workers")
         if args.model != "cycle":
             dropped.append("--model")
+        if args.policy is not None:
+            dropped.append("--policy")
     if "scale" in accepted:
         if args.scale is not None:
             kw["scale"] = args.scale
@@ -268,6 +363,8 @@ def cmd_list(args):
     print("\nfigures:")
     for name in sorted(FIGURES, key=lambda n: int(n[3:])):
         print(f"  {name:10s} {FIGURES[name].__doc__.splitlines()[0]}")
+    print("\nstudy axes (repro study name=v1,v2,...):")
+    print("  " + ", ".join(sorted(AXIS_BUILDERS)))
     print("\nworkloads:")
     print("  " + ", ".join(sorted(workload_names())))
     return 0
@@ -278,6 +375,14 @@ def _add_model_arg(p):
     p.add_argument("--model", choices=MODELS, default="cycle",
                    help="simulator fidelity tier (interval = fast "
                         "vectorized estimate)")
+
+
+def _add_policy_arg(p):
+    p.add_argument("--policy", choices=POLICIES, default=None,
+                   help="execution policy; adaptive = interval scan of "
+                        "the full grid, then cycle-accurate re-run of "
+                        "each workload's interesting region "
+                        "(default: the --model tier)")
 
 
 def build_parser():
@@ -302,9 +407,34 @@ def build_parser():
     p.add_argument("--budget", type=int, default=80_000)
     p.add_argument("--metric", choices=_METRICS, default="ipc")
     _add_model_arg(p)
+    _add_policy_arg(p)
     p.add_argument("--quiet", action="store_true",
                    help="suppress the progress meter")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "study",
+        help="run a user-defined sweep grid (axis=v1,v2,... specs)")
+    p.add_argument("axes", nargs="+", metavar="AXIS=VALUES",
+                   help="swept axes, e.g. l2_kb=256,512 freq_ghz=2,3 "
+                        "(see `repro list` for axis names)")
+    p.add_argument("--workloads", default="",
+                   help="comma-separated workload names "
+                        "(default: the gem5 six)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (0 = all cores; "
+                        "default: REPRO_WORKERS or 1)")
+    p.add_argument("--scale", default="default")
+    p.add_argument("--budget", type=int, default=80_000)
+    p.add_argument("--metric", choices=_METRICS, default="seconds")
+    p.add_argument("--host", action="store_true",
+                   help="sweep over the host-i9 config instead of the "
+                        "gem5 Table II baseline")
+    _add_model_arg(p)
+    _add_policy_arg(p)
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the progress meter")
+    p.set_defaults(func=cmd_study)
 
     p = sub.add_parser("run", help="simulate one workload")
     p.add_argument("workload")
@@ -331,6 +461,7 @@ def build_parser():
     p.add_argument("--gem5", action="store_true",
                    help="use the gem5 Table II baseline instead of host-i9")
     _add_model_arg(p)
+    _add_policy_arg(p)
     p.add_argument("--quiet", action="store_true",
                    help="suppress the progress meter")
     p.set_defaults(func=cmd_characterize)
@@ -344,6 +475,7 @@ def build_parser():
     p.add_argument("--scale", default=None,
                    help="trace scale override (figure-specific default)")
     _add_model_arg(p)
+    _add_policy_arg(p)
     p.add_argument("--out", default=None,
                    help="write JSON here instead of stdout")
     p.add_argument("--quiet", action="store_true",

@@ -5,10 +5,13 @@ breakdown, stall split, hotspot report, and metric set for any workload
 on either the host (VTune) or gem5-baseline configuration.
 
 Characterization executes through :mod:`repro.engine` like the sweeps:
-a suite expands to a :class:`~repro.engine.jobs.JobSpec` list and runs
-via ``run_jobs`` — so ``workers=N`` fans the workloads out over a
-process pool, ``progress=`` reports completions, and ``model=`` picks
-the simulator fidelity tier.  Results are identical to the serial path
+a suite is a single-point :class:`~repro.engine.study.Study` (one
+config, many workloads) whose jobs run via ``run_jobs`` — so
+``workers=N`` fans the workloads out over a process pool,
+``progress=`` reports completions, ``model=`` picks the simulator
+fidelity tier, and ``policy=`` selects the execution policy
+(``adaptive`` interval-scans the suite before re-running it
+cycle-accurately).  Results are identical to the serial path
 regardless of worker count.
 """
 
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 from ..engine import run_jobs
 from ..engine.jobs import JobSpec
+from ..engine.study import Study
 from ..profiling import analyze, hotspot_report, metric_set
 from ..uarch.config import gem5_baseline, host_i9
 from ..workloads import vtune_workloads
@@ -61,34 +65,62 @@ def characterize_jobs(workloads, config=None, scale="default",
     ]
 
 
-def run_characterizations(jobs, runner=None, workers=None, progress=None):
+def run_characterizations(jobs, runner=None, workers=None, progress=None,
+                          policy=None):
     """Execute a ``JobSpec`` list via the engine, one
-    :class:`Characterization` per job, in input order."""
-    stats_list = run_jobs(jobs, workers=workers, runner=runner,
-                          progress=progress)
-    return [Characterization(job.workload, stats)
-            for job, stats in zip(jobs, stats_list)]
+    :class:`Characterization` per job, in input order.
+
+    With ``policy=None`` the jobs run exactly as given (each on its own
+    ``model`` tier).  A ``policy`` wraps the list as a
+    :class:`~repro.engine.study.Study` and runs it under that policy.
+    Characterization suites are single-point grids, so ``"adaptive"``
+    has no region to select and simply runs the cycle tier — the
+    policy only pays off on multi-point sweep grids.
+    """
+    jobs = list(jobs)
+    if policy is None:
+        stats_list = run_jobs(jobs, workers=workers, runner=runner,
+                              progress=progress)
+        return [Characterization(job.workload, stats)
+                for job, stats in zip(jobs, stats_list)]
+    # Repeated (workload, point) entries are legal in a job list (e.g.
+    # `repro characterize ar co ar`); the study plan needs each once,
+    # and the result maps back onto the original order below.
+    unique, seen = [], set()
+    for job in jobs:
+        key = (job.workload, str(job.label), job.key())
+        if key not in seen:
+            seen.add(key)
+            unique.append(job)
+    study = Study.from_jobs("characterize", unique)
+    result = study.run(policy=policy, workers=workers, runner=runner,
+                       progress=progress)
+    by_cell = {(c.workload, c.label): c.stats for c in result.cells}
+    return [Characterization(job.workload, by_cell[(job.workload, job.label)])
+            for job in jobs]
 
 
 def characterize(workload, config=None, scale="default",
-                 budget=_VTUNE_BUDGET, runner=None, model="cycle"):
+                 budget=_VTUNE_BUDGET, runner=None, model="cycle",
+                 policy=None):
     """Characterize one workload (host config by default)."""
-    runner = runner or default_runner()
     config = config or host_i9()
-    stats = runner.stats_for(workload, config, scale=scale, budget=budget,
-                             model=model)
-    return Characterization(workload, stats)
+    study = Study(f"characterize:{workload}", workloads=(workload,),
+                  base=config, scale=scale, budget=budget)
+    result = study.run(policy=policy or model,
+                       runner=runner or default_runner())
+    return Characterization(workload, result.cells[0].stats)
 
 
 def characterize_vtune_suite(scale="default", runner=None, config=None,
                              workers=None, progress=None, model="cycle",
-                             budget=_VTUNE_BUDGET):
+                             budget=_VTUNE_BUDGET, policy=None):
     """Figs. 2-3: characterize the 12 VTune workloads, paper order."""
     jobs = characterize_jobs(
         [spec.name for spec in vtune_workloads()], config=config,
         scale=scale, budget=budget, model=model)
     return run_characterizations(jobs, runner=runner, workers=workers,
-                                 progress=progress)
+                                 progress=progress, policy=policy)
 
 
 def characterize_gem5_baseline(workload, scale="default", runner=None,

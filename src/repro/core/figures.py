@@ -6,25 +6,26 @@ functions only orchestrate — all analysis lives in
 :mod:`repro.profiling` and :mod:`repro.core.sweeps`.
 
 Every simulation-backed generator executes through the engine: the
-figure's (workload x config) grid expands to a ``JobSpec`` list and
-runs via ``run_jobs``, so all of them accept ``workers=N`` (process
-pool), ``progress=`` and ``model=`` (simulator fidelity tier)
-passthroughs.  ``fig5_scaling`` and ``fig6_cpu_time`` measure host
-wall-clock time and therefore stay serial — timing under a process
-pool would measure contention, not the solver.
+figure's (workload x config) grid is a declarative
+:class:`~repro.engine.study.Study` run via ``run_jobs``, so all of
+them accept ``workers=N`` (process pool), ``progress=``, ``model=``
+(simulator fidelity tier) and ``policy=`` (execution policy —
+``"adaptive"`` interval-scans the grid and re-runs only the
+interesting region cycle-accurately) passthroughs.  ``fig5_scaling``
+and ``fig6_cpu_time`` measure host wall-clock time and therefore stay
+serial — timing under a process pool would measure contention, not the
+solver.
 """
 
 from __future__ import annotations
 
-import inspect
-
-from ..engine import run_jobs
-from ..engine.jobs import JobSpec
+from ..engine.study import Study
 from ..profiling import measure_workload
 from ..uarch.config import gem5_baseline, host_i9
 from ..workloads import REGISTRY, gem5_workloads, names
 from ..workloads.registry import get as get_spec
-from .characterize import characterize_vtune_suite, run_characterizations
+from .characterize import (characterize_jobs, characterize_vtune_suite,
+                           run_characterizations)
 from . import sweeps
 
 __all__ = [
@@ -49,25 +50,25 @@ _FIG6_GROUPS = {
 
 
 def fig2_topdown(scale="default", runner=None, workers=None, progress=None,
-                 model="cycle"):
+                 model="cycle", policy=None):
     """Fig. 2: top-down pipeline breakdown for the 12 VTune workloads."""
     chars = characterize_vtune_suite(scale=scale, runner=runner,
                                      workers=workers, progress=progress,
-                                     model=model)
+                                     model=model, policy=policy)
     return [c.topdown.row() for c in chars]
 
 
 def fig3_stall_split(scale="default", runner=None, workers=None,
-                     progress=None, model="cycle"):
+                     progress=None, model="cycle", policy=None):
     """Fig. 3: FE latency/bandwidth + BE core/memory split."""
     chars = characterize_vtune_suite(scale=scale, runner=runner,
                                      workers=workers, progress=progress,
-                                     model=model)
+                                     model=model, policy=policy)
     return [c.topdown.stall_row() for c in chars]
 
 
 def fig4_hotspots(scale="tiny", runner=None, workload_names=None,
-                  workers=None, progress=None, model="cycle"):
+                  workers=None, progress=None, model="cycle", policy=None):
     """Fig. 4: hotspot-category prevalence per workload category.
 
     Uses one representative per category (plus eye); tiny scale keeps
@@ -79,14 +80,10 @@ def fig4_hotspots(scale="tiny", runner=None, workload_names=None,
             spec = REGISTRY[n]
             chosen.setdefault(spec.category, spec.name)
         workload_names = list(chosen.values())
-    cfg = host_i9()
-    jobs = [
-        JobSpec(name, cfg, label=cfg.name, scale=scale, budget=40_000,
-                model=model)
-        for name in workload_names
-    ]
+    jobs = characterize_jobs(workload_names, config=host_i9(), scale=scale,
+                             budget=40_000, model=model)
     chars = run_characterizations(jobs, runner=runner, workers=workers,
-                                  progress=progress)
+                                  progress=progress, policy=policy)
     rows = []
     for c in chars:
         row = {"workload": c.workload,
@@ -127,23 +124,21 @@ def fig6_cpu_time(scale="default"):
 
 
 def fig7_pipeline_stages(scale="default", runner=None, workers=None,
-                         progress=None, model="cycle"):
+                         progress=None, model="cycle", policy=None):
     """Fig. 7: fetch / execute / commit stage breakdowns (gem5 set)."""
-    cfg = gem5_baseline()
-    jobs = [
-        JobSpec(spec.name, cfg, label=cfg.name, scale=scale, model=model)
-        for spec in gem5_workloads()
-    ]
-    stats_list = run_jobs(jobs, workers=workers, runner=runner,
-                          progress=progress)
+    study = Study("fig7", workloads=[spec.name for spec in gem5_workloads()],
+                  base=gem5_baseline(), scale=scale)
+    result = study.run(policy=policy or model, workers=workers,
+                       runner=runner, progress=progress)
     out = {"fetch": [], "execute": [], "commit": []}
-    for job, stats in zip(jobs, stats_list):
-        fetch = {"workload": job.workload}
+    for cell in result.cells:
+        stats = cell.stats
+        fetch = {"workload": cell.workload}
         fetch.update(stats.fetch_profile())
         out["fetch"].append(fetch)
         mix = stats.kind_profile(committed=False)
         execute = {
-            "workload": job.workload,
+            "workload": cell.workload,
             "numBranches": mix.get("branch", 0.0) + mix.get("pause", 0.0),
             "numFpInsts": mix.get("fp", 0.0),
             "numIntInsts": mix.get("int", 0.0),
@@ -156,7 +151,7 @@ def fig7_pipeline_stages(scale="default", runner=None, workers=None,
             cmix.get(k, 0.0) for k in ("fp", "int", "load", "store")
         ) or 1.0
         commit = {
-            "workload": job.workload,
+            "workload": cell.workload,
             "numFpInsts": cmix.get("fp", 0.0) / nonbranch,
             "numIntInsts": cmix.get("int", 0.0) / nonbranch,
             "numLoadInsts": cmix.get("load", 0.0) / nonbranch,
@@ -166,27 +161,30 @@ def fig7_pipeline_stages(scale="default", runner=None, workers=None,
     return out
 
 
-def fig8_frequency(runner=None, workers=None, progress=None, model="cycle"):
+def fig8_frequency(runner=None, workers=None, progress=None, model="cycle",
+                   policy=None):
     """Fig. 8: execution time and IPC vs core frequency."""
-    data = sweeps.frequency_sweep(runner=runner, workers=workers,
-                                  progress=progress, model=model)
+    result = sweeps.frequency_sweep(runner=runner, workers=workers,
+                                    progress=progress, model=model,
+                                    policy=policy, full_result=True)
+    tag = _tier_tagger(result)
     rows = []
-    for w, by_freq in data.items():
+    for w, by_freq in result.table().items():
         base = by_freq[1.0].seconds
         for f, m in sorted(by_freq.items()):
-            rows.append(
+            rows.append(tag(
                 {
                     "workload": w,
                     "freq_ghz": f,
                     "seconds": m.seconds,
                     "ipc": m.ipc,
                     "speedup_vs_1ghz": base / m.seconds if m.seconds else 0.0,
-                }
-            )
+                }, w, f, baseline=1.0))
     return rows
 
 
-def fig9_cache(runner=None, workers=None, progress=None, model="cycle"):
+def fig9_cache(runner=None, workers=None, progress=None, model="cycle",
+               policy=None):
     """Fig. 9: L1I/L1D/L2 MPKI and normalized execution time."""
     grids = (
         ("l1i", sweeps.l1i_sweep, "l1i_mpki"),
@@ -195,70 +193,99 @@ def fig9_cache(runner=None, workers=None, progress=None, model="cycle"):
     )
     if progress is not None and getattr(progress, "total", 0) <= 0:
         # Three sweep grids share one meter; run_jobs would otherwise
-        # pin the total to the first grid's job count.  Each sweep's
-        # grid size is its default sizes_kb tuple.
+        # pin the total to the first grid's job count.  Grid sizes come
+        # from the sweeps' single source of truth.
         progress.total = sum(
-            len(inspect.signature(sweep).parameters["sizes_kb"].default)
-            for _, sweep, _ in grids
+            len(sweeps.SWEEP_AXES[label][1]) for label, _, _ in grids
         ) * len(sweeps.GEM5_WORKLOADS)
     out = {}
     for label, sweep, mpki_key in grids:
-        data = sweep(runner=runner, workers=workers, progress=progress,
-                     model=model)
+        result = sweep(runner=runner, workers=workers, progress=progress,
+                       model=model, policy=policy, full_result=True)
+        tag = _tier_tagger(result)
         rows = []
-        for w, by_size in data.items():
+        for w, by_size in result.table().items():
             t_best = min(m.seconds for m in by_size.values())
+            best_size = next(s_ for s_, m in by_size.items()
+                             if m.seconds == t_best)
             for size, m in sorted(by_size.items()):
-                rows.append(
+                rows.append(tag(
                     {
                         "workload": w,
                         "size_kb": size,
                         "mpki": getattr(m, mpki_key),
                         "seconds": m.seconds,
                         "norm_time": m.seconds / t_best if t_best else 0.0,
-                    }
-                )
+                    }, w, size, baseline=best_size))
         out[label] = rows
     return out
 
 
-def _percent_diff_rows(data, baseline_key):
+def _tier_tagger(result):
+    """Row decorator: on a mixed-tier (adaptive) result, record which
+    fidelity tier produced each cell so emitted JSON never silently
+    mixes cycle-accurate and interval-estimated values.  A row whose
+    value is a *ratio* against another cell (speedup, pct_diff,
+    norm_time) passes that baseline's label too: if the two cells came
+    from different tiers the row is tagged ``"mixed"``, because even a
+    cycle-accurate numerator inherits the scan tier's error through
+    the denominator.  Single-tier results keep the pre-study row
+    schema untouched."""
+    if len(result.tier_counts()) <= 1:
+        return lambda row, w, label, baseline=None: row
+    tiers = result.tiers()
+
+    def tag(row, w, label, baseline=None):
+        tier = tiers[(w, label)]
+        if baseline is not None and tiers[(w, baseline)] != tier:
+            tier = "mixed"
+        row["tier"] = tier
+        return row
+    return tag
+
+
+def _percent_diff_rows(result, baseline_key):
+    tag = _tier_tagger(result)
     rows = []
-    for w, by_param in data.items():
+    for w, by_param in result.table().items():
         base = by_param[baseline_key].seconds
         for param, m in by_param.items():
             if param == baseline_key:
                 continue
-            rows.append(
+            rows.append(tag(
                 {
                     "workload": w,
                     "param": param,
                     "pct_diff": 100.0 * (m.seconds - base) / base
                     if base else 0.0,
-                }
-            )
+                }, w, param, baseline=baseline_key))
     return rows
 
 
-def fig10_width(runner=None, workers=None, progress=None, model="cycle"):
+def fig10_width(runner=None, workers=None, progress=None, model="cycle",
+                policy=None):
     """Fig. 10: exec-time % difference vs the width-6 baseline."""
     return _percent_diff_rows(
         sweeps.width_sweep(runner=runner, workers=workers,
-                           progress=progress, model=model), 6)
+                           progress=progress, model=model,
+                           policy=policy, full_result=True), 6)
 
 
-def fig11_lsq(runner=None, workers=None, progress=None, model="cycle"):
+def fig11_lsq(runner=None, workers=None, progress=None, model="cycle",
+              policy=None):
     """Fig. 11: exec-time % difference vs the 72_56 LQ/SQ baseline."""
     return _percent_diff_rows(
         sweeps.lsq_sweep(runner=runner, workers=workers,
-                         progress=progress, model=model), "72_56")
+                         progress=progress, model=model,
+                         policy=policy, full_result=True), "72_56")
 
 
 def fig12_branch_predictor(runner=None, workers=None, progress=None,
-                           model="cycle"):
+                           model="cycle", policy=None):
     """Fig. 12: exec-time % difference vs TournamentBP."""
     return _percent_diff_rows(
         sweeps.branch_predictor_sweep(runner=runner, workers=workers,
-                                      progress=progress, model=model),
+                                      progress=progress, model=model,
+                                      policy=policy, full_result=True),
         "tournament"
     )

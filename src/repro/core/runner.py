@@ -75,14 +75,23 @@ class Runner:
         ``model`` selects the simulator fidelity tier; tiers cache
         under distinct keys.
         """
-        job = JobSpec(workload, config, scale=scale, budget=budget,
-                      model=model)
+        return self.stats_for_job(
+            JobSpec(workload, config, scale=scale, budget=budget,
+                    model=model))
+
+    def stats_for_job(self, job):
+        """Execute one :class:`~repro.engine.jobs.JobSpec` (disk-cached).
+
+        The engine's serial path and study execution hand their
+        already-built specs straight here instead of re-deriving one
+        from loose fields.
+        """
         if self.use_disk_cache:
             payload = self.store.get(job.key(), job.legacy_key())
             if payload is not None:
                 return SimStats.from_dict(payload)
-        trace, _ = self.trace_for(workload, scale, budget)
-        stats = simulate(trace, config, model=model)
+        trace, _ = self.trace_for(job.workload, job.scale, job.budget)
+        stats = simulate(trace, job.config, model=job.model)
         if self.use_disk_cache:
             self.store.put(job.key(), stats.as_dict(), meta=job.meta())
         return stats

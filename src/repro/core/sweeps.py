@@ -4,21 +4,25 @@ Every sweep holds the Table II baseline fixed, varies one parameter, and
 reports per-workload metrics.  Results are plain dicts:
 ``{workload: {param_value: MetricSet}}``.
 
-All sweeps execute through :mod:`repro.engine`: the grid expands to a
-``JobSpec`` list and runs via ``run_jobs``.  Every sweep accepts
-``workers=N`` (default: the ``REPRO_WORKERS`` env var, else serial) to
-fan the grid out over a process pool, plus ``runner=``, ``progress=``,
-and ``model=`` passthroughs (``model="interval"`` runs the vectorized
-fidelity tier — roughly an order of magnitude faster, for outsized
-grids); result dicts are identical to the serial path regardless of
-worker count.
+All sweeps are declarative :class:`~repro.engine.study.Study` plans:
+one named axis over the Table II baseline, executed through
+``engine.run_jobs``.  Every sweep accepts ``workers=N`` (default: the
+``REPRO_WORKERS`` env var, else serial) to fan the grid out over a
+process pool, plus ``runner=``, ``progress=``, ``model=`` and
+``policy=`` passthroughs.  ``policy`` selects the execution policy —
+``"cycle"`` (bit-identical to the pre-study sweeps), ``"interval"``
+(the vectorized fidelity tier, roughly an order of magnitude faster),
+or ``"adaptive"`` (interval scan of the full grid, cycle-accurate
+re-run of each workload's interesting region only).  ``model=`` is the
+older spelling kept for compatibility; a tier name passed there is the
+same as passing it as ``policy``.  Pass ``full_result=True`` to get
+the tier-aware :class:`~repro.engine.study.StudyResult` instead of the
+plain dict.
 """
 
 from __future__ import annotations
 
-from ..engine import expand_grid, run_jobs
-from ..profiling import metric_set
-from ..uarch.config import CacheConfig, gem5_baseline
+from ..engine.study import Study, axis
 
 __all__ = [
     "GEM5_WORKLOADS",
@@ -30,6 +34,7 @@ __all__ = [
     "lsq_sweep",
     "branch_predictor_sweep",
     "rob_iq_sweep",
+    "study_for",
 ]
 
 GEM5_WORKLOADS = ("ar", "co", "dm", "ma", "rj", "tu")
@@ -37,53 +42,70 @@ GEM5_WORKLOADS = ("ar", "co", "dm", "ma", "rj", "tu")
 _SCALE = "default"
 _BUDGET = 80_000
 
+#: Sweep name -> (axis, default grid) — the single source of truth
+#: for each sweep's grid (the sweep functions' ``None`` value defaults
+#: resolve here, as does ``fig9_cache``'s progress-total arithmetic).
+SWEEP_AXES = {
+    "frequency": ("freq_ghz", (1.0, 2.0, 3.0, 4.0)),
+    "l1i": ("l1i_kb", (8, 16, 32, 64)),
+    "l1d": ("l1d_kb", (8, 16, 32, 64)),
+    "l2": ("l2_kb", (256, 512, 1024, 2048)),
+    "width": ("width", (2, 4, 6, 8)),
+    "lsq": ("lsq", ((32, 24), (48, 40), (72, 56), (96, 72))),
+    "branch": ("branch_predictor",
+               ("local", "tournament", "ltage", "perceptron")),
+    "rob_iq": ("rob_iq", ((128, 64), (224, 128), (320, 192))),
+}
 
-def _run(workloads, configs, scale=_SCALE, budget=_BUDGET, runner=None,
-         workers=None, progress=None, model="cycle"):
-    jobs = expand_grid(workloads, configs, scale=scale, budget=budget,
-                       model=model)
-    stats_list = run_jobs(jobs, workers=workers, runner=runner,
-                          progress=progress)
-    out = {}
-    for job, stats in zip(jobs, stats_list):
-        out.setdefault(job.workload, {})[job.label] = metric_set(
-            stats, job.describe())
-    return out
+
+def study_for(name, workloads=GEM5_WORKLOADS, values=None, scale=_SCALE,
+              budget=_BUDGET, metric="seconds"):
+    """The :class:`Study` plan behind one named sweep.
+
+    ``metric`` is the selection metric adaptive execution refines
+    around (and the default for ``StudyResult.best()``/``knee()``).
+    """
+    axis_name, default_values = SWEEP_AXES[name]
+    # `is None`, not truthiness: an explicitly empty grid must raise
+    # Axis's clear error, not silently run the full default sweep.
+    values = default_values if values is None else values
+    return Study(
+        name, axes=[axis(axis_name, values)],
+        workloads=workloads, scale=scale, budget=budget, metric=metric,
+    )
 
 
-def frequency_sweep(workloads=GEM5_WORKLOADS, freqs=(1.0, 2.0, 3.0, 4.0),
-                    **kw):
+def _run(name, workloads, values, scale=_SCALE, budget=_BUDGET,
+         runner=None, workers=None, progress=None, model="cycle",
+         policy=None, metric="seconds", full_result=False):
+    study = study_for(name, workloads=workloads, values=values,
+                      scale=scale, budget=budget, metric=metric)
+    result = study.run(policy=policy or model, workers=workers,
+                       runner=runner, progress=progress)
+    return result if full_result else result.table()
+
+
+def frequency_sweep(workloads=GEM5_WORKLOADS, freqs=None, **kw):
     """Fig. 8: execution time and IPC vs core frequency."""
-    configs = [(f, gem5_baseline(freq_ghz=f)) for f in freqs]
-    return _run(workloads, configs, **kw)
+    return _run("frequency", workloads, freqs, **kw)
 
 
-def l1i_sweep(workloads=GEM5_WORKLOADS, sizes_kb=(8, 16, 32, 64), **kw):
+def l1i_sweep(workloads=GEM5_WORKLOADS, sizes_kb=None, **kw):
     """Fig. 9a/c: L1 instruction cache capacity."""
-    configs = [
-        (kb, gem5_baseline(l1i=CacheConfig(kb, 8, 1))) for kb in sizes_kb
-    ]
-    return _run(workloads, configs, **kw)
+    return _run("l1i", workloads, sizes_kb, **kw)
 
 
-def l1d_sweep(workloads=GEM5_WORKLOADS, sizes_kb=(8, 16, 32, 64), **kw):
+def l1d_sweep(workloads=GEM5_WORKLOADS, sizes_kb=None, **kw):
     """Fig. 9b/c: L1 data cache capacity."""
-    configs = [
-        (kb, gem5_baseline(l1d=CacheConfig(kb, 8, 4))) for kb in sizes_kb
-    ]
-    return _run(workloads, configs, **kw)
+    return _run("l1d", workloads, sizes_kb, **kw)
 
 
-def l2_sweep(workloads=GEM5_WORKLOADS, sizes_kb=(256, 512, 1024, 2048),
-             **kw):
+def l2_sweep(workloads=GEM5_WORKLOADS, sizes_kb=None, **kw):
     """Fig. 9d/e: L2 capacity."""
-    configs = [
-        (kb, gem5_baseline(l2=CacheConfig(kb, 16, 14))) for kb in sizes_kb
-    ]
-    return _run(workloads, configs, **kw)
+    return _run("l2", workloads, sizes_kb, **kw)
 
 
-def width_sweep(workloads=GEM5_WORKLOADS, widths=(2, 4, 6, 8), **kw):
+def width_sweep(workloads=GEM5_WORKLOADS, widths=None, **kw):
     """Fig. 10: core pipeline width (dispatch/issue scaled together).
 
     Fetch and commit stay at the Table II values: the paper's muted
@@ -91,37 +113,19 @@ def width_sweep(workloads=GEM5_WORKLOADS, widths=(2, 4, 6, 8), **kw):
     issue path, and widening dispatch/issue isolates the ILP question
     the experiment asks.
     """
-    configs = []
-    for w in widths:
-        configs.append((w, gem5_baseline(
-            dispatch_width=w, issue_width=w,
-        )))
-    return _run(workloads, configs, **kw)
+    return _run("width", workloads, widths, **kw)
 
 
-def lsq_sweep(workloads=GEM5_WORKLOADS,
-              depths=((32, 24), (48, 40), (72, 56), (96, 72)), **kw):
+def lsq_sweep(workloads=GEM5_WORKLOADS, depths=None, **kw):
     """Fig. 11: load/store queue depths."""
-    configs = [
-        (f"{lq}_{sq}", gem5_baseline(lq_entries=lq, sq_entries=sq))
-        for lq, sq in depths
-    ]
-    return _run(workloads, configs, **kw)
+    return _run("lsq", workloads, depths, **kw)
 
 
-def branch_predictor_sweep(workloads=GEM5_WORKLOADS,
-                           predictors=("local", "tournament", "ltage",
-                                       "perceptron"), **kw):
+def branch_predictor_sweep(workloads=GEM5_WORKLOADS, predictors=None, **kw):
     """Fig. 12: branch predictor design."""
-    configs = [(p, gem5_baseline(branch_predictor=p)) for p in predictors]
-    return _run(workloads, configs, **kw)
+    return _run("branch", workloads, predictors, **kw)
 
 
-def rob_iq_sweep(workloads=GEM5_WORKLOADS,
-                 sizes=((128, 64), (224, 128), (320, 192)), **kw):
+def rob_iq_sweep(workloads=GEM5_WORKLOADS, sizes=None, **kw):
     """Ablation the paper mentions in passing: ROB/IQ capacity."""
-    configs = [
-        (f"{rob}_{iq}", gem5_baseline(rob_entries=rob, iq_entries=iq))
-        for rob, iq in sizes
-    ]
-    return _run(workloads, configs, **kw)
+    return _run("rob_iq", workloads, sizes, **kw)

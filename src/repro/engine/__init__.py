@@ -1,24 +1,37 @@
-"""Sweep-execution engine: job descriptions, process pool, result store.
+"""Sweep-execution engine: studies, job lists, process pool, store.
 
-This subsystem separates *what to simulate* (:class:`JobSpec` lists,
-built with :func:`expand_grid`) from *how it runs* (:func:`run_jobs`,
-serial or across a process pool) and *where results live*
-(:class:`ResultStore`, an indexed, concurrency-safe on-disk cache).
-``core.sweeps`` expresses every paper sweep as a job list executed
-here; ``python -m repro`` drives the same machinery from the shell.
+This subsystem separates *what to simulate* (declarative
+:class:`Study` plans that compile to :class:`JobSpec` lists, or raw
+lists built with :func:`expand_grid`) from *how it runs*
+(:func:`run_jobs` serial or across a process pool, under a
+:data:`POLICIES` execution policy — all-cycle, all-interval, or an
+adaptive interval scan with cycle-accurate refinement) and *where
+results live* (:class:`ResultStore`, an indexed, concurrency-safe
+on-disk cache).  ``core.sweeps`` expresses every paper sweep as a
+study executed here; ``python -m repro`` drives the same machinery
+from the shell.
 """
 
 from .jobs import JobSpec, config_fingerprint, expand_grid
 from .pool import resolve_workers, run_jobs
 from .progress import Progress
 from .store import ResultStore
+from .study import (Axis, POLICIES, Study, StudyResult, axis, parse_axis,
+                    select_refinement)
 
 __all__ = [
+    "Axis",
     "JobSpec",
+    "POLICIES",
     "Progress",
     "ResultStore",
+    "Study",
+    "StudyResult",
+    "axis",
     "config_fingerprint",
     "expand_grid",
+    "parse_axis",
     "resolve_workers",
     "run_jobs",
+    "select_refinement",
 ]

@@ -12,9 +12,27 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 
 __all__ = ["JobSpec", "config_fingerprint", "digest_faithful",
            "expand_grid"]
+
+# Default object reprs embed the instance address ("<Foo object at
+# 0x7f...>"), which differs per process and would make fingerprints
+# non-deterministic; canonicalization scrubs exactly that form — bare
+# hex literals a repr uses for real state (flags, masks) are kept.
+_ADDR_RE = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+def _slot_names(obj):
+    """All ``__slots__`` names declared across the type's MRO."""
+    names = []
+    for klass in type(obj).__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(slots)
+    return names
 
 
 def _canonical(obj):
@@ -25,9 +43,16 @@ def _canonical(obj):
         return [_canonical(v) for v in obj]
     if isinstance(obj, dict):
         return {str(k): _canonical(v) for k, v in sorted(obj.items())}
-    if hasattr(obj, "__dict__"):
-        return {k: _canonical(v) for k, v in sorted(vars(obj).items())}
-    return repr(obj)
+    slots = _slot_names(obj)
+    if hasattr(obj, "__dict__") or slots:
+        fields = dict(getattr(obj, "__dict__", ()) or ())
+        for name in slots:
+            if name not in fields and hasattr(obj, name):
+                fields[name] = getattr(obj, name)
+        return {k: _canonical(v) for k, v in sorted(fields.items())}
+    # Last resort: a repr, with any embedded memory address scrubbed so
+    # the fingerprint stays identical across processes.
+    return f"{type(obj).__qualname__}:{_ADDR_RE.sub(' at 0x0', repr(obj))}"
 
 
 def config_fingerprint(config):
@@ -157,7 +182,10 @@ class JobSpec:
         }
 
     def describe(self):
-        return f"{self.workload}@{self.label}"
+        """Human-readable job tag; non-cycle tiers are marked so mixed
+        (adaptive) batches read unambiguously in progress lines."""
+        tier = "" if self.model == "cycle" else f" [{self.model}]"
+        return f"{self.workload}@{self.label}{tier}"
 
     def __repr__(self):
         return (f"JobSpec({self.workload!r}, {self.label!r}, "

@@ -113,9 +113,7 @@ def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
             cached = None
             if progress is not None and runner.use_disk_cache:
                 cached = runner.store.contains(job.key(), job.legacy_key())
-            stats = runner.stats_for(job.workload, job.config,
-                                     scale=job.scale, budget=job.budget,
-                                     model=job.model)
+            stats = runner.stats_for_job(job)
             if progress is not None:
                 progress.step(job.describe(), cached=cached)
             out.append(stats)
@@ -144,7 +142,10 @@ def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
         return results
 
     # Same trace key => same contiguous chunk => same worker's memo.
-    pending.sort(key=lambda item: (item[1].trace_key, item[0]))
+    # Tier second: in a mixed (adaptive) batch a worker then runs all
+    # of a trace's same-tier jobs back to back.
+    pending.sort(key=lambda item: (item[1].trace_key, item[1].model,
+                                   item[0]))
     todo = [job for _, job in pending]
     n = min(workers, len(pending))
     chunksize = max(1, math.ceil(len(pending) / n))

@@ -39,6 +39,15 @@ class Progress:
             self.runs += 1
         self._emit(what, cached)
 
+    def add_total(self, n):
+        """Extend the expected job count mid-flight.
+
+        Adaptive execution only learns the refinement-pass size after
+        the scan pass finishes; extending the total keeps one meter
+        accurate across both phases instead of restarting at [0/?].
+        """
+        self.total = max(self.total, 0) + int(n)
+
     def finish(self):
         """Terminate a carriage-return meter whose total was unknown."""
         if self.enabled and self._use_cr and self.done and self.total <= 0:

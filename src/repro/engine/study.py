@@ -1,0 +1,515 @@
+"""Declarative sweep plans with pluggable execution policies.
+
+A :class:`Study` captures a sweep as data — workloads x config
+:class:`Axis` values x (scale, budget) x a selection metric — instead
+of as a hand-rolled loop at every call site.  It compiles to the same
+:class:`~repro.engine.jobs.JobSpec` lists the engine already executes
+and runs them under one of three policies:
+
+* ``"cycle"`` — the whole grid on the cycle-accurate tier (bit-
+  identical to the pre-study sweep functions).
+* ``"interval"`` — the whole grid on the fast vectorized tier.
+* ``"adaptive"`` — scan the full grid on the interval tier, pick the
+  interesting region of each workload's curve (the knee of the metric
+  plus the best point, with one grid neighbor of context), and re-run
+  only that region cycle-accurately.  The merged result table records
+  which tier produced each cell.
+
+``core.sweeps``, the simulation-backed figure generators, and
+``characterize()`` all express their grids as studies; ``repro study``
+runs arbitrary user-defined grids from ``axis=values`` specs without
+writing code.
+"""
+
+from __future__ import annotations
+
+from ..profiling import metric_set
+from ..uarch.config import CacheConfig, gem5_baseline
+from ..uarch.core import MODELS, TIER_LADDER, scan_margin, scan_tier
+from .jobs import JobSpec, config_fingerprint
+from .pool import run_jobs
+
+__all__ = [
+    "AXIS_BUILDERS",
+    "Axis",
+    "POLICIES",
+    "Study",
+    "StudyCell",
+    "StudyResult",
+    "axis",
+    "parse_axis",
+    "select_refinement",
+]
+
+POLICIES = MODELS + ("adaptive",)
+
+# Selection metrics where larger is better; everything else (seconds,
+# cpi, the MPKIs) improves downward.
+_HIGHER_BETTER = frozenset({"ipc", "dram_gbps"})
+
+
+class Axis:
+    """One swept dimension: a name, its values, and how a value maps to
+    ``CoreConfig`` overrides and a human label."""
+
+    def __init__(self, name, values, overrides=None, label=None):
+        self.name = name
+        self.values = tuple(values)
+        if not self.values:
+            raise ValueError(f"axis {name!r} needs at least one value")
+        self._overrides = overrides
+        self._label = label
+
+    def overrides_for(self, value):
+        """``CoreConfig.with_changes`` kwargs for one axis value."""
+        if self._overrides is not None:
+            return self._overrides(value)
+        return {self.name: value}
+
+    def label_for(self, value):
+        return self._label(value) if self._label is not None else value
+
+    def __repr__(self):
+        return f"Axis({self.name!r}, {self.values!r})"
+
+
+def _pair(value, what):
+    """Normalize a two-field axis value: (a, b) tuples or "a:b" text."""
+    if isinstance(value, str):
+        parts = value.replace(":", " ").replace("/", " ").split()
+        if len(parts) != 2:
+            raise ValueError(f"{what} value {value!r} is not a pair "
+                             f"like 72:56")
+        return int(parts[0]), int(parts[1])
+    a, b = value
+    return int(a), int(b)
+
+
+def _scalar_axis(field, conv):
+    return lambda values: Axis(field, [conv(v) for v in values])
+
+
+def _cache_axis(level, assoc, hit_latency):
+    # Canonical sweep geometry per level — matches the paper's Fig. 9
+    # grids, so CLI studies and core.sweeps produce identical configs.
+    def build(values):
+        return Axis(
+            f"{level}_kb", [int(v) for v in values],
+            overrides=lambda kb: {level: CacheConfig(kb, assoc,
+                                                     hit_latency)},
+        )
+    return build
+
+
+def _width_axis(values):
+    return Axis("width", [int(v) for v in values],
+                overrides=lambda w: {"dispatch_width": w,
+                                     "issue_width": w})
+
+
+def _lsq_axis(values):
+    pairs = [_pair(v, "lsq") for v in values]
+    return Axis("lsq", pairs,
+                overrides=lambda p: {"lq_entries": p[0],
+                                     "sq_entries": p[1]},
+                label=lambda p: f"{p[0]}_{p[1]}")
+
+
+def _rob_iq_axis(values):
+    pairs = [_pair(v, "rob_iq") for v in values]
+    return Axis("rob_iq", pairs,
+                overrides=lambda p: {"rob_entries": p[0],
+                                     "iq_entries": p[1]},
+                label=lambda p: f"{p[0]}_{p[1]}")
+
+
+#: Named axis constructors: every dimension the paper sweeps, usable
+#: both from ``core.sweeps`` and from ``repro study axis=v1,v2,...``.
+AXIS_BUILDERS = {
+    "freq_ghz": _scalar_axis("freq_ghz", float),
+    "fetch_width": _scalar_axis("fetch_width", int),
+    "dispatch_width": _scalar_axis("dispatch_width", int),
+    "issue_width": _scalar_axis("issue_width", int),
+    "commit_width": _scalar_axis("commit_width", int),
+    "rob_entries": _scalar_axis("rob_entries", int),
+    "iq_entries": _scalar_axis("iq_entries", int),
+    "lq_entries": _scalar_axis("lq_entries", int),
+    "sq_entries": _scalar_axis("sq_entries", int),
+    "mem_latency_ns": _scalar_axis("mem_latency_ns", float),
+    "branch_predictor": _scalar_axis("branch_predictor", str),
+    "width": _width_axis,
+    "lsq": _lsq_axis,
+    "rob_iq": _rob_iq_axis,
+    "l1i_kb": _cache_axis("l1i", 8, 1),
+    "l1d_kb": _cache_axis("l1d", 8, 4),
+    "l2_kb": _cache_axis("l2", 16, 14),
+}
+
+
+def axis(name, values):
+    """Build a named axis from :data:`AXIS_BUILDERS`."""
+    try:
+        builder = AXIS_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown axis {name!r}; known: {', '.join(sorted(AXIS_BUILDERS))}"
+        ) from None
+    return builder(values)
+
+
+def parse_axis(spec):
+    """Parse one CLI axis spec, ``name=v1,v2,...``."""
+    name, sep, raw = spec.partition("=")
+    name = name.strip()
+    values = [v.strip() for v in raw.split(",") if v.strip()]
+    if not sep or not name or not values:
+        raise ValueError(f"axis spec {spec!r} is not name=v1,v2,...")
+    return axis(name, values)
+
+
+def select_refinement(values, higher_better=False, margin=0.02, pad=1,
+                      mode="knee"):
+    """Indices of the interesting region of one workload's scan curve.
+
+    ``mode="knee"`` (for 1-D curves, where index order is a real grid
+    axis): the region is the union of two windows, each ``pad`` grid
+    neighbors wide — one around the *knee* (the first point whose
+    metric is within ``margin`` of the best, where a capacity/scaling
+    curve reaches its plateau) and one around the best point itself
+    (which differs from the knee on non-monotone, e.g. categorical,
+    curves).  Plateau points beyond the knee are deliberately *not*
+    selected: the scan tier already shows them flat, so refining the
+    knee's neighborhood is enough to place it exactly.
+
+    ``mode="near"`` (for flattened multi-axis cross products, where
+    adjacent indices are *not* neighboring configs, so windows and
+    knees have no meaning): every point within ``margin`` of the best.
+    """
+    values = list(values)
+    if not values:
+        return []
+    best = max(values) if higher_better else min(values)
+    if higher_better:
+        def near(v):
+            return v >= best * (1.0 - margin)
+    else:
+        def near(v):
+            return v <= best * (1.0 + margin)
+    if mode == "near":
+        return [i for i, v in enumerate(values) if near(v)]
+    best_i = values.index(best)
+    knee_i = next(i for i, v in enumerate(values) if near(v))
+    chosen = set()
+    for center in (knee_i, best_i):
+        lo = max(0, center - pad)
+        hi = min(len(values) - 1, center + pad)
+        chosen.update(range(lo, hi + 1))
+    return sorted(chosen)
+
+
+class StudyCell:
+    """One (workload, grid point) result and the tier that produced it."""
+
+    __slots__ = ("workload", "label", "stats", "metrics", "tier")
+
+    def __init__(self, workload, label, stats, metrics, tier):
+        self.workload = workload
+        self.label = label
+        self.stats = stats
+        self.metrics = metrics
+        self.tier = tier
+
+    def __repr__(self):
+        return (f"StudyCell({self.workload!r}, {self.label!r}, "
+                f"tier={self.tier!r})")
+
+
+class StudyResult:
+    """Merged result table of a study run.
+
+    Cells are ordered workload-major in grid order — the same order the
+    equivalent ``JobSpec`` list executes in — and each records the
+    fidelity tier that produced it.  ``table()`` reproduces the shape
+    the pre-study sweep functions returned.
+    """
+
+    def __init__(self, study, policy, cells, jobs_run=None):
+        self.study = study
+        self.policy = policy
+        self.cells = list(cells)
+        #: Jobs actually simulated or fetched per tier, e.g.
+        #: ``{"interval": 24, "cycle": 16}`` for an adaptive run.
+        self.jobs_run = dict(jobs_run or {})
+
+    def table(self):
+        """``{workload: {label: MetricSet}}`` in grid order."""
+        out = {}
+        for cell in self.cells:
+            out.setdefault(cell.workload, {})[cell.label] = cell.metrics
+        return out
+
+    def stats_table(self):
+        """``{workload: {label: SimStats}}`` in grid order."""
+        out = {}
+        for cell in self.cells:
+            out.setdefault(cell.workload, {})[cell.label] = cell.stats
+        return out
+
+    def tiers(self):
+        """``{(workload, label): tier}`` for every cell."""
+        return {(c.workload, c.label): c.tier for c in self.cells}
+
+    def tier_counts(self):
+        counts = {}
+        for cell in self.cells:
+            counts[cell.tier] = counts.get(cell.tier, 0) + 1
+        return counts
+
+    def refined(self):
+        """Per-workload labels that the most accurate tier produced."""
+        return {w: [c.label for c in self._best_tier_cells(w)]
+                for w in self.workloads()}
+
+    def _best_tier_cells(self, workload):
+        # Rank by the fidelity ladder (coarse -> accurate): conclusions
+        # come from the most accurate tier that covered the workload.
+        cells = [c for c in self.cells if c.workload == workload]
+        top = max(TIER_LADDER.index(c.tier) for c in cells)
+        return [c for c in cells if TIER_LADDER.index(c.tier) == top]
+
+    def workloads(self):
+        seen = []
+        for cell in self.cells:
+            if cell.workload not in seen:
+                seen.append(cell.workload)
+        return seen
+
+    def best(self, metric=None):
+        """Per-workload best label on each workload's most accurate
+        tier (first in grid order on exact ties)."""
+        metric = metric or self.study.metric
+        higher = metric in _HIGHER_BETTER
+        out = {}
+        for w in self.workloads():
+            cells = self._best_tier_cells(w)
+            values = [getattr(c.metrics, metric) for c in cells]
+            best = max(values) if higher else min(values)
+            out[w] = cells[values.index(best)].label
+        return out
+
+    def knee(self, metric=None, margin=0.02):
+        """Per-workload first label (grid order) whose metric is within
+        ``margin`` of that workload's best, on the most accurate tier —
+        the knee of a capacity/scaling curve."""
+        metric = metric or self.study.metric
+        higher = metric in _HIGHER_BETTER
+        out = {}
+        for w in self.workloads():
+            cells = self._best_tier_cells(w)
+            values = [getattr(c.metrics, metric) for c in cells]
+            best = max(values) if higher else min(values)
+            for cell, v in zip(cells, values):
+                past = (v >= best * (1.0 - margin) if higher
+                        else v <= best * (1.0 + margin))
+                if past:
+                    out[w] = cell.label
+                    break
+        return out
+
+    def rows(self, metric=None):
+        """Flat dict rows (workload, label, metric value, tier)."""
+        metric = metric or self.study.metric
+        return [
+            {"workload": c.workload, "label": str(c.label),
+             metric: getattr(c.metrics, metric), "tier": c.tier}
+            for c in self.cells
+        ]
+
+
+class Study:
+    """A declarative sweep plan.
+
+    Either build from ``axes`` (the cross product of
+    :class:`Axis` values over a ``base`` config factory) or pass
+    explicit ``points`` — an ordered list of ``(label, CoreConfig)``
+    pairs, the shape every pre-study sweep produced.
+    """
+
+    def __init__(self, name, axes=(), workloads=(), base=gem5_baseline,
+                 scale="default", budget=80_000, metric="seconds",
+                 points=None):
+        self.name = name
+        self.axes = tuple(axes)
+        self.workloads = tuple(workloads)
+        if not self.workloads:
+            raise ValueError("a study needs at least one workload")
+        self.base = base
+        self.scale = scale
+        self.budget = int(budget)
+        self.metric = metric
+        self._points = list(points) if points is not None else None
+        if self._points is None and not self.axes:
+            # Zero axes: the single base-config point (suites like
+            # characterize / fig7 are one-config studies).
+            cfg = base() if callable(base) else base
+            self._points = [(cfg.name, cfg)]
+
+    @classmethod
+    def from_jobs(cls, name, jobs, metric="seconds"):
+        """Wrap an existing ``JobSpec`` list (one shared scale/budget,
+        every workload visiting the same grid points, workload-major
+        order) as a study."""
+        jobs = list(jobs)
+        if not jobs:
+            raise ValueError("from_jobs needs at least one job")
+        scales = {(j.scale, j.budget) for j in jobs}
+        if len(scales) > 1:
+            raise ValueError(f"jobs mix scales/budgets: {sorted(scales)}")
+        per_workload = {}
+        order = []
+        for job in jobs:
+            if job.workload not in per_workload:
+                order.append(job.workload)
+            per_workload.setdefault(job.workload, []).append(
+                (job.label, job.config))
+        first = per_workload[order[0]]
+        signature = [(label, config_fingerprint(cfg)) for label, cfg in first]
+        for w in order[1:]:
+            sig = [(label, config_fingerprint(cfg))
+                   for label, cfg in per_workload[w]]
+            if sig != signature:
+                raise ValueError(
+                    f"workload {w!r} visits different grid points than "
+                    f"{order[0]!r}; not a rectangular study")
+        return cls(name, workloads=order, scale=jobs[0].scale,
+                   budget=jobs[0].budget, metric=metric, points=first)
+
+    def points(self):
+        """Ordered ``(label, config)`` grid points."""
+        if self._points is not None:
+            return list(self._points)
+        points = [((), {})]
+        for ax in self.axes:
+            points = [
+                (labels + (ax.label_for(v),), {**ov, **ax.overrides_for(v)})
+                for labels, ov in points
+                for v in ax.values
+            ]
+        base = self.base
+        out = []
+        for labels, overrides in points:
+            cfg = (base(**overrides) if callable(base)
+                   else base.with_changes(**overrides))
+            label = labels[0] if len(labels) == 1 else labels
+            out.append((label, cfg))
+        self._points = out
+        return list(out)
+
+    def jobs(self, model="cycle"):
+        """Workload-major ``JobSpec`` list for one fidelity tier."""
+        return [
+            JobSpec(w, cfg, label=label, scale=self.scale,
+                    budget=self.budget, model=model)
+            for w in self.workloads
+            for label, cfg in self.points()
+        ]
+
+    def describe(self):
+        dims = " x ".join(
+            f"{ax.name}[{len(ax.values)}]" for ax in self.axes
+        ) or f"{len(self.points())} point(s)"
+        return (f"{self.name}: {len(self.workloads)} workload(s) x {dims} "
+                f"(scale={self.scale}, budget={self.budget})")
+
+    # ------------------------------------------------------------------
+    def run(self, policy="cycle", workers=None, runner=None, progress=None,
+            refine_margin=None, refine_pad=1):
+        """Execute the study and return a :class:`StudyResult`.
+
+        ``policy`` is a tier name (run the whole grid on that tier) or
+        ``"adaptive"``: scan on the coarse tier, refine the selected
+        region (see :func:`select_refinement`) on the accurate tier.
+        ``refine_margin`` defaults to the scan tier's trusted flatness
+        margin (:func:`repro.uarch.core.scan_margin`).
+        """
+        if policy in MODELS:
+            jobs = self.jobs(model=policy)
+            stats_list = run_jobs(jobs, workers=workers, runner=runner,
+                                  progress=progress)
+            cells = [
+                StudyCell(job.workload, job.label, stats,
+                          metric_set(stats, job.describe()), job.model)
+                for job, stats in zip(jobs, stats_list)
+            ]
+            return StudyResult(self, policy, cells,
+                               jobs_run={policy: len(jobs)})
+        if policy != "adaptive":
+            raise ValueError(f"unknown policy {policy!r}; expected one of "
+                             f"{POLICIES}")
+        return self._run_adaptive(workers=workers, runner=runner,
+                                  progress=progress,
+                                  refine_margin=refine_margin,
+                                  refine_pad=refine_pad)
+
+    def _run_adaptive(self, workers=None, runner=None, progress=None,
+                      refine_margin=None, refine_pad=1):
+        target = "cycle"
+        points = self.points()
+        if len(points) == 1:
+            # One grid point per workload: there is no region to
+            # select, so a scan pass would be pure overhead — run the
+            # accurate tier directly.
+            single = self.run(policy=target, workers=workers,
+                              runner=runner, progress=progress)
+            return StudyResult(self, "adaptive", single.cells,
+                               jobs_run=single.jobs_run)
+        scan = scan_tier(target)
+        margin = (scan_margin(scan) if refine_margin is None
+                  else refine_margin)
+        higher = self.metric in _HIGHER_BETTER
+        # Knee windows assume index order is a real grid axis; a
+        # flattened multi-axis cross product has no such order, so it
+        # falls back to refining every near-best point.
+        mode = "knee" if len(self.axes) <= 1 else "near"
+
+        scan_jobs = self.jobs(model=scan)
+        scan_stats = run_jobs(scan_jobs, workers=workers, runner=runner,
+                              progress=progress)
+        n_points = len(points)
+
+        # Per-workload scan curves in grid order, then region selection.
+        refine_jobs = []
+        for wi, w in enumerate(self.workloads):
+            stats_row = scan_stats[wi * n_points:(wi + 1) * n_points]
+            values = [getattr(metric_set(s), self.metric)
+                      for s in stats_row]
+            idxs = select_refinement(values, higher_better=higher,
+                                     margin=margin, pad=refine_pad,
+                                     mode=mode)
+            refine_jobs.extend(
+                JobSpec(w, points[i][1], label=points[i][0],
+                        scale=self.scale, budget=self.budget, model=target)
+                for i in idxs
+            )
+
+        if progress is not None:
+            progress.add_total(len(refine_jobs))
+        refine_stats = run_jobs(refine_jobs, workers=workers, runner=runner,
+                                progress=progress)
+        refined = {(job.workload, job.label): stats
+                   for job, stats in zip(refine_jobs, refine_stats)}
+
+        cells = []
+        for job, stats in zip(scan_jobs, scan_stats):
+            cell_key = (job.workload, job.label)
+            if cell_key in refined:
+                stats, tier = refined[cell_key], target
+                name = f"{job.workload}@{job.label}"
+            else:
+                tier = scan
+                name = job.describe()
+            cells.append(StudyCell(job.workload, job.label, stats,
+                                   metric_set(stats, name), tier))
+        return StudyResult(self, "adaptive", cells,
+                           jobs_run={scan: len(scan_jobs),
+                                     target: len(refine_jobs)})

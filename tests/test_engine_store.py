@@ -264,3 +264,106 @@ def test_concurrent_writers_leave_valid_manifest(tmp_path):
         n_workers * n_iters)
     assert s["unindexed_files"] == 0
     assert not [f for f in os.listdir(tmp_path) if ".tmp." in f]
+
+
+def _hammer_capped(root, worker_id, n):
+    # Capped store: every put() may evict concurrently with the others'.
+    os.environ["REPRO_CACHE_MAX_MB"] = str(1200 / (1024 * 1024))
+    store = ResultStore(root)
+    assert store.max_bytes == 1200
+    for i in range(n):
+        store.put(f"w{worker_id}_k{i}",
+                  {"worker": worker_id, "i": i, "pad": "x" * 64})
+        store.get(f"w{worker_id}_k{i}")
+    store.flush()
+
+
+def test_lru_eviction_races_concurrent_puts(tmp_path):
+    """REPRO_CACHE_MAX_MB + pool-style concurrent put(): one worker's
+    eviction pass runs while others are mid-put.  Whatever the
+    interleaving, the manifest must parse, every indexed entry's
+    payload file must exist and hold valid JSON, every surviving file
+    must be indexed (no orphans the index forgot), and the indexed
+    total must respect the cap."""
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn")
+    n_workers, n_iters = 4, 12
+    procs = [
+        ctx.Process(target=_hammer_capped, args=(str(tmp_path), w, n_iters))
+        for w in range(n_workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(60)
+        assert p.exitcode == 0
+
+    store = ResultStore(tmp_path)
+    with open(store.manifest_path) as fh:
+        manifest = json.load(fh)  # must parse: no torn writes
+    entries = manifest["entries"]
+    assert manifest["counters"]["evictions"] > 0  # the race happened
+    # Entry <-> file consistency in both directions.
+    for key, entry in entries.items():
+        path = tmp_path / entry["file"]
+        assert path.exists(), f"indexed entry {key} lost its payload"
+        payload = json.loads(path.read_text())
+        assert payload["worker"] == int(key[1:].split("_")[0])
+    on_disk = {f for f in os.listdir(tmp_path)
+               if f.endswith(".json") and f != "manifest.json"}
+    indexed = {e["file"] for e in entries.values()}
+    assert on_disk == indexed, (
+        f"orphans: {on_disk - indexed}, ghosts: {indexed - on_disk}")
+    assert sum(e.get("bytes", 0) for e in entries.values()) <= 1200
+    assert not [f for f in os.listdir(tmp_path) if ".tmp." in f]
+
+
+# ----------------------------------------------------------------------
+# Canonicalization determinism (config_fingerprint)
+# ----------------------------------------------------------------------
+class _Slotted:
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+class _SlottedChild(_Slotted):
+    __slots__ = ("c",)
+
+    def __init__(self, a, b, c):
+        super().__init__(a, b)
+        self.c = c
+
+
+class _Opaque:
+    __slots__ = ()
+
+
+def test_fingerprint_deterministic_for_slotted_objects():
+    """Regression: slotted objects used to fall through to repr(),
+    whose default form embeds the instance memory address — two
+    processes fingerprinting equal configs disagreed."""
+    cfg_a = gem5_baseline()
+    cfg_b = gem5_baseline()
+    cfg_a.probe = _SlottedChild(1, "x", 2.5)
+    cfg_b.probe = _SlottedChild(1, "x", 2.5)
+    assert config_fingerprint(cfg_a) == config_fingerprint(cfg_b)
+    # Slot values are visible, not just the type name.
+    cfg_b.probe = _SlottedChild(1, "x", 99.0)
+    assert config_fingerprint(cfg_a) != config_fingerprint(cfg_b)
+
+
+def test_fingerprint_scrubs_addresses_from_repr_fallback():
+    from repro.engine.jobs import _canonical
+
+    # No __dict__, no slots with values: falls back to repr, which must
+    # not leak the per-process address.
+    one, two = _Opaque(), _Opaque()
+    assert _canonical(one) == _canonical(two)
+    assert "0x0" in _canonical(one) and hex(id(one)) not in _canonical(one)
+    # Slotted objects canonicalize as field dicts across the MRO.
+    assert _canonical(_SlottedChild(1, "x", 2.5)) == {
+        "a": 1, "b": "x", "c": 2.5}

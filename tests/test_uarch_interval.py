@@ -187,3 +187,36 @@ class TestIntervalStats:
         stats = simulate(tb.build(), gem5_baseline(), model="interval")
         assert stats.pause_ops == 50
         assert stats.serialize_stall_cycles > 0
+
+
+# ----------------------------------------------------------------------
+# host-i9 (three-level) calibration envelope — the ROADMAP item
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", ("ar", "dm", "ma", "rj"))
+def test_interval_within_envelope_on_host_i9(workload):
+    """Interval vs cycle IPC under the three-level host_i9 preset.
+
+    The tier was calibrated on the two-level gem5 baseline; this pins
+    how far it drifts with an L3 in the hierarchy.  Measured deltas at
+    default scale / 80k budget (positive = interval optimistic):
+
+        workload   warm      cold
+        ar         -8.04%    -2.58%
+        co        -10.23%   +11.97%
+        dm        -12.98%    -9.93%
+        ma         +0.98%    +1.56%
+        rj         -7.91%    -3.45%
+        tu         -6.29%   +15.41%
+
+    The four workloads asserted here sit within the gem5 15% envelope
+    warm and cold; co and tu are excluded (tu cold is at +15.4%, just
+    outside) pending the host-i9 recalibration the ROADMAP names.
+    """
+    trace = gem5_traces()[workload]
+    for warm in (True, False):
+        ref = simulate(trace, host_i9(), warm=warm, model="cycle")
+        approx = simulate(trace, host_i9(), warm=warm, model="interval")
+        err = abs(approx.ipc - ref.ipc) / ref.ipc
+        assert err <= 0.15, (
+            f"{workload}/warm={warm}: interval IPC {approx.ipc:.3f} vs "
+            f"cycle {ref.ipc:.3f} ({100 * err:.1f}% off)")
