@@ -1,0 +1,226 @@
+"""Engine performance benchmark: the repo's perf trajectory recorder.
+
+Times the canonical gem5 L2 sweep (cold and trace-warm), the per-tier
+simulation rates, and trace synthesis/load, then appends one entry to
+``benchmarks/BENCH_engine.json``.  Every perf-focused PR runs this
+before and after its change so the trajectory stays measurable:
+
+    python -m repro bench --label after-trace-store
+    python -m repro bench --tiny          # CI smoke variant
+
+The harness only uses stable public entry points (``Runner``,
+``l2_sweep``, ``simulate``) so one script can measure both the seed
+code and any later head; features a given head lacks (e.g. the
+persistent trace store) simply show up as "warm == cold".
+
+All sweep timing runs against throwaway result/trace cache directories
+— the committed ``benchmarks/_results`` store is never touched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "BENCH_engine.json")
+
+TRACE_DIR_ENV = "REPRO_TRACE_CACHE_DIR"
+
+GEM5_SIZES_KB = (256, 512, 1024, 2048)
+
+
+def _fresh_runner(cache_dir):
+    from repro.core.runner import Runner
+
+    return Runner(cache_dir=cache_dir)
+
+
+def _clear_trace_memos():
+    """Drop every in-process trace memo so builds are really timed."""
+    from repro.core import runner as runner_mod
+
+    runner_mod._runner = None
+    prebuilt = getattr(runner_mod, "PREBUILT_TRACES", None)
+    if prebuilt is not None:
+        prebuilt.clear()
+
+
+def bench_trace(workloads, scale, budget, trace_dir):
+    """Cold synthesis vs store-backed reload, per workload."""
+    from repro.core.runner import Runner
+
+    os.environ[TRACE_DIR_ENV] = trace_dir
+    _clear_trace_memos()
+    out = {"build_s": {}, "load_s": {}}
+    cold = Runner(use_disk_cache=False)
+    for w in workloads:
+        t0 = time.perf_counter()
+        trace, _ = cold.trace_for(w, scale, budget)
+        out["build_s"][w] = round(time.perf_counter() - t0, 4)
+        out.setdefault("ops", {})[w] = len(trace)
+    # A fresh Runner has an empty in-process memo: with a persistent
+    # trace store this is an mmap load, without one a full rebuild.
+    warm = Runner(use_disk_cache=False)
+    for w in workloads:
+        t0 = time.perf_counter()
+        warm.trace_for(w, scale, budget)
+        out["load_s"][w] = round(time.perf_counter() - t0, 4)
+    return out
+
+
+def bench_tiers(workloads, scale, budget):
+    """Simulation rate (Kops/s) per fidelity tier, gem5 baseline."""
+    from repro.core.runner import default_runner
+    from repro.uarch import gem5_baseline, simulate
+    from repro.uarch.core import MODELS
+
+    runner = default_runner()
+    config = gem5_baseline()
+    rates = {}
+    for model in MODELS:
+        total_ops = 0
+        total_s = 0.0
+        for w in workloads:
+            trace, _ = runner.trace_for(w, scale, budget)
+            simulate(trace, config, model=model)  # warm code paths
+            t0 = time.perf_counter()
+            simulate(trace, config, model=model)
+            total_s += time.perf_counter() - t0
+            total_ops += len(trace)
+        rates[model] = {
+            "kops_per_s": round(total_ops / total_s / 1e3, 1),
+            "seconds_total": round(total_s, 3),
+        }
+    return rates
+
+
+def bench_sweep(workloads, scale, budget, sizes_kb):
+    """Wall-clock of the gem5 L2 sweep, cold and trace-warm.
+
+    Cold: empty result store, empty trace store — every trace is
+    synthesized and every job simulated.  Warm: empty result store
+    again, but the trace store kept from the cold run — what a fresh
+    worker or a new study over cached traces pays.
+    """
+    from repro.core.sweeps import l2_sweep
+
+    out = {}
+    with tempfile.TemporaryDirectory() as sweep_traces:
+        os.environ[TRACE_DIR_ENV] = sweep_traces
+        for phase in ("cold", "warm"):
+            _clear_trace_memos()
+            with tempfile.TemporaryDirectory() as results:
+                runner = _fresh_runner(results)
+                t0 = time.perf_counter()
+                l2_sweep(workloads=workloads, sizes_kb=sizes_kb,
+                         scale=scale, budget=budget, runner=runner,
+                         workers=1)
+                out[f"{phase}_s"] = round(time.perf_counter() - t0, 3)
+    n_jobs = len(workloads) * len(sizes_kb)
+    out["jobs"] = n_jobs
+    for phase in ("cold", "warm"):
+        out[f"{phase}_s_per_job"] = round(out[f"{phase}_s"] / n_jobs, 4)
+    return out
+
+
+def _git_head():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(BENCH_PATH),
+        ).stdout.strip() or None
+    except OSError:
+        return None
+
+
+def run_bench(tiny=False, label=None, workloads=None, out_path=None):
+    """Run every section; append the entry to the bench JSON."""
+    if tiny:
+        workloads = workloads or ("ar", "co")
+        scale, budget = "tiny", 4000
+        sizes_kb = (512, 1024)
+    else:
+        workloads = workloads or ("ar", "co", "dm", "ma", "rj", "tu")
+        scale, budget = "default", 80_000
+        sizes_kb = GEM5_SIZES_KB
+
+    saved_trace_dir = os.environ.get(TRACE_DIR_ENV)
+    entry = {
+        "label": label or ("tiny" if tiny else "full"),
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git": _git_head(),
+        "python": platform.python_version(),
+        "tiny": tiny,
+        "workloads": list(workloads),
+        "scale": scale,
+        "budget": budget,
+        "l2_sizes_kb": list(sizes_kb),
+    }
+    try:
+        with tempfile.TemporaryDirectory() as trace_dir:
+            print(f"[bench] trace synthesis/load "
+                  f"({len(workloads)} workloads)...", file=sys.stderr)
+            entry["trace"] = bench_trace(workloads, scale, budget, trace_dir)
+            print("[bench] tier rates...", file=sys.stderr)
+            entry["tiers"] = bench_tiers(workloads, scale, budget)
+            print(f"[bench] l2 sweep ({len(workloads)}x{len(sizes_kb)} "
+                  f"jobs, cold + trace-warm)...", file=sys.stderr)
+            entry["l2_sweep"] = bench_sweep(workloads, scale, budget,
+                                            sizes_kb)
+    finally:
+        if saved_trace_dir is None:
+            os.environ.pop(TRACE_DIR_ENV, None)
+        else:
+            os.environ[TRACE_DIR_ENV] = saved_trace_dir
+        _clear_trace_memos()
+
+    path = out_path or BENCH_PATH
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        doc = {"entries": []}
+    doc["entries"].append(entry)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench] wrote entry {entry['label']!r} to {path}",
+          file=sys.stderr)
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Time the engine hot paths; append to "
+                    "BENCH_engine.json")
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke variant (tiny scale, 2 workloads)")
+    parser.add_argument("--label", default=None,
+                        help="entry label (default: full/tiny)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated workload subset")
+    parser.add_argument("--out", default=None,
+                        help=f"output JSON (default: {BENCH_PATH})")
+    args = parser.parse_args(argv)
+    workloads = (tuple(w.strip() for w in args.workloads.split(","))
+                 if args.workloads else None)
+    entry = run_bench(tiny=args.tiny, label=args.label,
+                      workloads=workloads, out_path=args.out)
+    print(json.dumps(entry, indent=1, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    repo_src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if repo_src not in sys.path:
+        sys.path.insert(0, repo_src)
+    sys.exit(main())

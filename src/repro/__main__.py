@@ -7,9 +7,12 @@ Subcommands
 ``repro run <workload>``       simulate a single workload under a config
 ``repro characterize [w...]``  top-down + metrics for workloads (engine)
 ``repro figures <name>``       regenerate one figure's data as JSON
+``repro bench``                time the engine hot paths (perf trajectory)
 ``repro cache stats``          result-store size and hit/miss accounting
 ``repro cache prune``          LRU-evict the store down to a size cap
 ``repro cache clear``          drop every cached result
+``repro trace stats``          trace-store size and entry accounting
+``repro trace clear``          drop every cached trace
 ``repro list``                 sweeps, figures, study axes, workloads
 
 ``sweep``, ``study``, ``characterize``, and ``figures`` all execute
@@ -356,6 +359,50 @@ def cmd_cache(args):
     return 0
 
 
+def cmd_trace(args):
+    from .trace.store import TraceStore
+
+    store = TraceStore(create=False)
+    if args.action == "stats":
+        s = store.stats()
+        cap = (_human_bytes(s["max_bytes"]) if s["max_bytes"] is not None
+               else "unlimited")
+        rows = [
+            {"field": "root", "value": s["root"]},
+            {"field": "entries", "value": str(s["entries"])},
+            {"field": "total size", "value": _human_bytes(s["total_bytes"])},
+            {"field": "size cap", "value": cap},
+        ]
+        print(render_table(rows, title="trace store"))
+    else:
+        removed = store.clear()
+        print(f"cleared {removed} traces from {store.root}")
+    return 0
+
+
+def cmd_bench(args):
+    import importlib.util
+    import os
+
+    # The harness lives with the other benchmarks, outside the package.
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    path = os.path.join(here, "benchmarks", "bench_engine.py")
+    if not os.path.exists(path):
+        print("error: benchmarks/bench_engine.py not found (installed "
+              "package without the benchmarks tree?)", file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location("bench_engine", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    workloads = (tuple(w.strip() for w in args.workloads.split(","))
+                 if args.workloads else None)
+    entry = module.run_bench(tiny=args.tiny, label=args.label,
+                             workloads=workloads, out_path=args.out)
+    print(json.dumps(entry, indent=1, sort_keys=True))
+    return 0
+
+
 def cmd_list(args):
     print("sweeps:")
     for name in sorted(SWEEPS):
@@ -487,6 +534,24 @@ def build_parser():
     p.add_argument("--max-mb", type=float, default=None,
                    help="prune target size (default: REPRO_CACHE_MAX_MB)")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("trace", help="inspect or clear the trace store")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the engine hot paths; append to BENCH_engine.json")
+    p.add_argument("--tiny", action="store_true",
+                   help="CI smoke variant (tiny scale, 2 workloads)")
+    p.add_argument("--label", default=None,
+                   help="entry label (default: full/tiny)")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated workload subset")
+    p.add_argument("--out", default=None,
+                   help="output JSON path (default: committed "
+                        "benchmarks/BENCH_engine.json)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("list", help="available sweeps and workloads")
     p.set_defaults(func=cmd_list)

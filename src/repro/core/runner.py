@@ -1,8 +1,17 @@
-"""Run management: solve/trace/simulate with two-level caching.
+"""Run management: solve/trace/simulate with three-level caching.
 
-* In-process: solves and traces are memoized per (workload, scale,
-  budget) — sweeps reuse one trace across dozens of configs.
-* On disk: ``SimStats`` are cached in a
+* In-process: traces are memoized per (workload, scale, budget) in a
+  small LRU — sweeps reuse one trace across dozens of configs without
+  letting mixed-budget study grids grow worker RSS without bound
+  (``REPRO_TRACE_MEMO`` sets the cap).  The engine pool additionally
+  publishes a read-only :data:`PREBUILT_TRACES` set that forked
+  workers inherit copy-on-write, so a batch's traces are built or
+  loaded once, in the parent.
+* On disk, traces: built traces persist in a
+  :class:`repro.trace.store.TraceStore` (columnar ``.npz``, mmap-backed
+  loads) so the multi-second synthesis cost — dominated by the FEM
+  solve — is paid once per machine, not once per process.
+* On disk, results: ``SimStats`` are cached in a
   :class:`repro.engine.store.ResultStore` keyed by (workload, scale,
   budget, config fingerprint) so benchmark re-renders are instant and
   any number of pool workers can share one cache safely.
@@ -11,14 +20,35 @@
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 
 from ..engine.jobs import JobSpec
 from ..engine.store import ResultStore
 from ..trace import TraceRequest, workload_trace
+from ..trace.store import TraceStore, store_enabled
 from ..uarch import SimStats, simulate
 from ..workloads import get as get_workload
 
-__all__ = ["Runner", "default_cache_dir", "default_runner"]
+__all__ = ["Runner", "default_cache_dir", "default_runner",
+           "PREBUILT_TRACES"]
+
+TRACE_MEMO_ENV = "REPRO_TRACE_MEMO"
+_TRACE_MEMO_DEFAULT = 8
+
+# Traces pre-built/loaded by the engine pool's parent process before
+# forking, keyed like the memo.  Workers read it copy-on-write; only
+# `engine.pool` writes it.  Entries here are never evicted by the
+# per-runner LRU (they are shared pages, not per-process RSS).
+PREBUILT_TRACES = {}
+
+
+def _trace_memo_cap():
+    raw = os.environ.get(TRACE_MEMO_ENV, "").strip()
+    try:
+        cap = int(raw)
+    except ValueError:
+        return _TRACE_MEMO_DEFAULT
+    return max(cap, 1)
 
 
 def default_cache_dir():
@@ -44,11 +74,16 @@ def default_cache_dir():
 class Runner:
     """Caching orchestrator for workload simulations."""
 
-    def __init__(self, cache_dir=None, use_disk_cache=True, store=None):
+    def __init__(self, cache_dir=None, use_disk_cache=True, store=None,
+                 trace_store=None, trace_memo=None):
         self.cache_dir = cache_dir or default_cache_dir()
         self.use_disk_cache = use_disk_cache
         self._store = store
-        self._traces = {}
+        self._traces = OrderedDict()
+        self._trace_memo_cap = trace_memo or _trace_memo_cap()
+        # None = resolve lazily (honoring REPRO_TRACE_CACHE_DIR /
+        # REPRO_TRACE_STORE at first use); False = explicitly disabled.
+        self._trace_store = trace_store
 
     @property
     def store(self):
@@ -57,16 +92,55 @@ class Runner:
             self._store = ResultStore(self.cache_dir)
         return self._store
 
+    @property
+    def trace_store(self):
+        """Lazily opened persistent trace store (None when disabled)."""
+        if self._trace_store is None:
+            self._trace_store = (TraceStore(create=False) if store_enabled()
+                                 else False)
+        return self._trace_store or None
+
     # ------------------------------------------------------------------
     def trace_for(self, workload, scale="default", budget=80_000):
-        """Trace for a workload (memoized in process)."""
+        """Trace for a workload, through three cache levels.
+
+        Lookup order: the pool's shared prebuilt set, this runner's
+        LRU memo, the persistent on-disk trace store (mmap load), and
+        finally a full synthesis (solve + emission) whose result is
+        persisted for every later process.
+
+        Returns ``(trace, record)``; the solve record is only available
+        when the trace was synthesized in this process (store/prebuilt
+        hits return ``record=None`` — no current caller consumes it).
+        """
         key = (workload, scale, budget)
-        if key not in self._traces:
+        prebuilt = PREBUILT_TRACES.get(key)
+        if prebuilt is not None:
+            return prebuilt
+        memo = self._traces
+        if key in memo:
+            memo.move_to_end(key)
+            return memo[key]
+        entry = None
+        tstore = self.trace_store
+        if tstore is not None:
+            trace = tstore.load(workload, scale, budget)
+            if trace is not None:
+                entry = (trace, None)
+        if entry is None:
             spec = get_workload(workload)
             request = TraceRequest(budget=budget, scale=scale)
             trace, record = workload_trace(spec, request)
-            self._traces[key] = (trace, record)
-        return self._traces[key]
+            entry = (trace, record)
+            if tstore is not None:
+                try:
+                    tstore.save(workload, scale, budget, trace)
+                except OSError:
+                    pass  # read-only cache location: stay in-process
+        memo[key] = entry
+        while len(memo) > self._trace_memo_cap:
+            memo.popitem(last=False)
+        return entry
 
     def stats_for(self, workload, config, scale="default", budget=80_000,
                   model="cycle"):
@@ -93,7 +167,10 @@ class Runner:
         trace, _ = self.trace_for(job.workload, job.scale, job.budget)
         stats = simulate(trace, job.config, model=job.model)
         if self.use_disk_cache:
-            self.store.put(job.key(), stats.as_dict(), meta=job.meta())
+            # Deferred: payload file lands now; the manifest entry is
+            # batched with the next flush (sweeps flush once per run).
+            self.store.put(job.key(), stats.as_dict(), meta=job.meta(),
+                           defer=True)
         return stats
 
     def clear_disk_cache(self):

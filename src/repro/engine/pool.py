@@ -2,10 +2,18 @@
 
 ``run_jobs`` executes a list of :class:`~repro.engine.jobs.JobSpec`
 over a process pool.  Cache hits are served from the result store in
-the parent, so only misses are dispatched.  Each worker process owns a
-private ``Runner`` whose in-process trace memo persists across jobs,
-and pending jobs are sorted by trace key before dispatch so a worker
-tends to see every config of a workload and builds each trace once.
+the parent, so only misses are dispatched.
+
+Traces are distributed zero-copy: before forking the pool, the parent
+builds or mmap-loads every distinct trace the pending jobs need into
+:data:`repro.core.runner.PREBUILT_TRACES`; forked workers inherit the
+set through copy-on-write pages (mmap-backed file pages when the trace
+came from the persistent store), so no worker ever re-synthesizes a
+trace the parent already has.  Cold traces are built through a
+temporary pool into the trace store first, keeping cold-start builds
+as parallel as the old per-worker scheme.  On spawn platforms the
+inherited set is empty and workers fall back to mmap loads from the
+store.
 
 Results always come back in input-job order regardless of worker
 count.  ``workers=1`` — or a platform where a process pool cannot be
@@ -22,7 +30,7 @@ import sys
 
 from .store import ResultStore
 
-__all__ = ["run_jobs", "resolve_workers"]
+__all__ = ["prebuild_traces", "run_jobs", "resolve_workers"]
 
 # Per-worker-process state, populated by the pool initializer: a
 # disk-cache-free Runner (trace memoization only) and a store handle.
@@ -71,7 +79,13 @@ def _init_worker(store_root, in_worker=True):
 
 
 def _execute(job):
-    """Trace (memoized per worker), simulate, persist, return payload."""
+    """Trace (inherited/memoized), simulate, persist, return payload.
+
+    The store put defers its manifest entry: payload files land
+    immediately (atomic), the index entries reach the manifest in one
+    locked write when the worker drains — instead of one lock round-trip
+    per job.
+    """
     from ..uarch import simulate
 
     runner = _STATE["runner"]
@@ -80,8 +94,74 @@ def _execute(job):
     payload = stats.as_dict()
     store = _STATE["store"]
     if store is not None:
-        store.put(job.key(), payload, meta=job.meta())
+        store.put(job.key(), payload, meta=job.meta(), defer=True)
     return payload
+
+
+def _build_one_trace(key):
+    """Prebuild helper: synthesize one trace, persist it when the trace
+    store allows, and ship its columns back to the parent."""
+    import numpy as np
+
+    from ..core.runner import Runner
+
+    workload, scale, budget = key
+    trace, _ = Runner(use_disk_cache=False).trace_for(workload, scale,
+                                                      budget)
+    columns = {
+        c: np.ascontiguousarray(getattr(trace, c))
+        for c in ("kind", "addr", "pc", "taken", "dep1", "dep2", "func")
+    }
+    return key, columns
+
+
+def prebuild_traces(jobs, workers=1):
+    """Build/load every distinct trace *jobs* need, in the parent.
+
+    Populates :data:`repro.core.runner.PREBUILT_TRACES` so that pool
+    workers forked afterwards inherit the traces copy-on-write.  Traces
+    the parent cannot cheaply acquire (not memoized, not in the trace
+    store) are synthesized through a temporary pool when ``workers``
+    allows — synthesis is a full FEM solve and dominates cold-start
+    time — and shipped back as arrays, so builds stay parallel even
+    when the store is disabled or unwritable.  Returns the list of
+    distinct trace keys.
+    """
+    from ..trace.ops import Trace  # local import: avoids cycle at load
+    from ..core.runner import PREBUILT_TRACES, Runner
+
+    keys = []
+    seen = set()
+    for job in jobs:
+        key = job.trace_key
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    runner = Runner(use_disk_cache=False)
+    missing = [k for k in keys if k not in PREBUILT_TRACES]
+    tstore = runner.trace_store
+    if workers > 1:
+        to_build = [k for k in missing
+                    if tstore is None or not tstore.contains(*k)]
+        if len(to_build) > 1:
+            pool = None
+            try:
+                ctx = _mp_context()
+                pool = ctx.Pool(processes=min(workers, len(to_build)))
+            except (OSError, ValueError, ImportError):
+                pool = None
+            if pool is not None:
+                try:
+                    for key, columns in pool.map(_build_one_trace,
+                                                 to_build):
+                        PREBUILT_TRACES[key] = (Trace(**columns), None)
+                finally:
+                    pool.terminate()
+                    pool.join()
+    for key in missing:
+        if key not in PREBUILT_TRACES:
+            PREBUILT_TRACES[key] = runner.trace_for(*key)
+    return keys
 
 
 def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
@@ -150,6 +230,13 @@ def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
     n = min(workers, len(pending))
     chunksize = max(1, math.ceil(len(pending) / n))
 
+    # Build/load every needed trace in the parent *before* forking:
+    # workers then inherit the whole set zero-copy instead of each
+    # paying synthesis or load again.
+    from ..core.runner import PREBUILT_TRACES
+
+    prebuild_traces(todo, workers=n)
+
     pool = None
     try:
         ctx = _mp_context()
@@ -166,15 +253,30 @@ def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
     else:
         payloads = pool.imap(_execute, todo, chunksize=chunksize)
 
+    # Workers write payload files with deferred puts (multiprocessing
+    # children exit via os._exit, skipping finalizers, so they can
+    # never be trusted to fold their own manifest entries).  The parent
+    # indexes each drained result instead and folds the whole batch in
+    # one locked manifest write at the end — instead of one lock
+    # round-trip per job.  Size-capped stores are excluded: their
+    # workers index synchronously (put ignores defer), and a parent-
+    # side entry could resurrect a key another worker's eviction pass
+    # already deleted.
+    index_in_parent = store is not None and store.max_bytes is None
     try:
         for (i, job), payload in zip(pending, payloads):
             results[i] = SimStats.from_dict(payload)
+            if index_in_parent:
+                store.index_deferred(job.key(), meta=job.meta())
             if progress is not None:
                 progress.step(job.describe(), cached=False)
     finally:
         if pool is not None:
             pool.terminate()  # what `with pool:` would do; results are
             pool.join()       # already drained on the success path
+        # The forked children hold their own (copy-on-write) views;
+        # dropping the parent's set bounds its memory across studies.
+        PREBUILT_TRACES.clear()
         if store is not None:
             store.flush()
     return results

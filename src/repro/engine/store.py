@@ -169,6 +169,8 @@ def _fold_pending(root, pending, manifest):
     for key, name in pending.pop("adopt", {}).items():
         if key not in manifest["entries"]:
             manifest["entries"][key] = _describe_entry(root, name)
+    for key, entry in pending.pop("index", {}).items():
+        manifest["entries"][key] = entry
     for key, ts in pending.pop("touch", {}).items():
         entry = manifest["entries"].get(key)
         if entry is not None and ts > entry.get("atime", 0.0):
@@ -182,15 +184,17 @@ def _drain_pending(root, pending):
     interpreter exit without keeping the store instance alive.
     """
     if not (pending["hits"] or pending["misses"] or pending["adopt"]
-            or pending["touch"]):
+            or pending["touch"] or pending["index"]):
         return
     drained = {"hits": pending["hits"], "misses": pending["misses"],
                "adopt": dict(pending["adopt"]),
-               "touch": dict(pending["touch"])}
+               "touch": dict(pending["touch"]),
+               "index": dict(pending["index"])}
     pending["hits"] = 0
     pending["misses"] = 0
     pending["adopt"].clear()
     pending["touch"].clear()
+    pending["index"].clear()
     if not os.path.isdir(root):
         # Store directory vanished (temp dir at interpreter exit):
         # drop the bookkeeping rather than recreate it.
@@ -217,11 +221,13 @@ class ResultStore:
         self.session_hits = 0
         self.session_misses = 0
         # Lookups stay lock-free: counter bumps, legacy-file adoptions,
-        # and entry access times accumulate here and reach the manifest
-        # on the next put(), an explicit flush(), garbage collection,
+        # entry access times, and deferred put() index entries
+        # accumulate here and reach the manifest on the next
+        # non-deferred put(), an explicit flush(), garbage collection,
         # or interpreter exit (the finalizer holds only root + this
         # dict, so instances stay collectable).
-        self._pending = {"hits": 0, "misses": 0, "adopt": {}, "touch": {}}
+        self._pending = {"hits": 0, "misses": 0, "adopt": {}, "touch": {},
+                         "index": {}}
         self._finalizer = weakref.finalize(
             self, _drain_pending, self.root, self._pending)
 
@@ -282,8 +288,23 @@ class ResultStore:
         return payload
 
     def flush(self):
-        """Fold pending counters and adoptions into the manifest."""
+        """Fold pending counters, adoptions, and deferred entries into
+        the manifest."""
         _drain_pending(self.root, self._pending)
+
+    def index_deferred(self, key, meta=None):
+        """Queue a manifest entry for a payload file someone else wrote.
+
+        The engine pool's workers write payload files with deferred
+        puts; the parent — the only process guaranteed a graceful exit
+        — indexes them as results drain and folds the batch into the
+        manifest with its final :meth:`flush`.
+        """
+        entry = self._describe_file(key)
+        entry["atime"] = time.time()
+        if meta:
+            entry.update(meta)
+        self._pending["index"][key] = entry
 
     def contains(self, key, legacy_key=None):
         """Like :meth:`get` but without payload I/O or accounting."""
@@ -292,30 +313,51 @@ class ResultStore:
             for name in (key, legacy_key) if name
         )
 
-    def put(self, key, payload, meta=None):
+    def put(self, key, payload, meta=None, defer=False):
         """Atomically write *payload* under *key* and index it.
 
         When a size cap is configured (``max_bytes`` argument or the
         ``REPRO_CACHE_MAX_MB`` env var), least-recently-used entries
         are evicted inside the same locked manifest update until the
         store fits; the entry just written is never a victim.
+
+        ``defer=True`` (uncapped stores only) writes the payload file
+        immediately — lookups see it at once, results survive a crash —
+        but batches the manifest entry with the other pending
+        accounting: one locked manifest write per :meth:`flush` /
+        process exit instead of one per put.  The engine pool defers
+        every worker put.  On a capped store the flag is ignored:
+        eviction must observe each entry synchronously, keeping the
+        LRU-vs-concurrent-put guarantees unchanged.
         """
         path = self._entry_path(key)
-        drained = {"hits": self._pending["hits"],
-                   "misses": self._pending["misses"],
-                   "adopt": dict(self._pending["adopt"]),
-                   "touch": dict(self._pending["touch"])}
-        self._pending["hits"] = 0
-        self._pending["misses"] = 0
-        self._pending["adopt"].clear()
-        self._pending["touch"].clear()
-        max_bytes = self.max_bytes
 
         def write_payload():
             tmp = f"{path}.tmp.{os.getpid()}"
             with open(tmp, "w") as fh:
                 json.dump(payload, fh)
             os.replace(tmp, path)
+
+        max_bytes = self.max_bytes
+        if defer and max_bytes is None:
+            write_payload()
+            entry = self._describe_file(key)
+            entry["atime"] = time.time()
+            if meta:
+                entry.update(meta)
+            self._pending["index"][key] = entry
+            return path
+
+        drained = {"hits": self._pending["hits"],
+                   "misses": self._pending["misses"],
+                   "adopt": dict(self._pending["adopt"]),
+                   "touch": dict(self._pending["touch"]),
+                   "index": dict(self._pending["index"])}
+        self._pending["hits"] = 0
+        self._pending["misses"] = 0
+        self._pending["adopt"].clear()
+        self._pending["touch"].clear()
+        self._pending["index"].clear()
 
         if max_bytes is None:
             # No eviction anywhere: keep the payload write outside the
@@ -412,4 +454,5 @@ class ResultStore:
         self._pending["misses"] = 0
         self._pending["adopt"].clear()
         self._pending["touch"].clear()
+        self._pending["index"].clear()
         return removed

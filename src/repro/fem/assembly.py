@@ -95,30 +95,47 @@ def _gather(values, conn, field_names):
 
 def _scatter(model, conn, field_names, f_e, K_e, rhs, builder):
     """Scatter an element contribution through DOF expansion lists."""
-    expansions = []
-    for node in conn:
-        for field in field_names:
-            expansions.append(model.expansion(int(node), field))
-    # Fast path: every local DOF is either dropped or a plain equation.
-    simple = all(
-        len(ex) == 0 or (len(ex) == 1 and ex[0][1] == 1.0)
-        for ex in expansions
-    )
-    if simple:
-        eqs = np.array(
-            [ex[0][0] if ex else -1 for ex in expansions], dtype=np.int64
-        )
+    # Fast path: only rigid slave nodes expand onto foreign equations,
+    # so an element touching none reads its equation numbers straight
+    # from the DOF table — no per-DOF expansion lists.  (Same triplets,
+    # same order: a unit-weight expansion contributes 1.0*1.0*K == K.)
+    rigid_map = model._rigid_node_body
+    if not rigid_map or not any(int(node) in rigid_map for node in conn):
+        eqs = model.dofs.eqs_for(conn, field_names)
         keep = eqs >= 0
         if keep.any():
             np.add.at(rhs, eqs[keep], f_e[keep])
             builder.add_block(eqs, eqs, K_e)
         return
+    expansions = []
+    for node in conn:
+        for field in field_names:
+            expansions.append(model.expansion(int(node), field))
+    # General path: flatten the expansion lists once, then form every
+    # (eq_i, eq_j) contribution as one outer-product block.  The
+    # flattened order (local dof asc, expansion entries in list order)
+    # and the value expression ((w_i * w_j) * K_e[i, j]) are exactly
+    # the scalar quadruple loop's, so duplicate summation — which is
+    # order-sensitive at float precision — is unchanged bit for bit.
+    flat_dof = []
+    flat_eq = []
+    flat_w = []
     for i, exp_i in enumerate(expansions):
         for (eq_i, w_i) in exp_i:
-            rhs[eq_i] += w_i * f_e[i]
-            for j, exp_j in enumerate(expansions):
-                for (eq_j, w_j) in exp_j:
-                    builder.add(eq_i, eq_j, w_i * w_j * K_e[i, j])
+            flat_dof.append(i)
+            flat_eq.append(eq_i)
+            flat_w.append(w_i)
+    if not flat_dof:
+        return
+    flat_dof = np.asarray(flat_dof, dtype=np.int64)
+    flat_eq = np.asarray(flat_eq, dtype=np.int64)
+    flat_w = np.asarray(flat_w, dtype=np.float64)
+    np.add.at(rhs, flat_eq, flat_w * f_e[flat_dof])
+    m = flat_eq.size
+    weights = flat_w[:, None] * flat_w[None, :]
+    values = weights * K_e[np.ix_(flat_dof, flat_dof)]
+    builder.add_triplets(
+        np.repeat(flat_eq, m), np.tile(flat_eq, m), values.ravel())
 
 
 def assemble_system(model, values, values_old, body_q, states, dt, t):

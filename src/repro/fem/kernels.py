@@ -16,7 +16,7 @@ import numpy as np
 
 from .materials.base import strain_tensor_to_voigt
 from .quadrature import hex_rule, quad_rule, tet_rule
-from .shape import Hex8, Quad4, Tet4, jacobian
+from .shape import Hex8, Quad4, Tet4, jacobian, jacobian_all, rule_gradients
 
 __all__ = [
     "element_quadrature",
@@ -99,9 +99,11 @@ def solid_element(coords, u_e, material, state, dt, t):
     f = np.zeros(3 * n)
     K = np.zeros((3 * n, 3 * n))
     new_state = {k: v.copy() for k, v in state.items()}
+    grads_list = rule_gradients(cls, rule)
+    dets, dNs = jacobian_all(coords, grads_list)
     for gp, (xi, w) in enumerate(rule):
-        grads = cls.gradients(xi)
-        _, detJ, dN = jacobian(coords, grads)
+        detJ = float(dets[gp])
+        dN = dNs[gp]
         wdet = w * detJ
         if material.finite_strain:
             F = np.eye(3) + u_e.T @ dN
@@ -128,11 +130,18 @@ def solid_element(coords, u_e, material, state, dt, t):
     return f, K, new_state
 
 
+# Shared rule instances: quadrature data is immutable and identical on
+# every construction, so the assembly loop reuses one object per family
+# instead of rebuilding point/weight arrays per element.
+_HEX_RULE = hex_rule(2)
+_TET_RULE = tet_rule(1)
+
+
 def _infer_volume(coords):
     if coords.shape[0] == 8:
-        return Hex8, hex_rule(2)
+        return Hex8, _HEX_RULE
     if coords.shape[0] == 4:
-        return Tet4, tet_rule(1)
+        return Tet4, _TET_RULE
     raise ValueError(f"cannot infer element type from {coords.shape[0]} nodes")
 
 

@@ -117,6 +117,31 @@ def element_class(name):
         raise KeyError(f"unknown element type {name!r}") from None
 
 
+_RULE_GRADIENTS = {}
+
+
+def rule_gradients(cls, rule):
+    """Parent-space shape gradients at every point of *rule*, memoized.
+
+    The gradients depend only on the element class and the quadrature
+    points, yet the assembly loop historically recomputed them per
+    Gauss point per element — millions of identical evaluations per
+    solve.  The cached arrays are the same bitwise values (same
+    function, same inputs) marked read-only.
+    """
+    key = (cls.name, rule.points.tobytes())
+    grads = _RULE_GRADIENTS.get(key)
+    if grads is None:
+        grads = []
+        for xi in rule.points:
+            g = cls.gradients(xi)
+            g.setflags(write=False)
+            grads.append(g)
+        grads = tuple(grads)
+        _RULE_GRADIENTS[key] = grads
+    return grads
+
+
 def jacobian(coords, grads):
     """Isoparametric Jacobian at one quadrature point.
 
@@ -139,3 +164,27 @@ def jacobian(coords, grads):
         raise ValueError(f"non-positive Jacobian determinant {detJ:.3e}")
     dN = grads @ np.linalg.inv(J)
     return J, detJ, dN
+
+
+def jacobian_all(coords, grads_list):
+    """Jacobian data for every quadrature point of one element.
+
+    Each per-point value is computed by the exact operations
+    :func:`jacobian` performs — the 2-D ``coords.T @ grads`` products
+    are unchanged, and the determinant/inverse go through the same
+    per-3x3 gufunc kernels, just batched over the stack — so results
+    are bitwise identical while the LAPACK call overhead is paid once
+    per element instead of once per Gauss point.
+
+    Returns ``(dets, dNs)``; raises the same ``ValueError`` as
+    :func:`jacobian` on the first non-positive determinant.
+    """
+    Js = np.stack([coords.T @ g for g in grads_list])
+    dets = np.linalg.det(Js)
+    if np.any(dets <= 0.0):
+        bad = int(np.argmax(dets <= 0.0))
+        raise ValueError(
+            f"non-positive Jacobian determinant {float(dets[bad]):.3e}")
+    invs = np.linalg.inv(Js)
+    dNs = [grads_list[gp] @ invs[gp] for gp in range(len(grads_list))]
+    return dets, dNs

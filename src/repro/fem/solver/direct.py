@@ -34,9 +34,11 @@ class DenseLU:
                 A[[k, p]] = A[[p, k]]
                 piv[[k, p]] = piv[[p, k]]
                 swaps += 1
-            # Eliminate below the pivot with one vectorized rank-1 update.
+            # Eliminate below the pivot with one vectorized rank-1 update
+            # (broadcast product: same elementwise ops as np.outer with
+            # none of its per-call wrapping overhead).
             A[k + 1:, k] /= A[k, k]
-            A[k + 1:, k + 1:] -= np.outer(A[k + 1:, k], A[k, k + 1:])
+            A[k + 1:, k + 1:] -= A[k + 1:, k, None] * A[k, k + 1:]
         if n and A[n - 1, n - 1] == 0.0:
             raise np.linalg.LinAlgError("matrix is singular")
         self._lu = A

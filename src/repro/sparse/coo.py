@@ -28,6 +28,13 @@ class COOBuilder:
         self._rows = []
         self._cols = []
         self._vals = []
+        # Scalar adds land in plain Python lists (a numpy wrapper per
+        # triplet is ~20x slower) and are flushed into one array chunk
+        # whenever a block lands, preserving global insertion order —
+        # duplicate summation is order-sensitive at float precision.
+        self._srows = []
+        self._scols = []
+        self._svals = []
         self._chunks = 0
         if nnz_hint:
             # Hint is advisory; chunked numpy appends keep cost linear.
@@ -36,13 +43,22 @@ class COOBuilder:
     @property
     def triplet_count(self):
         """Number of raw triplets added so far (before duplicate summing)."""
-        return sum(len(r) for r in self._rows)
+        return sum(len(r) for r in self._rows) + len(self._srows)
+
+    def _flush_scalars(self):
+        if self._srows:
+            self._rows.append(np.asarray(self._srows, dtype=np.int64))
+            self._cols.append(np.asarray(self._scols, dtype=np.int64))
+            self._vals.append(np.asarray(self._svals, dtype=np.float64))
+            self._srows = []
+            self._scols = []
+            self._svals = []
 
     def add(self, row, col, value):
         """Add a single triplet."""
-        self._rows.append(np.asarray([row], dtype=np.int64))
-        self._cols.append(np.asarray([col], dtype=np.int64))
-        self._vals.append(np.asarray([value], dtype=np.float64))
+        self._srows.append(row)
+        self._scols.append(col)
+        self._svals.append(value)
 
     def add_block(self, rows, cols, block):
         """Add a dense block contribution.
@@ -69,12 +85,26 @@ class COOBuilder:
         keep = (rr >= 0) & (cc >= 0)
         if not keep.all():
             rr, cc, vv = rr[keep], cc[keep], vv[keep]
+        self._flush_scalars()
         self._rows.append(rr)
         self._cols.append(cc)
         self._vals.append(vv)
 
+    def add_triplets(self, rows, cols, vals):
+        """Add pre-flattened triplet arrays (no expansion, no filtering).
+
+        The caller guarantees equal-length 1-D arrays with in-range
+        indices; entries keep their array order, interleaved with prior
+        scalar/block adds in insertion order.
+        """
+        self._flush_scalars()
+        self._rows.append(np.asarray(rows, dtype=np.int64))
+        self._cols.append(np.asarray(cols, dtype=np.int64))
+        self._vals.append(np.asarray(vals, dtype=np.float64))
+
     def to_arrays(self):
         """Return concatenated (rows, cols, vals) triplet arrays."""
+        self._flush_scalars()
         if not self._rows:
             empty_i = np.zeros(0, dtype=np.int64)
             return empty_i, empty_i.copy(), np.zeros(0, dtype=np.float64)

@@ -184,6 +184,54 @@ class TraceBuilder:
     def pause(self, site):
         return self.emit(PAUSE, site)
 
+    # ------------------------------------------------------------------
+    # Batched emission
+    # ------------------------------------------------------------------
+    def emit_run(self, kinds, addrs=None, takens=None, dep1s=None,
+                 dep2s=None, branch_sites=None):
+        """Append a whole run of ops at once (array-level fast path).
+
+        Semantically identical to calling :meth:`emit`/:meth:`branch`
+        per op: straight-line PCs walk the function body (``_body_pos``
+        advances per non-branch op), branch PCs are pinned to their
+        static ``branch_sites`` entry, and every op carries the current
+        function/replica.  ``None`` columns mean all-zero.  Returns the
+        trace index of the first emitted op — callers use it to derive
+        backward dependency distances for later runs.
+
+        The hot trace kernels build their op patterns as NumPy arrays
+        and emit through here; one call replaces hundreds of per-op
+        Python emissions.
+        """
+        kinds = np.asarray(kinds, dtype=np.int8)
+        n = int(kinds.size)
+        start = len(self._kind)
+        if n == 0:
+            return start
+        span = self._pc_lines * 16
+        base = self._pc_base + self._pc_off
+        nonbranch = kinds != BRANCH
+        # Exclusive running count of straight-line ops: op j's body slot.
+        body = self._body_pos + np.cumsum(nonbranch) - nonbranch
+        pcs = base + (body % span) * 4
+        if branch_sites is not None and not nonbranch.all():
+            sites = np.asarray(branch_sites, dtype=np.int64)
+            pcs = np.where(nonbranch, pcs, base + (sites % span) * 4)
+        self._kind.extend(kinds.tolist())
+        self._pc.extend(pcs.tolist())
+        zeros = None
+        for column, values in ((self._addr, addrs), (self._taken, takens),
+                               (self._dep1, dep1s), (self._dep2, dep2s)):
+            if values is None:
+                if zeros is None:
+                    zeros = [0] * n
+                column.extend(zeros)
+            else:
+                column.extend(np.asarray(values).tolist())
+        self._func.extend([self._fid] * n)
+        self._body_pos += int(nonbranch.sum())
+        return start
+
     def dep_to(self, index):
         """Backward distance from the *next* op to trace index ``index``."""
         return len(self._kind) - index

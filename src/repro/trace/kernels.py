@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .ops import BRANCH, FP_ADD, FP_DIV, FP_MUL, INT_ALU, LOAD, PAUSE, STORE
+
 __all__ = [
     "trace_spmv",
     "trace_dot",
@@ -27,9 +29,25 @@ __all__ = [
 ]
 
 
+# Per-inner-iteration op pattern of the SpMV row loop: load indices[j],
+# index arithmetic, load data[j], load x[col], multiply, accumulate,
+# loop-back branch.  dep distances are the fixed intra-pattern offsets;
+# the accumulate's second operand chains to the previous iteration's
+# accumulate (distance 7) except on the first.
+_SPMV_INNER_KINDS = np.array(
+    [LOAD, INT_ALU, LOAD, LOAD, FP_MUL, FP_ADD, BRANCH], dtype=np.int8)
+_SPMV_INNER_DEP1 = np.array([0, 1, 0, 3, 2, 1, 0], dtype=np.int64)
+_SPMV_INNER_DEP2 = np.array([0, 0, 0, 0, 1, 7, 0], dtype=np.int64)
+
+
 def trace_spmv(tb, matrix, x_name="x", y_name="y", row_stride=1,
                max_rows=None, max_ops=None, row_offset=0):
-    """SpMV ``y = A x`` over the real CSR arrays (sampled rows)."""
+    """SpMV ``y = A x`` over the real CSR arrays (sampled rows).
+
+    Each sampled row is emitted as one batched run: the per-``j`` op
+    pattern is tiled ``nnz``-wide with NumPy and the column gather
+    addresses come straight from the real ``indices`` slice.
+    """
     tb.set_function("blas_spmv")
     start = len(tb)
     indptr = tb.region("A.indptr", matrix.n + 1)
@@ -47,68 +65,132 @@ def trace_spmv(tb, matrix, x_name="x", y_name="y", row_stride=1,
         tb.set_replica(r)
         lo = int(matrix.indptr[r])
         hi = int(matrix.indptr[r + 1])
-        tb.load(0, indptr, r)
-        tb.load(1, indptr, r + 1)
-        acc = None
-        for j in range(lo, hi):
-            col = int(matrix.indices[j])
-            lc = tb.load(2, indices, j)
-            tb.int_op(9, dep1=1)  # column-index address arithmetic
-            lv = tb.load(3, data, j)
-            lx = tb.load(4, x, col, dep1=tb.dep_to(lc))
-            m = tb.fp_mul(5, dep1=tb.dep_to(lv), dep2=tb.dep_to(lx))
-            # Loop-carried accumulation chain.
-            acc = tb.fp_add(
-                6,
-                dep1=tb.dep_to(m),
-                dep2=tb.dep_to(acc) if acc is not None else 0,
-            )
-            tb.branch(7, taken=(j + 1 < hi))
-        tb.store(8, y, r, dep1=tb.dep_to(acc) if acc is not None else 0)
+        cnt = hi - lo
+        total = 2 + 7 * cnt + 1
+        kinds = np.empty(total, dtype=np.int8)
+        kinds[0] = kinds[1] = LOAD
+        kinds[2:-1] = np.tile(_SPMV_INNER_KINDS, cnt)
+        kinds[-1] = STORE
+        addrs = np.zeros(total, dtype=np.int64)
+        addrs[0] = indptr.addr(r)
+        addrs[1] = indptr.addr(r + 1)
+        if cnt:
+            j = np.arange(lo, hi, dtype=np.int64)
+            inner = addrs[2:-1].reshape(cnt, 7)
+            inner[:, 0] = indices.base + j * indices.stride
+            inner[:, 2] = data.base + j * data.stride
+            cols = matrix.indices[lo:hi].astype(np.int64, copy=False)
+            inner[:, 3] = x.base + cols * x.stride
+        addrs[-1] = y.addr(r)
+        dep1 = np.zeros(total, dtype=np.int64)
+        dep2 = np.zeros(total, dtype=np.int64)
+        if cnt:
+            dep1[2:-1] = np.tile(_SPMV_INNER_DEP1, cnt)
+            dep2[2:-1] = np.tile(_SPMV_INNER_DEP2, cnt)
+            dep2[7] = 0  # first accumulate has no loop-carried input
+            dep1[-1] = 2  # store consumes the last accumulate
+        takens = np.zeros(total, dtype=np.int64)
+        if cnt > 1:
+            takens[2 + 6:2 + 7 * (cnt - 1):7] = 1
+        tb.emit_run(kinds, addrs=addrs, takens=takens, dep1s=dep1,
+                    dep2s=dep2, branch_sites=np.full(total, 7))
     return tb
+
+
+def _iter_layout(values, per_base, int_every, max_ops):
+    """Layout of a strided streaming loop with a periodic extra int op.
+
+    ``values`` are the loop-variable values; iterations emit
+    ``per_base`` ops plus one when ``value % int_every == 0``.  Returns
+    ``(values, has_int, offsets, total)`` truncated to the iterations
+    the per-op loop would emit before its ``max_ops`` break (checked at
+    the top of each iteration).
+    """
+    has_int = (values % int_every) == 0
+    per = per_base + has_int
+    before = np.cumsum(per) - per  # ops emitted before each iteration
+    if max_ops is not None:
+        count = int(np.searchsorted(before, max_ops, side="left"))
+        values = values[:count]
+        has_int = has_int[:count]
+        per = per[:count]
+        before = before[:count]
+    return values, has_int, before, int(per.sum())
 
 
 def trace_dot(tb, n, unroll=4, a_name="p", b_name="q", max_ops=None):
     """Dot product with ``unroll`` independent accumulators (BLAS style)."""
     tb.set_function("blas_dot")
-    start = len(tb)
     a = tb.region(a_name, n)
     b = tb.region(b_name, n)
-    accs = [None] * max(unroll, 1)
-    for i in range(n):
-        if max_ops is not None and len(tb) - start >= max_ops:
-            break
-        if i % 8 == 0:
-            tb.int_op(6)  # index increment (amortized by unrolling)
-        la = tb.load(0, a, i)
-        lb = tb.load(1, b, i)
-        m = tb.fp_mul(2, dep1=tb.dep_to(la), dep2=tb.dep_to(lb))
-        lane = i % len(accs)
-        accs[lane] = tb.fp_add(
-            3, dep1=tb.dep_to(m),
-            dep2=tb.dep_to(accs[lane]) if accs[lane] is not None else 0,
-        )
-        tb.branch(4, taken=(i + 1 < n))
+    lanes = max(unroll, 1)
+    idx, has_int, offsets, total = _iter_layout(
+        np.arange(n, dtype=np.int64), 5, 8, max_ops)
+    count = idx.size
+    if count == 0:
+        return tb
+    # Per-iteration slots (after the optional int op): load a, load b,
+    # multiply, lane accumulate, loop-back branch.
+    slot0 = offsets + has_int
+    kinds = np.zeros(total, dtype=np.int8)
+    kinds[slot0] = LOAD
+    kinds[slot0 + 1] = LOAD
+    kinds[slot0 + 2] = FP_MUL
+    kinds[slot0 + 3] = FP_ADD
+    kinds[slot0 + 4] = BRANCH
+    kinds[offsets[has_int]] = INT_ALU
+    addrs = np.zeros(total, dtype=np.int64)
+    addrs[slot0] = a.base + idx * a.stride
+    addrs[slot0 + 1] = b.base + idx * b.stride
+    dep1 = np.zeros(total, dtype=np.int64)
+    dep1[slot0 + 2] = 2
+    dep1[slot0 + 3] = 1
+    dep2 = np.zeros(total, dtype=np.int64)
+    dep2[slot0 + 2] = 1
+    # Lane accumulators chain to the same lane's previous accumulate.
+    acc_pos = slot0 + 3
+    dep2[acc_pos[lanes:]] = acc_pos[lanes:] - acc_pos[:-lanes]
+    takens = np.zeros(total, dtype=np.int64)
+    takens[slot0 + 4] = (idx + 1) < n
+    tb.emit_run(kinds, addrs=addrs, takens=takens, dep1s=dep1,
+                dep2s=dep2, branch_sites=np.full(total, 4))
     return tb
 
 
 def trace_axpy(tb, n, x_name="ax", y_name="ay", max_ops=None):
     """``y += alpha x`` — streaming, fully parallel FP."""
     tb.set_function("blas_axpy")
-    start = len(tb)
     x = tb.region(x_name, n)
     y = tb.region(y_name, n)
-    for i in range(n):
-        if max_ops is not None and len(tb) - start >= max_ops:
-            break
-        if i % 8 == 0:
-            tb.int_op(6)
-        lx = tb.load(0, x, i)
-        ly = tb.load(1, y, i)
-        m = tb.fp_mul(2, dep1=tb.dep_to(lx))
-        s = tb.fp_add(3, dep1=tb.dep_to(m), dep2=tb.dep_to(ly))
-        tb.store(4, y, i, dep1=tb.dep_to(s))
-        tb.branch(5, taken=(i + 1 < n))
+    idx, has_int, offsets, total = _iter_layout(
+        np.arange(n, dtype=np.int64), 6, 8, max_ops)
+    if idx.size == 0:
+        return tb
+    # Slots: load x, load y, multiply, add, store y, loop-back branch.
+    slot0 = offsets + has_int
+    kinds = np.zeros(total, dtype=np.int8)
+    kinds[slot0] = LOAD
+    kinds[slot0 + 1] = LOAD
+    kinds[slot0 + 2] = FP_MUL
+    kinds[slot0 + 3] = FP_ADD
+    kinds[slot0 + 4] = STORE
+    kinds[slot0 + 5] = BRANCH
+    kinds[offsets[has_int]] = INT_ALU
+    addrs = np.zeros(total, dtype=np.int64)
+    addrs[slot0] = x.base + idx * x.stride
+    y_addr = y.base + idx * y.stride
+    addrs[slot0 + 1] = y_addr
+    addrs[slot0 + 4] = y_addr
+    dep1 = np.zeros(total, dtype=np.int64)
+    dep1[slot0 + 2] = 2
+    dep1[slot0 + 3] = 1
+    dep1[slot0 + 4] = 1
+    dep2 = np.zeros(total, dtype=np.int64)
+    dep2[slot0 + 3] = 2
+    takens = np.zeros(total, dtype=np.int64)
+    takens[slot0 + 5] = (idx + 1) < n
+    tb.emit_run(kinds, addrs=addrs, takens=takens, dep1s=dep1,
+                dep2s=dep2, branch_sites=np.full(total, 5))
     return tb
 
 
@@ -120,51 +202,91 @@ def trace_element_assembly(tb, connectivity, node_count, fp_intensity=1.0,
     Walks the real connectivity with ``elem_stride`` sampling; the FP
     block per Gauss point is scaled by ``fp_intensity`` (the material
     cost) and its chain structure by ``dep_chain``.
+
+    Emission is batched per section (gather / Jacobian / constitutive):
+    every op pattern and dependency distance is fixed across elements —
+    only the gather addresses (the real node ids) and the final loop
+    branch outcome vary — so the constant arrays are built once and
+    each element costs three array appends.
     """
     conn_region = tb.region("elem.conn", max(connectivity.size, 1))
     coords = tb.region("mesh.nodes", node_count * 3)
     nelem = connectivity.shape[0]
     nn = connectivity.shape[1]
     fp_per_gp = max(int(10 * fp_intensity), 4)
+    dc = max(dep_chain, 1)
+
+    # Section A — node gather: per node [conn load, index int op, three
+    # coordinate loads]; the coordinate loads depend on the conn load.
+    a_kinds = np.tile(
+        np.array([LOAD, INT_ALU, LOAD, LOAD, LOAD], dtype=np.int8), nn)
+    a_dep1 = np.tile(np.array([0, 1, 2, 3, 4], dtype=np.int64), nn)
+    a_addrs = np.zeros(5 * nn, dtype=np.int64)
+    # Positions of the 3*nn coordinate loads relative to the section
+    # start (a-major, axis-minor) — the gather results later sections
+    # consume.
+    nl_rel = (5 * np.arange(nn, dtype=np.int64)[:, None]
+              + np.array([2, 3, 4], dtype=np.int64)).ravel()
+
+    # Section B — 3x3 Jacobian: nine (mul from a gathered coordinate,
+    # accumulate) pairs and the determinant divide.  It starts 5*nn ops
+    # after section A, so the backward distances are element-invariant.
+    b_kinds = np.empty(19, dtype=np.int8)
+    b_kinds[0:18:2] = FP_MUL
+    b_kinds[1:19:2] = FP_ADD
+    b_kinds[18] = FP_DIV
+    b_dep1 = np.ones(19, dtype=np.int64)
+    k9 = np.arange(9, dtype=np.int64)
+    b_dep1[0:18:2] = (5 * nn + 2 * k9) - nl_rel[k9 % (3 * nn)]
+
+    # Section C — constitutive update: per Gauss point an int op, the
+    # fp chain (a fresh mul from the first gathered coordinate every
+    # ``dep_chain`` ops, chained adds between), and the gp branch; then
+    # the element loop branch.  Also element-invariant except the final
+    # branch outcome.
+    gp_len = fp_per_gp + 2
+    c_total = ngp * gp_len + 1
+    kk = np.arange(fp_per_gp, dtype=np.int64)
+    is_mul = (kk % dc) == 0
+    gp_kinds = np.concatenate((
+        [INT_ALU], np.where(is_mul, FP_MUL, FP_ADD), [BRANCH],
+    )).astype(np.int8)
+    c_kinds = np.concatenate((np.tile(gp_kinds, ngp), [BRANCH]))
+    c_dep1 = np.zeros(c_total, dtype=np.int64)
+    c_start_rel = 5 * nn + 19  # section C offset from the element start
+    for gp in range(ngp):
+        q = gp * gp_len
+        chain_dep = np.ones(fp_per_gp, dtype=np.int64)
+        chain_dep[is_mul] = (c_start_rel + q + 1 + kk[is_mul]) - nl_rel[0]
+        c_dep1[q + 1:q + 1 + fp_per_gp] = chain_dep
+    c_takens = np.zeros(c_total, dtype=np.int64)
+    c_takens[gp_len - 1:ngp * gp_len:gp_len] = 1
+    c_takens[ngp * gp_len - 1] = 0  # last gp branch falls through
+    c_sites = np.full(c_total, 5)
+    c_sites[-1] = 6
+
     start = len(tb)
-    for e in range(0, nelem, max(elem_stride, 1)):
+    stride = max(elem_stride, 1)
+    for e in range(0, nelem, stride):
         if max_ops is not None and len(tb) - start >= max_ops:
             break
         tb.set_function("stiffness_assembly")
         tb.set_replica(e)
-        base = e * nn
-        node_loads = []
-        for a in range(nn):
-            node = int(connectivity[e, a])
-            lc = tb.load(0, conn_region, base + a)
-            tb.int_op(4, dep1=tb.dep_to(lc))  # node id -> byte offset
-            # Gather the three coordinates of this node (real node id).
-            for ax in range(3):
-                node_loads.append(
-                    tb.load(1 + ax, coords, node * 3 + ax,
-                            dep1=tb.dep_to(lc))
-                )
+        nodes = connectivity[e].astype(np.int64, copy=False)
+        gather = a_addrs.reshape(nn, 5)
+        gather[:, 0] = (conn_region.base
+                        + (e * nn + np.arange(nn)) * conn_region.stride)
+        coord_idx = nodes[:, None] * 3 + np.arange(3, dtype=np.int64)
+        gather[:, 2:5] = coords.base + coord_idx * coords.stride
+        tb.emit_run(a_kinds, addrs=a_addrs, dep1s=a_dep1)
         tb.set_function("jacobian_eval")
         tb.set_replica(e)
-        j_ops = []
-        for k in range(9):
-            src = node_loads[k % len(node_loads)]
-            m = tb.fp_mul(0, dep1=tb.dep_to(src))
-            j_ops.append(tb.fp_add(1, dep1=tb.dep_to(m)))
-        det = tb.fp_div(2, dep1=tb.dep_to(j_ops[-1]))
+        tb.emit_run(b_kinds, dep1s=b_dep1)
         tb.set_function("constitutive_update")
         tb.set_replica(e)
-        for _gp in range(ngp):
-            tb.int_op(7)  # Gauss-point loop bookkeeping
-            chain = det
-            for k in range(fp_per_gp):
-                if k % max(dep_chain, 1) == 0:
-                    # Break the chain: new independent computation.
-                    chain = tb.fp_mul(3, dep1=tb.dep_to(node_loads[0]))
-                else:
-                    chain = tb.fp_add(4, dep1=tb.dep_to(chain))
-            tb.branch(5, taken=(_gp + 1 < ngp))
-        tb.branch(6, taken=(e + elem_stride < nelem))
+        c_takens[-1] = 1 if (e + elem_stride < nelem) else 0
+        tb.emit_run(c_kinds, takens=c_takens, dep1s=c_dep1,
+                    branch_sites=c_sites)
     return tb
 
 
@@ -344,11 +466,22 @@ def trace_spin_wait(tb, n_iterations):
     """
     tb.set_function("omp_barrier_wait")
     flag = tb.region("omp.flag", 8)
-    for k in range(n_iterations):
-        lf = tb.load(0, flag, 0)
-        tb.int_op(1, dep1=tb.dep_to(lf))
-        tb.pause(2)
-        tb.branch(3, taken=(k + 1 < n_iterations))
+    if n_iterations <= 0:
+        return tb
+    # Fixed 4-op iteration: flag load, test, PAUSE, loop-back branch.
+    kinds = np.tile(
+        np.array([LOAD, INT_ALU, PAUSE, BRANCH], dtype=np.int8),
+        n_iterations)
+    total = 4 * n_iterations
+    addrs = np.zeros(total, dtype=np.int64)
+    addrs[0::4] = flag.addr(0)
+    dep1 = np.zeros(total, dtype=np.int64)
+    dep1[1::4] = 1
+    takens = np.zeros(total, dtype=np.int64)
+    takens[3::4] = 1
+    takens[-1] = 0
+    tb.emit_run(kinds, addrs=addrs, takens=takens, dep1s=dep1,
+                branch_sites=np.full(total, 3))
     return tb
 
 
@@ -358,17 +491,33 @@ def trace_residual(tb, matrix, vec_stride=1, max_ops=None):
     fint = tb.region("f.int", matrix.n)
     fext = tb.region("f.ext", matrix.n)
     res = tb.region("f.res", matrix.n)
-    start = len(tb)
-    for i in range(0, matrix.n, max(vec_stride, 1)):
-        if max_ops is not None and len(tb) - start >= max_ops:
-            break
-        if i % 4 == 0:
-            tb.int_op(5)
-        a = tb.load(0, fint, i)
-        b = tb.load(1, fext, i)
-        s = tb.fp_add(2, dep1=tb.dep_to(a), dep2=tb.dep_to(b))
-        tb.store(3, res, i, dep1=tb.dep_to(s))
-        tb.branch(4, taken=(i + vec_stride < matrix.n))
+    stride = max(vec_stride, 1)
+    idx, has_int, offsets, total = _iter_layout(
+        np.arange(0, matrix.n, stride, dtype=np.int64), 5, 4, max_ops)
+    if idx.size == 0:
+        return tb
+    # Slots: load f_int, load f_ext, subtract, store residual, branch.
+    slot0 = offsets + has_int
+    kinds = np.zeros(total, dtype=np.int8)
+    kinds[slot0] = LOAD
+    kinds[slot0 + 1] = LOAD
+    kinds[slot0 + 2] = FP_ADD
+    kinds[slot0 + 3] = STORE
+    kinds[slot0 + 4] = BRANCH
+    kinds[offsets[has_int]] = INT_ALU
+    addrs = np.zeros(total, dtype=np.int64)
+    addrs[slot0] = fint.base + idx * fint.stride
+    addrs[slot0 + 1] = fext.base + idx * fext.stride
+    addrs[slot0 + 3] = res.base + idx * res.stride
+    dep1 = np.zeros(total, dtype=np.int64)
+    dep1[slot0 + 2] = 2
+    dep1[slot0 + 3] = 1
+    dep2 = np.zeros(total, dtype=np.int64)
+    dep2[slot0 + 2] = 1
+    takens = np.zeros(total, dtype=np.int64)
+    takens[slot0 + 4] = (idx + vec_stride) < matrix.n
+    tb.emit_run(kinds, addrs=addrs, takens=takens, dep1s=dep1,
+                dep2s=dep2, branch_sites=np.full(total, 4))
     return tb
 
 

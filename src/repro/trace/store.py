@@ -1,0 +1,269 @@
+"""Persistent, content-keyed store of built instruction traces.
+
+Synthesizing a trace means solving the workload's FEM model (seconds)
+and replaying the solve as micro-ops; the result is fully determined by
+``(workload, scale, budget)`` plus the trace-format version.  This
+store caches the built :class:`~repro.trace.ops.Trace` on disk as a
+columnar uncompressed ``.npz`` so that price is paid once per machine,
+not once per process:
+
+* **Save** is atomic (write-temp + ``os.replace``) and safe under any
+  number of concurrent writers — deterministic builds make last-writer-
+  wins harmless.
+* **Load** memory-maps each column straight out of the archive
+  (uncompressed ``.npz`` members are plain ``.npy`` files at a fixed
+  offset), so repeat runs and forked pool workers share one set of
+  page-cache-backed, copy-on-write arrays instead of private copies.
+* **Versioning**: bump :data:`TRACE_FORMAT_VERSION` whenever the trace
+  *content* for a given key can change (builder emission order, op
+  encoding, kernel sampling); old entries then miss and are rebuilt.
+
+The store root comes from ``REPRO_TRACE_CACHE_DIR``, falling back to
+``benchmarks/_traces`` in a source checkout and a per-user cache
+directory otherwise.  ``REPRO_TRACE_CACHE_MAX_MB`` bounds the on-disk
+size (oldest-access entries evicted after each save).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+import zipfile
+
+import numpy as np
+
+from .ops import Trace
+
+__all__ = ["TRACE_FORMAT_VERSION", "TraceStore", "default_trace_dir"]
+
+# Bump when the builder/kernels change what any (workload, scale,
+# budget) key emits; the golden simulator fixtures pin the current
+# content, so a bump here normally accompanies a fixture regeneration.
+TRACE_FORMAT_VERSION = 1
+
+DIR_ENV = "REPRO_TRACE_CACHE_DIR"
+MAX_MB_ENV = "REPRO_TRACE_CACHE_MAX_MB"
+ENABLE_ENV = "REPRO_TRACE_STORE"
+
+_COLUMNS = ("kind", "addr", "pc", "taken", "dep1", "dep2", "func")
+
+
+def default_trace_dir():
+    """Resolve the on-disk trace-store location.
+
+    Priority: ``REPRO_TRACE_CACHE_DIR``, then ``benchmarks/_traces``
+    in a source checkout, then a per-user cache directory.
+    """
+    env = os.environ.get(DIR_ENV)
+    if env:
+        return env
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    if os.path.isdir(os.path.join(repo_root, "benchmarks")):
+        return os.path.join(repo_root, "benchmarks", "_traces")
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(xdg, "repro", "traces")
+
+
+def store_enabled():
+    """False when ``REPRO_TRACE_STORE`` is set to 0/false/off."""
+    return os.environ.get(ENABLE_ENV, "").strip().lower() not in (
+        "0", "false", "off", "no")
+
+
+def _env_max_bytes():
+    raw = os.environ.get(MAX_MB_ENV, "").strip()
+    try:
+        mb = float(raw)
+    except ValueError:
+        return None
+    return int(mb * 1024 * 1024) if mb > 0 else None
+
+
+def _mmap_npz_column(path, info):
+    """Memory-map one stored (uncompressed) ``.npy`` member of a zip.
+
+    A ``ZIP_STORED`` member's payload sits verbatim at a computable
+    offset: local file header (30 bytes) + name + extra field.  The
+    payload is a standard ``.npy`` stream, so its own header yields
+    dtype/shape and the array data can be mapped read-only in place.
+    """
+    with open(path, "rb") as fh:
+        fh.seek(info.header_offset)
+        local = fh.read(30)
+        if local[:4] != b"PK\x03\x04":
+            raise ValueError("bad local zip header")
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        data_offset = info.header_offset + 30 + name_len + extra_len
+        fh.seek(data_offset)
+        version = np.lib.format.read_magic(fh)
+        if version == (1, 0):
+            header = np.lib.format.read_array_header_1_0(fh)
+        elif version == (2, 0):
+            header = np.lib.format.read_array_header_2_0(fh)
+        else:
+            raise ValueError(f"unsupported npy version {version}")
+        shape, fortran, dtype = header
+        if fortran or dtype.hasobject:
+            raise ValueError("unexpected npy layout")
+        array_offset = fh.tell()
+    return np.memmap(path, dtype=dtype, mode="r", offset=array_offset,
+                     shape=shape)
+
+
+class TraceStore:
+    """On-disk cache of built traces, keyed by (workload, scale, budget)."""
+
+    def __init__(self, root=None, create=True, max_bytes=None):
+        self.root = os.path.abspath(root or default_trace_dir())
+        self.max_bytes = (max_bytes if max_bytes is not None
+                          else _env_max_bytes())
+        self._created = False
+        if create:
+            self._ensure_root()
+
+    def _ensure_root(self):
+        if not self._created:
+            os.makedirs(self.root, exist_ok=True)
+            self._created = True
+
+    @staticmethod
+    def key(workload, scale, budget):
+        return f"{workload}_{scale}_{int(budget)}_tr-v{TRACE_FORMAT_VERSION}"
+
+    def path(self, workload, scale, budget):
+        return os.path.join(
+            self.root, self.key(workload, scale, budget) + ".npz")
+
+    def contains(self, workload, scale, budget):
+        return os.path.exists(self.path(workload, scale, budget))
+
+    # ------------------------------------------------------------------
+    def load(self, workload, scale, budget, mmap=True):
+        """The stored :class:`Trace` for the key, or ``None`` on miss.
+
+        ``mmap=True`` maps the columns read-only in place; ``False``
+        reads private in-memory copies (use when the caller mutates).
+        """
+        path = self.path(workload, scale, budget)
+        try:
+            with zipfile.ZipFile(path) as zf:
+                meta = json.loads(zf.read("meta.json"))
+                if meta.get("version") != TRACE_FORMAT_VERSION:
+                    return None
+                infos = {i.filename: i for i in zf.infolist()}
+                columns = {}
+                if mmap and all(
+                        infos[c + ".npy"].compress_type == zipfile.ZIP_STORED
+                        for c in _COLUMNS):
+                    for c in _COLUMNS:
+                        columns[c] = _mmap_npz_column(path, infos[c + ".npy"])
+                else:
+                    for c in _COLUMNS:
+                        with zf.open(c + ".npy") as fh:
+                            columns[c] = np.lib.format.read_array(fh)
+        except (FileNotFoundError, KeyError, ValueError, OSError,
+                zipfile.BadZipFile, json.JSONDecodeError):
+            return None
+        try:
+            # Touch the entry so size-cap eviction is least-recently-
+            # *used*, not just oldest-written.
+            os.utime(path)
+        except OSError:
+            pass
+        return Trace(**columns)
+
+    def save(self, workload, scale, budget, trace):
+        """Atomically persist *trace* under the key; returns the path."""
+        self._ensure_root()
+        path = self.path(workload, scale, budget)
+        meta = {
+            "version": TRACE_FORMAT_VERSION,
+            "workload": workload,
+            "scale": scale,
+            "budget": int(budget),
+            "ops": len(trace),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                # ZIP_STORED keeps members mmap-able; allowZip64 for
+                # future large traces.
+                with zipfile.ZipFile(fh, "w", zipfile.ZIP_STORED) as zf:
+                    zf.writestr("meta.json", json.dumps(meta, sort_keys=True))
+                    for c in _COLUMNS:
+                        buf = io.BytesIO()
+                        np.lib.format.write_array(
+                            buf, np.ascontiguousarray(getattr(trace, c)))
+                        zf.writestr(c + ".npy", buf.getvalue())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        if self.max_bytes is not None:
+            self._evict(keep=os.path.basename(path))
+        return path
+
+    # ------------------------------------------------------------------
+    def _entries(self):
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            if not name.endswith(".npz"):
+                continue
+            full = os.path.join(self.root, name)
+            try:
+                st = os.stat(full)
+            except OSError:
+                continue
+            out.append((name, st.st_size, st.st_mtime))
+        return out
+
+    def _evict(self, keep=None):
+        """Drop oldest entries until the store fits ``max_bytes``."""
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return 0
+        removed = 0
+        for name, size, _ in sorted(entries, key=lambda e: e[2]):
+            if total <= self.max_bytes:
+                break
+            if name == keep:
+                continue
+            try:
+                os.remove(os.path.join(self.root, name))
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
+
+    def stats(self):
+        entries = self._entries()
+        return {
+            "root": self.root,
+            "entries": len(entries),
+            "total_bytes": sum(size for _, size, _ in entries),
+            "max_bytes": self.max_bytes,
+        }
+
+    def clear(self):
+        removed = 0
+        for name, _, _ in self._entries():
+            try:
+                os.remove(os.path.join(self.root, name))
+                removed += 1
+            except OSError:
+                pass
+        return removed

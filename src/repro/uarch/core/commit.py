@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from ...trace.ops import LOAD, STORE
-from .state import KIND_KEYS
+from .state import KIND_KEY_LIST
 
 __all__ = ["Commit"]
 
@@ -26,7 +26,8 @@ class Commit:
         counts = s.committed_by_kind
         cycle = s.cycle
         c = 0
-        width = s.config.commit_width
+        width = s.commit_width
+        kind_keys = KIND_KEY_LIST
         while rob and c < width:
             head = rob[0]
             t = completion[head]
@@ -40,4 +41,4 @@ class Commit:
                 s.lq_used -= 1
             elif k == STORE:
                 s.sq_used -= 1
-            counts[KIND_KEYS[k]] += 1
+            counts[kind_keys[k]] += 1

@@ -8,7 +8,7 @@ the raw material for the TMA slot classifier observer.
 
 from __future__ import annotations
 
-from ...trace.ops import LOAD, PAUSE, STORE
+from ...trace.ops import BRANCH, LOAD, PAUSE, STORE
 
 __all__ = ["Dispatch"]
 
@@ -23,11 +23,12 @@ class Dispatch:
         fbuf = s.fbuf
         rob = s.rob
         iq = s.iq
-        config = s.config
         cycle = s.cycle
         dispatched = 0
         block_reason = None
         width = s.width
+        rob_cap = s.rob_cap
+        iq_cap = s.iq_cap
         while dispatched < width:
             if not fbuf:
                 block_reason = "frontend"
@@ -40,16 +41,16 @@ class Dispatch:
             if k == PAUSE and rob:
                 block_reason = "serialize"
                 break
-            if len(rob) >= config.rob_entries:
+            if len(rob) >= rob_cap:
                 block_reason = "rob"
                 break
-            if len(iq) >= config.iq_entries:
+            if len(iq) >= iq_cap:
                 block_reason = "iq"
                 break
-            if k == LOAD and s.lq_used >= config.lq_entries:
+            if k == LOAD and s.lq_used >= s.lq_cap:
                 block_reason = "lq"
                 break
-            if k == STORE and s.sq_used >= config.sq_entries:
+            if k == STORE and s.sq_used >= s.sq_cap:
                 block_reason = "sq"
                 break
             fbuf.popleft()
@@ -60,8 +61,10 @@ class Dispatch:
             elif k == STORE:
                 s.sq_used += 1
             elif k == PAUSE:
-                s.serialize_until = cycle + config.pause_latency
+                s.serialize_until = cycle + s.pause_latency
                 s.stats.pause_ops += 1
+            elif k == BRANCH:
+                s.iq_branches += 1
             dispatched += 1
         s.dispatched = dispatched
         s.block_reason = block_reason

@@ -5,13 +5,25 @@ buffer, one taken branch per cycle (BTB-style same-cycle redirect for
 correctly predicted taken branches), with mispredict squash windows and
 I-cache/ITLB stall modeling.  The stage also owns the per-cycle fetch
 classification behind Fig. 7a's activity breakdown.
+
+Two interchangeable implementations share that contract:
+
+* :class:`FrontEnd` — the reference per-op stage: every new fetch line
+  queries the live ITLB/L1I objects and every branch queries the live
+  predictor.
+* :class:`StreamFrontEnd` — consumes the precomputed in-order streams
+  of :mod:`.streams` (the I-side machinery is timing-independent, so
+  its outcomes are lookup tables); only L1I-miss spills into the
+  shared L2 still execute live, preserving bit-exact L2/L3 state.
+  Selected by :class:`~repro.uarch.core.cycle.CycleCore` whenever
+  streams are available.
 """
 
 from __future__ import annotations
 
 from ...trace.ops import BRANCH
 
-__all__ = ["FrontEnd"]
+__all__ = ["FrontEnd", "StreamFrontEnd"]
 
 
 class FrontEnd:
@@ -24,7 +36,7 @@ class FrontEnd:
         squash_pending = s.redirect_branch >= 0
         if squash_pending:
             t = completion[s.redirect_branch]
-            if 0 <= t and cycle >= t + s.config.mispredict_penalty:
+            if 0 <= t and cycle >= t + s.mispredict_penalty:
                 s.redirect_branch = -1
                 squash_pending = False
         if not squash_pending and cycle >= s.fetch_stall_until:
@@ -33,7 +45,7 @@ class FrontEnd:
             pcs = s.pcs
             fbuf = s.fbuf
             fbuf_cap = s.fbuf_cap
-            fetch_width = s.config.fetch_width
+            fetch_width = s.fetch_width
             n = s.n
             bp = s.bp
             while (fetched < fetch_width and s.fetch_idx < n
@@ -69,6 +81,86 @@ class FrontEnd:
                 else:
                     fbuf.append(idx)
                     s.fetch_idx += 1
+                    fetched += 1
+        s.fetched = fetched
+
+        # Fetch-stage cycle classification (Fig. 7a).
+        stats = s.stats
+        if fetched > 0:
+            stats.fetch_active_cycles += 1
+        elif s.redirect_branch >= 0:
+            stats.fetch_squash_cycles += 1
+        elif s.fetch_stall_kind == "icache":
+            stats.fetch_icache_stall_cycles += 1
+        elif s.fetch_stall_kind == "tlb":
+            stats.fetch_tlb_cycles += 1
+        else:
+            stats.fetch_misc_stall_cycles += 1
+
+
+class StreamFrontEnd:
+    """Fetch stage fed by precomputed I-side outcome streams.
+
+    Control flow is byte-for-byte the reference stage's; the three
+    machinery calls (ITLB translate, L1I lookup, branch predict/update)
+    become table lookups, and only an L1I miss still reaches into the
+    live hierarchy (``inst_miss_walk``) so the shared L2/L3 observe the
+    exact access sequence the per-op front end would produce.
+    """
+
+    def tick(self, s):
+        fetched = 0
+        cycle = s.cycle
+        completion = s.completion
+        squash_pending = s.redirect_branch >= 0
+        if squash_pending:
+            t = completion[s.redirect_branch]
+            if 0 <= t and cycle >= t + s.mispredict_penalty:
+                s.redirect_branch = -1
+                squash_pending = False
+        if not squash_pending and cycle >= s.fetch_stall_until:
+            s.fetch_stall_kind = None
+            kinds = s.kinds
+            pcs = s.pcs
+            fbuf = s.fbuf
+            fbuf_cap = s.fbuf_cap
+            fetch_width = s.fetch_width
+            n = s.n
+            st = s.streams
+            itlb_miss = st.itlb_miss
+            l1i_hit = st.l1i_hit
+            pf_l2 = st.pf_l2
+            bp_wrong = st.bp_wrong
+            itlb_penalty = s.itlb_penalty
+            inst_miss_walk = s.hier.inst_miss_walk
+            fbuf_append = fbuf.append
+            while (fetched < fetch_width and s.fetch_idx < n
+                   and len(fbuf) < fbuf_cap):
+                idx = s.fetch_idx
+                pc = pcs[idx]
+                line = pc >> 6
+                if line != s.last_fetch_line:
+                    tlb_lat = itlb_penalty if itlb_miss[idx] else 0
+                    ic_lat = (0 if l1i_hit[idx]
+                              else inst_miss_walk(pc, pf_l2[idx]))
+                    s.last_fetch_line = line
+                    if tlb_lat or ic_lat:
+                        s.fetch_stall_until = cycle + tlb_lat + ic_lat
+                        s.fetch_stall_kind = (
+                            "tlb" if tlb_lat >= ic_lat else "icache"
+                        )
+                        break
+                k = kinds[idx]
+                if k == BRANCH:
+                    fbuf_append(idx)
+                    s.fetch_idx = idx + 1
+                    fetched += 1
+                    if bp_wrong[idx]:
+                        s.redirect_branch = idx
+                        break
+                else:
+                    fbuf_append(idx)
+                    s.fetch_idx = idx + 1
                     fetched += 1
         s.fetched = fetched
 

@@ -10,7 +10,7 @@ burst of misses throttles further memory issue.
 from __future__ import annotations
 
 from ...trace.ops import BRANCH, LOAD, PAUSE, STORE
-from .state import KIND_KEYS
+from .state import KIND_KEY_LIST
 
 __all__ = ["IssueQueue"]
 
@@ -33,45 +33,62 @@ class IssueQueue:
         lat_table = s.lat_table
         counts = s.issued_by_kind
         issued = 0
-        # Branches resolve early: scan the window for ready branches
-        # first.
-        i = 0
         iq_len = len(iq)
-        while i < iq_len and i < window:
-            idx = iq[i]
-            if kinds[idx] == BRANCH:
-                d1 = dep1s[idx]
-                t = completion[idx - d1] if d1 else 0
-                if 0 <= t <= cycle:
-                    completion[idx] = cycle + lat_table[BRANCH]
-                    iq.pop(i)
-                    iq_len -= 1
-                    issued += 1
-                    counts["branch"] += 1
-                    if issued >= 2:  # branch-resolution ports
-                        break
-                    continue
-            i += 1
+        # Branches resolve early: scan the window for ready branches
+        # first.  The scan can only do anything when the window holds a
+        # branch, so an exact occupancy count gates it.
+        if s.iq_branches:
+            i = 0
+            while i < iq_len and i < window:
+                idx = iq[i]
+                if kinds[idx] == BRANCH:
+                    d1 = dep1s[idx]
+                    t = completion[idx - d1] if d1 else 0
+                    if 0 <= t <= cycle:
+                        completion[idx] = cycle + lat_table[BRANCH]
+                        iq.pop(i)
+                        iq_len -= 1
+                        issued += 1
+                        counts["branch"] += 1
+                        s.iq_branches -= 1
+                        if issued >= 2:  # branch-resolution ports
+                            break
+                        continue
+                i += 1
         hier = s.hier
         outstanding = s.outstanding_misses
         l1d_hit_lat = s.l1d_hit_lat
         mshrs = s.mshrs
-        issue_width = s.config.issue_width
+        issue_width = s.issue_width
+        kind_keys = KIND_KEY_LIST
+        ready_after = s.ready_after
         i = 0
         while issued < issue_width and i < iq_len and i < window:
             idx = iq[i]
+            # Completion times are write-once, so an op whose operand
+            # was seen completing at cycle t cannot become ready
+            # earlier: skip its dependency re-checks until then.  The
+            # scan still walks (and counts) the op, so issue order is
+            # untouched.
+            if ready_after[idx] > cycle:
+                i += 1
+                continue
             d1 = dep1s[idx]
             ready = True
             if d1:
                 t = completion[idx - d1]
                 if t < 0 or t > cycle:
                     ready = False
+                    if t > 0:
+                        ready_after[idx] = t
             if ready:
                 d2 = dep2s[idx]
                 if d2:
                     t = completion[idx - d2]
                     if t < 0 or t > cycle:
                         ready = False
+                        if t > 0:
+                            ready_after[idx] = t
             k = kinds[idx]
             if ready and k == LOAD and len(outstanding) >= mshrs:
                 ready = False
@@ -84,13 +101,15 @@ class IssueQueue:
                     hier.access_data(s.addrs[idx])
                     lat = 1
                 elif k == PAUSE:
-                    lat = s.config.pause_latency
+                    lat = s.pause_latency
                 else:
                     lat = lat_table[k]
+                    if k == BRANCH:
+                        s.iq_branches -= 1
                 completion[idx] = cycle + lat
                 iq.pop(i)
                 iq_len -= 1
                 issued += 1
-                counts[KIND_KEYS[k]] += 1
+                counts[kind_keys[k]] += 1
             else:
                 i += 1

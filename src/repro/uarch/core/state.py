@@ -24,7 +24,13 @@ from ..branch import make_predictor
 from ..hierarchy import MemoryHierarchy
 from ..tlb import TLB
 
-__all__ = ["CoreState", "KIND_KEYS", "functional_warmup", "make_machinery"]
+# Execution-unit class per kind code, indexable by the (dense, small)
+# kind constants — a C-speed list lookup on the issue/commit hot path.
+KIND_KEY_LIST = ["int", "fp", "fp", "fp", "load", "store", "branch",
+                 "pause"]
+
+__all__ = ["CoreState", "KIND_KEYS", "KIND_KEY_LIST", "functional_warmup",
+           "make_machinery"]
 
 # Execution-unit class of each op kind (Fig. 7's stat buckets).
 KIND_KEYS = {
@@ -83,13 +89,16 @@ class CoreState:
     __slots__ = (
         # decoded trace (lists: ~2x faster element access than ndarrays)
         "n", "kinds", "addrs", "pcs", "takens", "dep1s", "dep2s", "funcs",
-        # configuration and derived constants
+        # configuration and derived constants (hoisted off `config`:
+        # per-op attribute chains are measurable at this loop's scale)
         "config", "lat_table", "l1d_hit_lat", "mshrs", "window", "width",
-        "limit", "fbuf_cap",
-        # memory machinery
-        "hier", "itlb", "bp",
+        "limit", "fbuf_cap", "rob_cap", "iq_cap", "lq_cap", "sq_cap",
+        "fetch_width", "issue_width", "commit_width",
+        "mispredict_penalty", "pause_latency", "itlb_penalty",
+        # memory machinery (itlb/bp are None under precomputed streams)
+        "hier", "itlb", "bp", "streams",
         # microarchitectural structures
-        "completion", "rob", "iq", "fbuf",
+        "completion", "ready_after", "rob", "iq", "fbuf", "iq_branches",
         "fetch_idx", "committed", "lq_used", "sq_used", "cycle",
         "last_fetch_line", "fetch_stall_until", "fetch_stall_kind",
         "redirect_branch", "serialize_until", "outstanding_misses",
@@ -101,7 +110,8 @@ class CoreState:
         "stats",
     )
 
-    def __init__(self, trace, config, stats, max_cycles=None, warm=True):
+    def __init__(self, trace, config, stats, max_cycles=None, warm=True,
+                 streams=None):
         n = len(trace)
         self.n = n
         self.kinds = trace.kind.tolist()
@@ -114,12 +124,34 @@ class CoreState:
 
         self.config = config
         self.stats = stats
+        self.streams = streams
 
-        self.hier, self.itlb, self.bp = make_machinery(config)
-        if warm:
-            functional_warmup(trace, self.hier, self.itlb, self.bp)
-            self.reset_machinery_stats()
+        if streams is None:
+            self.hier, self.itlb, self.bp = make_machinery(config)
+            if warm:
+                functional_warmup(trace, self.hier, self.itlb, self.bp)
+                self.reset_machinery_stats()
+        else:
+            # Stream-backed front end: L1I/ITLB/predictor outcomes are
+            # precomputed per-op, so only the shared hierarchy is live;
+            # warm state is restored from snapshots + an L2 replay.
+            self.hier = MemoryHierarchy(config)
+            self.itlb = None
+            self.bp = None
+            if warm:
+                streams.apply_warm(self.hier)
 
+        self.rob_cap = config.rob_entries
+        self.iq_cap = config.iq_entries
+        self.lq_cap = config.lq_entries
+        self.sq_cap = config.sq_entries
+        self.fetch_width = config.fetch_width
+        self.issue_width = config.issue_width
+        self.commit_width = config.commit_width
+        self.mispredict_penalty = config.mispredict_penalty
+        self.pause_latency = config.pause_latency
+        self.itlb_penalty = max(
+            int(round(config.itlb_miss_penalty_ns * config.freq_ghz)), 1)
         self.lat_table = {
             INT_ALU: config.int_latency,
             FP_ADD: config.fp_add_latency,
@@ -136,8 +168,10 @@ class CoreState:
         self.fbuf_cap = 8 * config.fetch_width  # decoupled front end
 
         self.completion = [-1] * n  # -1 = not issued yet
+        self.ready_after = [0] * n  # issue-scan skip bound (see issue.py)
         self.rob = deque()
         self.iq = []
+        self.iq_branches = 0  # branches currently in the IQ
         self.fbuf = deque()
 
         self.fetch_idx = 0
@@ -169,6 +203,8 @@ class CoreState:
                 cache.reset_stats()
         hier.dram_accesses = 0
         hier.dram_bytes = 0
-        self.itlb.reset_stats()
-        self.bp.lookups = 0
-        self.bp.mispredicts = 0
+        if self.itlb is not None:
+            self.itlb.reset_stats()
+        if self.bp is not None:
+            self.bp.lookups = 0
+            self.bp.mispredicts = 0

@@ -1,0 +1,336 @@
+"""Precomputed in-order front-end streams for the cycle tier.
+
+The timing loop's I-side machinery is *provably timing-independent*:
+fetch never goes down a wrong path, so the sequence of L1I/ITLB line
+lookups and branch predictions the front end performs is exactly the
+program-order trace — whatever the cycle-by-cycle interleaving.  This
+module walks that sequence once per ``(trace, I-side machinery
+fingerprint)`` and records, per op:
+
+* whether the fetch line's ITLB translation misses (the penalty is
+  applied live, so one stream serves every core frequency),
+* whether the fetch line hits L1I, and — on a miss — whether the
+  next-line prefetcher will probe the shared L2,
+* whether the branch predictor disagrees with the recorded outcome.
+
+``StreamFrontEnd`` (:mod:`.frontend`) then consumes plain list lookups
+instead of calling into ``Cache``/``TLB``/predictor objects.  The one
+coupling that is *not* timing-independent — L1I misses spilling into
+the shared L2, whose state interleaves with D-side traffic — is kept
+live: the stream only decides *that* a miss happens; the L2-and-below
+walk still executes inside the fetch loop, at the same point the
+non-stream front end would issue it, so L2/L3 state stays bit-exact.
+
+Functional warmup decomposes the same way: the warmed L1I/ITLB/branch
+state is I-side-only, the warmed L1D state is D-side-only (keyed by
+L1D geometry), and the shared L2/L3 see a deterministic merge of both
+sides' miss streams in program order.  ``apply_warm`` restores the
+snapshots and replays only the merged L2 events — thousands of
+accesses instead of a full per-op walk.
+
+Streams attach to the (immutable) trace object, so every config in a
+sweep that shares I-side parameters — the entire ROB/IQ, width, L2 and
+frequency grids — reuses one precompute.  ``REPRO_STREAMS=0`` disables
+the whole mechanism, falling back to the per-op front end.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ...trace.ops import BRANCH, LOAD, STORE
+from ..branch import make_predictor
+from ..cache import Cache
+from ..tlb import TLB
+
+__all__ = ["FrontEndStreams", "get_streams", "streams_enabled"]
+
+STREAMS_ENV = "REPRO_STREAMS"
+
+
+def streams_enabled():
+    """False when ``REPRO_STREAMS`` is set to 0/false/off."""
+    return os.environ.get(STREAMS_ENV, "").strip().lower() not in (
+        "0", "false", "off", "no")
+
+
+def _iside_key(config, warm):
+    l1i = config.l1i
+    return (l1i.size_kb, l1i.assoc, l1i.line, int(config.itlb_entries),
+            str(config.branch_predictor), bool(warm))
+
+
+def _dside_key(config):
+    l1d = config.l1d
+    return (l1d.size_kb, l1d.assoc, l1d.line)
+
+
+class FrontEndStreams:
+    """Per-op I-side outcome arrays plus warm-state snapshots."""
+
+    __slots__ = (
+        # timed-pass per-op outcomes (bytearrays: C-speed int lookups)
+        "l1i_hit", "pf_l2", "itlb_miss", "bp_wrong",
+        # timed-pass machinery totals for SimStats
+        "l1i_accesses", "l1i_misses", "bp_lookups", "bp_mispredicts",
+        # warm-state restoration payload (None for cold runs)
+        "warm", "l1d_sets", "l2_addrs", "l2_pfs",
+    )
+
+    def apply_warm(self, hier):
+        """Put *hier* in the exact post-warmup state, cheaply.
+
+        Restores the precomputed L1D set contents, replays the merged
+        I+D program-order miss stream through the live L2/L3 (the only
+        levels whose state couples both sides), and zeroes the counters
+        — equivalent to ``functional_warmup`` + stat reset.
+        """
+        if not self.warm:
+            return
+        l1d = hier.l1d
+        l1d._sets = [list(s) for s in self.l1d_sets]
+        l2_access = hier.l2.access
+        l3 = hier.l3
+        if l3 is None:
+            for addr, pf in zip(self.l2_addrs, self.l2_pfs):
+                l2_access(addr)
+        else:
+            l3_access = l3.access
+            for addr, pf in zip(self.l2_addrs, self.l2_pfs):
+                if not l2_access(addr) and not pf:
+                    l3_access(addr)
+        for cache in (hier.l1d, hier.l2, hier.l3):
+            if cache is not None:
+                cache.reset_stats()
+        hier.dram_accesses = 0
+        hier.dram_bytes = 0
+
+
+def _line_events(trace):
+    """Trace indices where fetch probes a new line, cached on the trace.
+
+    The front end (and warmup) query ITLB/L1I only when the op's line
+    differs from the previous op's — a consecutive-dedup over program
+    order.  Extracting those indices once with NumPy lets the stream
+    walks touch only the ~half of ops that access machinery at all.
+    """
+    cached = getattr(trace, "_line_event_idx", None)
+    if cached is None:
+        lines = trace.pc >> 6
+        mask = np.empty(lines.size, dtype=bool)
+        if lines.size:
+            mask[0] = True
+            mask[1:] = lines[1:] != lines[:-1]
+        cached = np.flatnonzero(mask).tolist()
+        trace._line_event_idx = cached
+    return cached
+
+
+def _branch_events(trace):
+    """Trace indices of branch ops, cached on the trace."""
+    cached = getattr(trace, "_branch_event_idx", None)
+    if cached is None:
+        cached = np.flatnonzero(trace.kind == BRANCH).tolist()
+        trace._branch_event_idx = cached
+    return cached
+
+
+def _compute_iside(trace, config, warm):
+    """One I-side pass: warm phase (optional) then the timed pass.
+
+    The ITLB/L1I stream and the branch-predictor stream consume
+    disjoint event sets of the program-order walk and share no state,
+    so each walks only its own (precomputed) event indices instead of
+    every op — the exact per-event operation sequence of
+    ``functional_warmup`` and the per-op front end.
+    """
+    pcs = trace.pc.tolist()
+    takens = trace.taken.tolist()
+    n = len(pcs)
+    line_idx = _line_events(trace)
+    branch_idx = _branch_events(trace)
+    l1i = Cache(config.l1i, "l1i")
+    itlb = TLB(config.itlb_entries, 1)
+    bp = make_predictor(config.branch_predictor)
+    line_bytes = config.l1i.line
+    warm_pos = []
+    warm_addr = []
+    warm_pf = []
+
+    if warm:
+        # Mirrors functional_warmup's I-side exactly, recording every
+        # L2 probe (prefetch installs and demand misses) with its
+        # program position so it can be merged with the D-side stream.
+        l1i_access = l1i.access
+        l1i_contains = l1i.contains
+        itlb_access = itlb.access
+        for i in line_idx:
+            pc = pcs[i]
+            itlb_access(pc)
+            if not l1i_access(pc):
+                nxt = pc + line_bytes
+                if not l1i_contains(nxt):
+                    l1i_access(nxt)
+                    warm_pos.append(i)
+                    warm_addr.append(nxt)
+                    warm_pf.append(1)
+                warm_pos.append(i)
+                warm_addr.append(pc)
+                warm_pf.append(0)
+        predict = bp.predict
+        update = bp.update
+        for i in branch_idx:
+            pc = pcs[i]
+            predict(pc)
+            update(pc, bool(takens[i]))
+        l1i.reset_stats()
+        itlb.reset_stats()
+
+    st = FrontEndStreams()
+    l1i_hit = bytearray(n)
+    pf_l2 = bytearray(n)
+    itlb_miss = bytearray(n)
+    bp_wrong = bytearray(n)
+    l1i_access = l1i.access
+    l1i_contains = l1i.contains
+    itlb_access = itlb.access
+    for i in line_idx:
+        pc = pcs[i]
+        if itlb_access(pc):
+            itlb_miss[i] = 1
+        if l1i_access(pc):
+            l1i_hit[i] = 1
+        else:
+            nxt = pc + line_bytes
+            if not l1i_contains(nxt):
+                l1i_access(nxt)
+                pf_l2[i] = 1
+    lookups = 0
+    mispredicts = 0
+    predict = bp.predict
+    update = bp.update
+    for i in branch_idx:
+        pc = pcs[i]
+        taken = bool(takens[i])
+        pred = predict(pc)
+        update(pc, taken)
+        lookups += 1
+        if bool(pred) != taken:
+            bp_wrong[i] = 1
+            mispredicts += 1
+    st.l1i_hit = l1i_hit
+    st.pf_l2 = pf_l2
+    st.itlb_miss = itlb_miss
+    st.bp_wrong = bp_wrong
+    st.l1i_accesses = l1i.accesses
+    st.l1i_misses = l1i.misses
+    st.bp_lookups = lookups
+    st.bp_mispredicts = mispredicts
+    st.warm = bool(warm)
+    st.l1d_sets = None
+    st.l2_addrs = None
+    st.l2_pfs = None
+    return st, (warm_pos, warm_addr, warm_pf)
+
+
+def _compute_dside(trace, config):
+    """Warmup's D-side: L1D miss stream + final L1D set contents."""
+    mem_idx = getattr(trace, "_mem_event_idx", None)
+    if mem_idx is None:
+        mem_idx = np.flatnonzero(
+            (trace.kind == LOAD) | (trace.kind == STORE)).tolist()
+        trace._mem_event_idx = mem_idx
+    mem_addrs = trace.addr[mem_idx].tolist() if mem_idx else []
+    l1d = Cache(config.l1d, "l1d")
+    access = l1d.access
+    pos = []
+    addr_out = []
+    for i, a in zip(mem_idx, mem_addrs):
+        if not access(a):
+            pos.append(i)
+            addr_out.append(a)
+    sets = [list(s) for s in l1d._sets]
+    return sets, pos, addr_out
+
+
+def _merge_warm_events(iside_events, dside_events):
+    """Merge I- and D-side warm L2 probes into program order.
+
+    ``functional_warmup`` performs, per op, the I-side access first
+    (prefetch probe before the demand probe) and the data access
+    second, so at equal positions I-side events precede D-side ones.
+    """
+    ipos, iaddr, ipf = iside_events
+    dpos, daddr = dside_events
+    addrs = []
+    pfs = []
+    ii = 0
+    ni = len(ipos)
+    di = 0
+    nd = len(dpos)
+    while ii < ni or di < nd:
+        if di >= nd or (ii < ni and ipos[ii] <= dpos[di]):
+            addrs.append(iaddr[ii])
+            pfs.append(ipf[ii])
+            ii += 1
+        else:
+            addrs.append(daddr[di])
+            pfs.append(0)
+            di += 1
+    return addrs, pfs
+
+
+def get_streams(trace, config, warm=True):
+    """The (cached) front-end streams for a trace/config pair.
+
+    Returns ``None`` when streams are disabled via ``REPRO_STREAMS`` —
+    callers then use the per-op front end.  Results are memoized on the
+    trace object: one I-side walk per distinct I-side fingerprint, one
+    D-side walk per L1D geometry, shared by every config in a sweep.
+    """
+    if not streams_enabled():
+        return None
+    cache = getattr(trace, "_fe_streams", None)
+    if cache is None:
+        cache = {}
+        trace._fe_streams = cache
+    ikey = _iside_key(config, warm)
+    cached = cache.get(ikey)
+    if cached is None:
+        cached = _compute_iside(trace, config, warm)
+        cache[ikey] = cached
+    base, iside_events = cached
+    if not warm:
+        return base
+
+    dcache = getattr(trace, "_fe_dside", None)
+    if dcache is None:
+        dcache = {}
+        trace._fe_dside = dcache
+    dkey = _dside_key(config)
+    dside = dcache.get(dkey)
+    if dside is None:
+        dside = _compute_dside(trace, config)
+        dcache[dkey] = dside
+    l1d_sets, dpos, daddr = dside
+
+    mcache = getattr(trace, "_fe_merged", None)
+    if mcache is None:
+        mcache = {}
+        trace._fe_merged = mcache
+    mkey = (ikey, dkey)
+    merged = mcache.get(mkey)
+    if merged is None:
+        merged = _merge_warm_events(iside_events, (dpos, daddr))
+        mcache[mkey] = merged
+
+    st = FrontEndStreams()
+    for name in ("l1i_hit", "pf_l2", "itlb_miss", "bp_wrong",
+                 "l1i_accesses", "l1i_misses", "bp_lookups",
+                 "bp_mispredicts", "warm"):
+        setattr(st, name, getattr(base, name))
+    st.l1d_sets = l1d_sets
+    st.l2_addrs, st.l2_pfs = merged
+    return st

@@ -72,6 +72,24 @@ class MemoryHierarchy:
             self.l1i.access(addr)
             self.l2.access(addr)
 
+    def inst_miss_walk(self, addr, prefetch_l2):
+        """The L2-and-below part of an L1I miss, for the stream-backed
+        front end: the stream already decided the miss (and whether the
+        next-line prefetch reaches L2); this performs the shared-level
+        accesses in the same order :meth:`access_inst` would, so L2/L3
+        state stays bit-identical with D-side traffic interleaved."""
+        if prefetch_l2:
+            self.l2.access(addr + self.config.l1i.line)
+        freq = self.config.freq_ghz
+        if self.l2.access(addr):
+            return self.config.l2.hit_latency_at(freq)
+        if self.l3 is not None:
+            if self.l3.access(addr):
+                return self.config.l3.hit_latency_at(freq)
+        self.dram_accesses += 1
+        self.dram_bytes += self.config.l1i.line
+        return self.dram_latency
+
     def mpki(self, instructions):
         """Misses per kilo-instruction for each level."""
         k = max(instructions, 1) / 1000.0

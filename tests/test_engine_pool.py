@@ -135,3 +135,23 @@ def test_runner_shares_store_between_serial_and_engine(tmp_path):
     s = ResultStore(tmp_path).stats()
     assert s["hits"] >= 1
     assert stats[0].freq_ghz == pytest.approx(2.0)
+
+
+def test_capped_store_has_no_dangling_entries_after_parallel_run(tmp_path):
+    # Workers on a size-capped store index (and evict) synchronously;
+    # the parent must not resurrect evicted keys when it folds the
+    # batch — every manifest entry must still have its payload file.
+    import json
+    import os
+
+    store = ResultStore(tmp_path, max_bytes=2000)  # a few entries' worth
+    cfgs = [(f, gem5_baseline(freq_ghz=f)) for f in (1.0, 2.0, 3.0)]
+    jobs = expand_grid(_WORKLOADS, cfgs, **_FAST)
+    stats = run_jobs(jobs, workers=2, store=store)
+    assert len(stats) == len(jobs)
+    store.flush()
+    with open(store.manifest_path) as fh:
+        manifest = json.load(fh)
+    for key, entry in manifest["entries"].items():
+        path = tmp_path / entry.get("file", key + ".json")
+        assert os.path.exists(path), f"dangling manifest entry {key}"

@@ -367,3 +367,41 @@ def test_fingerprint_scrubs_addresses_from_repr_fallback():
     # Slotted objects canonicalize as field dicts across the MRO.
     assert _canonical(_SlottedChild(1, "x", 2.5)) == {
         "a": 1, "b": "x", "c": 2.5}
+
+
+def test_deferred_put_batches_manifest_writes(tmp_path):
+    store = ResultStore(tmp_path)
+    for i in range(3):
+        store.put(f"d{i}", {"x": i}, meta={"workload": "ar"}, defer=True)
+    # Payloads are immediately durable and readable ...
+    assert store.get("d1") == {"x": 1}
+    # ... but the manifest has not been written yet.
+    assert not os.path.exists(store.manifest_path)
+    store.flush()
+    with open(store.manifest_path) as fh:
+        manifest = json.load(fh)
+    assert set(manifest["entries"]) == {"d0", "d1", "d2"}
+    assert manifest["entries"]["d2"]["workload"] == "ar"
+    assert manifest["entries"]["d2"]["bytes"] > 0
+
+
+def test_deferred_put_ignored_on_capped_store(tmp_path):
+    # Eviction must observe every entry synchronously: with a cap the
+    # defer flag falls back to the locked per-put path.
+    store = ResultStore(tmp_path, max_bytes=10_000_000)
+    store.put("k", {"x": 1}, defer=True)
+    with open(store.manifest_path) as fh:
+        manifest = json.load(fh)
+    assert "k" in manifest["entries"]
+
+
+def test_index_deferred_registers_foreign_write(tmp_path):
+    writer = ResultStore(tmp_path)
+    writer.put("w1", {"x": 1}, defer=True)  # e.g. a pool worker
+    del writer
+
+    parent = ResultStore(tmp_path)
+    parent.index_deferred("w1", meta={"workload": "ar"})
+    parent.flush()
+    s = ResultStore(tmp_path).stats()
+    assert s["entries"] == 1 and s["unindexed_files"] == 0

@@ -1,0 +1,90 @@
+"""Precomputed front-end streams: bit-parity with the per-op path."""
+
+import pytest
+
+from gem5_golden import gem5_traces
+from repro.uarch import CycleCore, gem5_baseline, host_i9
+from repro.uarch.core.frontend import FrontEnd, StreamFrontEnd
+from repro.uarch.core.streams import get_streams, streams_enabled
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+
+def _stats_pair(trace, config, warm):
+    with_streams = CycleCore(trace, config, warm=warm).run().as_dict()
+    without = CycleCore(trace, config, warm=warm,
+                        streams=False).run().as_dict()
+    return with_streams, without
+
+
+class TestStreamParity:
+    @pytest.mark.parametrize("workload", ("ar", "ma"))
+    @pytest.mark.parametrize("warm", (True, False))
+    def test_gem5_baseline_bit_parity(self, workload, warm):
+        trace = gem5_traces()[workload]
+        a, b = _stats_pair(trace, gem5_baseline(), warm)
+        diffs = [k for k in b if a[k] != b[k]]
+        assert a == b, f"stream path diverges in {diffs}"
+
+    def test_three_level_hierarchy_bit_parity(self):
+        # host-i9: L3 present, LTAGE predictor — the deepest I-side
+        # machinery the stream precompute must mirror.
+        trace = gem5_traces()["ar"]
+        a, b = _stats_pair(trace, host_i9(), True)
+        assert a == b
+
+    def test_l2_interference_bit_parity(self):
+        # The shared-L2 interference clock advances per access; any
+        # drift in I-side L2 access placement would desync it.
+        trace = gem5_traces()["tu"]
+        cfg = gem5_baseline(l2_interference_period=7)
+        a, b = _stats_pair(trace, cfg, True)
+        assert a == b
+
+    def test_frequency_change_reuses_one_stream(self):
+        # The ITLB penalty scales with frequency but the stream stores
+        # hit/miss outcomes, so one stream serves the frequency sweep.
+        trace = gem5_traces()["ar"]
+        st2 = get_streams(trace, gem5_baseline(freq_ghz=2.0))
+        st4 = get_streams(trace, gem5_baseline(freq_ghz=4.0))
+        assert st2.itlb_miss is st4.itlb_miss
+        for f in (2.0, 4.0):
+            a, b = _stats_pair(trace, gem5_baseline(freq_ghz=f), True)
+            assert a == b
+
+
+class TestStreamMachinery:
+    def test_frontend_selection(self):
+        trace = gem5_traces()["ar"]
+        assert isinstance(CycleCore(trace, gem5_baseline()).frontend,
+                          StreamFrontEnd)
+        assert isinstance(
+            CycleCore(trace, gem5_baseline(), streams=False).frontend,
+            FrontEnd)
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAMS", "0")
+        assert not streams_enabled()
+        trace = gem5_traces()["ar"]
+        core = CycleCore(trace, gem5_baseline())
+        assert isinstance(core.frontend, FrontEnd)
+
+    def test_streams_cached_on_trace_across_configs(self):
+        from repro.uarch.config import CacheConfig
+
+        trace = gem5_traces()["ar"]
+        a = get_streams(trace, gem5_baseline())
+        # Different L2 size: same I-side fingerprint, same stream data.
+        b = get_streams(trace, gem5_baseline(
+            l2=CacheConfig(512, 16, 2, uncore_ns=4.0)))
+        assert a.l1i_hit is b.l1i_hit
+        assert a.bp_wrong is b.bp_wrong
+
+    def test_machinery_totals_match_live_objects(self):
+        trace = gem5_traces()["ma"]
+        cfg = gem5_baseline()
+        live = CycleCore(trace, cfg, streams=False).run()
+        streamed = CycleCore(trace, cfg).run()
+        assert streamed.branches == live.branches
+        assert streamed.branch_mispredicts == live.branch_mispredicts
+        assert streamed.cache["l1i"] == live.cache["l1i"]

@@ -1,0 +1,172 @@
+"""Persistent trace store: round-trips, invalidation, runner caching."""
+
+import numpy as np
+import pytest
+
+from repro.core import runner as runner_mod
+from repro.core.runner import Runner
+from repro.trace import TraceBuilder, store as trace_store_mod
+from repro.trace.store import TRACE_FORMAT_VERSION, TraceStore
+
+COLUMNS = ("kind", "addr", "pc", "taken", "dep1", "dep2", "func")
+
+
+def _make_trace(n=500):
+    tb = TraceBuilder(code_bloat=1.2, replicas=3)
+    tb.set_function("blas_axpy")
+    r = tb.region("v", n)
+    for i in range(n // 4):
+        tb.set_replica(i)
+        lx = tb.load(0, r, i)
+        s = tb.fp_add(1, dep1=tb.dep_to(lx))
+        tb.store(2, r, i, dep1=tb.dep_to(s))
+        tb.branch(3, taken=(i % 8 != 7))
+    return tb.build()
+
+
+def _assert_traces_equal(a, b):
+    assert len(a) == len(b)
+    for c in COLUMNS:
+        got, want = getattr(a, c), getattr(b, c)
+        assert np.array_equal(got, want), f"column {c} differs"
+        assert got.dtype == want.dtype, f"column {c} dtype differs"
+
+
+class TestTraceStore:
+    def test_round_trip_bit_equality(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = _make_trace()
+        store.save("w", "tiny", 1234, trace)
+        for mmap in (True, False):
+            loaded = store.load("w", "tiny", 1234, mmap=mmap)
+            assert loaded is not None
+            _assert_traces_equal(loaded, trace)
+
+    def test_mmap_load_is_file_backed(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save("w", "tiny", 99, _make_trace())
+        loaded = store.load("w", "tiny", 99)
+        # The zero-copy path maps columns straight out of the archive.
+        assert isinstance(loaded.addr.base, np.memmap) or isinstance(
+            loaded.addr, np.memmap)
+
+    def test_miss_returns_none(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.load("nope", "tiny", 1) is None
+        assert not store.contains("nope", "tiny", 1)
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        store = TraceStore(tmp_path)
+        trace = _make_trace()
+        store.save("w", "tiny", 7, trace)
+        assert store.load("w", "tiny", 7) is not None
+        monkeypatch.setattr(trace_store_mod, "TRACE_FORMAT_VERSION",
+                            TRACE_FORMAT_VERSION + 1)
+        # Key and embedded meta version both guard the format.
+        assert store.load("w", "tiny", 7) is None
+        assert not store.contains("w", "tiny", 7)
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save("w", "tiny", 7, _make_trace())
+        with open(store.path("w", "tiny", 7), "wb") as fh:
+            fh.write(b"not a zip archive")
+        assert store.load("w", "tiny", 7) is None
+
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save("w", "tiny", 7, _make_trace())
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_size_cap_evicts_oldest(self, tmp_path):
+        store = TraceStore(tmp_path, max_bytes=1)  # everything over cap
+        store.save("a", "tiny", 1, _make_trace())
+        store.save("b", "tiny", 1, _make_trace())
+        # The newest entry is kept even when the cap is absurdly small.
+        assert store.contains("b", "tiny", 1)
+        assert not store.contains("a", "tiny", 1)
+
+    def test_stats_and_clear(self, tmp_path):
+        store = TraceStore(tmp_path)
+        store.save("a", "tiny", 1, _make_trace())
+        s = store.stats()
+        assert s["entries"] == 1 and s["total_bytes"] > 0
+        assert store.clear() == 1
+        assert store.stats()["entries"] == 0
+
+
+class TestRunnerTraceCaching:
+    def test_runner_saves_then_loads_from_store(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        built = Runner(use_disk_cache=False)
+        t1, record = built.trace_for("te01", "tiny", 4000)
+        assert record is not None  # fresh synthesis keeps the record
+        assert TraceStore(create=False).contains("te01", "tiny", 4000)
+
+        fresh = Runner(use_disk_cache=False)
+        t2, record2 = fresh.trace_for("te01", "tiny", 4000)
+        assert record2 is None  # store hit: no solve happened
+        _assert_traces_equal(t1, t2)
+
+    def test_env_kill_switch_disables_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_STORE", "0")
+        runner = Runner(use_disk_cache=False)
+        runner.trace_for("te01", "tiny", 4000)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_trace_memo_lru_is_bounded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        runner = Runner(use_disk_cache=False, trace_memo=2)
+        for budget in (3000, 4000, 5000):
+            runner.trace_for("te01", "tiny", budget)
+        assert len(runner._traces) == 2
+        # Evicted budgets reload from the store, not a fresh solve.
+        t, record = runner.trace_for("te01", "tiny", 3000)
+        assert record is None and len(t) > 0
+
+    def test_prebuilt_traces_bypass_memo_and_store(self, monkeypatch):
+        sentinel = (_make_trace(), None)
+        monkeypatch.setitem(runner_mod.PREBUILT_TRACES,
+                            ("w", "tiny", 123), sentinel)
+        runner = Runner(use_disk_cache=False)
+        assert runner.trace_for("w", "tiny", 123) is sentinel
+        assert ("w", "tiny", 123) not in runner._traces
+
+
+class TestPoolPrebuild:
+    def test_workers_use_parents_prebuilt_traces(self, tmp_path,
+                                                 monkeypatch):
+        import multiprocessing
+
+        if not ("fork" in multiprocessing.get_all_start_methods()):
+            pytest.skip("fork start method unavailable")
+        from repro.engine import JobSpec, run_jobs
+        from repro.engine.pool import prebuild_traces
+        from repro.trace import solvertrace
+        from repro.uarch.config import gem5_baseline
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "t"))
+        monkeypatch.setenv("REPRO_TRACE_STORE", "0")  # COW is the only path
+        jobs = [JobSpec("te01", gem5_baseline(freq_ghz=f), label=f,
+                        scale="tiny", budget=4000) for f in (2.0, 3.0)]
+        prebuild_traces(jobs)
+        assert ("te01", "tiny", 4000) in runner_mod.PREBUILT_TRACES
+
+        # Poison synthesis: any rebuild — parent or worker — would blow
+        # up.  Forked workers inherit both the poison and the prebuilt
+        # trace set, so success proves zero-copy serving.
+        def _boom(*a, **kw):
+            raise AssertionError("trace was rebuilt instead of inherited")
+
+        monkeypatch.setattr(solvertrace, "workload_trace", _boom)
+        monkeypatch.setattr("repro.trace.workload_trace", _boom)
+        monkeypatch.setattr("repro.core.runner.workload_trace", _boom)
+        stats = run_jobs(jobs, workers=2,
+                         runner=Runner(cache_dir=tmp_path / "r"))
+        assert len(stats) == 2 and all(s.cycles > 0 for s in stats)
+        # run_jobs drops the parent's set when the batch completes.
+        assert runner_mod.PREBUILT_TRACES == {}

@@ -1,0 +1,263 @@
+"""Vectorized trace kernels vs. verbatim per-op reference emitters.
+
+The batched kernels must emit byte-for-byte the op streams the original
+per-op loops produced — the golden simulator fixtures (and every cached
+trace-store entry) depend on it.  Each reference below is the
+pre-vectorization implementation, kept verbatim.
+"""
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.trace import kernels as tk
+from repro.trace.builder import TraceBuilder
+
+COLUMNS = ("kind", "addr", "pc", "taken", "dep1", "dep2", "func")
+
+
+# ----------------------------------------------------------------------
+# Reference (pre-vectorization) emitters
+# ----------------------------------------------------------------------
+def ref_spmv(tb, matrix, x_name="x", y_name="y", row_stride=1,
+             max_rows=None, max_ops=None, row_offset=0):
+    tb.set_function("blas_spmv")
+    start = len(tb)
+    indptr = tb.region("A.indptr", matrix.n + 1)
+    indices = tb.region("A.indices", max(matrix.nnz, 1))
+    data = tb.region("A.data", max(matrix.nnz, 1))
+    x = tb.region(x_name, matrix.n)
+    y = tb.region(y_name, matrix.n)
+    rows = range(min(row_offset, matrix.n - 1), matrix.n,
+                 max(row_stride, 1))
+    if max_rows is not None:
+        rows = list(rows)[:max_rows]
+    for r in rows:
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        tb.set_replica(r)
+        lo = int(matrix.indptr[r])
+        hi = int(matrix.indptr[r + 1])
+        tb.load(0, indptr, r)
+        tb.load(1, indptr, r + 1)
+        acc = None
+        for j in range(lo, hi):
+            col = int(matrix.indices[j])
+            lc = tb.load(2, indices, j)
+            tb.int_op(9, dep1=1)
+            lv = tb.load(3, data, j)
+            lx = tb.load(4, x, col, dep1=tb.dep_to(lc))
+            m = tb.fp_mul(5, dep1=tb.dep_to(lv), dep2=tb.dep_to(lx))
+            acc = tb.fp_add(
+                6, dep1=tb.dep_to(m),
+                dep2=tb.dep_to(acc) if acc is not None else 0)
+            tb.branch(7, taken=(j + 1 < hi))
+        tb.store(8, y, r, dep1=tb.dep_to(acc) if acc is not None else 0)
+    return tb
+
+
+def ref_dot(tb, n, unroll=4, a_name="p", b_name="q", max_ops=None):
+    tb.set_function("blas_dot")
+    start = len(tb)
+    a = tb.region(a_name, n)
+    b = tb.region(b_name, n)
+    accs = [None] * max(unroll, 1)
+    for i in range(n):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        if i % 8 == 0:
+            tb.int_op(6)
+        la = tb.load(0, a, i)
+        lb = tb.load(1, b, i)
+        m = tb.fp_mul(2, dep1=tb.dep_to(la), dep2=tb.dep_to(lb))
+        lane = i % len(accs)
+        accs[lane] = tb.fp_add(
+            3, dep1=tb.dep_to(m),
+            dep2=tb.dep_to(accs[lane]) if accs[lane] is not None else 0)
+        tb.branch(4, taken=(i + 1 < n))
+    return tb
+
+
+def ref_axpy(tb, n, x_name="ax", y_name="ay", max_ops=None):
+    tb.set_function("blas_axpy")
+    start = len(tb)
+    x = tb.region(x_name, n)
+    y = tb.region(y_name, n)
+    for i in range(n):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        if i % 8 == 0:
+            tb.int_op(6)
+        lx = tb.load(0, x, i)
+        ly = tb.load(1, y, i)
+        m = tb.fp_mul(2, dep1=tb.dep_to(lx))
+        s = tb.fp_add(3, dep1=tb.dep_to(m), dep2=tb.dep_to(ly))
+        tb.store(4, y, i, dep1=tb.dep_to(s))
+        tb.branch(5, taken=(i + 1 < n))
+    return tb
+
+
+def ref_residual(tb, matrix, vec_stride=1, max_ops=None):
+    tb.set_function("residual_eval")
+    fint = tb.region("f.int", matrix.n)
+    fext = tb.region("f.ext", matrix.n)
+    res = tb.region("f.res", matrix.n)
+    start = len(tb)
+    for i in range(0, matrix.n, max(vec_stride, 1)):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        if i % 4 == 0:
+            tb.int_op(5)
+        a = tb.load(0, fint, i)
+        b = tb.load(1, fext, i)
+        s = tb.fp_add(2, dep1=tb.dep_to(a), dep2=tb.dep_to(b))
+        tb.store(3, res, i, dep1=tb.dep_to(s))
+        tb.branch(4, taken=(i + vec_stride < matrix.n))
+    return tb
+
+
+def ref_spin_wait(tb, n_iterations):
+    tb.set_function("omp_barrier_wait")
+    flag = tb.region("omp.flag", 8)
+    for k in range(n_iterations):
+        lf = tb.load(0, flag, 0)
+        tb.int_op(1, dep1=tb.dep_to(lf))
+        tb.pause(2)
+        tb.branch(3, taken=(k + 1 < n_iterations))
+    return tb
+
+
+def ref_element_assembly(tb, connectivity, node_count, fp_intensity=1.0,
+                         dep_chain=3, elem_stride=1, ngp=8,
+                         dofs_per_node=3, max_ops=None):
+    conn_region = tb.region("elem.conn", max(connectivity.size, 1))
+    coords = tb.region("mesh.nodes", node_count * 3)
+    nelem = connectivity.shape[0]
+    nn = connectivity.shape[1]
+    fp_per_gp = max(int(10 * fp_intensity), 4)
+    start = len(tb)
+    for e in range(0, nelem, max(elem_stride, 1)):
+        if max_ops is not None and len(tb) - start >= max_ops:
+            break
+        tb.set_function("stiffness_assembly")
+        tb.set_replica(e)
+        base = e * nn
+        node_loads = []
+        for a in range(nn):
+            node = int(connectivity[e, a])
+            lc = tb.load(0, conn_region, base + a)
+            tb.int_op(4, dep1=tb.dep_to(lc))
+            for ax in range(3):
+                node_loads.append(
+                    tb.load(1 + ax, coords, node * 3 + ax,
+                            dep1=tb.dep_to(lc)))
+        tb.set_function("jacobian_eval")
+        tb.set_replica(e)
+        j_ops = []
+        for k in range(9):
+            src = node_loads[k % len(node_loads)]
+            m = tb.fp_mul(0, dep1=tb.dep_to(src))
+            j_ops.append(tb.fp_add(1, dep1=tb.dep_to(m)))
+        det = tb.fp_div(2, dep1=tb.dep_to(j_ops[-1]))
+        tb.set_function("constitutive_update")
+        tb.set_replica(e)
+        for _gp in range(ngp):
+            tb.int_op(7)
+            chain = det
+            for k in range(fp_per_gp):
+                if k % max(dep_chain, 1) == 0:
+                    chain = tb.fp_mul(3, dep1=tb.dep_to(node_loads[0]))
+                else:
+                    chain = tb.fp_add(4, dep1=tb.dep_to(chain))
+            tb.branch(5, taken=(_gp + 1 < ngp))
+        tb.branch(6, taken=(e + elem_stride < nelem))
+    return tb
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _matrix(seed=0, n=37):
+    """Small CSR with ragged rows, including empty ones."""
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    for r in range(n):
+        nnz = int(rng.integers(0, 9))
+        cs = sorted(set(rng.integers(0, n, size=nnz).tolist()))
+        rows += [r] * len(cs)
+        cols += cs
+    vals = rng.random(len(rows))
+    return CSRMatrix.from_coo(
+        n, np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64), vals)
+
+
+def _assert_same(vec_fn, ref_fn, *args, **kwargs):
+    t1 = TraceBuilder(code_bloat=1.3, replicas=5)
+    vec_fn(t1, *args, **kwargs)
+    t2 = TraceBuilder(code_bloat=1.3, replicas=5)
+    ref_fn(t2, *args, **kwargs)
+    a, b = t1.build(), t2.build()
+    assert len(a) == len(b), f"{len(a)} ops vs reference {len(b)}"
+    for c in COLUMNS:
+        assert np.array_equal(getattr(a, c), getattr(b, c)), \
+            f"column {c} differs for {kwargs}"
+
+
+class TestVectorizedKernels:
+    def test_spmv(self):
+        m = _matrix()
+        for kw in ({}, {"max_ops": 55}, {"max_ops": 0}, {"max_rows": 4},
+                   {"row_stride": 3, "row_offset": 5}):
+            _assert_same(tk.trace_spmv, ref_spmv, m, **kw)
+
+    def test_dot(self):
+        for kw in ({}, {"max_ops": 23}, {"max_ops": 0}, {"unroll": 1},
+                   {"unroll": 7}):
+            _assert_same(tk.trace_dot, ref_dot, 53, **kw)
+
+    def test_axpy(self):
+        for kw in ({}, {"max_ops": 23}, {"max_ops": 0}):
+            _assert_same(tk.trace_axpy, ref_axpy, 53, **kw)
+
+    def test_residual(self):
+        m = _matrix()
+        for kw in ({}, {"vec_stride": 3}, {"max_ops": 17},
+                   {"vec_stride": 5, "max_ops": 12}):
+            _assert_same(tk.trace_residual, ref_residual, m, **kw)
+
+    def test_spin_wait(self):
+        for n in (0, 1, 13):
+            _assert_same(tk.trace_spin_wait, ref_spin_wait, n)
+
+    def test_element_assembly(self):
+        rng = np.random.default_rng(3)
+        conn = rng.integers(0, 40, size=(17, 8))
+        for kw in ({}, {"elem_stride": 3}, {"max_ops": 200},
+                   {"fp_intensity": 2.5, "dep_chain": 1},
+                   {"dep_chain": 7, "ngp": 3},
+                   {"elem_stride": 2, "max_ops": 333}):
+            _assert_same(tk.trace_element_assembly, ref_element_assembly,
+                         conn, 40, **kw)
+
+    def test_emit_run_matches_per_op_emission(self):
+        from repro.trace.ops import BRANCH, FP_ADD, INT_ALU, LOAD
+
+        tb1 = TraceBuilder(code_bloat=1.1, replicas=3)
+        tb1.set_function("blas_dot")
+        tb1.set_replica(2)
+        tb1.emit_run(
+            np.array([LOAD, INT_ALU, BRANCH, FP_ADD], dtype=np.int8),
+            addrs=np.array([640, 0, 0, 0]),
+            takens=np.array([0, 0, 1, 0]),
+            dep1s=np.array([0, 1, 0, 2]),
+            branch_sites=np.array([0, 0, 9, 0]))
+        tb2 = TraceBuilder(code_bloat=1.1, replicas=3)
+        tb2.set_function("blas_dot")
+        tb2.set_replica(2)
+        tb2.emit(LOAD, 0, addr=640)
+        tb2.emit(INT_ALU, 1, dep1=1)
+        tb2.branch(9, taken=True)
+        tb2.emit(FP_ADD, 3, dep1=2)
+        a, b = tb1.build(), tb2.build()
+        for c in COLUMNS:
+            assert np.array_equal(getattr(a, c), getattr(b, c)), c
