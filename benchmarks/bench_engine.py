@@ -130,6 +130,63 @@ def bench_sweep(workloads, scale, budget, sizes_kb):
     return out
 
 
+def bench_remote_sweep(workloads, scale, budget, sizes_kb):
+    """Shared-store pull path: populated remote, empty local caches.
+
+    Machine A (one set of temp dirs) runs the sweep cold and pushes
+    every result and trace to an in-process artifact server; machine B
+    (fresh temp dirs) then runs the same sweep served entirely by
+    remote pulls — zero trace synthesis, zero re-simulation.  Returns
+    ``None`` on heads without the remote store.
+    """
+    try:
+        from repro.store.remote import drain_all
+        from repro.store.server import ArtifactServer
+    except ImportError:
+        return None
+    import threading
+
+    from repro.core.sweeps import l2_sweep
+
+    out = {}
+    saved_remote = os.environ.get("REPRO_REMOTE_STORE")
+    with tempfile.TemporaryDirectory() as base:
+        server = ArtifactServer(root=os.path.join(base, "shared"),
+                                host="127.0.0.1", port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        os.environ["REPRO_REMOTE_STORE"] = server.url
+        try:
+            # Machine A: cold run populates the server.
+            os.environ[TRACE_DIR_ENV] = os.path.join(base, "a-traces")
+            _clear_trace_memos()
+            l2_sweep(workloads=workloads, sizes_kb=sizes_kb, scale=scale,
+                     budget=budget,
+                     runner=_fresh_runner(os.path.join(base, "a-results")),
+                     workers=1)
+            drain_all()
+            # Machine B: empty local caches, everything over HTTP.
+            os.environ[TRACE_DIR_ENV] = os.path.join(base, "b-traces")
+            _clear_trace_memos()
+            runner = _fresh_runner(os.path.join(base, "b-results"))
+            t0 = time.perf_counter()
+            l2_sweep(workloads=workloads, sizes_kb=sizes_kb, scale=scale,
+                     budget=budget, runner=runner, workers=1)
+            out["pull_s"] = round(time.perf_counter() - t0, 3)
+            stats = runner.store.stats()
+            out["remote_hits"] = stats["remote_hits"]
+            out["jobs"] = len(workloads) * len(sizes_kb)
+            out["server_artifacts"] = (len(server.list_keys("results"))
+                                       + len(server.list_keys("traces")))
+        finally:
+            if saved_remote is None:
+                os.environ.pop("REPRO_REMOTE_STORE", None)
+            else:
+                os.environ["REPRO_REMOTE_STORE"] = saved_remote
+            server.shutdown()
+            server.server_close()
+    return out
+
+
 def _git_head():
     try:
         return subprocess.run(
@@ -175,6 +232,11 @@ def run_bench(tiny=False, label=None, workloads=None, out_path=None):
                   f"jobs, cold + trace-warm)...", file=sys.stderr)
             entry["l2_sweep"] = bench_sweep(workloads, scale, budget,
                                             sizes_kb)
+            print("[bench] shared-store pull (populated remote, empty "
+                  "local caches)...", file=sys.stderr)
+            remote = bench_remote_sweep(workloads, scale, budget, sizes_kb)
+            if remote is not None:
+                entry["remote_sweep"] = remote
     finally:
         if saved_trace_dir is None:
             os.environ.pop(TRACE_DIR_ENV, None)

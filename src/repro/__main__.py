@@ -13,6 +13,9 @@ Subcommands
 ``repro cache clear``          drop every cached result
 ``repro trace stats``          trace-store size and entry accounting
 ``repro trace clear``          drop every cached trace
+``repro serve``                share the stores over HTTP (fleet seed)
+``repro push``                 upload local results/traces to the remote
+``repro pull``                 download the remote's artifacts locally
 ``repro list``                 sweeps, figures, study axes, workloads
 
 ``sweep``, ``study``, ``characterize``, and ``figures`` all execute
@@ -338,6 +341,11 @@ def cmd_cache(args):
             {"field": "hits (all time)", "value": str(s["hits"])},
             {"field": "misses (all time)", "value": str(s["misses"])},
             {"field": "evictions (all time)", "value": str(s["evictions"])},
+            {"field": "remote", "value": s["remote_url"] or "none"},
+            {"field": "remote hits (all time)",
+             "value": str(s["remote_hits"])},
+            {"field": "remote misses (all time)",
+             "value": str(s["remote_misses"])},
         ]
         print(render_table(rows, title="result store"))
     elif args.action == "prune":
@@ -372,12 +380,136 @@ def cmd_trace(args):
             {"field": "entries", "value": str(s["entries"])},
             {"field": "total size", "value": _human_bytes(s["total_bytes"])},
             {"field": "size cap", "value": cap},
+            {"field": "remote", "value": s["remote_url"] or "none"},
+            {"field": "remote hits (all time)",
+             "value": str(s["remote_hits"])},
+            {"field": "remote misses (all time)",
+             "value": str(s["remote_misses"])},
+            {"field": "quarantined (all time)",
+             "value": str(s["quarantined"])},
         ]
         print(render_table(rows, title="trace store"))
     else:
         removed = store.clear()
         print(f"cleared {removed} traces from {store.root}")
     return 0
+
+
+def cmd_serve(args):
+    from .store.server import serve
+
+    try:
+        return serve(root=args.dir, host=args.host, port=args.port,
+                     results_dir=args.results_dir,
+                     traces_dir=args.traces_dir, verbose=args.verbose)
+    except OSError as exc:
+        print(f"error: cannot serve on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+
+
+def _sync_url(args):
+    from .env import env_remote_url
+
+    url = args.url or env_remote_url()
+    if url is None:
+        print("error: no remote store — pass --url or set "
+              "REPRO_REMOTE_STORE=http://host:port", file=sys.stderr)
+    return url
+
+
+def cmd_push(args):
+    """Upload every local artifact the remote is missing."""
+    import os
+
+    from .store.remote import remote_for
+    from .trace.store import TraceStore
+
+    url = _sync_url(args)
+    if url is None:
+        return 2
+    status = 0
+    if args.what in ("results", "all"):
+        store = _store_for(args)
+        remote = remote_for(url, "results")
+        have = set(remote.list_keys())
+        pushed = 0
+        for name in sorted(os.listdir(store.root)):
+            if not name.endswith(".json") or name == "manifest.json":
+                continue
+            key = name[:-len(".json")]
+            if key in have:
+                continue
+            try:
+                with open(os.path.join(store.root, name), "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                continue
+            # wait=True: a bulk sync must not buffer the whole store in
+            # the async queue's memory; upload as we go.
+            if remote.put_bytes(key, data, wait=True):
+                pushed += 1
+        if not remote.available:
+            status = 1
+        print(f"results: pushed {pushed} entries to {url} "
+              f"({len(have)} already there)")
+    if args.what in ("traces", "all"):
+        remote = remote_for(url, "traces")
+        tstore = TraceStore(create=False, remote=remote)
+        have = set(remote.list_keys())
+        pushed = 0
+        for name, _, _ in tstore._entries():
+            if name not in have and tstore.push_name(name, wait=True):
+                pushed += 1
+        if not remote.available:
+            status = 1
+        print(f"traces: pushed {pushed} archives to {url} "
+              f"({len(have)} already there)")
+    return status
+
+
+def cmd_pull(args):
+    """Download every remote artifact the local caches are missing."""
+    from .store.remote import remote_for
+    from .trace.store import TraceStore
+
+    url = _sync_url(args)
+    if url is None:
+        return 2
+    status = 0
+    if args.what in ("results", "all"):
+        remote = remote_for(url, "results")
+        store = ResultStore(args.cache_dir or default_cache_dir(),
+                            remote=remote)
+        pulled = 0
+        skipped = 0
+        for key in remote.list_keys():
+            if store.contains(key):
+                skipped += 1
+            elif store.get(key) is not None:  # pulls + indexes locally
+                pulled += 1
+        store.flush()
+        if not remote.available:
+            status = 1
+        print(f"results: pulled {pulled} entries from {url} "
+              f"({skipped} already local)")
+    if args.what in ("traces", "all"):
+        import os
+
+        remote = remote_for(url, "traces")
+        tstore = TraceStore(remote=remote)
+        pulled = 0
+        skipped = 0
+        for name in remote.list_keys():
+            if os.path.exists(os.path.join(tstore.root, name)):
+                skipped += 1
+            elif tstore.pull_name(name):
+                pulled += 1
+        if not remote.available:
+            status = 1
+        print(f"traces: pulled {pulled} archives from {url} "
+              f"({skipped} already local)")
+    return status
 
 
 def cmd_bench(args):
@@ -538,6 +670,36 @@ def build_parser():
     p = sub.add_parser("trace", help="inspect or clear the trace store")
     p.add_argument("action", choices=("stats", "clear"))
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="share the result + trace stores over HTTP "
+             "(point other machines' REPRO_REMOTE_STORE here)")
+    p.add_argument("--dir", default=None,
+                   help="base directory holding results/ and traces/ "
+                        "namespaces (default: serve this machine's own "
+                        "cache directories in place)")
+    p.add_argument("--host", default="0.0.0.0")
+    p.add_argument("--port", type=int, default=8734)
+    p.add_argument("--results-dir", default=None,
+                   help="results namespace directory (overrides --dir)")
+    p.add_argument("--traces-dir", default=None,
+                   help="traces namespace directory (overrides --dir)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request")
+    p.set_defaults(func=cmd_serve)
+
+    for name, fn, verb in (("push", cmd_push, "upload local artifacts "
+                                              "the remote is missing"),
+                           ("pull", cmd_pull, "download remote artifacts "
+                                              "missing locally")):
+        p = sub.add_parser(name, help=verb)
+        p.add_argument("--url", default=None,
+                       help="artifact server URL "
+                            "(default: REPRO_REMOTE_STORE)")
+        p.add_argument("--what", choices=("results", "traces", "all"),
+                       default="all")
+        p.set_defaults(func=fn)
 
     p = sub.add_parser(
         "bench",

@@ -24,6 +24,7 @@ from collections import OrderedDict
 
 from ..engine.jobs import JobSpec
 from ..engine.store import ResultStore
+from ..env import env_int
 from ..trace import TraceRequest, workload_trace
 from ..trace.store import TraceStore, store_enabled
 from ..uarch import SimStats, simulate
@@ -43,12 +44,7 @@ PREBUILT_TRACES = {}
 
 
 def _trace_memo_cap():
-    raw = os.environ.get(TRACE_MEMO_ENV, "").strip()
-    try:
-        cap = int(raw)
-    except ValueError:
-        return _TRACE_MEMO_DEFAULT
-    return max(cap, 1)
+    return env_int(TRACE_MEMO_ENV, _TRACE_MEMO_DEFAULT, minimum=1)
 
 
 def default_cache_dir():
@@ -105,9 +101,11 @@ class Runner:
         """Trace for a workload, through three cache levels.
 
         Lookup order: the pool's shared prebuilt set, this runner's
-        LRU memo, the persistent on-disk trace store (mmap load), and
-        finally a full synthesis (solve + emission) whose result is
-        persisted for every later process.
+        LRU memo, the persistent on-disk trace store (mmap load; with
+        ``REPRO_REMOTE_STORE`` set a local miss pulls from the shared
+        artifact server first), and finally a full synthesis (solve +
+        emission) whose result is persisted — and pushed back to the
+        remote, when one is configured — for every later process.
 
         Returns ``(trace, record)``; the solve record is only available
         when the trace was synthesized in this process (store/prebuilt

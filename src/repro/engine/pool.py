@@ -28,6 +28,7 @@ import multiprocessing
 import os
 import sys
 
+from ..env import env_int
 from .store import ResultStore
 
 __all__ = ["prebuild_traces", "run_jobs", "resolve_workers"]
@@ -40,15 +41,19 @@ _STATE = {}
 def resolve_workers(workers=None):
     """Worker count: explicit value, else ``REPRO_WORKERS``, else 1.
 
-    ``0`` (from either source) means "all available cores".
+    ``0`` (from either source) means "all available cores".  An
+    unparsable ``REPRO_WORKERS`` warns once and falls back to serial;
+    an unparsable explicit value is a caller bug and raises with a
+    clear message instead of a deep ``int()`` traceback.
     """
     if workers is None:
-        raw = os.environ.get("REPRO_WORKERS", "").strip()
-        try:
-            workers = int(raw)
-        except ValueError:
-            workers = 1
-    workers = int(workers)
+        workers = env_int("REPRO_WORKERS", 1)
+    try:
+        workers = int(workers)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"workers= must be an integer (0 = all cores), got "
+            f"{workers!r}") from None
     if workers <= 0:
         workers = os.cpu_count() or 1
     return workers
@@ -66,6 +71,7 @@ def _mp_context():
 
 def _init_worker(store_root, in_worker=True):
     from ..core.runner import Runner
+    from ..trace.store import TraceStore, store_enabled
 
     if in_worker:
         # Ctrl-C is the parent's to handle; it terminates the pool.
@@ -74,8 +80,16 @@ def _init_worker(store_root, in_worker=True):
             signal.signal(signal.SIGINT, signal.SIG_IGN)
         except (ImportError, ValueError, OSError):
             pass
-    _STATE["runner"] = Runner(use_disk_cache=False)
-    _STATE["store"] = ResultStore(store_root) if store_root else None
+    # Workers never talk to the remote tier: they exit via os._exit
+    # (stranding async push queues), and the parent already resolved
+    # remote result hits and pulled remote traces into the local store
+    # before dispatch.  The parent pushes worker results back as it
+    # indexes them (ResultStore.index_deferred).
+    tstore = TraceStore(create=False, remote=False) if store_enabled() \
+        else False
+    _STATE["runner"] = Runner(use_disk_cache=False, trace_store=tstore)
+    _STATE["store"] = (ResultStore(store_root, remote=False)
+                       if store_root else None)
 
 
 def _execute(job):
@@ -100,14 +114,23 @@ def _execute(job):
 
 def _build_one_trace(key):
     """Prebuild helper: synthesize one trace, persist it when the trace
-    store allows, and ship its columns back to the parent."""
+    store allows, and ship its columns back to the parent.
+
+    The child's trace store runs with the remote tier disabled —
+    ``pool.terminate`` would strand its async push queue — so the
+    parent pushes the freshly built archives after the map completes.
+    """
     import numpy as np
 
     from ..core.runner import Runner
+    from ..trace.store import TraceStore, store_enabled
 
+    tstore = TraceStore(create=False, remote=False) if store_enabled() \
+        else False
     workload, scale, budget = key
-    trace, _ = Runner(use_disk_cache=False).trace_for(workload, scale,
-                                                      budget)
+    trace, _ = Runner(use_disk_cache=False,
+                      trace_store=tstore).trace_for(workload, scale,
+                                                    budget)
     columns = {
         c: np.ascontiguousarray(getattr(trace, c))
         for c in ("kind", "addr", "pc", "taken", "dep1", "dep2", "func")
@@ -141,8 +164,14 @@ def prebuild_traces(jobs, workers=1):
     missing = [k for k in keys if k not in PREBUILT_TRACES]
     tstore = runner.trace_store
     if workers > 1:
-        to_build = [k for k in missing
-                    if tstore is None or not tstore.contains(*k)]
+        # Cheap acquisition first: local archive, then a remote pull
+        # (both leave an mmap-able file); only what neither tier has
+        # goes to the synthesis pool.
+        to_build = []
+        for k in missing:
+            if tstore is None or not (tstore.contains(*k)
+                                      or tstore.pull(*k)):
+                to_build.append(k)
         if len(to_build) > 1:
             pool = None
             try:
@@ -155,6 +184,11 @@ def prebuild_traces(jobs, workers=1):
                     for key, columns in pool.map(_build_one_trace,
                                                  to_build):
                         PREBUILT_TRACES[key] = (Trace(**columns), None)
+                        if tstore is not None:
+                            # The child persisted locally with remote
+                            # off (it exits via terminate); push-back
+                            # is the parent's job.
+                            tstore.push_local(*key)
                 finally:
                     pool.terminate()
                     pool.join()

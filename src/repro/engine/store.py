@@ -18,6 +18,14 @@ A size cap (the ``REPRO_CACHE_MAX_MB`` env var, or ``max_bytes=``)
 turns the store into an LRU cache: every ``put`` evicts the
 least-recently-used entries until the total fits, and
 ``python -m repro cache prune`` applies the cap on demand.
+
+With ``REPRO_REMOTE_STORE=http://host:port`` set (see
+:mod:`repro.store`), the store grows a read-through/write-through
+remote tier: a local miss consults the shared artifact server and
+materializes hits into the local cache before returning, and every
+local write is pushed back asynchronously.  The local directory stays
+authoritative; an unreachable server degrades silently to local-only
+operation.
 """
 
 from __future__ import annotations
@@ -26,6 +34,8 @@ import json
 import os
 import time
 import weakref
+
+from ..env import env_max_bytes
 
 try:
     import fcntl
@@ -37,18 +47,6 @@ __all__ = ["ResultStore"]
 MANIFEST_NAME = "manifest.json"
 _LOCK_NAME = ".manifest.lock"
 MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
-
-
-def _env_max_bytes():
-    """Size cap from ``REPRO_CACHE_MAX_MB``, in bytes (None = no cap)."""
-    raw = os.environ.get(MAX_MB_ENV, "").strip()
-    if not raw:
-        return None
-    try:
-        mb = float(raw)
-    except ValueError:
-        return None
-    return int(mb * 1024 * 1024) if mb > 0 else None
 
 
 def _evict_lru(root, manifest, max_bytes, keep=()):
@@ -164,12 +162,24 @@ def _describe_entry(root, name):
 
 def _fold_pending(root, pending, manifest):
     """Fold drained counter/adoption/access state into an open manifest."""
-    manifest["counters"]["hits"] += pending.pop("hits", 0)
-    manifest["counters"]["misses"] += pending.pop("misses", 0)
+    counters = manifest["counters"]
+    counters["hits"] += pending.pop("hits", 0)
+    counters["misses"] += pending.pop("misses", 0)
+    for name in ("remote_hits", "remote_misses"):
+        bump = pending.pop(name, 0)
+        if bump:
+            counters[name] = counters.get(name, 0) + bump
     for key, name in pending.pop("adopt", {}).items():
         if key not in manifest["entries"]:
             manifest["entries"][key] = _describe_entry(root, name)
     for key, entry in pending.pop("index", {}).items():
+        # A deferred payload can be evicted (concurrent capped writer,
+        # `repro cache prune`) between its write and this fold; folding
+        # it anyway would leave a dangling manifest entry whose file is
+        # gone.  Verify the payload still exists before indexing.
+        if not os.path.exists(
+                os.path.join(root, entry.get("file", key + ".json"))):
+            continue
         manifest["entries"][key] = entry
     for key, ts in pending.pop("touch", {}).items():
         entry = manifest["entries"].get(key)
@@ -184,14 +194,19 @@ def _drain_pending(root, pending):
     interpreter exit without keeping the store instance alive.
     """
     if not (pending["hits"] or pending["misses"] or pending["adopt"]
-            or pending["touch"] or pending["index"]):
+            or pending["touch"] or pending["index"]
+            or pending.get("remote_hits") or pending.get("remote_misses")):
         return
     drained = {"hits": pending["hits"], "misses": pending["misses"],
+               "remote_hits": pending.get("remote_hits", 0),
+               "remote_misses": pending.get("remote_misses", 0),
                "adopt": dict(pending["adopt"]),
                "touch": dict(pending["touch"]),
                "index": dict(pending["index"])}
     pending["hits"] = 0
     pending["misses"] = 0
+    pending["remote_hits"] = 0
+    pending["remote_misses"] = 0
     pending["adopt"].clear()
     pending["touch"].clear()
     pending["index"].clear()
@@ -208,14 +223,18 @@ def _drain_pending(root, pending):
 class ResultStore:
     """Indexed on-disk store of simulation result payloads."""
 
-    def __init__(self, root, create=True, max_bytes=None):
+    def __init__(self, root, create=True, max_bytes=None, remote=None):
         self.root = os.path.abspath(root)
         if create:
             os.makedirs(self.root, exist_ok=True)
         # Size cap for LRU eviction: explicit argument, else the
         # REPRO_CACHE_MAX_MB env var, else unbounded.
         self.max_bytes = max_bytes if max_bytes is not None \
-            else _env_max_bytes()
+            else env_max_bytes(MAX_MB_ENV)
+        # Remote tier: None = resolve lazily from REPRO_REMOTE_STORE at
+        # first use; False = explicitly disabled (pool workers — the
+        # parent owns remote traffic); an object = use as given.
+        self._remote = remote
         # Per-instance accounting for this process/session only; the
         # manifest carries the cumulative cross-process totals.
         self.session_hits = 0
@@ -226,10 +245,20 @@ class ResultStore:
         # non-deferred put(), an explicit flush(), garbage collection,
         # or interpreter exit (the finalizer holds only root + this
         # dict, so instances stay collectable).
-        self._pending = {"hits": 0, "misses": 0, "adopt": {}, "touch": {},
+        self._pending = {"hits": 0, "misses": 0, "remote_hits": 0,
+                         "remote_misses": 0, "adopt": {}, "touch": {},
                          "index": {}}
         self._finalizer = weakref.finalize(
             self, _drain_pending, self.root, self._pending)
+
+    @property
+    def remote(self):
+        """Lazily resolved remote tier (None when not configured)."""
+        if self._remote is None:
+            from ..store.remote import configured_remote
+
+            self._remote = configured_remote("results") or False
+        return self._remote or None
 
     # ------------------------------------------------------------------
     # Internals
@@ -273,12 +302,22 @@ class ResultStore:
         Every call counts one hit or one miss; counts become durable in
         the manifest at the next :meth:`put`, :meth:`flush`, or process
         exit, keeping the warm lookup path free of locks and writes.
+
+        With a remote tier configured, a local miss consults the shared
+        server: a verified remote payload is written into the local
+        cache (and indexed) before being returned, so later lookups —
+        and forked pool workers — hit disk.  ``hits`` counts both
+        tiers; ``remote_hits``/``remote_misses`` break out the remote
+        traffic.  An unreachable server is a silent local-only miss.
         """
         payload, found_name = self._load(key, legacy_key)
         if payload is None:
-            self.session_misses += 1
-            self._pending["misses"] += 1
-            return None
+            payload = self._get_remote(key)
+            if payload is None:
+                self.session_misses += 1
+                self._pending["misses"] += 1
+                return None
+            found_name = key
         self.session_hits += 1
         self._pending["hits"] += 1
         self._pending["touch"][key] = time.time()
@@ -287,10 +326,48 @@ class ResultStore:
             self._pending["adopt"][key] = found_name
         return payload
 
+    def _get_remote(self, key):
+        """Pull *key* from the remote tier into the local cache."""
+        remote = self.remote
+        if remote is None:
+            return None
+        data = remote.get_bytes(key)
+        if data is None:
+            self._pending["remote_misses"] += 1
+            return None
+        try:
+            payload = json.loads(data)
+        except (ValueError, UnicodeDecodeError):
+            # Hash-verified but still not our JSON: a foreign artifact
+            # under our key.  Do not let it into the local cache.
+            self._pending["remote_misses"] += 1
+            return None
+        path = self._entry_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            # Local cache unwritable: still serve the remote payload.
+            self._pending["remote_hits"] += 1
+            return payload
+        entry = self._describe_file(key)
+        entry["atime"] = time.time()
+        self._pending["index"][key] = entry
+        self._pending["remote_hits"] += 1
+        return payload
+
     def flush(self):
         """Fold pending counters, adoptions, and deferred entries into
-        the manifest."""
+        the manifest, and wait out any queued remote pushes."""
         _drain_pending(self.root, self._pending)
+        if self._remote:  # only an already-resolved, enabled remote
+            self._remote.drain()
 
     def index_deferred(self, key, meta=None):
         """Queue a manifest entry for a payload file someone else wrote.
@@ -298,13 +375,24 @@ class ResultStore:
         The engine pool's workers write payload files with deferred
         puts; the parent — the only process guaranteed a graceful exit
         — indexes them as results drain and folds the batch into the
-        manifest with its final :meth:`flush`.
+        manifest with its final :meth:`flush`.  Remote push-back also
+        happens here, parent-side: workers run with the remote tier
+        disabled (they exit via ``os._exit``, which would strand an
+        async push queue), so the parent ships each worker-written
+        payload as it indexes it.
         """
         entry = self._describe_file(key)
         entry["atime"] = time.time()
         if meta:
             entry.update(meta)
         self._pending["index"][key] = entry
+        remote = self.remote
+        if remote is not None:
+            try:
+                with open(self._entry_path(key), "rb") as fh:
+                    remote.put_bytes(key, fh.read())
+            except OSError:
+                pass
 
     def contains(self, key, legacy_key=None):
         """Like :meth:`get` but without payload I/O or accounting."""
@@ -331,12 +419,16 @@ class ResultStore:
         LRU-vs-concurrent-put guarantees unchanged.
         """
         path = self._entry_path(key)
+        blob = json.dumps(payload).encode()
 
         def write_payload():
             tmp = f"{path}.tmp.{os.getpid()}"
-            with open(tmp, "w") as fh:
-                json.dump(payload, fh)
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
             os.replace(tmp, path)
+            remote = self.remote
+            if remote is not None:
+                remote.put_bytes(key, blob)  # async write-through
 
         max_bytes = self.max_bytes
         if defer and max_bytes is None:
@@ -423,6 +515,7 @@ class ResultStore:
                 if (name.endswith(".json") and name != MANIFEST_NAME
                         and name not in indexed_files):
                     unindexed += 1
+        remote = self.remote
         return {
             "root": self.root,
             "entries": len(entries),
@@ -431,6 +524,9 @@ class ResultStore:
             "hits": manifest["counters"]["hits"],
             "misses": manifest["counters"]["misses"],
             "evictions": manifest["counters"].get("evictions", 0),
+            "remote_hits": manifest["counters"].get("remote_hits", 0),
+            "remote_misses": manifest["counters"].get("remote_misses", 0),
+            "remote_url": remote.base_url if remote is not None else None,
             "max_bytes": self.max_bytes,
             "session_hits": self.session_hits,
             "session_misses": self.session_misses,
@@ -452,6 +548,8 @@ class ResultStore:
         self.session_misses = 0
         self._pending["hits"] = 0
         self._pending["misses"] = 0
+        self._pending["remote_hits"] = 0
+        self._pending["remote_misses"] = 0
         self._pending["adopt"].clear()
         self._pending["touch"].clear()
         self._pending["index"].clear()

@@ -1,0 +1,125 @@
+"""Central, forgiving parsing of the ``REPRO_*`` environment knobs.
+
+Every tunable the package reads from the environment goes through one
+of these helpers so an invalid value can never surface as a deep
+``int()``/``float()`` traceback inside the pool or a store.  Instead,
+each bad value is reported **once per process** with a one-line
+message naming the variable, the rejected value, and the documented
+fallback, and the fallback is used.
+
+Knobs and their fallbacks:
+
+=========================== ==================== ======================
+variable                    meaning              fallback when invalid
+=========================== ==================== ======================
+``REPRO_WORKERS``           default pool size    ``1`` (serial)
+``REPRO_BENCH_WORKERS``     benchmark pool size  ``1`` (serial)
+``REPRO_TRACE_MEMO``        per-process trace    ``8``
+                            LRU capacity
+``REPRO_CACHE_MAX_MB``      result-store cap     no cap
+``REPRO_TRACE_CACHE_MAX_MB`` trace-store cap     no cap
+``REPRO_REMOTE_STORE``      shared store URL     no remote tier
+``REPRO_REMOTE_TIMEOUT``    remote I/O timeout   ``10`` seconds
+=========================== ==================== ======================
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+__all__ = ["env_int", "env_float", "env_max_bytes", "env_remote_url",
+           "warn_once"]
+
+_WARNED = set()
+
+
+def warn_once(key, message):
+    """Print *message* to stderr at most once per process per *key*."""
+    if key in _WARNED:
+        return False
+    _WARNED.add(key)
+    print(f"repro: {message}", file=sys.stderr)
+    return True
+
+
+def _reset_warnings():
+    """Test hook: forget which warnings were already emitted."""
+    _WARNED.clear()
+
+
+def env_int(name, default, minimum=None):
+    """Integer knob: ``default`` when unset, empty, or unparsable.
+
+    Values below *minimum* are clamped (silently — a too-small value
+    is a preference, not a typo).
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warn_once(("env", name, raw),
+                  f"ignoring invalid {name}={raw!r} (not an integer); "
+                  f"using {default}")
+        return default
+    if minimum is not None and value < minimum:
+        value = minimum
+    return value
+
+
+def env_float(name, default, minimum=None):
+    """Float knob, same contract as :func:`env_int`."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        warn_once(("env", name, raw),
+                  f"ignoring invalid {name}={raw!r} (not a number); "
+                  f"using {default}")
+        return default
+    if minimum is not None and value < minimum:
+        value = minimum
+    return value
+
+
+def env_max_bytes(name):
+    """Size-cap knob in megabytes -> bytes; ``None`` means "no cap".
+
+    Unset, empty, zero, and negative all mean uncapped (zero/negative
+    is the documented way to disable a cap); a non-numeric value warns
+    once and falls back to uncapped.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        mb = float(raw)
+    except ValueError:
+        warn_once(("env", name, raw),
+                  f"ignoring invalid {name}={raw!r} (not a number); "
+                  f"store size is uncapped")
+        return None
+    return int(mb * 1024 * 1024) if mb > 0 else None
+
+
+def env_remote_url(name="REPRO_REMOTE_STORE"):
+    """Shared-store URL knob: an ``http(s)://`` base URL or ``None``.
+
+    A malformed value (wrong scheme, no host) warns once and disables
+    the remote tier instead of failing mid-sweep.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    url = raw.rstrip("/")
+    scheme, sep, rest = url.partition("://")
+    if scheme not in ("http", "https") or not sep or not rest:
+        warn_once(("env", name, raw),
+                  f"ignoring invalid {name}={raw!r} (expected "
+                  f"http://host:port); remote store disabled")
+        return None
+    return url

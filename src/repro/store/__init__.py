@@ -1,0 +1,21 @@
+"""Shared artifact store: HTTP server + client tier for both caches.
+
+``repro.store`` makes the two on-disk caches — the result store
+(:mod:`repro.engine.store`) and the trace store
+(:mod:`repro.trace.store`) — shareable across machines:
+
+* :mod:`repro.store.server` — a stdlib-only HTTP artifact server
+  (``repro serve``) exposing GET/PUT/HEAD over content-hash keys;
+* :mod:`repro.store.remote` — the client backend both local stores
+  consult as a read-through/write-through tier when
+  ``REPRO_REMOTE_STORE=http://host:port`` is set.
+
+The local disk caches stay authoritative (mmap loads, LRU caps);
+the remote tier only moves artifacts between machines.
+"""
+
+from .remote import RemoteStore, configured_remote, remote_for
+from .server import ArtifactServer, serve
+
+__all__ = ["ArtifactServer", "RemoteStore", "configured_remote",
+           "remote_for", "serve"]

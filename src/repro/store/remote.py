@@ -1,0 +1,269 @@
+"""HTTP client tier for the shared artifact store.
+
+A :class:`RemoteStore` speaks to one ``repro serve`` namespace
+(``results`` or ``traces``) and is slotted *behind* the local on-disk
+stores as a read-through/write-through tier: the local cache stays
+authoritative (mmap loads never leave disk), remote hits are
+materialized locally before use, and local writes are pushed back
+asynchronously so the sweep hot path never blocks on the network.
+
+Hardened failure paths, by design:
+
+* **Server down at get** — the first connection failure marks the
+  remote unavailable for the rest of the process and every later
+  lookup short-circuits to the local fallback, silently.  A sweep on a
+  laptop that left the lab network behaves exactly like one with no
+  remote configured.
+* **Server down at put** — the result is already durable locally; the
+  failure warns once per process and pushing stops.
+* **Hash mismatch on pull** — every response's ``X-Repro-Sha256``
+  digest is verified against the body; a mismatch is rejected and
+  re-fetched once (covers a racing writer), and a second mismatch is
+  treated as a miss so a corrupt artifact can never enter the local
+  cache.
+
+Instances are per-``(url, namespace)`` singletons (:func:`remote_for`)
+so every local store handle in a process shares one availability flag,
+one counter set, and one push queue; the queue's worker thread is
+fork-safe (it re-arms in the child) and an ``atexit`` hook drains it
+on normal interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import os
+import queue
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from ..env import env_float, env_remote_url, warn_once
+
+__all__ = ["RemoteStore", "configured_remote", "remote_for"]
+
+HASH_HEADER = "X-Repro-Sha256"
+TIMEOUT_ENV = "REPRO_REMOTE_TIMEOUT"
+_TIMEOUT_DEFAULT = 10.0
+
+_REGISTRY = {}
+_REGISTRY_LOCK = threading.Lock()
+_DRAIN_REGISTERED = False
+
+
+def remote_for(base_url, namespace):
+    """The process-wide :class:`RemoteStore` for (url, namespace)."""
+    global _DRAIN_REGISTERED
+    key = (base_url.rstrip("/"), namespace)
+    with _REGISTRY_LOCK:
+        store = _REGISTRY.get(key)
+        if store is None:
+            store = _REGISTRY[key] = RemoteStore(*key)
+        if not _DRAIN_REGISTERED:
+            atexit.register(drain_all)
+            _DRAIN_REGISTERED = True
+    return store
+
+
+def configured_remote(namespace):
+    """The remote for ``REPRO_REMOTE_STORE``, or None when unset/bad."""
+    url = env_remote_url()
+    if url is None:
+        return None
+    return remote_for(url, namespace)
+
+
+def drain_all(timeout=60.0):
+    """Flush every registered remote's pending pushes (exit hook)."""
+    with _REGISTRY_LOCK:
+        stores = list(_REGISTRY.values())
+    for store in stores:
+        store.drain(timeout=timeout)
+
+
+def _reset_registry():
+    """Test hook: forget singletons (and their availability flags)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()
+
+
+class RemoteStore:
+    """Client for one namespace of a ``repro serve`` artifact server."""
+
+    def __init__(self, base_url, namespace, timeout=None):
+        self.base_url = base_url.rstrip("/")
+        self.namespace = namespace
+        self.timeout = timeout if timeout is not None else env_float(
+            TIMEOUT_ENV, _TIMEOUT_DEFAULT, minimum=0.1)
+        self.available = True
+        self.counters = {"hits": 0, "misses": 0, "pushes": 0,
+                         "errors": 0, "rejected": 0}
+        self._queue = None
+        self._thread = None
+        self._thread_pid = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _url(self, key=""):
+        return f"{self.base_url}/{self.namespace}/{key}"
+
+    def _down(self, warn=False):
+        """Mark the remote unavailable for the rest of the process."""
+        self.available = False
+        self.counters["errors"] += 1
+        if warn:
+            warn_once(("remote-down", self.base_url),
+                      f"remote store {self.base_url} unreachable; "
+                      f"keeping artifacts local only")
+
+    # ------------------------------------------------------------------
+    def get_bytes(self, key):
+        """The artifact's verified bytes, or None (miss/outage/corrupt).
+
+        Outages are silent: the local tier is a complete fallback, so a
+        dead server must cost one failed connection, not a traceback.
+        """
+        if not self.available:
+            return None
+        for attempt in (0, 1):
+            try:
+                req = urllib.request.Request(self._url(key), method="GET")
+                with urllib.request.urlopen(req, timeout=self.timeout) as rsp:
+                    body = rsp.read()
+                    claimed = (rsp.headers.get(HASH_HEADER) or "").strip()
+            except urllib.error.HTTPError as exc:
+                code = exc.code
+                exc.close()
+                if code >= 500:
+                    # A half-up server (bad proxy, crashing handler)
+                    # would otherwise charge every key a full round
+                    # trip; treat it like a connection failure.
+                    self._down()
+                    return None
+                self.counters["misses"] += 1
+                return None
+            except (urllib.error.URLError, OSError, ValueError):
+                self._down()
+                return None
+            if not claimed or claimed == hashlib.sha256(body).hexdigest():
+                self.counters["hits"] += 1
+                return body
+            # Corrupt transfer or a torn server-side file: reject, then
+            # one re-fetch in case a concurrent writer was mid-replace.
+            self.counters["rejected"] += 1
+            if attempt == 1:
+                warn_once(("remote-corrupt", self.base_url, key),
+                          f"remote store {self.base_url} served a "
+                          f"corrupt {self.namespace} artifact {key!r} "
+                          f"twice; treating as a miss")
+        self.counters["misses"] += 1
+        return None
+
+    def contains(self, key):
+        if not self.available:
+            return False
+        try:
+            req = urllib.request.Request(self._url(key), method="HEAD")
+            with urllib.request.urlopen(req, timeout=self.timeout):
+                return True
+        except urllib.error.HTTPError as exc:
+            code = exc.code
+            exc.close()
+            if code >= 500:
+                self._down()
+            return False
+        except (urllib.error.URLError, OSError, ValueError):
+            self._down()
+            return False
+
+    def list_keys(self):
+        if not self.available:
+            return []
+        try:
+            with urllib.request.urlopen(self._url(),
+                                        timeout=self.timeout) as rsp:
+                return list(json.loads(rsp.read().decode()))
+        except (urllib.error.URLError, OSError, ValueError):
+            self._down()
+            return []
+
+    # ------------------------------------------------------------------
+    def _push_now(self, key, data):
+        try:
+            req = urllib.request.Request(
+                self._url(key), data=data, method="PUT",
+                headers={HASH_HEADER: hashlib.sha256(data).hexdigest(),
+                         "Content-Type": "application/octet-stream"})
+            with urllib.request.urlopen(req, timeout=self.timeout):
+                pass
+        except urllib.error.HTTPError as exc:
+            code = exc.code
+            exc.close()
+            if code >= 500:
+                self._down(warn=True)
+            else:  # e.g. a 422 reject: this artifact, not the server
+                self.counters["errors"] += 1
+            return False
+        except (urllib.error.URLError, OSError, ValueError):
+            self._down(warn=True)
+            return False
+        self.counters["pushes"] += 1
+        return True
+
+    def _ensure_thread(self):
+        """Start (or, after a fork, restart) the push worker thread."""
+        with self._lock:
+            if self._thread is not None and self._thread_pid == os.getpid() \
+                    and self._thread.is_alive():
+                return
+            # Fresh process (first push, or a fork orphaned the queue):
+            # any inherited queue state belongs to the parent's thread.
+            self._queue = queue.Queue()
+            self._thread = threading.Thread(
+                target=self._push_loop, name="repro-remote-push",
+                daemon=True)
+            self._thread_pid = os.getpid()
+            self._thread.start()
+
+    def _push_loop(self):
+        while True:
+            key, data = self._queue.get()
+            try:
+                if self.available:
+                    self._push_now(key, data)
+            finally:
+                self._queue.task_done()
+
+    def put_bytes(self, key, data, wait=False):
+        """Push an artifact; asynchronously unless ``wait=True``.
+
+        Never raises: an unreachable server warns once and keeps the
+        artifact local (the caller already wrote it to disk).
+        """
+        if not self.available:
+            # Dropped writes deserve the one-line notice even when the
+            # outage was first seen on the (silent) lookup path.
+            warn_once(("remote-down", self.base_url),
+                      f"remote store {self.base_url} unreachable; "
+                      f"keeping artifacts local only")
+            return False
+        if wait:
+            return self._push_now(key, data)
+        self._ensure_thread()
+        self._queue.put((key, data))
+        return True
+
+    def drain(self, timeout=60.0):
+        """Wait for queued pushes to finish (bounded, never raises)."""
+        q = self._queue
+        if q is None or self._thread_pid != os.getpid():
+            return True
+        deadline = time.monotonic() + timeout
+        while q.unfinished_tasks:
+            if time.monotonic() > deadline:
+                return False
+            time.sleep(0.005)
+        return True

@@ -1,0 +1,281 @@
+"""Stdlib HTTP artifact server for the shared repro store.
+
+``repro serve`` exposes two flat, content-hash-keyed namespaces over
+plain HTTP so a fleet of machines can share one set of simulation
+results and synthesized traces:
+
+* ``/results/<key>``  — result-store JSON payloads (``<key>.json``
+  files, exactly what :class:`repro.engine.store.ResultStore` writes);
+* ``/traces/<key>``   — trace-store archives (``<key>.npz`` files from
+  :class:`repro.trace.store.TraceStore`).
+
+Verbs: ``GET`` (200 + body + ``X-Repro-Sha256`` header, 404 on miss),
+``HEAD`` (same status/headers, no body), ``PUT`` (atomic write-temp +
+rename; an ``X-Repro-Sha256`` request header, when present, is
+verified before the artifact is accepted — a truncated or corrupted
+upload is rejected with 422 and leaves no file behind).  ``GET`` on a
+namespace root returns the JSON key list (used by ``repro pull``), and
+``GET /`` returns a health/stats document.
+
+Integrity: each stored artifact gets a ``<file>.sha256`` sidecar
+written at PUT time (computed lazily for files that appeared on disk
+through a local store, e.g. when serving a machine's own cache
+directories).  Clients verify the advertised digest on every pull and
+re-fetch once on mismatch, so a corrupt artifact can never silently
+poison another machine's cache.
+
+Everything here is the standard library: the server adds no
+dependency and can run anywhere the package imports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["ArtifactServer", "HASH_HEADER", "NAMESPACES", "serve"]
+
+HASH_HEADER = "X-Repro-Sha256"
+
+# namespace -> on-disk suffix of its artifact files.
+NAMESPACES = {"results": ".json", "traces": ".npz"}
+
+# Conservative key charset: store keys are hash/digest-based names like
+# ``ar_tiny_4000_<hex>[_interval-v2]`` and trace basenames like
+# ``ar_tiny_4000_tr-v1.npz``.  No separators, no dotfiles, no traversal.
+_KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,200}$")
+
+# Files the results namespace must never serve or list.
+_RESERVED = {"manifest.json", ".manifest.lock"}
+
+_MAX_BODY = 512 * 1024 * 1024  # hard upload ceiling (512 MB)
+
+
+def _sha256(data):
+    return hashlib.sha256(data).hexdigest()
+
+
+def _sidecar(path):
+    return path + ".sha256"
+
+
+def _read_or_make_digest(path):
+    """The artifact's digest: sidecar when fresh, else recomputed."""
+    side = _sidecar(path)
+    try:
+        if os.path.getmtime(side) >= os.path.getmtime(path):
+            with open(side) as fh:
+                digest = fh.read().strip()
+            if len(digest) == 64:
+                return digest
+    except OSError:
+        pass
+    with open(path, "rb") as fh:
+        digest = _sha256(fh.read())
+    try:  # cache for the next request; best effort
+        with open(side, "w") as fh:
+            fh.write(digest)
+    except OSError:
+        pass
+    return digest
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-store/1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, fmt, *args):  # quiet by default
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _reply(self, status, body=b"", content_type="application/json",
+               extra=None, head_only=False):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if body and not head_only:
+            self.wfile.write(body)
+
+    def _reply_json(self, status, obj):
+        self._reply(status, json.dumps(obj, sort_keys=True).encode())
+
+    def _resolve(self):
+        """(namespace, key, path) for an artifact URL, else None."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) != 2:
+            return None
+        namespace, key = parts
+        suffix = NAMESPACES.get(namespace)
+        if suffix is None or not _KEY_RE.match(key):
+            return None
+        filename = key if key.endswith(suffix) else key + suffix
+        if filename in _RESERVED or filename.endswith(".sha256"):
+            return None
+        return namespace, key, os.path.join(
+            self.server.namespace_dir(namespace), filename)
+
+    # ------------------------------------------------------------------
+    def _get(self, head_only):
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if not parts:  # health + stats
+            self._reply_json(200, {"service": "repro-store", "version": 1,
+                                   "counters": dict(self.server.counters),
+                                   "namespaces": sorted(NAMESPACES)})
+            return
+        if len(parts) == 1 and parts[0] in NAMESPACES:
+            self._reply_json(200, self.server.list_keys(parts[0]))
+            return
+        resolved = self._resolve()
+        if resolved is None:
+            self._reply_json(404, {"error": "unknown path"})
+            return
+        _, _, path = resolved
+        try:
+            with open(path, "rb") as fh:
+                body = fh.read()
+        except OSError:
+            self.server.count("misses")
+            self._reply_json(404, {"error": "not found"})
+            return
+        self.server.count("gets")
+        self._reply(200, body, content_type="application/octet-stream",
+                    extra={HASH_HEADER: _read_or_make_digest(path)},
+                    head_only=head_only)
+
+    def do_GET(self):
+        self._get(head_only=False)
+
+    def do_HEAD(self):
+        self._get(head_only=True)
+
+    def do_PUT(self):
+        resolved = self._resolve()
+        if resolved is None:
+            self._reply_json(404, {"error": "unknown path"})
+            return
+        _, _, path = resolved
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._reply_json(411, {"error": "length required"})
+            return
+        if not 0 <= length <= _MAX_BODY:
+            self._reply_json(413, {"error": "body too large"})
+            return
+        body = self.rfile.read(length)
+        if len(body) != length:
+            self._reply_json(400, {"error": "truncated body"})
+            return
+        digest = _sha256(body)
+        claimed = (self.headers.get(HASH_HEADER) or "").strip().lower()
+        if claimed and claimed != digest:
+            self.server.count("rejects")
+            self._reply_json(422, {"error": "sha256 mismatch",
+                                   "stored": None})
+            return
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".up.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(body)
+            # Artifact first, sidecar second: a crash in between leaves
+            # the new body with an *older* sidecar, which
+            # _read_or_make_digest distrusts and recomputes — whereas
+            # the reverse order would permanently advertise the new
+            # digest over an old body.
+            os.replace(tmp, path)
+            with open(_sidecar(path) + ".tmp", "w") as fh:
+                fh.write(digest)
+            os.replace(_sidecar(path) + ".tmp", _sidecar(path))
+        except BaseException:
+            for leftover in (tmp, _sidecar(path) + ".tmp"):
+                try:
+                    os.remove(leftover)
+                except OSError:
+                    pass
+            raise
+        self.server.count("puts")
+        self._reply_json(201, {"stored": True, "sha256": digest,
+                               "bytes": length})
+
+
+class ArtifactServer(ThreadingHTTPServer):
+    """The shared-store HTTP server; one flat directory per namespace."""
+
+    daemon_threads = True
+
+    def __init__(self, root=None, host="0.0.0.0", port=8734,
+                 results_dir=None, traces_dir=None, verbose=False):
+        self.verbose = verbose
+        self.counters = {"gets": 0, "puts": 0, "misses": 0, "rejects": 0}
+        self._counter_lock = threading.Lock()
+        if root is not None:
+            root = os.path.abspath(root)
+            self._dirs = {ns: os.path.join(root, ns) for ns in NAMESPACES}
+        else:
+            # No base dir: serve this machine's own caches in place, so
+            # an already-warm checkout becomes a fleet seed with one
+            # command.
+            from ..core.runner import default_cache_dir
+            from ..trace.store import default_trace_dir
+
+            self._dirs = {"results": results_dir or default_cache_dir(),
+                          "traces": traces_dir or default_trace_dir()}
+        for directory in self._dirs.values():
+            os.makedirs(directory, exist_ok=True)
+        super().__init__((host, port), _Handler)
+
+    # ------------------------------------------------------------------
+    def namespace_dir(self, namespace):
+        return self._dirs[namespace]
+
+    def list_keys(self, namespace):
+        suffix = NAMESPACES[namespace]
+        try:
+            names = os.listdir(self._dirs[namespace])
+        except OSError:
+            return []
+        return sorted(
+            name[:-len(suffix)] if namespace == "results" else name
+            for name in names
+            if name.endswith(suffix) and name not in _RESERVED
+            and _KEY_RE.match(name))
+
+    def count(self, name):
+        with self._counter_lock:
+            self.counters[name] += 1
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        if host in ("0.0.0.0", "::"):
+            host = "127.0.0.1"
+        return f"http://{host}:{port}"
+
+
+def serve(root=None, host="0.0.0.0", port=8734, results_dir=None,
+          traces_dir=None, verbose=False):
+    """Run the artifact server until interrupted (the CLI entry)."""
+    server = ArtifactServer(root=root, host=host, port=port,
+                            results_dir=results_dir, traces_dir=traces_dir,
+                            verbose=verbose)
+    dirs = ", ".join(f"{ns}={server.namespace_dir(ns)}"
+                     for ns in sorted(NAMESPACES))
+    print(f"repro store serving on {server.url} ({dirs})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

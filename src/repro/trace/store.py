@@ -22,6 +22,19 @@ The store root comes from ``REPRO_TRACE_CACHE_DIR``, falling back to
 ``benchmarks/_traces`` in a source checkout and a per-user cache
 directory otherwise.  ``REPRO_TRACE_CACHE_MAX_MB`` bounds the on-disk
 size (oldest-access entries evicted after each save).
+
+Hardened failure paths:
+
+* a corrupt or truncated archive (killed writer on a non-atomic
+  filesystem, partial pull) is **quarantined** — renamed to
+  ``<name>.npz.corrupt`` with a one-line warning — and treated as a
+  miss, so a damaged file can never raise mid-sweep or shadow a good
+  rebuild;
+* with ``REPRO_REMOTE_STORE`` set (see :mod:`repro.store`), a local
+  miss pulls the archive from the shared artifact server (verified by
+  content hash) before falling back to synthesis, and every local save
+  is pushed back asynchronously.  An unreachable server silently
+  degrades to local-only behavior.
 """
 
 from __future__ import annotations
@@ -34,6 +47,7 @@ import zipfile
 
 import numpy as np
 
+from ..env import env_max_bytes, warn_once
 from .ops import Trace
 
 __all__ = ["TRACE_FORMAT_VERSION", "TraceStore", "default_trace_dir"]
@@ -48,6 +62,11 @@ MAX_MB_ENV = "REPRO_TRACE_CACHE_MAX_MB"
 ENABLE_ENV = "REPRO_TRACE_STORE"
 
 _COLUMNS = ("kind", "addr", "pc", "taken", "dep1", "dep2", "func")
+
+# Cross-process remote hit/miss/quarantine accounting lives in a tiny
+# sidecar (the trace store has no manifest); updates are best-effort.
+_COUNTERS_NAME = ".counters.json"
+_COUNTER_FIELDS = ("remote_hits", "remote_misses", "quarantined")
 
 
 def default_trace_dir():
@@ -72,15 +91,6 @@ def store_enabled():
     """False when ``REPRO_TRACE_STORE`` is set to 0/false/off."""
     return os.environ.get(ENABLE_ENV, "").strip().lower() not in (
         "0", "false", "off", "no")
-
-
-def _env_max_bytes():
-    raw = os.environ.get(MAX_MB_ENV, "").strip()
-    try:
-        mb = float(raw)
-    except ValueError:
-        return None
-    return int(mb * 1024 * 1024) if mb > 0 else None
 
 
 def _mmap_npz_column(path, info):
@@ -118,10 +128,13 @@ def _mmap_npz_column(path, info):
 class TraceStore:
     """On-disk cache of built traces, keyed by (workload, scale, budget)."""
 
-    def __init__(self, root=None, create=True, max_bytes=None):
+    def __init__(self, root=None, create=True, max_bytes=None, remote=None):
         self.root = os.path.abspath(root or default_trace_dir())
         self.max_bytes = (max_bytes if max_bytes is not None
-                          else _env_max_bytes())
+                          else env_max_bytes(MAX_MB_ENV))
+        # None = resolve lazily from REPRO_REMOTE_STORE; False = off.
+        self._remote = remote
+        self.session_counters = dict.fromkeys(_COUNTER_FIELDS, 0)
         self._created = False
         if create:
             self._ensure_root()
@@ -130,6 +143,45 @@ class TraceStore:
         if not self._created:
             os.makedirs(self.root, exist_ok=True)
             self._created = True
+
+    @property
+    def remote(self):
+        """Lazily resolved remote tier (None when not configured)."""
+        if self._remote is None:
+            from ..store.remote import configured_remote
+
+            self._remote = configured_remote("traces") or False
+        return self._remote or None
+
+    def _bump(self, name, n=1):
+        """Count a remote/quarantine event, in-session and on disk."""
+        self.session_counters[name] += n
+        counters_path = os.path.join(self.root, _COUNTERS_NAME)
+        try:
+            with open(counters_path) as fh:
+                counters = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            counters = {}
+        counters[name] = counters.get(name, 0) + n
+        tmp = f"{counters_path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(counters, fh, sort_keys=True)
+            os.replace(tmp, counters_path)
+        except OSError:  # read-only root: keep the session counter only
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    def persistent_counters(self):
+        try:
+            with open(os.path.join(self.root, _COUNTERS_NAME)) as fh:
+                counters = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            counters = {}
+        return {name: int(counters.get(name, 0))
+                for name in _COUNTER_FIELDS}
 
     @staticmethod
     def key(workload, scale, budget):
@@ -143,39 +195,139 @@ class TraceStore:
         return os.path.exists(self.path(workload, scale, budget))
 
     # ------------------------------------------------------------------
+    def _read_archive(self, path, mmap):
+        """Parse one stored archive into a :class:`Trace`.
+
+        Returns ``None`` for a stale format version; raises
+        (``ValueError``/``OSError``/``BadZipFile``/...) on a corrupt or
+        truncated file so the caller can quarantine it.
+        """
+        with zipfile.ZipFile(path) as zf:
+            meta = json.loads(zf.read("meta.json"))
+            if meta.get("version") != TRACE_FORMAT_VERSION:
+                return None
+            infos = {i.filename: i for i in zf.infolist()}
+            columns = {}
+            if mmap and all(
+                    infos[c + ".npy"].compress_type == zipfile.ZIP_STORED
+                    for c in _COLUMNS):
+                for c in _COLUMNS:
+                    columns[c] = _mmap_npz_column(path, infos[c + ".npy"])
+            else:
+                for c in _COLUMNS:
+                    with zf.open(c + ".npy") as fh:
+                        columns[c] = np.lib.format.read_array(fh)
+        return Trace(**columns)
+
+    def _quarantine(self, path):
+        """Move a damaged archive aside so it can never shadow a
+        rebuild or raise twice; re-synthesis then repopulates the key."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            try:  # rename refused (odd mount): at least get rid of it
+                os.remove(path)
+            except OSError:
+                return
+        self._bump("quarantined")
+        warn_once(("trace-quarantine", path),
+                  f"quarantined corrupt trace archive {path} "
+                  f"(kept as {os.path.basename(path)}.corrupt); "
+                  f"the trace will be re-synthesized")
+
     def load(self, workload, scale, budget, mmap=True):
         """The stored :class:`Trace` for the key, or ``None`` on miss.
 
         ``mmap=True`` maps the columns read-only in place; ``False``
         reads private in-memory copies (use when the caller mutates).
+
+        A corrupt/truncated local archive is quarantined (renamed to
+        ``*.corrupt``) instead of raising; after a quarantine — or a
+        plain local miss — a configured remote store is consulted once
+        before the caller falls back to synthesis.
         """
         path = self.path(workload, scale, budget)
-        try:
-            with zipfile.ZipFile(path) as zf:
-                meta = json.loads(zf.read("meta.json"))
-                if meta.get("version") != TRACE_FORMAT_VERSION:
+        for source in ("local", "remote"):
+            if source == "remote":
+                if not self.pull(workload, scale, budget):
                     return None
-                infos = {i.filename: i for i in zf.infolist()}
-                columns = {}
-                if mmap and all(
-                        infos[c + ".npy"].compress_type == zipfile.ZIP_STORED
-                        for c in _COLUMNS):
-                    for c in _COLUMNS:
-                        columns[c] = _mmap_npz_column(path, infos[c + ".npy"])
-                else:
-                    for c in _COLUMNS:
-                        with zf.open(c + ".npy") as fh:
-                            columns[c] = np.lib.format.read_array(fh)
-        except (FileNotFoundError, KeyError, ValueError, OSError,
-                zipfile.BadZipFile, json.JSONDecodeError):
-            return None
+            elif not os.path.exists(path):
+                continue
+            try:
+                trace = self._read_archive(path, mmap)
+            except (zipfile.BadZipFile, json.JSONDecodeError, KeyError,
+                    ValueError):
+                # Errors that prove the bytes are damaged (bad zip
+                # structure, unparsable meta, missing/garbled member).
+                self._quarantine(path)
+                continue
+            except OSError:
+                # Transient I/O pressure (EMFILE, ENOMEM, NFS hiccup):
+                # the archive may be fine — treat as a soft miss, never
+                # destroy a possibly healthy file.
+                continue
+            if trace is None:  # stale format version under a new key
+                continue
+            try:
+                # Touch the entry so size-cap eviction is least-
+                # recently-*used*, not just oldest-written.
+                os.utime(path)
+            except OSError:
+                pass
+            return trace
+        return None
+
+    def pull(self, workload, scale, budget):
+        """Fetch the key's archive from the remote store into the local
+        cache.  Returns True when a verified copy landed locally."""
+        return self.pull_name(
+            os.path.basename(self.path(workload, scale, budget)))
+
+    def pull_name(self, name):
+        """Like :meth:`pull`, by raw archive basename (``repro pull``)."""
+        remote = self.remote
+        if remote is None:
+            return False
+        data = remote.get_bytes(name)
+        if data is None:
+            self._bump("remote_misses")
+            return False
+        self._ensure_root()
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
         try:
-            # Touch the entry so size-cap eviction is least-recently-
-            # *used*, not just oldest-written.
-            os.utime(path)
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, os.path.join(self.root, name))
         except OSError:
-            pass
-        return Trace(**columns)
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return False
+        self._bump("remote_hits")
+        if self.max_bytes is not None:
+            self._evict(keep=name)
+        return True
+
+    def push_local(self, workload, scale, budget, wait=False):
+        """Push the key's local archive to the remote store (async by
+        default).  Returns False when there is nothing to push or no
+        remote is configured."""
+        return self.push_name(
+            os.path.basename(self.path(workload, scale, budget)),
+            wait=wait)
+
+    def push_name(self, name, wait=False):
+        """Like :meth:`push_local`, by raw archive basename."""
+        remote = self.remote
+        if remote is None:
+            return False
+        try:
+            with open(os.path.join(self.root, name), "rb") as fh:
+                data = fh.read()
+        except OSError:
+            return False
+        return remote.put_bytes(name, data, wait=wait)
 
     def save(self, workload, scale, budget, trace):
         """Atomically persist *trace* under the key; returns the path."""
@@ -207,6 +359,8 @@ class TraceStore:
             except OSError:
                 pass
             raise
+        if self.remote is not None:
+            self.push_local(workload, scale, budget)  # async write-through
         if self.max_bytes is not None:
             self._evict(keep=os.path.basename(path))
         return path
@@ -251,12 +405,16 @@ class TraceStore:
 
     def stats(self):
         entries = self._entries()
-        return {
+        remote = self.remote
+        out = {
             "root": self.root,
             "entries": len(entries),
             "total_bytes": sum(size for _, size, _ in entries),
             "max_bytes": self.max_bytes,
+            "remote_url": remote.base_url if remote is not None else None,
         }
+        out.update(self.persistent_counters())
+        return out
 
     def clear(self):
         removed = 0
@@ -266,4 +424,17 @@ class TraceStore:
                 removed += 1
             except OSError:
                 pass
+        # Quarantined archives and the counter sidecar go too: `clear`
+        # means "forget everything this store ever recorded".
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            names = []
+        for name in names:
+            if name.endswith(".corrupt") or name == _COUNTERS_NAME:
+                try:
+                    os.remove(os.path.join(self.root, name))
+                except OSError:
+                    pass
+        self.session_counters = dict.fromkeys(_COUNTER_FIELDS, 0)
         return removed

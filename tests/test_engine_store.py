@@ -405,3 +405,34 @@ def test_index_deferred_registers_foreign_write(tmp_path):
     parent.flush()
     s = ResultStore(tmp_path).stats()
     assert s["entries"] == 1 and s["unindexed_files"] == 0
+
+
+def test_index_deferred_evicted_before_fold_leaves_no_dangling_entry(
+        tmp_path):
+    """Regression: a deferred payload evicted between its write and the
+    parent's manifest fold must not be resurrected as a manifest entry
+    whose file is gone (a 'ghost' the LRU consistency test forbids)."""
+    parent = ResultStore(tmp_path)
+    worker = ResultStore(tmp_path)
+    worker.put("victim", {"x": 1, "pad": "x" * 40}, defer=True)
+    parent.index_deferred("victim", meta={"workload": "ar"})
+    parent.index_deferred("survivor", meta={"workload": "co"})
+    worker.put("survivor", {"x": 2, "pad": "y" * 40}, defer=True)
+    del worker
+
+    # A concurrent capped writer evicts the victim's payload before the
+    # parent folds its batch (same effect as `repro cache prune`).
+    evictor = ResultStore(tmp_path, max_bytes=150)
+    evictor.put("newer", {"x": 3, "pad": "z" * 40})
+    assert not (tmp_path / "victim.json").exists()
+
+    parent.flush()
+    with open(parent.manifest_path) as fh:
+        manifest = json.load(fh)
+    entries = manifest["entries"]
+    assert "victim" not in entries, "dangling entry for an evicted payload"
+    on_disk = {f for f in os.listdir(tmp_path)
+               if f.endswith(".json") and f != "manifest.json"}
+    indexed = {e["file"] for e in entries.values()}
+    assert indexed <= on_disk, f"ghosts: {indexed - on_disk}"
+    assert "survivor" in entries

@@ -1,0 +1,360 @@
+"""Shared remote store: server, client tiers, and hardened failure paths."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import env as env_mod
+from repro.engine.store import ResultStore
+from repro.store import remote as remote_mod
+from repro.store.remote import RemoteStore
+from repro.store.server import ArtifactServer
+from repro.trace import TraceBuilder
+from repro.trace.store import TraceStore
+
+COLUMNS = ("kind", "addr", "pc", "taken", "dep1", "dep2", "func")
+
+
+def _make_trace(n=400):
+    tb = TraceBuilder(code_bloat=1.2, replicas=3)
+    tb.set_function("blas_axpy")
+    r = tb.region("v", n)
+    for i in range(n // 4):
+        tb.set_replica(i)
+        lx = tb.load(0, r, i)
+        s = tb.fp_add(1, dep1=tb.dep_to(lx))
+        tb.store(2, r, i, dep1=tb.dep_to(s))
+        tb.branch(3, taken=(i % 8 != 7))
+    return tb.build()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_remote_state():
+    """Each test gets its own singletons and warning slate."""
+    remote_mod._reset_registry()
+    env_mod._reset_warnings()
+    yield
+    remote_mod._reset_registry()
+    env_mod._reset_warnings()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = ArtifactServer(root=str(tmp_path / "shared"), host="127.0.0.1",
+                         port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+def _corrupt_server_file(server, namespace, filename):
+    """Flip the stored bytes while keeping the digest sidecar 'fresh',
+    so the server keeps advertising the stale hash."""
+    path = os.path.join(server.namespace_dir(namespace), filename)
+    with open(path, "r+b") as fh:
+        fh.write(b"\xff\xfe\xfd\xfc")
+    future = os.path.getmtime(path) + 60
+    os.utime(path + ".sha256", (future, future))
+
+
+# ----------------------------------------------------------------------
+# Server protocol
+# ----------------------------------------------------------------------
+class TestServer:
+    def test_put_get_head_list_roundtrip(self, server):
+        r = RemoteStore(server.url, "results")
+        assert r.put_bytes("k1", b'{"x": 1}', wait=True)
+        assert r.get_bytes("k1") == b'{"x": 1}'
+        assert r.contains("k1") and not r.contains("k2")
+        assert r.list_keys() == ["k1"]
+        # The digest sidecar landed next to the artifact.
+        side = os.path.join(server.namespace_dir("results"), "k1.json.sha256")
+        assert os.path.exists(side)
+
+    def test_bad_keys_rejected(self, server):
+        import urllib.error
+        import urllib.request
+
+        for path in ("/results/../../etc/passwd", "/results/.hidden",
+                     "/nope/k1", "/results/a/b"):
+            req = urllib.request.Request(server.url + path, method="GET")
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(req, timeout=5)
+            assert exc.value.code == 404
+
+    def test_manifest_never_served_or_listed(self, server, tmp_path):
+        with open(os.path.join(server.namespace_dir("results"),
+                               "manifest.json"), "w") as fh:
+            json.dump({"entries": {}}, fh)
+        r = RemoteStore(server.url, "results")
+        assert r.get_bytes("manifest") is None
+        assert r.list_keys() == []
+
+    def test_put_with_wrong_hash_rejected(self, server):
+        import urllib.error
+        import urllib.request
+
+        req = urllib.request.Request(
+            server.url + "/results/bad", data=b"payload", method="PUT",
+            headers={"X-Repro-Sha256": "0" * 64})
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=5)
+        assert exc.value.code == 422
+        # The rejected upload left nothing behind.
+        assert RemoteStore(server.url, "results").get_bytes("bad") is None
+        assert server.counters["rejects"] == 1
+
+
+# ----------------------------------------------------------------------
+# Client failure paths
+# ----------------------------------------------------------------------
+class TestClientFailures:
+    DEAD = "http://127.0.0.1:9"  # discard port: nothing listens
+
+    def test_server_down_at_get_is_silent(self, capsys):
+        r = RemoteStore(self.DEAD, "results", timeout=0.5)
+        assert r.get_bytes("k") is None
+        assert not r.available
+        # Later lookups short-circuit without touching the network.
+        assert r.get_bytes("k2") is None and r.contains("k") is False
+        assert capsys.readouterr().err == ""
+
+    def test_server_down_at_put_warns_once(self, capsys):
+        r = RemoteStore(self.DEAD, "results", timeout=0.5)
+        assert r.put_bytes("k", b"x", wait=True) is False
+        assert r.put_bytes("k2", b"y", wait=True) is False
+        err = capsys.readouterr().err
+        assert err.count("unreachable") == 1
+
+    def test_5xx_trips_availability_like_an_outage(self):
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        class _Boom(BaseHTTPRequestHandler):
+            def do_GET(self):
+                self.send_error(503)
+
+            def log_message(self, *a):
+                pass
+
+        srv = ThreadingHTTPServer(("127.0.0.1", 0), _Boom)
+        threading.Thread(target=srv.serve_forever, daemon=True).start()
+        try:
+            url = f"http://127.0.0.1:{srv.server_address[1]}"
+            r = RemoteStore(url, "results")
+            assert r.get_bytes("k") is None
+            # A half-up server must not charge every key a round trip.
+            assert not r.available
+        finally:
+            srv.shutdown()
+            srv.server_close()
+
+    def test_hash_mismatch_on_pull_rejects_and_refetches(self, server):
+        r = RemoteStore(server.url, "results")
+        r.put_bytes("k", b'{"x": 1}', wait=True)
+        _corrupt_server_file(server, "results", "k.json")
+        assert r.get_bytes("k") is None  # reject + one re-fetch, then miss
+        assert r.counters["rejected"] == 2
+        assert r.available  # corruption is not an outage
+
+
+# ----------------------------------------------------------------------
+# ResultStore remote tier
+# ----------------------------------------------------------------------
+class TestResultStoreRemote:
+    def test_read_through_materializes_locally(self, server, tmp_path):
+        remote = remote_mod.remote_for(server.url, "results")
+        a = ResultStore(tmp_path / "a", remote=remote)
+        a.put("key1", {"cycles": 7}, meta={"workload": "ar"})
+        a.flush()
+
+        b = ResultStore(tmp_path / "b", remote=remote)
+        assert b.get("key1") == {"cycles": 7}
+        # Materialized into the local cache and indexed there.
+        assert (tmp_path / "b" / "key1.json").exists()
+        b.flush()
+        s = ResultStore(tmp_path / "b", remote=remote).stats()
+        assert s["entries"] == 1
+        assert s["remote_hits"] == 1 and s["hits"] == 1
+        # Second lookup is purely local.
+        b2 = ResultStore(tmp_path / "b", remote=remote)
+        assert b2.get("key1") == {"cycles": 7}
+        b2.flush()
+        assert ResultStore(tmp_path / "b").stats()["remote_hits"] == 1
+
+    def test_remote_miss_counts_and_falls_back(self, server, tmp_path):
+        remote = remote_mod.remote_for(server.url, "results")
+        store = ResultStore(tmp_path / "x", remote=remote)
+        assert store.get("absent") is None
+        store.flush()
+        s = ResultStore(tmp_path / "x").stats()
+        assert s["misses"] == 1 and s["remote_misses"] == 1
+
+    def test_deferred_put_pushes_back(self, server, tmp_path):
+        remote = remote_mod.remote_for(server.url, "results")
+        store = ResultStore(tmp_path / "a", remote=remote)
+        store.put("dk", {"v": 1}, defer=True)
+        store.flush()
+        assert remote.get_bytes("dk") == b'{"v": 1}'
+
+    def test_index_deferred_pushes_worker_payload(self, server, tmp_path):
+        # A worker (remote disabled) writes the payload; the parent
+        # indexes it and owns the push-back.
+        worker = ResultStore(tmp_path / "a", remote=False)
+        worker.put("wk", {"v": 2}, defer=True)
+        remote = remote_mod.remote_for(server.url, "results")
+        assert remote.get_bytes("wk") is None
+        parent = ResultStore(tmp_path / "a", remote=remote)
+        parent.index_deferred("wk", meta={"workload": "ar"})
+        parent.flush()
+        assert json.loads(remote.get_bytes("wk")) == {"v": 2}
+
+    def test_server_down_resultstore_get_falls_back(self, tmp_path):
+        dead = RemoteStore("http://127.0.0.1:9", "results", timeout=0.5)
+        store = ResultStore(tmp_path / "a", remote=dead)
+        store.put("k", {"v": 3})
+        assert store.get("k") == {"v": 3}  # local tier still serves
+        assert store.get("gone") is None
+
+
+# ----------------------------------------------------------------------
+# TraceStore remote tier
+# ----------------------------------------------------------------------
+class TestTraceStoreRemote:
+    def test_save_pushes_and_fresh_store_pulls(self, server, tmp_path):
+        remote = remote_mod.remote_for(server.url, "traces")
+        a = TraceStore(tmp_path / "a", remote=remote)
+        trace = _make_trace()
+        a.save("w", "tiny", 99, trace)
+        remote.drain()
+        assert remote.list_keys() == [os.path.basename(a.path("w", "tiny",
+                                                              99))]
+
+        b = TraceStore(tmp_path / "b", remote=remote)
+        loaded = b.load("w", "tiny", 99)
+        assert loaded is not None
+        for c in COLUMNS:
+            assert np.array_equal(getattr(loaded, c), getattr(trace, c))
+        # Pulled archive is a real local file: mmap loads work offline.
+        assert b.contains("w", "tiny", 99)
+        assert b.stats()["remote_hits"] == 1
+
+    def test_remote_pull_rejects_corrupt_archive(self, server, tmp_path,
+                                                 capsys):
+        remote = remote_mod.remote_for(server.url, "traces")
+        a = TraceStore(tmp_path / "a", remote=remote)
+        a.save("w", "tiny", 7, _make_trace())
+        remote.drain()
+        name = os.path.basename(a.path("w", "tiny", 7))
+        _corrupt_server_file(server, "traces", name)
+
+        b = TraceStore(tmp_path / "b", remote=remote)
+        assert b.load("w", "tiny", 7) is None  # hash mismatch: rejected
+        assert not b.contains("w", "tiny", 7)  # nothing entered the cache
+        assert remote.counters["rejected"] == 2
+
+    def test_server_down_load_falls_back_silently(self, tmp_path, capsys):
+        dead = RemoteStore("http://127.0.0.1:9", "traces", timeout=0.5)
+        store = TraceStore(tmp_path / "a", remote=dead)
+        assert store.load("w", "tiny", 1) is None
+        assert capsys.readouterr().err == ""
+        # Local saves still work; push-back warns once and keeps local.
+        store.save("w", "tiny", 1, _make_trace())
+        dead.drain()
+        assert store.contains("w", "tiny", 1)
+
+
+# ----------------------------------------------------------------------
+# Zero-recompute sweep from a populated remote (the acceptance check)
+# ----------------------------------------------------------------------
+class TestSharedStoreSweep:
+    def test_l2_sweep_runs_entirely_from_remote(self, server, tmp_path,
+                                                monkeypatch):
+        from repro.core import runner as runner_mod
+        from repro.core.runner import Runner
+        from repro.core.sweeps import l2_sweep
+
+        monkeypatch.setenv("REPRO_REMOTE_STORE", server.url)
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "a-tr"))
+        # Machine A: cold run populates local caches and the server.
+        data_a = l2_sweep(workloads=("ar",), scale="tiny", budget=4000,
+                          runner=Runner(cache_dir=tmp_path / "a"),
+                          workers=1)
+        remote_mod.drain_all()
+        assert len(server.list_keys("results")) == 4
+        assert len(server.list_keys("traces")) == 1
+
+        # Machine B: empty local caches, synthesis and simulation both
+        # poisoned — every job must be served via remote pulls.
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "b-tr"))
+
+        def _boom(*a, **kw):
+            raise AssertionError("recompute attempted despite a "
+                                 "populated remote store")
+
+        monkeypatch.setattr(runner_mod, "workload_trace", _boom)
+        monkeypatch.setattr(runner_mod, "simulate", _boom)
+        runner_b = Runner(cache_dir=tmp_path / "b")
+        data_b = l2_sweep(workloads=("ar",), scale="tiny", budget=4000,
+                          runner=runner_b, workers=1)
+        for size, metrics in data_a["ar"].items():
+            assert data_b["ar"][size].ipc == metrics.ipc
+        stats = runner_b.store.stats()
+        assert stats["remote_hits"] == 4 and stats["hits"] == 4
+        assert stats["misses"] == 0
+
+
+# ----------------------------------------------------------------------
+# Central env parsing (REPRO_WORKERS and friends)
+# ----------------------------------------------------------------------
+class TestEnvParsing:
+    def test_invalid_workers_warns_once_and_runs_serial(self, monkeypatch,
+                                                        capsys):
+        from repro.engine.pool import resolve_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "banana")
+        assert resolve_workers() == 1
+        assert resolve_workers() == 1
+        err = capsys.readouterr().err
+        assert err.count("REPRO_WORKERS") == 1 and "banana" in err
+
+    def test_explicit_bad_workers_raises_clearly(self):
+        from repro.engine.pool import resolve_workers
+
+        with pytest.raises(ValueError, match="workers="):
+            resolve_workers("not-a-count")
+
+    def test_invalid_trace_memo_warns_and_uses_default(self, monkeypatch,
+                                                       capsys):
+        from repro.core.runner import Runner
+
+        monkeypatch.setenv("REPRO_TRACE_MEMO", "many")
+        assert Runner()._trace_memo_cap == 8
+        assert "REPRO_TRACE_MEMO" in capsys.readouterr().err
+
+    def test_invalid_cache_caps_warn_and_uncap(self, monkeypatch, capsys,
+                                               tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "huge")
+        monkeypatch.setenv("REPRO_TRACE_CACHE_MAX_MB", "huge")
+        assert ResultStore(tmp_path / "r").max_bytes is None
+        assert TraceStore(tmp_path / "t").max_bytes is None
+        err = capsys.readouterr().err
+        assert "REPRO_CACHE_MAX_MB" in err
+        assert "REPRO_TRACE_CACHE_MAX_MB" in err
+
+    def test_invalid_remote_url_warns_and_disables(self, monkeypatch,
+                                                   capsys, tmp_path):
+        monkeypatch.setenv("REPRO_REMOTE_STORE", "ftp://fleet")
+        store = ResultStore(tmp_path / "r")
+        assert store.remote is None
+        assert "REPRO_REMOTE_STORE" in capsys.readouterr().err
+
+    def test_negative_caps_mean_uncapped_silently(self, monkeypatch,
+                                                  capsys, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "-5")
+        assert ResultStore(tmp_path / "r").max_bytes is None
+        assert capsys.readouterr().err == ""

@@ -1,5 +1,7 @@
 """Persistent trace store: round-trips, invalidation, runner caching."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -72,6 +74,69 @@ class TestTraceStore:
         with open(store.path("w", "tiny", 7), "wb") as fh:
             fh.write(b"not a zip archive")
         assert store.load("w", "tiny", 7) is None
+
+    def test_truncated_archive_quarantined_then_resynthesized(
+            self, tmp_path, monkeypatch, capsys):
+        """Regression: a killed writer / partial pull leaves a truncated
+        ``.npz``.  It must be quarantined and treated as a miss — never
+        raise mid-sweep or shadow the rebuilt archive."""
+        from repro import env as env_mod
+
+        env_mod._reset_warnings()
+        store = TraceStore(tmp_path)
+        trace = _make_trace()
+        store.save("w", "tiny", 7, trace)
+        path = store.path("w", "tiny", 7)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+
+        assert store.load("w", "tiny", 7) is None
+        # Quarantined aside, not deleted: the key no longer hits, the
+        # damaged bytes stay inspectable, and the event was reported.
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert not store.contains("w", "tiny", 7)
+        assert "quarantined corrupt trace archive" in capsys.readouterr().err
+        assert store.stats()["quarantined"] == 1
+
+        # The runner path re-synthesizes straight through the miss and
+        # repopulates the key in place.
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        runner = Runner(use_disk_cache=False)
+        rebuilt, record = runner.trace_for("te01", "tiny", 4000)
+        assert record is not None and len(rebuilt) > 0
+
+        store.save("w", "tiny", 7, trace)
+        reloaded = store.load("w", "tiny", 7)
+        assert reloaded is not None
+        _assert_traces_equal(reloaded, trace)
+
+    def test_truncated_mid_sweep_falls_back_to_synthesis(self, tmp_path,
+                                                         monkeypatch):
+        # End to end: the trace the sweep needs is truncated on disk;
+        # trace_for must fall back to a clean synthesis.
+        from repro import env as env_mod
+
+        env_mod._reset_warnings()
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        built = Runner(use_disk_cache=False)
+        t1, _ = built.trace_for("te01", "tiny", 4000)
+        store = TraceStore(create=False)
+        path = store.path("te01", "tiny", 4000)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) * 3 // 4)
+
+        fresh = Runner(use_disk_cache=False)
+        t2, record = fresh.trace_for("te01", "tiny", 4000)
+        assert record is not None  # a real synthesis, not a store hit
+        _assert_traces_equal(t1, t2)
+        # The rebuild repopulated the store for the next process.
+        assert store.contains("te01", "tiny", 4000)
+        again, record2 = Runner(use_disk_cache=False).trace_for(
+            "te01", "tiny", 4000)
+        assert record2 is None
+        _assert_traces_equal(t1, again)
 
     def test_save_is_atomic_no_tmp_left(self, tmp_path):
         store = TraceStore(tmp_path)
