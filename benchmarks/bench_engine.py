@@ -187,6 +187,68 @@ def bench_remote_sweep(workloads, scale, budget, sizes_kb):
     return out
 
 
+def bench_telemetry(workloads, scale, budget, sizes_kb):
+    """Telemetry cost and coverage on the trace-warm L2 sweep.
+
+    Times the same sweep with ``REPRO_TELEMETRY=0`` and with spans +
+    journaling enabled (fresh result store each, shared warm trace
+    store), then reads the journal back: the overhead must stay small
+    and the span trees must account for nearly all of the wall time.
+    Returns ``None`` on heads without the telemetry subsystem.
+    """
+    try:
+        from repro import telemetry
+    except ImportError:
+        return None
+    from repro.core.sweeps import l2_sweep
+
+    saved = {k: os.environ.get(k)
+             for k in ("REPRO_TELEMETRY", "REPRO_TELEMETRY_DIR")}
+    out = {}
+    try:
+        with tempfile.TemporaryDirectory() as base:
+            os.environ[TRACE_DIR_ENV] = os.path.join(base, "traces")
+            journal_dir = os.path.join(base, "journals")
+            runs = {}
+            # "prime" warms the trace store (untimed) so both timed
+            # modes pay identical trace costs; order off-then-on keeps
+            # any residual OS cache drift biased *against* telemetry.
+            for mode in ("prime", "off", "on"):
+                if mode == "on":
+                    os.environ["REPRO_TELEMETRY"] = "1"
+                    os.environ["REPRO_TELEMETRY_DIR"] = journal_dir
+                else:
+                    os.environ["REPRO_TELEMETRY"] = "0"
+                    os.environ.pop("REPRO_TELEMETRY_DIR", None)
+                _clear_trace_memos()
+                runner = _fresh_runner(os.path.join(base,
+                                                    f"{mode}-results"))
+                t0 = time.perf_counter()
+                l2_sweep(workloads=workloads, sizes_kb=sizes_kb,
+                         scale=scale, budget=budget, runner=runner,
+                         workers=1)
+                runs[mode] = time.perf_counter() - t0
+            out["off_s"] = round(runs["off"], 3)
+            out["on_s"] = round(runs["on"], 3)
+            out["overhead_pct"] = round(
+                (runs["on"] - runs["off"]) / runs["off"] * 100, 2)
+            journal = telemetry.latest_journal(journal_dir)
+            if journal:
+                report = telemetry.build_report(journal)
+                out["coverage"] = report["totals"]["coverage"]
+                out["phases_self_s"] = {
+                    name: v["self_s"]
+                    for name, v in report["phases"].items()
+                }
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    return out
+
+
 def _git_head():
     try:
         return subprocess.run(
@@ -237,6 +299,11 @@ def run_bench(tiny=False, label=None, workloads=None, out_path=None):
             remote = bench_remote_sweep(workloads, scale, budget, sizes_kb)
             if remote is not None:
                 entry["remote_sweep"] = remote
+            print("[bench] telemetry overhead + coverage (trace-warm "
+                  "sweep, off vs on)...", file=sys.stderr)
+            tele = bench_telemetry(workloads, scale, budget, sizes_kb)
+            if tele is not None:
+                entry["telemetry"] = tele
     finally:
         if saved_trace_dir is None:
             os.environ.pop(TRACE_DIR_ENV, None)

@@ -13,6 +13,8 @@ Subcommands
 ``repro cache clear``          drop every cached result
 ``repro trace stats``          trace-store size and entry accounting
 ``repro trace clear``          drop every cached trace
+``repro report [journal]``     render a telemetry run journal (phase
+                               breakdown, tier mix, hit rates, slowest)
 ``repro serve``                share the stores over HTTP (fleet seed)
 ``repro push``                 upload local results/traces to the remote
 ``repro pull``                 download the remote's artifacts locally
@@ -329,6 +331,9 @@ def cmd_cache(args):
     store = _store_for(args)
     if args.action == "stats":
         s = store.stats()
+        if args.json:
+            print(json.dumps(s, indent=1, sort_keys=True))
+            return 0
         cap = (_human_bytes(s["max_bytes"]) if s["max_bytes"] is not None
                else "unlimited")
         rows = [
@@ -373,6 +378,9 @@ def cmd_trace(args):
     store = TraceStore(create=False)
     if args.action == "stats":
         s = store.stats()
+        if args.json:
+            print(json.dumps(s, indent=1, sort_keys=True))
+            return 0
         cap = (_human_bytes(s["max_bytes"]) if s["max_bytes"] is not None
                else "unlimited")
         rows = [
@@ -392,6 +400,26 @@ def cmd_trace(args):
     else:
         removed = store.clear()
         print(f"cleared {removed} traces from {store.root}")
+    return 0
+
+
+def cmd_report(args):
+    from . import telemetry
+
+    path = args.journal or telemetry.latest_journal()
+    if path is None:
+        print("error: no journal found — pass a path or set "
+              "REPRO_TELEMETRY_DIR before running sweeps", file=sys.stderr)
+        return 2
+    try:
+        report = telemetry.build_report(path)
+    except OSError as exc:
+        print(f"error: cannot read journal {path}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(telemetry.render_report(report, top=args.top))
     return 0
 
 
@@ -665,11 +693,28 @@ def build_parser():
     p.add_argument("action", choices=("stats", "prune", "clear"))
     p.add_argument("--max-mb", type=float, default=None,
                    help="prune target size (default: REPRO_CACHE_MAX_MB)")
+    p.add_argument("--json", action="store_true",
+                   help="emit stats as JSON (stats action only)")
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("trace", help="inspect or clear the trace store")
     p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--json", action="store_true",
+                   help="emit stats as JSON (stats action only)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "report",
+        help="render a telemetry run journal (default: the newest one "
+             "under REPRO_TELEMETRY_DIR)")
+    p.add_argument("journal", nargs="?", default=None,
+                   help="journal .jsonl path (default: newest in "
+                        "REPRO_TELEMETRY_DIR)")
+    p.add_argument("--top", type=int, default=10,
+                   help="slowest-jobs table length (default: 10)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report dict as JSON")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "serve",

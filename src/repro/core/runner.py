@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 
+from .. import telemetry
 from ..engine.jobs import JobSpec
 from ..engine.store import ResultStore
 from ..env import env_int
@@ -122,13 +123,16 @@ class Runner:
         entry = None
         tstore = self.trace_store
         if tstore is not None:
-            trace = tstore.load(workload, scale, budget)
+            with telemetry.span("trace_load", workload=workload):
+                trace = tstore.load(workload, scale, budget)
             if trace is not None:
                 entry = (trace, None)
         if entry is None:
             spec = get_workload(workload)
             request = TraceRequest(budget=budget, scale=scale)
-            trace, record = workload_trace(spec, request)
+            with telemetry.span("synthesize", workload=workload,
+                                scale=str(scale), budget=budget):
+                trace, record = workload_trace(spec, request)
             entry = (trace, record)
             if tstore is not None:
                 try:

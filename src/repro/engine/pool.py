@@ -27,7 +27,9 @@ import math
 import multiprocessing
 import os
 import sys
+import time
 
+from .. import telemetry
 from ..env import env_int
 from .store import ResultStore
 
@@ -95,6 +97,12 @@ def _init_worker(store_root, in_worker=True):
 def _execute(job):
     """Trace (inherited/memoized), simulate, persist, return payload.
 
+    Returns ``(payload, span_tree)``.  The span tree — the job's phase
+    breakdown, recorded in whichever process ran the job — travels back
+    to the parent through the pool's ordinary results queue, which
+    works identically under fork and spawn start methods; the parent
+    merges it into the metrics registry and the run journal.
+
     The store put defers its manifest entry: payload files land
     immediately (atomic), the index entries reach the manifest in one
     locked write when the worker drains — instead of one lock round-trip
@@ -102,14 +110,16 @@ def _execute(job):
     """
     from ..uarch import simulate
 
-    runner = _STATE["runner"]
-    trace, _ = runner.trace_for(job.workload, job.scale, job.budget)
-    stats = simulate(trace, job.config, model=job.model)
-    payload = stats.as_dict()
-    store = _STATE["store"]
-    if store is not None:
-        store.put(job.key(), payload, meta=job.meta(), defer=True)
-    return payload
+    with telemetry.span("job", workload=job.workload, label=str(job.label),
+                        model=job.model) as sp:
+        runner = _STATE["runner"]
+        trace, _ = runner.trace_for(job.workload, job.scale, job.budget)
+        stats = simulate(trace, job.config, model=job.model)
+        payload = stats.as_dict()
+        store = _STATE["store"]
+        if store is not None:
+            store.put(job.key(), payload, meta=job.meta(), defer=True)
+    return payload, (sp.as_dict() if sp is not None else None)
 
 
 def _build_one_trace(key):
@@ -198,6 +208,28 @@ def prebuild_traces(jobs, workers=1):
     return keys
 
 
+def _store_snapshot(store):
+    """Trimmed store counters for a journal batch record (no raises)."""
+    if store is None:
+        return None
+    try:
+        s = store.stats()
+    except OSError:
+        return None
+    return {k: s.get(k) for k in ("root", "entries", "hits", "misses",
+                                  "remote_hits", "remote_misses")}
+
+
+def _journal_job(journal, job, cached, tree):
+    if journal is None:
+        return
+    if isinstance(tree, telemetry.Span):
+        tree = tree.as_dict()
+    seconds = tree.get("seconds", 0.0) if tree else 0.0
+    journal.job(job.workload, job.label, job.model, cached, seconds,
+                spans=tree)
+
+
 def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
     """Execute *jobs*, returning ``SimStats`` aligned with input order.
 
@@ -208,98 +240,156 @@ def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
     Parallel path: hits are resolved against *store* up front (the
     runner's store by default), misses fan out over a process pool, and
     workers persist their results to the shared store as they finish.
-    """
-    from ..core.runner import Runner, default_runner
-    from ..uarch import SimStats
 
+    Telemetry: every job is wrapped in a ``"job"`` span whose tree is
+    merged into the process metrics registry and — when an enclosing
+    :func:`repro.telemetry.scope` or ``REPRO_TELEMETRY_DIR`` provides a
+    journal — written as one journal record per job, plus a batch
+    record carrying wall clock, prebuild time, and store counters.
+    The progress meter is always finished from a ``finally``, so an
+    interrupted run leaves the terminal on a fresh line.
+    """
     jobs = list(jobs)
     workers = resolve_workers(workers)
     if progress is not None and getattr(progress, "total", 0) <= 0:
         progress.total = len(jobs)
 
-    if workers <= 1 or len(jobs) <= 1:
-        if runner is None:
-            # Honor an explicit store even on the serial path.
-            runner = (Runner(cache_dir=store.root, store=store)
-                      if store is not None else default_runner())
-        out = []
+    with telemetry.scope("run-jobs", jobs=len(jobs),
+                         workers=workers) as journal:
+        try:
+            if workers <= 1 or len(jobs) <= 1:
+                return _run_serial(jobs, runner, store, progress, journal)
+            return _run_parallel(jobs, workers, runner, store, progress,
+                                 journal)
+        finally:
+            if progress is not None:
+                progress.finish()
+
+
+def _run_serial(jobs, runner, store, progress, journal):
+    from ..core.runner import Runner, default_runner
+
+    if runner is None:
+        # Honor an explicit store even on the serial path.
+        runner = (Runner(cache_dir=store.root, store=store)
+                  if store is not None else default_runner())
+    t0 = time.perf_counter()
+    out = []
+    try:
         for job in jobs:
             cached = None
-            if progress is not None and runner.use_disk_cache:
+            if (progress is not None or journal is not None) \
+                    and runner.use_disk_cache:
                 cached = runner.store.contains(job.key(), job.legacy_key())
-            stats = runner.stats_for_job(job)
+            with telemetry.span("job", workload=job.workload,
+                                label=str(job.label),
+                                model=job.model) as sp:
+                stats = runner.stats_for_job(job)
+            telemetry.record_tree(sp)
+            _journal_job(journal, job, cached, sp)
             if progress is not None:
                 progress.step(job.describe(), cached=cached)
             out.append(stats)
+    finally:
         if runner.use_disk_cache:
             runner.store.flush()
-        return out
+        if journal is not None:
+            journal.batch(time.perf_counter() - t0, workers=1,
+                          store=_store_snapshot(
+                              runner.store if runner.use_disk_cache
+                              else None))
+    return out
+
+
+def _run_parallel(jobs, workers, runner, store, progress, journal):
+    from ..core.runner import PREBUILT_TRACES, default_runner
+    from ..uarch import SimStats
 
     if store is None:
         runner = runner or default_runner()
         store = runner.store if runner.use_disk_cache else None
 
+    t0 = time.perf_counter()
+    prebuild_tree = None
+    pool = None
+    n = workers
     results = [None] * len(jobs)
     pending = []
-    for i, job in enumerate(jobs):
-        payload = store.get(job.key(), job.legacy_key()) if store else None
-        if payload is not None:
-            results[i] = SimStats.from_dict(payload)
-            if progress is not None:
-                progress.step(job.describe(), cached=True)
+    try:
+        for i, job in enumerate(jobs):
+            if store is not None:
+                with telemetry.span("job", workload=job.workload,
+                                    label=str(job.label), model=job.model,
+                                    cached=True) as sp:
+                    payload = store.get(job.key(), job.legacy_key())
+            else:
+                payload, sp = None, None
+            if payload is not None:
+                results[i] = SimStats.from_dict(payload)
+                telemetry.record_tree(sp)
+                _journal_job(journal, job, True, sp)
+                if progress is not None:
+                    progress.step(job.describe(), cached=True)
+            else:
+                # The lookup missed: its "job" span never became a job.
+                # Keep the store/remote child phases in the registry
+                # but drop the phantom root (the worker's tree is the
+                # job's record).
+                if sp is not None:
+                    for child in sp.children:
+                        telemetry.record_tree(child)
+                pending.append((i, job))
+
+        if not pending:
+            return results
+
+        # Same trace key => same contiguous chunk => same worker's
+        # memo.  Tier second: in a mixed (adaptive) batch a worker then
+        # runs all of a trace's same-tier jobs back to back.
+        pending.sort(key=lambda item: (item[1].trace_key, item[1].model,
+                                       item[0]))
+        todo = [job for _, job in pending]
+        n = min(workers, len(pending))
+        chunksize = max(1, math.ceil(len(pending) / n))
+
+        # Build/load every needed trace in the parent *before* forking:
+        # workers then inherit the whole set zero-copy instead of each
+        # paying synthesis or load again.
+        with telemetry.span("prebuild") as psp:
+            prebuild_traces(todo, workers=n)
+        prebuild_tree = psp
+        telemetry.record_tree(psp)
+
+        try:
+            ctx = _mp_context()
+            pool = ctx.Pool(processes=n, initializer=_init_worker,
+                            initargs=(store.root if store else None,))
+        except (OSError, ValueError, ImportError):
+            pool = None
+
+        if pool is None:
+            # No usable process pool on this platform: compute
+            # in-parent through the same worker entry point.
+            _init_worker(store.root if store else None, in_worker=False)
+            payloads = (_execute(job) for job in todo)
         else:
-            pending.append((i, job))
+            payloads = pool.imap(_execute, todo, chunksize=chunksize)
 
-    if not pending:
-        if store is not None:
-            store.flush()
-        return results
-
-    # Same trace key => same contiguous chunk => same worker's memo.
-    # Tier second: in a mixed (adaptive) batch a worker then runs all
-    # of a trace's same-tier jobs back to back.
-    pending.sort(key=lambda item: (item[1].trace_key, item[1].model,
-                                   item[0]))
-    todo = [job for _, job in pending]
-    n = min(workers, len(pending))
-    chunksize = max(1, math.ceil(len(pending) / n))
-
-    # Build/load every needed trace in the parent *before* forking:
-    # workers then inherit the whole set zero-copy instead of each
-    # paying synthesis or load again.
-    from ..core.runner import PREBUILT_TRACES
-
-    prebuild_traces(todo, workers=n)
-
-    pool = None
-    try:
-        ctx = _mp_context()
-        pool = ctx.Pool(processes=n, initializer=_init_worker,
-                        initargs=(store.root if store else None,))
-    except (OSError, ValueError, ImportError):
-        pool = None
-
-    if pool is None:
-        # No usable process pool on this platform: compute in-parent
-        # through the same worker entry point.
-        _init_worker(store.root if store else None, in_worker=False)
-        payloads = (_execute(job) for job in todo)
-    else:
-        payloads = pool.imap(_execute, todo, chunksize=chunksize)
-
-    # Workers write payload files with deferred puts (multiprocessing
-    # children exit via os._exit, skipping finalizers, so they can
-    # never be trusted to fold their own manifest entries).  The parent
-    # indexes each drained result instead and folds the whole batch in
-    # one locked manifest write at the end — instead of one lock
-    # round-trip per job.  Size-capped stores are excluded: their
-    # workers index synchronously (put ignores defer), and a parent-
-    # side entry could resurrect a key another worker's eviction pass
-    # already deleted.
-    index_in_parent = store is not None and store.max_bytes is None
-    try:
-        for (i, job), payload in zip(pending, payloads):
+        # Workers write payload files with deferred puts
+        # (multiprocessing children exit via os._exit, skipping
+        # finalizers, so they can never be trusted to fold their own
+        # manifest entries).  The parent indexes each drained result
+        # instead and folds the whole batch in one locked manifest
+        # write at the end — instead of one lock round-trip per job.
+        # Size-capped stores are excluded: their workers index
+        # synchronously (put ignores defer), and a parent-side entry
+        # could resurrect a key another worker's eviction pass already
+        # deleted.
+        index_in_parent = store is not None and store.max_bytes is None
+        for (i, job), (payload, tree) in zip(pending, payloads):
             results[i] = SimStats.from_dict(payload)
+            telemetry.record_tree(tree)
+            _journal_job(journal, job, False, tree)
             if index_in_parent:
                 store.index_deferred(job.key(), meta=job.meta())
             if progress is not None:
@@ -313,4 +403,12 @@ def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
         PREBUILT_TRACES.clear()
         if store is not None:
             store.flush()
+        if journal is not None:
+            journal.batch(
+                time.perf_counter() - t0, workers=n,
+                prebuild_s=(prebuild_tree.seconds
+                            if prebuild_tree is not None else 0.0),
+                store=_store_snapshot(store),
+                spans=(prebuild_tree.as_dict()
+                       if prebuild_tree is not None else None))
     return results

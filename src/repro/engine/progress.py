@@ -29,6 +29,13 @@ class Progress:
         self._last_emit = -1e9
         self._use_cr = bool(getattr(self.stream, "isatty", lambda: False)())
         self.min_interval = 0.0 if self._use_cr else min_interval
+        # State for finish(): the last step not yet shown (rate-limited
+        # away), whether a CR line is awaiting its newline, and whether
+        # finish() already ran (it must be idempotent — run_jobs calls
+        # it from a finally and the CLI calls it again afterwards).
+        self._pending = None
+        self._cr_open = False
+        self._finished = False
 
     def step(self, what="", cached=False):
         """Record one finished job (``cached=None`` means 'unknown')."""
@@ -37,6 +44,7 @@ class Progress:
             self.hits += 1
         elif cached is not None:
             self.runs += 1
+        self._finished = False  # a new phase reopens a finished meter
         self._emit(what, cached)
 
     def add_total(self, n):
@@ -49,22 +57,40 @@ class Progress:
         self.total = max(self.total, 0) + int(n)
 
     def finish(self):
-        """Terminate a carriage-return meter whose total was unknown."""
-        if self.enabled and self._use_cr and self.done and self.total <= 0:
+        """Flush the final state and terminate the meter (idempotent).
+
+        Rate limiting can swallow the last ``step`` of an unknown-total
+        batch (``final`` is only computed for known totals); emitting
+        the pending update here guarantees the ``[N/N]``-style closing
+        line always appears.  A carriage-return meter also gets its
+        terminating newline, whatever the total was.  ``run_jobs``
+        calls this from a ``finally`` so an interrupted run still
+        leaves the terminal on a fresh line.
+        """
+        if self._finished or not self.enabled:
+            return
+        self._finished = True
+        if self._pending is not None:
+            what, cached = self._pending
+            self._emit(what, cached, force=True)
+        if self._cr_open:
             self.stream.write("\n")
             self.stream.flush()
+            self._cr_open = False
 
     @property
     def elapsed(self):
         return time.monotonic() - self._started
 
-    def _emit(self, what, cached):
+    def _emit(self, what, cached, force=False):
         if not self.enabled:
             return
         now = time.monotonic()
         final = self.total > 0 and self.done >= self.total
-        if not final and now - self._last_emit < self.min_interval:
+        if not (final or force) and now - self._last_emit < self.min_interval:
+            self._pending = (what, cached)
             return
+        self._pending = None
         self._last_emit = now
         tag = "hit" if cached else ("job" if cached is None else "run")
         head = f"{self.label}: " if self.label else ""
@@ -73,8 +99,10 @@ class Progress:
                 f"{self.elapsed:.1f}s")
         if self._use_cr:
             self.stream.write("\r" + line.ljust(79))
+            self._cr_open = True
             if final:
                 self.stream.write("\n")
+                self._cr_open = False
         else:
             self.stream.write(line + "\n")
         self.stream.flush()

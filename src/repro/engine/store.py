@@ -35,6 +35,7 @@ import os
 import time
 import weakref
 
+from .. import telemetry
 from ..env import env_max_bytes
 
 try:
@@ -43,6 +44,20 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
 __all__ = ["ResultStore"]
+
+# Registry series created once at import: get() runs in the engine's
+# hit-resolution loop, so bumps must not pay a registry lookup.
+_HIT = telemetry.counter(
+    "repro_result_store_lookups_total",
+    help="Result-store lookups by outcome (both tiers).", outcome="hit")
+_MISS = telemetry.counter("repro_result_store_lookups_total", outcome="miss")
+_REMOTE_HIT = telemetry.counter(
+    "repro_result_store_remote_total",
+    help="Result-store remote-tier pulls by outcome.", outcome="hit")
+_REMOTE_MISS = telemetry.counter("repro_result_store_remote_total",
+                                 outcome="miss")
+_PUTS = telemetry.counter("repro_result_store_puts_total",
+                          help="Result-store payload writes.")
 
 MANIFEST_NAME = "manifest.json"
 _LOCK_NAME = ".manifest.lock"
@@ -310,16 +325,22 @@ class ResultStore:
         tiers; ``remote_hits``/``remote_misses`` break out the remote
         traffic.  An unreachable server is a silent local-only miss.
         """
+        with telemetry.span("store:get"):
+            return self._get(key, legacy_key)
+
+    def _get(self, key, legacy_key):
         payload, found_name = self._load(key, legacy_key)
         if payload is None:
             payload = self._get_remote(key)
             if payload is None:
                 self.session_misses += 1
                 self._pending["misses"] += 1
+                _MISS.inc()
                 return None
             found_name = key
         self.session_hits += 1
         self._pending["hits"] += 1
+        _HIT.inc()
         self._pending["touch"][key] = time.time()
         if found_name != key:
             # Adopt the legacy-named file into the index in place.
@@ -334,6 +355,7 @@ class ResultStore:
         data = remote.get_bytes(key)
         if data is None:
             self._pending["remote_misses"] += 1
+            _REMOTE_MISS.inc()
             return None
         try:
             payload = json.loads(data)
@@ -341,6 +363,7 @@ class ResultStore:
             # Hash-verified but still not our JSON: a foreign artifact
             # under our key.  Do not let it into the local cache.
             self._pending["remote_misses"] += 1
+            _REMOTE_MISS.inc()
             return None
         path = self._entry_path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
@@ -355,11 +378,13 @@ class ResultStore:
                 pass
             # Local cache unwritable: still serve the remote payload.
             self._pending["remote_hits"] += 1
+            _REMOTE_HIT.inc()
             return payload
         entry = self._describe_file(key)
         entry["atime"] = time.time()
         self._pending["index"][key] = entry
         self._pending["remote_hits"] += 1
+        _REMOTE_HIT.inc()
         return payload
 
     def flush(self):
@@ -418,6 +443,11 @@ class ResultStore:
         eviction must observe each entry synchronously, keeping the
         LRU-vs-concurrent-put guarantees unchanged.
         """
+        with telemetry.span("store:put"):
+            return self._put(key, payload, meta=meta, defer=defer)
+
+    def _put(self, key, payload, meta=None, defer=False):
+        _PUTS.inc()
         path = self._entry_path(key)
         blob = json.dumps(payload).encode()
 

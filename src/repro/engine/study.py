@@ -23,6 +23,7 @@ writing code.
 
 from __future__ import annotations
 
+from .. import telemetry
 from ..profiling import metric_set
 from ..uarch.config import CacheConfig, gem5_baseline
 from ..uarch.core import MODELS, TIER_LADDER, scan_margin, scan_tier
@@ -431,7 +432,19 @@ class Study:
         region (see :func:`select_refinement`) on the accurate tier.
         ``refine_margin`` defaults to the scan tier's trusted flatness
         margin (:func:`repro.uarch.core.scan_margin`).
+
+        The whole run — both passes of an adaptive study — shares one
+        telemetry journal scope, so ``repro report`` sees a single run
+        with two batch records rather than two disjoint journals.
         """
+        with telemetry.scope(f"study:{self.name}", policy=policy,
+                             study=self.describe()):
+            return self._run(policy=policy, workers=workers, runner=runner,
+                             progress=progress, refine_margin=refine_margin,
+                             refine_pad=refine_pad)
+
+    def _run(self, policy, workers, runner, progress, refine_margin,
+             refine_pad):
         if policy in MODELS:
             jobs = self.jobs(model=policy)
             stats_list = run_jobs(jobs, workers=workers, runner=runner,

@@ -20,6 +20,8 @@ variable                    meaning              fallback when invalid
 ``REPRO_TRACE_CACHE_MAX_MB`` trace-store cap     no cap
 ``REPRO_REMOTE_STORE``      shared store URL     no remote tier
 ``REPRO_REMOTE_TIMEOUT``    remote I/O timeout   ``10`` seconds
+``REPRO_TELEMETRY``         spans/metrics switch ``on``
+``REPRO_TELEMETRY_DIR``     run-journal dir      no journals
 =========================== ==================== ======================
 """
 
@@ -28,8 +30,8 @@ from __future__ import annotations
 import os
 import sys
 
-__all__ = ["env_int", "env_float", "env_max_bytes", "env_remote_url",
-           "warn_once"]
+__all__ = ["env_dir", "env_flag", "env_int", "env_float", "env_max_bytes",
+           "env_remote_url", "warn_once"]
 
 _WARNED = set()
 
@@ -104,6 +106,25 @@ def env_max_bytes(name):
                   f"store size is uncapped")
         return None
     return int(mb * 1024 * 1024) if mb > 0 else None
+
+
+def env_flag(name, default=True):
+    """Boolean knob: ``0/false/off/no`` disables, anything else enables.
+
+    Matches the ``REPRO_TRACE_STORE`` convention — an unset or empty
+    variable means *default*, and only the documented negative
+    spellings turn a default-on feature off.
+    """
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in ("0", "false", "off", "no")
+
+
+def env_dir(name):
+    """Directory knob: the configured path, or ``None`` when unset."""
+    raw = os.environ.get(name, "").strip()
+    return raw or None
 
 
 def env_remote_url(name="REPRO_REMOTE_STORE"):

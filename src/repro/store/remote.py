@@ -41,9 +41,11 @@ import time
 import urllib.error
 import urllib.request
 
+from .. import telemetry
 from ..env import env_float, env_remote_url, warn_once
 
-__all__ = ["RemoteStore", "configured_remote", "remote_for"]
+__all__ = ["RemoteStore", "configured_remote", "queue_depths",
+           "remote_for"]
 
 HASH_HEADER = "X-Repro-Sha256"
 TIMEOUT_ENV = "REPRO_REMOTE_TIMEOUT"
@@ -90,6 +92,24 @@ def _reset_registry():
         _REGISTRY.clear()
 
 
+def queue_depths():
+    """``{url/namespace: pending pushes}`` across this process's remotes.
+
+    Queues created before a fork belong to the parent's worker thread;
+    in a child they read as 0, exactly like :meth:`RemoteStore.drain`.
+    """
+    with _REGISTRY_LOCK:
+        stores = dict(_REGISTRY)
+    out = {}
+    for (url, namespace), store in stores.items():
+        q = store._queue
+        depth = (q.unfinished_tasks
+                 if q is not None and store._thread_pid == os.getpid()
+                 else 0)
+        out[f"{url}/{namespace}"] = depth
+    return out
+
+
 class RemoteStore:
     """Client for one namespace of a ``repro serve`` artifact server."""
 
@@ -101,10 +121,38 @@ class RemoteStore:
         self.available = True
         self.counters = {"hits": 0, "misses": 0, "pushes": 0,
                          "errors": 0, "rejected": 0}
+        # Registry mirrors of the counter dict (which tests and
+        # `cache stats` read directly), one series per event, plus a
+        # push-latency histogram and a scrape-time queue-depth gauge.
+        self._registry = {
+            name: telemetry.counter(
+                "repro_remote_client_total",
+                help="Remote-store client events, by namespace.",
+                namespace=namespace, event=name)
+            for name in self.counters
+        }
+        self._push_seconds = telemetry.histogram(
+            "repro_remote_push_seconds",
+            help="Wall time of remote artifact pushes.",
+            namespace=namespace)
+        telemetry.gauge(
+            "repro_remote_push_queue_depth",
+            help="Artifacts waiting in the async push queue.",
+            fn=self._queue_depth, namespace=namespace, url=self.base_url)
         self._queue = None
         self._thread = None
         self._thread_pid = None
         self._lock = threading.Lock()
+
+    def _count(self, name, n=1):
+        self.counters[name] += n
+        self._registry[name].inc(n)
+
+    def _queue_depth(self):
+        q = self._queue
+        if q is None or self._thread_pid != os.getpid():
+            return 0
+        return q.unfinished_tasks
 
     # ------------------------------------------------------------------
     def _url(self, key=""):
@@ -113,7 +161,7 @@ class RemoteStore:
     def _down(self, warn=False):
         """Mark the remote unavailable for the rest of the process."""
         self.available = False
-        self.counters["errors"] += 1
+        self._count("errors")
         if warn:
             warn_once(("remote-down", self.base_url),
                       f"remote store {self.base_url} unreachable; "
@@ -128,6 +176,10 @@ class RemoteStore:
         """
         if not self.available:
             return None
+        with telemetry.span("remote:pull", namespace=self.namespace):
+            return self._get_bytes(key)
+
+    def _get_bytes(self, key):
         for attempt in (0, 1):
             try:
                 req = urllib.request.Request(self._url(key), method="GET")
@@ -143,23 +195,23 @@ class RemoteStore:
                     # trip; treat it like a connection failure.
                     self._down()
                     return None
-                self.counters["misses"] += 1
+                self._count("misses")
                 return None
             except (urllib.error.URLError, OSError, ValueError):
                 self._down()
                 return None
             if not claimed or claimed == hashlib.sha256(body).hexdigest():
-                self.counters["hits"] += 1
+                self._count("hits")
                 return body
             # Corrupt transfer or a torn server-side file: reject, then
             # one re-fetch in case a concurrent writer was mid-replace.
-            self.counters["rejected"] += 1
+            self._count("rejected")
             if attempt == 1:
                 warn_once(("remote-corrupt", self.base_url, key),
                           f"remote store {self.base_url} served a "
                           f"corrupt {self.namespace} artifact {key!r} "
                           f"twice; treating as a miss")
-        self.counters["misses"] += 1
+        self._count("misses")
         return None
 
     def contains(self, key):
@@ -192,6 +244,10 @@ class RemoteStore:
 
     # ------------------------------------------------------------------
     def _push_now(self, key, data):
+        # Timed with a direct histogram observation rather than a span:
+        # async pushes run on the worker thread, where a span would be
+        # an unparented root no journal ever collects.
+        t0 = time.perf_counter()
         try:
             req = urllib.request.Request(
                 self._url(key), data=data, method="PUT",
@@ -205,12 +261,13 @@ class RemoteStore:
             if code >= 500:
                 self._down(warn=True)
             else:  # e.g. a 422 reject: this artifact, not the server
-                self.counters["errors"] += 1
+                self._count("errors")
             return False
         except (urllib.error.URLError, OSError, ValueError):
             self._down(warn=True)
             return False
-        self.counters["pushes"] += 1
+        self._push_seconds.observe(time.perf_counter() - t0)
+        self._count("pushes")
         return True
 
     def _ensure_thread(self):

@@ -38,6 +38,8 @@ import tempfile
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from .. import telemetry
+
 __all__ = ["ArtifactServer", "HASH_HEADER", "NAMESPACES", "serve"]
 
 HASH_HEADER = "X-Repro-Sha256"
@@ -131,22 +133,34 @@ class _Handler(BaseHTTPRequestHandler):
                                    "counters": dict(self.server.counters),
                                    "namespaces": sorted(NAMESPACES)})
             return
+        if parts == ["healthz"]:  # liveness probe: cheap, no disk I/O
+            self._reply_json(200, {"ok": True, "service": "repro-store"})
+            return
+        if parts == ["metrics"]:  # Prometheus text exposition
+            body = telemetry.render_prometheus().encode()
+            self._reply(200, body,
+                        content_type="text/plain; version=0.0.4; "
+                                     "charset=utf-8",
+                        head_only=head_only)
+            return
         if len(parts) == 1 and parts[0] in NAMESPACES:
             self._reply_json(200, self.server.list_keys(parts[0]))
             return
         resolved = self._resolve()
         if resolved is None:
+            self.server.count("errors")
             self._reply_json(404, {"error": "unknown path"})
             return
-        _, _, path = resolved
+        namespace, _, path = resolved
         try:
             with open(path, "rb") as fh:
                 body = fh.read()
         except OSError:
-            self.server.count("misses")
+            self.server.count("misses", namespace)
             self._reply_json(404, {"error": "not found"})
             return
-        self.server.count("gets")
+        self.server.count("gets", namespace)
+        self.server.count_bytes("out", namespace, len(body))
         self._reply(200, body, content_type="application/octet-stream",
                     extra={HASH_HEADER: _read_or_make_digest(path)},
                     head_only=head_only)
@@ -160,9 +174,10 @@ class _Handler(BaseHTTPRequestHandler):
     def do_PUT(self):
         resolved = self._resolve()
         if resolved is None:
+            self.server.count("errors")
             self._reply_json(404, {"error": "unknown path"})
             return
-        _, _, path = resolved
+        namespace, _, path = resolved
         try:
             length = int(self.headers.get("Content-Length", ""))
         except ValueError:
@@ -178,7 +193,7 @@ class _Handler(BaseHTTPRequestHandler):
         digest = _sha256(body)
         claimed = (self.headers.get(HASH_HEADER) or "").strip().lower()
         if claimed and claimed != digest:
-            self.server.count("rejects")
+            self.server.count("rejects", namespace)
             self._reply_json(422, {"error": "sha256 mismatch",
                                    "stored": None})
             return
@@ -204,9 +219,20 @@ class _Handler(BaseHTTPRequestHandler):
                 except OSError:
                     pass
             raise
-        self.server.count("puts")
+        self.server.count("puts", namespace)
+        self.server.count_bytes("in", namespace, length)
         self._reply_json(201, {"stored": True, "sha256": digest,
                                "bytes": length})
+
+
+# counter-dict name -> registry labels for the request-counter family.
+_COUNTER_SERIES = {
+    "gets": {"verb": "get", "outcome": "ok"},
+    "misses": {"verb": "get", "outcome": "miss"},
+    "puts": {"verb": "put", "outcome": "ok"},
+    "rejects": {"verb": "put", "outcome": "reject"},
+    "errors": {"verb": "any", "outcome": "error"},
+}
 
 
 class ArtifactServer(ThreadingHTTPServer):
@@ -217,7 +243,8 @@ class ArtifactServer(ThreadingHTTPServer):
     def __init__(self, root=None, host="0.0.0.0", port=8734,
                  results_dir=None, traces_dir=None, verbose=False):
         self.verbose = verbose
-        self.counters = {"gets": 0, "puts": 0, "misses": 0, "rejects": 0}
+        self.counters = {"gets": 0, "puts": 0, "misses": 0, "rejects": 0,
+                         "errors": 0}
         self._counter_lock = threading.Lock()
         if root is not None:
             root = os.path.abspath(root)
@@ -233,11 +260,43 @@ class ArtifactServer(ThreadingHTTPServer):
                           "traces": traces_dir or default_trace_dir()}
         for directory in self._dirs.values():
             os.makedirs(directory, exist_ok=True)
+        # Pre-register every request-counter series at zero so the very
+        # first /metrics scrape already exposes the family.
+        for name in self.counters:
+            self.count(name, n=0)
+        # Scrape-time gauges over the serving caches: artifact count and
+        # byte total per namespace, computed fresh on each /metrics hit.
+        for ns in NAMESPACES:
+            telemetry.gauge(
+                "repro_server_artifacts",
+                help="Artifacts in a served namespace directory.",
+                fn=(lambda ns=ns: len(self.list_keys(ns))), namespace=ns)
+            telemetry.gauge(
+                "repro_server_artifact_bytes",
+                help="Byte total of a served namespace directory.",
+                fn=(lambda ns=ns: self._dir_bytes(ns)), namespace=ns)
         super().__init__((host, port), _Handler)
 
     # ------------------------------------------------------------------
     def namespace_dir(self, namespace):
         return self._dirs[namespace]
+
+    def _dir_bytes(self, namespace):
+        suffix = NAMESPACES[namespace]
+        directory = self._dirs[namespace]
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return 0
+        total = 0
+        for name in names:
+            if not name.endswith(suffix) or name in _RESERVED:
+                continue
+            try:
+                total += os.path.getsize(os.path.join(directory, name))
+            except OSError:
+                continue
+        return total
 
     def list_keys(self, namespace):
         suffix = NAMESPACES[namespace]
@@ -251,9 +310,21 @@ class ArtifactServer(ThreadingHTTPServer):
             if name.endswith(suffix) and name not in _RESERVED
             and _KEY_RE.match(name))
 
-    def count(self, name):
+    def count(self, name, namespace=None, n=1):
         with self._counter_lock:
-            self.counters[name] += 1
+            self.counters[name] = self.counters.get(name, 0) + n
+        labels = dict(_COUNTER_SERIES.get(name, ()))
+        labels["namespace"] = namespace or ""
+        telemetry.counter(
+            "repro_server_requests_total",
+            help="Artifact-server requests by verb, outcome, namespace.",
+            **labels).inc(n)
+
+    def count_bytes(self, direction, namespace, n):
+        telemetry.counter(
+            "repro_server_bytes_total",
+            help="Artifact bytes served (out) and accepted (in).",
+            direction=direction, namespace=namespace or "").inc(n)
 
     @property
     def url(self):

@@ -1,0 +1,52 @@
+"""Observability substrate: metrics registry, spans, and run journals.
+
+Three cooperating layers, all stdlib, all tolerant of being disabled:
+
+* :mod:`~repro.telemetry.metrics` — a process-wide registry of
+  counters, gauges, and timing histograms that the stores, the remote
+  client, and the artifact server report into; renderable in the
+  Prometheus text format (``repro serve`` exposes it at ``/metrics``).
+* :mod:`~repro.telemetry.spans` — nested phase timers wrapping the hot
+  paths (trace synthesis/load, stream precompute, cycle/interval
+  simulation, store get/put, remote pull), collected per worker by the
+  engine pool and merged at the parent.
+* :mod:`~repro.telemetry.journal` — per-run JSONL journals (one span
+  tree per job plus a run summary) written under
+  ``REPRO_TELEMETRY_DIR`` and rendered by ``repro report``.
+
+``REPRO_TELEMETRY=0`` turns spans into no-ops and suppresses journals;
+the registry stays importable so counter bumps never need guarding.
+"""
+
+from .journal import (DIR_ENV, RunJournal, active_journal, journal_dir,
+                      latest_journal, read_journal, scope)
+from .metrics import (REGISTRY, Counter, Gauge, Histogram, MetricsRegistry,
+                      counter, gauge, histogram, render_prometheus)
+from .report import build_report, render_report
+from .spans import Span, current_span, enabled, record_tree, span
+
+__all__ = [
+    "Counter",
+    "DIR_ENV",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RunJournal",
+    "Span",
+    "active_journal",
+    "build_report",
+    "counter",
+    "current_span",
+    "enabled",
+    "gauge",
+    "histogram",
+    "journal_dir",
+    "latest_journal",
+    "read_journal",
+    "record_tree",
+    "render_prometheus",
+    "render_report",
+    "scope",
+    "span",
+]

@@ -1,0 +1,259 @@
+"""Process-wide metrics registry: counters, gauges, timing histograms.
+
+Every subsystem that used to keep a hand-rolled counter dict (the
+result store's hit/miss accounting, the trace store's remote/quarantine
+sidecar, the remote client's push bookkeeping, the artifact server's
+request counters) also registers those events here, so one scrape —
+``repro serve``'s ``/metrics`` endpoint, or
+:func:`render_prometheus` anywhere — sees the whole process.
+
+Design constraints:
+
+* **Stdlib only, cheap bumps.**  A counter increment is one lock
+  acquire and one addition; histograms bisect a small static bucket
+  list.  The hot simulation loops never touch the registry — only
+  phase boundaries (spans), store lookups, and HTTP requests do.
+* **Labels are part of identity.**  ``counter("x_total", store="a")``
+  and ``counter("x_total", store="b")`` are two series of one family,
+  exactly as Prometheus models it; re-requesting the same
+  name+labels returns the same object.
+* **Fork-agnostic.**  Children inherit a snapshot and diverge; the
+  engine pool ships per-job span trees back to the parent (see
+  :mod:`repro.telemetry.spans`), so cross-process aggregation happens
+  at the parent rather than through shared memory.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "render_prometheus",
+]
+
+# Seconds-oriented default buckets: spans range from sub-ms store
+# lookups to multi-second trace synthesis and full sweeps.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   30.0, 60.0, 120.0)
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+def _label_text(labels):
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _escape(value):
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace(
+        "\n", "\\n")
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n=1):
+        with self._lock:
+            self.value += n
+
+    def get(self):
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down, or be computed at scrape time."""
+
+    __slots__ = ("name", "labels", "value", "fn", "_lock")
+
+    def __init__(self, name, labels, fn=None):
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+        self.fn = fn
+        self._lock = threading.Lock()
+
+    def set(self, value):
+        with self._lock:
+            self.value = value
+
+    def inc(self, n=1):
+        with self._lock:
+            self.value += n
+
+    def get(self):
+        if self.fn is not None:
+            try:
+                return self.fn()
+            except Exception:  # callback gauges must never break a scrape
+                return 0
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket timing histogram (Prometheus semantics)."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count",
+                 "_lock")
+
+    def __init__(self, name, labels, buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # +inf tail bucket
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        i = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[i] += 1
+            self.sum += value
+            self.count += 1
+
+    def get(self):
+        """Snapshot: cumulative bucket counts keyed by upper bound."""
+        with self._lock:
+            counts = list(self.counts)
+            total, sum_ = self.count, self.sum
+        out = {}
+        running = 0
+        for bound, n in zip(self.buckets, counts):
+            running += n
+            out[bound] = running
+        return {"buckets": out, "sum": sum_, "count": total}
+
+
+class MetricsRegistry:
+    """Name+labels -> metric instance, with Prometheus rendering."""
+
+    def __init__(self):
+        self._metrics = {}
+        self._help = {}
+        self._lock = threading.Lock()
+
+    def _get_or_make(self, cls, name, labels, help_text, **kwargs):
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = cls(name, labels, **kwargs)
+            elif type(metric) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}")
+            if help_text and name not in self._help:
+                self._help[name] = help_text
+        return metric
+
+    def counter(self, name, help="", **labels):
+        return self._get_or_make(Counter, name, labels, help)
+
+    def gauge(self, name, help="", fn=None, **labels):
+        metric = self._get_or_make(Gauge, name, labels, help, fn=fn)
+        if fn is not None:
+            metric.fn = fn
+        return metric
+
+    def histogram(self, name, help="", buckets=DEFAULT_BUCKETS, **labels):
+        return self._get_or_make(Histogram, name, labels, help,
+                                 buckets=buckets)
+
+    def snapshot(self):
+        """``{family: {label-text: value-or-hist-dict}}`` for reports."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        out = {}
+        for metric in metrics:
+            out.setdefault(metric.name, {})[
+                _label_text(metric.labels)] = metric.get()
+        return out
+
+    def render_prometheus(self):
+        """The registry in the Prometheus text exposition format."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(),
+                             key=lambda m: (m.name,
+                                            _label_key(m.labels)))
+            help_texts = dict(self._help)
+        lines = []
+        seen_families = set()
+        for metric in metrics:
+            if metric.name not in seen_families:
+                seen_families.add(metric.name)
+                text = help_texts.get(metric.name)
+                if text:
+                    lines.append(f"# HELP {metric.name} {text}")
+                kind = {Counter: "counter", Gauge: "gauge",
+                        Histogram: "histogram"}[type(metric)]
+                lines.append(f"# TYPE {metric.name} {kind}")
+            label_text = _label_text(metric.labels)
+            if isinstance(metric, Histogram):
+                snap = metric.get()
+                running = 0
+                for bound, cum in snap["buckets"].items():
+                    running = cum
+                    labels = dict(metric.labels, le=repr(bound))
+                    lines.append(f"{metric.name}_bucket"
+                                 f"{_label_text(labels)} {cum}")
+                labels = dict(metric.labels, le="+Inf")
+                lines.append(f"{metric.name}_bucket{_label_text(labels)} "
+                             f"{snap['count']}")
+                lines.append(f"{metric.name}_sum{label_text} "
+                             f"{snap['sum']:.9g}")
+                lines.append(f"{metric.name}_count{label_text} "
+                             f"{snap['count']}")
+            else:
+                value = metric.get()
+                if isinstance(value, float):
+                    value = f"{value:.9g}"
+                lines.append(f"{metric.name}{label_text} {value}")
+        return "\n".join(lines) + "\n"
+
+    def reset(self):
+        """Test hook: drop every registered metric."""
+        with self._lock:
+            self._metrics.clear()
+            self._help.clear()
+
+
+#: The process-wide registry every subsystem reports into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name, help="", **labels):
+    return REGISTRY.counter(name, help=help, **labels)
+
+
+def gauge(name, help="", fn=None, **labels):
+    return REGISTRY.gauge(name, help=help, fn=fn, **labels)
+
+
+def histogram(name, help="", buckets=DEFAULT_BUCKETS, **labels):
+    return REGISTRY.histogram(name, help=help, buckets=buckets, **labels)
+
+
+def render_prometheus():
+    return REGISTRY.render_prometheus()

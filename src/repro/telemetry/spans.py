@@ -1,0 +1,145 @@
+"""Lightweight phase spans with nesting and per-job tree collection.
+
+A span measures one phase of work::
+
+    with telemetry.span("synthesize", workload="ar") as sp:
+        ...                      # sp is None when telemetry is off
+
+Spans started while another span is active on the same thread become
+its children, so a job executed as::
+
+    with telemetry.span("job", workload=..., label=...) as root:
+        trace = runner.trace_for(...)   # -> "trace_load"/"synthesize"
+        stats = simulate(trace, cfg)    # -> "simulate:cycle" + streams
+
+ends with ``root`` holding the whole tree.  The engine pool runs this
+in each worker and ships ``root.as_dict()`` back with the job payload
+through the pool's ordinary results queue — which makes collection
+identical under fork and spawn start methods, with no shared memory or
+extra pipes — and the parent merges every tree into the process-wide
+metrics registry (:func:`record_tree`) and the run journal.
+
+The ``REPRO_TELEMETRY=0`` kill switch turns :func:`span` into a
+reusable no-op context manager: no objects, no clock reads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..env import env_flag
+from .metrics import REGISTRY
+
+__all__ = ["Span", "current_span", "enabled", "record_tree", "span"]
+
+_LOCAL = threading.local()
+
+
+def enabled():
+    """True unless ``REPRO_TELEMETRY`` is set to ``0/false/off/no``."""
+    return env_flag("REPRO_TELEMETRY", True)
+
+
+def current_span():
+    """The innermost active span on this thread, or None."""
+    stack = getattr(_LOCAL, "stack", None)
+    return stack[-1] if stack else None
+
+
+class Span:
+    """One timed phase: name, attributes, duration, children."""
+
+    __slots__ = ("name", "attrs", "t0", "seconds", "children")
+
+    def __init__(self, name, attrs):
+        self.name = name
+        self.attrs = attrs
+        self.t0 = 0.0
+        self.seconds = 0.0
+        self.children = []
+
+    def as_dict(self):
+        out = {"name": self.name, "seconds": round(self.seconds, 6)}
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children]
+        return out
+
+    def __repr__(self):
+        return (f"Span({self.name!r}, {self.seconds:.4f}s, "
+                f"{len(self.children)} children)")
+
+
+class _SpanContext:
+    __slots__ = ("_span",)
+
+    def __init__(self, name, attrs):
+        self._span = Span(name, attrs)
+
+    def __enter__(self):
+        stack = getattr(_LOCAL, "stack", None)
+        if stack is None:
+            stack = _LOCAL.stack = []
+        stack.append(self._span)
+        self._span.t0 = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        s = self._span
+        s.seconds = time.perf_counter() - s.t0
+        stack = _LOCAL.stack
+        if stack and stack[-1] is s:
+            stack.pop()
+        else:  # unbalanced exit (generator span leaked): resync
+            try:
+                stack.remove(s)
+            except ValueError:
+                pass
+        if stack:
+            stack[-1].children.append(s)
+        return False
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL = _NullContext()
+
+
+def span(name, **attrs):
+    """Context manager timing one phase (no-op when telemetry is off)."""
+    if not enabled():
+        return _NULL
+    return _SpanContext(name, attrs)
+
+
+def record_tree(tree):
+    """Fold one span tree into the registry's per-phase histograms.
+
+    Accepts a :class:`Span`, its ``as_dict()`` form (what pool workers
+    ship back), or None (telemetry off / skipped job).  Called once per
+    tree by the run_jobs parent — the single registry writer for span
+    data, so worker-side and in-parent execution count identically.
+    """
+    if tree is None:
+        return
+    if isinstance(tree, Span):
+        tree = tree.as_dict()
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        REGISTRY.histogram(
+            "repro_span_seconds",
+            help="Wall time of instrumented phases, by span name.",
+            phase=node["name"],
+        ).observe(node.get("seconds", 0.0))
+        stack.extend(node.get("children", ()))

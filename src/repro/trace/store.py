@@ -47,6 +47,7 @@ import zipfile
 
 import numpy as np
 
+from .. import telemetry
 from ..env import env_max_bytes, warn_once
 from .ops import Trace
 
@@ -64,8 +65,11 @@ ENABLE_ENV = "REPRO_TRACE_STORE"
 _COLUMNS = ("kind", "addr", "pc", "taken", "dep1", "dep2", "func")
 
 # Cross-process remote hit/miss/quarantine accounting lives in a tiny
-# sidecar (the trace store has no manifest); updates are best-effort.
+# sidecar (the trace store has no manifest); updates are best-effort
+# and serialized with an advisory lock so concurrent sweeps can't lose
+# each other's read-modify-write cycles.
 _COUNTERS_NAME = ".counters.json"
+_COUNTERS_LOCK = ".counters.lock"
 _COUNTER_FIELDS = ("remote_hits", "remote_misses", "quarantined")
 
 
@@ -154,8 +158,28 @@ class TraceStore:
         return self._remote or None
 
     def _bump(self, name, n=1):
-        """Count a remote/quarantine event, in-session and on disk."""
+        """Count a remote/quarantine event, in-session and on disk.
+
+        The sidecar update runs as a locked read-modify-write (advisory
+        flock, shared with the result store's manifest locking), so two
+        sweeps bumping concurrently can't lose each other's counts; the
+        replacement write itself stays atomic (temp + ``os.replace``).
+        A missing or read-only root keeps the session counter only.
+        """
         self.session_counters[name] += n
+        telemetry.counter(
+            "repro_trace_store_events_total",
+            help="Trace-store remote and quarantine events.",
+            event=name).inc(n)
+        from ..engine.store import _FileLock  # lazy: avoids an import cycle
+
+        try:
+            with _FileLock(os.path.join(self.root, _COUNTERS_LOCK)):
+                self._bump_sidecar(name, n)
+        except OSError:  # read-only root: keep the session counter only
+            pass
+
+    def _bump_sidecar(self, name, n):
         counters_path = os.path.join(self.root, _COUNTERS_NAME)
         try:
             with open(counters_path) as fh:
@@ -168,11 +192,12 @@ class TraceStore:
             with open(tmp, "w") as fh:
                 json.dump(counters, fh, sort_keys=True)
             os.replace(tmp, counters_path)
-        except OSError:  # read-only root: keep the session counter only
+        except OSError:
             try:
                 os.remove(tmp)
             except OSError:
                 pass
+            raise
 
     def persistent_counters(self):
         try:
@@ -431,7 +456,8 @@ class TraceStore:
         except OSError:
             names = []
         for name in names:
-            if name.endswith(".corrupt") or name == _COUNTERS_NAME:
+            if (name.endswith(".corrupt")
+                    or name in (_COUNTERS_NAME, _COUNTERS_LOCK)):
                 try:
                     os.remove(os.path.join(self.root, name))
                 except OSError:

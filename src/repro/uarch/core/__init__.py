@@ -91,10 +91,14 @@ def simulate(trace, config, max_cycles=None, warm=True, model="cycle",
     compulsory misses.  Returns a fully populated
     :class:`~repro.uarch.stats.SimStats`.
     """
+    from ... import telemetry
+
     if model == "interval":
-        return simulate_interval(trace, config, warm=warm)
+        with telemetry.span("simulate:interval"):
+            return simulate_interval(trace, config, warm=warm)
     if model != "cycle":
         raise ValueError(f"unknown model {model!r}; expected one of "
                          f"{MODELS}")
-    return CycleCore(trace, config, max_cycles=max_cycles, warm=warm,
-                     observers=observers).run()
+    with telemetry.span("simulate:cycle"):
+        return CycleCore(trace, config, max_cycles=max_cycles, warm=warm,
+                         observers=observers).run()

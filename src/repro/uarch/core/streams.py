@@ -296,10 +296,13 @@ def get_streams(trace, config, warm=True):
     if cache is None:
         cache = {}
         trace._fe_streams = cache
+    from ... import telemetry
+
     ikey = _iside_key(config, warm)
     cached = cache.get(ikey)
     if cached is None:
-        cached = _compute_iside(trace, config, warm)
+        with telemetry.span("stream_precompute", side="i"):
+            cached = _compute_iside(trace, config, warm)
         cache[ikey] = cached
     base, iside_events = cached
     if not warm:
@@ -312,7 +315,8 @@ def get_streams(trace, config, warm=True):
     dkey = _dside_key(config)
     dside = dcache.get(dkey)
     if dside is None:
-        dside = _compute_dside(trace, config)
+        with telemetry.span("stream_precompute", side="d"):
+            dside = _compute_dside(trace, config)
         dcache[dkey] = dside
     l1d_sets, dpos, daddr = dside
 
