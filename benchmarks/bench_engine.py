@@ -75,30 +75,82 @@ def bench_trace(workloads, scale, budget, trace_dir):
     return out
 
 
+def _best_backend():
+    """Fastest available cycle backend, or None on pre-backend heads."""
+    try:
+        from repro.uarch.core import backends as cycle_backends
+    except ImportError:
+        return None
+    return cycle_backends.best_backend()
+
+
 def bench_tiers(workloads, scale, budget):
-    """Simulation rate (Kops/s) per fidelity tier, gem5 baseline."""
+    """Simulation rate (Kops/s) per fidelity tier, gem5 baseline.
+
+    The cycle tier runs under the fastest available backend (what a
+    tuned deployment gets); ``cycle_backends`` below records every
+    backend individually, including the reference.
+    """
     from repro.core.runner import default_runner
     from repro.uarch import gem5_baseline, simulate
     from repro.uarch.core import MODELS
 
     runner = default_runner()
     config = gem5_baseline()
+    best = _best_backend()
     rates = {}
     for model in MODELS:
+        kwargs = {"backend": best} if (model == "cycle" and best) else {}
         total_ops = 0
         total_s = 0.0
         for w in workloads:
             trace, _ = runner.trace_for(w, scale, budget)
-            simulate(trace, config, model=model)  # warm code paths
+            simulate(trace, config, model=model, **kwargs)  # warm code paths
             t0 = time.perf_counter()
-            simulate(trace, config, model=model)
+            simulate(trace, config, model=model, **kwargs)
             total_s += time.perf_counter() - t0
             total_ops += len(trace)
         rates[model] = {
             "kops_per_s": round(total_ops / total_s / 1e3, 1),
             "seconds_total": round(total_s, 3),
         }
+        if model == "cycle":
+            rates[model]["backend"] = best or "python"
     return rates
+
+
+def bench_cycle_backends(workloads, scale, budget):
+    """Cycle-tier rate per execution backend, same grid as the tiers.
+
+    Every available backend times the identical (trace, config) set —
+    outputs are bit-identical by contract, so the only difference is
+    speed.  Returns ``None`` on heads without selectable backends.
+    """
+    try:
+        from repro.uarch.core import backends as cycle_backends
+    except ImportError:
+        return None
+    from repro.core.runner import default_runner
+    from repro.uarch import gem5_baseline, simulate
+
+    runner = default_runner()
+    config = gem5_baseline()
+    out = {"best": cycle_backends.best_backend(), "rates": {}}
+    for name in cycle_backends.available_backends():
+        total_ops = 0
+        total_s = 0.0
+        for w in workloads:
+            trace, _ = runner.trace_for(w, scale, budget)
+            simulate(trace, config, backend=name)  # warm code paths
+            t0 = time.perf_counter()
+            simulate(trace, config, backend=name)
+            total_s += time.perf_counter() - t0
+            total_ops += len(trace)
+        out["rates"][name] = {
+            "kops_per_s": round(total_ops / total_s / 1e3, 1),
+            "seconds_total": round(total_s, 3),
+        }
+    return out
 
 
 def bench_sweep(workloads, scale, budget, sizes_kb):
@@ -290,6 +342,10 @@ def run_bench(tiny=False, label=None, workloads=None, out_path=None):
             entry["trace"] = bench_trace(workloads, scale, budget, trace_dir)
             print("[bench] tier rates...", file=sys.stderr)
             entry["tiers"] = bench_tiers(workloads, scale, budget)
+            print("[bench] cycle backends...", file=sys.stderr)
+            backends = bench_cycle_backends(workloads, scale, budget)
+            if backends is not None:
+                entry["cycle_backends"] = backends
             print(f"[bench] l2 sweep ({len(workloads)}x{len(sizes_kb)} "
                   f"jobs, cold + trace-warm)...", file=sys.stderr)
             entry["l2_sweep"] = bench_sweep(workloads, scale, budget,

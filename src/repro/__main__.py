@@ -386,6 +386,9 @@ def cmd_trace(args):
         rows = [
             {"field": "root", "value": s["root"]},
             {"field": "entries", "value": str(s["entries"])},
+            {"field": "stream sidecars", "value": str(s["stream_entries"])},
+            {"field": "stream size",
+             "value": _human_bytes(s["stream_bytes"])},
             {"field": "total size", "value": _human_bytes(s["total_bytes"])},
             {"field": "size cap", "value": cap},
             {"field": "remote", "value": s["remote_url"] or "none"},
@@ -584,6 +587,17 @@ def _add_model_arg(p):
                         "vectorized estimate)")
 
 
+def _add_backend_arg(p):
+    from .uarch.core import backends as cycle_backends
+
+    p.add_argument("--cycle-backend", choices=cycle_backends.BACKEND_NAMES,
+                   default=None,
+                   help="cycle-tier execution backend (default: "
+                        "REPRO_CYCLE_BACKEND, then python); every "
+                        "backend is bit-identical, so results and "
+                        "cache keys do not depend on it")
+
+
 def _add_policy_arg(p):
     p.add_argument("--policy", choices=POLICIES, default=None,
                    help="execution policy; adaptive = interval scan of "
@@ -614,6 +628,7 @@ def build_parser():
     p.add_argument("--budget", type=int, default=80_000)
     p.add_argument("--metric", choices=_METRICS, default="ipc")
     _add_model_arg(p)
+    _add_backend_arg(p)
     _add_policy_arg(p)
     p.add_argument("--quiet", action="store_true",
                    help="suppress the progress meter")
@@ -638,6 +653,7 @@ def build_parser():
                    help="sweep over the host-i9 config instead of the "
                         "gem5 Table II baseline")
     _add_model_arg(p)
+    _add_backend_arg(p)
     _add_policy_arg(p)
     p.add_argument("--quiet", action="store_true",
                    help="suppress the progress meter")
@@ -652,6 +668,7 @@ def build_parser():
     p.add_argument("--host", action="store_true",
                    help="use the host-i9 config instead of gem5 baseline")
     _add_model_arg(p)
+    _add_backend_arg(p)
     p.add_argument("--no-cache", dest="cache", action="store_false")
     p.set_defaults(func=cmd_run)
 
@@ -668,6 +685,7 @@ def build_parser():
     p.add_argument("--gem5", action="store_true",
                    help="use the gem5 Table II baseline instead of host-i9")
     _add_model_arg(p)
+    _add_backend_arg(p)
     _add_policy_arg(p)
     p.add_argument("--quiet", action="store_true",
                    help="suppress the progress meter")
@@ -682,6 +700,7 @@ def build_parser():
     p.add_argument("--scale", default=None,
                    help="trace scale override (figure-specific default)")
     _add_model_arg(p)
+    _add_backend_arg(p)
     _add_policy_arg(p)
     p.add_argument("--out", default=None,
                    help="write JSON here instead of stdout")
@@ -758,6 +777,7 @@ def build_parser():
     p.add_argument("--out", default=None,
                    help="output JSON path (default: committed "
                         "benchmarks/BENCH_engine.json)")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("list", help="available sweeps and workloads")
@@ -768,6 +788,14 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "cycle_backend", None):
+        # Exported (not passed call-to-call) so forked pool workers and
+        # every simulate() in this process honor the same selection.
+        import os
+
+        from .uarch.core.backends import BACKEND_ENV
+
+        os.environ[BACKEND_ENV] = args.cycle_backend
     try:
         return args.func(args)
     except KeyboardInterrupt:

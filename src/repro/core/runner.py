@@ -115,6 +115,14 @@ class Runner:
         key = (workload, scale, budget)
         prebuilt = PREBUILT_TRACES.get(key)
         if prebuilt is not None:
+            # Prebuilt traces may have been reconstructed from shipped
+            # columns (pool synthesis) without store provenance; stamp
+            # it here so workers persist stream sidecars too.
+            if getattr(prebuilt[0], "_stream_persist", None) is None:
+                tstore = self.trace_store
+                if tstore is not None:
+                    prebuilt[0]._stream_persist = (
+                        tstore, tstore.key(workload, scale, budget))
             return prebuilt
         memo = self._traces
         if key in memo:
@@ -139,6 +147,11 @@ class Runner:
                     tstore.save(workload, scale, budget, trace)
                 except OSError:
                     pass  # read-only cache location: stay in-process
+        if tstore is not None:
+            # Stamp store provenance so derived artifacts (precomputed
+            # front-end streams) can persist next to the trace archive.
+            entry[0]._stream_persist = (
+                tstore, tstore.key(workload, scale, budget))
         memo[key] = entry
         while len(memo) > self._trace_memo_cap:
             memo.popitem(last=False)

@@ -22,7 +22,19 @@ variable                    meaning              fallback when invalid
 ``REPRO_REMOTE_TIMEOUT``    remote I/O timeout   ``10`` seconds
 ``REPRO_TELEMETRY``         spans/metrics switch ``on``
 ``REPRO_TELEMETRY_DIR``     run-journal dir      no journals
+``REPRO_CYCLE_BACKEND``     cycle-tier execution ``python``
+                            backend (``python``,
+                            ``numpy``, ``native``)
+``REPRO_STREAMS``           front-end stream     ``on``
+                            precompute switch
+``REPRO_NATIVE_CACHE_DIR``  compiled-kernel .so  per-user temp dir
+                            cache
 =========================== ==================== ======================
+
+``REPRO_CYCLE_BACKEND`` never changes results or store keys: every
+backend is bit-identical on the configurations it accepts, and a
+config a backend cannot represent exactly routes to ``python`` with a
+one-line warning (see :mod:`repro.uarch.core.backends`).
 """
 
 from __future__ import annotations

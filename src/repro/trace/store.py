@@ -51,7 +51,8 @@ from .. import telemetry
 from ..env import env_max_bytes, warn_once
 from .ops import Trace
 
-__all__ = ["TRACE_FORMAT_VERSION", "TraceStore", "default_trace_dir"]
+__all__ = ["STREAM_SUFFIX", "TRACE_FORMAT_VERSION", "TraceStore",
+           "default_trace_dir"]
 
 # Bump when the builder/kernels change what any (workload, scale,
 # budget) key emits; the golden simulator fixtures pin the current
@@ -63,6 +64,12 @@ MAX_MB_ENV = "REPRO_TRACE_CACHE_MAX_MB"
 ENABLE_ENV = "REPRO_TRACE_STORE"
 
 _COLUMNS = ("kind", "addr", "pc", "taken", "dep1", "dep2", "func")
+
+# Sidecar archives live next to their trace under this suffix; the
+# basename embeds the producer's own format version and fingerprint
+# hash (see repro.uarch.core.streams), so the trace store only needs
+# to distinguish them from trace archives for accounting.
+STREAM_SUFFIX = ".streams.npz"
 
 # Cross-process remote hit/miss/quarantine accounting lives in a tiny
 # sidecar (the trace store has no manifest); updates are best-effort
@@ -391,6 +398,79 @@ class TraceStore:
         return path
 
     # ------------------------------------------------------------------
+    # Sidecar archives: derived per-trace artifacts (precomputed
+    # front-end streams) stored next to the trace .npz under the same
+    # atomicity, quarantine, and eviction regime.  The caller owns the
+    # name (which embeds its own format version and fingerprint) and
+    # the meaning of meta/arrays; the store owns durability.
+
+    def save_sidecar(self, name, meta, arrays):
+        """Atomically persist named arrays + a JSON meta blob.
+
+        Returns the path, or ``None`` on I/O failure (read-only root):
+        sidecars are pure caches, so persistence failures never
+        propagate to the computation that produced them.
+        """
+        try:
+            self._ensure_root()
+            path = os.path.join(self.root, name)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".npz.tmp")
+            with os.fdopen(fd, "wb") as fh:
+                with zipfile.ZipFile(fh, "w", zipfile.ZIP_STORED) as zf:
+                    zf.writestr("meta.json", json.dumps(meta, sort_keys=True))
+                    for col, arr in arrays.items():
+                        buf = io.BytesIO()
+                        np.lib.format.write_array(
+                            buf, np.ascontiguousarray(arr))
+                        zf.writestr(col + ".npy", buf.getvalue())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except (OSError, UnboundLocalError):
+                pass
+            return None
+        if self.max_bytes is not None:
+            self._evict(keep=os.path.basename(path))
+        return path
+
+    def load_sidecar(self, name, mmap=True):
+        """``(meta, {column: array})`` for a sidecar, or ``None``.
+
+        Columns are memory-mapped in place when stored uncompressed
+        (the save path always stores them that way); a corrupt archive
+        is quarantined exactly like a damaged trace.
+        """
+        path = os.path.join(self.root, name)
+        if not os.path.exists(path):
+            return None
+        try:
+            with zipfile.ZipFile(path) as zf:
+                meta = json.loads(zf.read("meta.json"))
+                infos = {i.filename: i for i in zf.infolist()}
+                columns = {}
+                for fname, info in infos.items():
+                    if not fname.endswith(".npy"):
+                        continue
+                    col = fname[:-4]
+                    if mmap and info.compress_type == zipfile.ZIP_STORED:
+                        columns[col] = _mmap_npz_column(path, info)
+                    else:
+                        with zf.open(fname) as fh:
+                            columns[col] = np.lib.format.read_array(fh)
+        except (zipfile.BadZipFile, json.JSONDecodeError, KeyError,
+                ValueError):
+            self._quarantine(path)
+            return None
+        except OSError:
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return meta, columns
+
+    # ------------------------------------------------------------------
     def _entries(self):
         try:
             names = os.listdir(self.root)
@@ -430,10 +510,14 @@ class TraceStore:
 
     def stats(self):
         entries = self._entries()
+        streams = [e for e in entries if e[0].endswith(STREAM_SUFFIX)]
+        traces = [e for e in entries if not e[0].endswith(STREAM_SUFFIX)]
         remote = self.remote
         out = {
             "root": self.root,
-            "entries": len(entries),
+            "entries": len(traces),
+            "stream_entries": len(streams),
+            "stream_bytes": sum(size for _, size, _ in streams),
             "total_bytes": sum(size for _, size, _ in entries),
             "max_bytes": self.max_bytes,
             "remote_url": remote.base_url if remote is not None else None,

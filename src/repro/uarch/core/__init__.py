@@ -80,7 +80,7 @@ def scan_margin(model):
 
 
 def simulate(trace, config, max_cycles=None, warm=True, model="cycle",
-             observers=None):
+             observers=None, backend=None):
     """Run ``trace`` through a core configured by ``config``.
 
     ``model`` selects the fidelity tier: ``"cycle"`` (default) steps
@@ -88,8 +88,10 @@ def simulate(trace, config, max_cycles=None, warm=True, model="cycle",
     vectorized analytical model (``max_cycles`` and ``observers`` do
     not apply).  ``warm=True`` performs a functional warmup pass first
     so counters reflect steady-state behavior rather than cold-start
-    compulsory misses.  Returns a fully populated
-    :class:`~repro.uarch.stats.SimStats`.
+    compulsory misses.  ``backend`` picks the cycle-loop execution
+    backend (default: ``REPRO_CYCLE_BACKEND``, then ``python``); every
+    backend is bit-identical, so results are backend-independent.
+    Returns a fully populated :class:`~repro.uarch.stats.SimStats`.
     """
     from ... import telemetry
 
@@ -99,6 +101,13 @@ def simulate(trace, config, max_cycles=None, warm=True, model="cycle",
     if model != "cycle":
         raise ValueError(f"unknown model {model!r}; expected one of "
                          f"{MODELS}")
-    with telemetry.span("simulate:cycle"):
-        return CycleCore(trace, config, max_cycles=max_cycles, warm=warm,
-                         observers=observers).run()
+    with telemetry.span("simulate:cycle") as sp:
+        core = CycleCore(trace, config, max_cycles=max_cycles, warm=warm,
+                         observers=observers, backend=backend)
+        if sp is not None:
+            sp.attrs["backend"] = core.backend
+        telemetry.counter(
+            "repro_cycle_backend_runs_total",
+            help="Cycle-tier runs by execution backend.",
+            backend=core.backend).inc()
+        return core.run()

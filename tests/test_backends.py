@@ -1,0 +1,153 @@
+"""Cycle-backend matrix: golden parity, capability fallback, store keys.
+
+Every registered backend must produce bit-identical ``SimStats`` — the
+contract that keeps ``REPRO_CYCLE_BACKEND`` out of the result-store
+key.  The matrix pins each backend against the committed seed golden
+fixtures (six gem5 workloads, warm and cold) and against the reference
+on the host-i9 L3/LTAGE config; backends that cannot represent a run
+(no streams, custom observers, missing toolchain) must route to
+``python`` with a one-line warning rather than diverge.
+"""
+
+import pytest
+
+from gem5_golden import gem5_golden, gem5_traces
+from repro.engine.jobs import JobSpec
+from repro.uarch import CycleCore, gem5_baseline, host_i9, simulate
+from repro.uarch.core import backends as cycle_backends
+
+pytestmark = pytest.mark.filterwarnings("ignore::UserWarning")
+
+WORKLOADS = ("ar", "co", "dm", "ma", "rj", "tu")
+
+
+def _require(backend):
+    if not cycle_backends.get_backend(backend).available():
+        pytest.skip(f"backend {backend!r} unavailable on this host")
+
+
+# ----------------------------------------------------------------------
+# Golden-fixture bit-parity, every backend x workload x warm/cold
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", cycle_backends.BACKEND_NAMES)
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("mode", ("warm", "cold"))
+def test_backend_matches_seed_golden(backend, workload, mode):
+    _require(backend)
+    trace = gem5_traces()[workload]
+    stats = simulate(trace, gem5_baseline(), warm=(mode == "warm"),
+                     backend=backend)
+    got = stats.as_dict()
+    want = gem5_golden()[workload][mode]
+    mismatched = [k for k in want if got[k] != want[k]]
+    assert got == want, f"{backend}/{workload}/{mode} diverges in {mismatched}"
+
+
+@pytest.mark.parametrize("backend", ("numpy", "native"))
+@pytest.mark.parametrize("workload", ("ar", "ma"))
+@pytest.mark.parametrize("warm", (True, False))
+def test_backend_matches_reference_on_host_i9(backend, workload, warm):
+    # L3 present, LTAGE predictor: the deepest machinery the callback/
+    # stream boundary must keep bit-exact.
+    _require(backend)
+    trace = gem5_traces()[workload]
+    ref = simulate(trace, host_i9(), warm=warm, backend="python").as_dict()
+    got = simulate(trace, host_i9(), warm=warm, backend=backend).as_dict()
+    diffs = [k for k in ref if got[k] != ref[k]]
+    assert got == ref, f"{backend} diverges on host-i9 in {diffs}"
+
+
+@pytest.mark.parametrize("backend", ("numpy", "native"))
+def test_non_stream_run_falls_back_bit_exactly(backend, monkeypatch):
+    # REPRO_STREAMS=0 removes the representation the compiled kernels
+    # need; the run must still match golden, via the python fallback.
+    _require(backend)
+    monkeypatch.setenv("REPRO_STREAMS", "0")
+    trace = gem5_traces()["ar"]
+    core = CycleCore(trace, gem5_baseline(), backend=backend)
+    assert core.backend == "python"
+    assert core.backend_fallback is not None
+    got = core.run().as_dict()
+    assert got == gem5_golden()["ar"]["warm"]
+
+
+# ----------------------------------------------------------------------
+# Capability fallback
+# ----------------------------------------------------------------------
+class TestFallback:
+    def test_custom_observers_route_to_python(self):
+        _require("numpy")
+        from repro.uarch.core.observers import Observer
+
+        class Probe(Observer):
+            def on_cycle_end(self, s):
+                pass
+
+        trace = gem5_traces()["ar"]
+        core = CycleCore(trace, gem5_baseline(), observers=[Probe()],
+                         backend="numpy")
+        assert core.backend == "python"
+        assert "observers" in core.backend_fallback
+
+    def test_fallback_warns_once(self, monkeypatch, capsys):
+        _require("numpy")
+        from repro import env as env_mod
+
+        monkeypatch.setattr(env_mod, "_WARNED", set())
+        _, name, reason = cycle_backends.select_backend(
+            "numpy", streams=None, default_observers=True)
+        assert name == "python"
+        assert reason is not None
+        err = capsys.readouterr().err
+        assert "falling back to python" in err
+        # Same condition again: warn_once stays quiet.
+        cycle_backends.select_backend("numpy", streams=None,
+                                      default_observers=True)
+        assert "falling back" not in capsys.readouterr().err
+
+    def test_invalid_env_value_uses_default(self, monkeypatch):
+        from repro import env as env_mod
+
+        monkeypatch.setattr(env_mod, "_WARNED", set())
+        monkeypatch.setenv(cycle_backends.BACKEND_ENV, "fortran")
+        assert cycle_backends.backend_from_env() == \
+            cycle_backends.DEFAULT_BACKEND
+
+    def test_unknown_backend_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown cycle backend"):
+            cycle_backends.get_backend("fortran")
+
+
+# ----------------------------------------------------------------------
+# Selection plumbing
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_env_knob_selects_backend(self, monkeypatch):
+        _require("numpy")
+        monkeypatch.setenv(cycle_backends.BACKEND_ENV, "numpy")
+        trace = gem5_traces()["ar"]
+        core = CycleCore(trace, gem5_baseline())
+        assert core.backend == "numpy"
+
+    def test_python_always_available(self):
+        assert "python" in cycle_backends.available_backends()
+
+    def test_best_backend_is_available(self):
+        best = cycle_backends.best_backend()
+        assert best in cycle_backends.available_backends()
+
+    def test_backend_never_in_store_key(self, monkeypatch):
+        monkeypatch.delenv(cycle_backends.BACKEND_ENV, raising=False)
+        base = JobSpec("ar", gem5_baseline()).key()
+        for name in cycle_backends.BACKEND_NAMES:
+            monkeypatch.setenv(cycle_backends.BACKEND_ENV, name)
+            assert JobSpec("ar", gem5_baseline()).key() == base
+
+    def test_simulate_records_backend_span(self):
+        from repro import telemetry
+
+        trace = gem5_traces()["ar"]
+        with telemetry.span("test-root") as root:
+            simulate(trace, gem5_baseline(), backend="python")
+        spans = [s for s in root.children if s.name == "simulate:cycle"]
+        assert spans and spans[0].attrs.get("backend") == "python"

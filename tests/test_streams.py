@@ -88,3 +88,89 @@ class TestStreamMachinery:
         assert streamed.branches == live.branches
         assert streamed.branch_mispredicts == live.branch_mispredicts
         assert streamed.cache["l1i"] == live.cache["l1i"]
+
+
+class TestStreamPersistence:
+    """Stream sidecars next to the trace archive in the trace store."""
+
+    @staticmethod
+    def _fresh_trace(tmp_path, monkeypatch):
+        from repro.core.runner import Runner
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        trace, _ = Runner().trace_for("ar", "tiny", 4000)
+        return trace
+
+    def test_sidecar_roundtrip_bit_exact(self, tmp_path, monkeypatch):
+        trace = self._fresh_trace(tmp_path, monkeypatch)
+        cfg = gem5_baseline()
+        want = CycleCore(trace, cfg).run().as_dict()
+        assert list(tmp_path.glob("*.streams.npz")), "sidecar not saved"
+        # A "new process": trace reloaded from the store, stream memos
+        # gone — the sidecar alone must reproduce identical bits.
+        trace2 = self._fresh_trace(tmp_path, monkeypatch)
+        assert not hasattr(trace2, "_fe_final")
+        got = CycleCore(trace2, cfg).run().as_dict()
+        assert got == want
+
+    def test_warm_process_skips_precompute(self, tmp_path, monkeypatch):
+        from repro import telemetry
+
+        trace = self._fresh_trace(tmp_path, monkeypatch)
+        cfg = gem5_baseline()
+        get_streams(trace, cfg)  # populates the sidecar
+        trace2 = self._fresh_trace(tmp_path, monkeypatch)
+        with telemetry.span("test-root") as root:
+            st = get_streams(trace2, cfg)
+        names = [s.name for s in root.children]
+        assert st is not None
+        assert "stream_precompute" not in names
+        # ... and it really is the persisted object, memoized for the
+        # rest of the process.
+        assert get_streams(trace2, cfg) is st
+
+    def test_sidecar_counted_in_store_stats(self, tmp_path, monkeypatch):
+        from repro.trace.store import TraceStore
+
+        trace = self._fresh_trace(tmp_path, monkeypatch)
+        get_streams(trace, gem5_baseline())
+        stats = TraceStore(root=str(tmp_path)).stats()
+        assert stats["entries"] == 1
+        assert stats["stream_entries"] >= 1
+        assert stats["stream_bytes"] > 0
+
+    def test_unstored_trace_never_persists(self, tmp_path):
+        trace = gem5_traces()["ar"]  # built with use_disk_cache=False
+        assert get_streams(trace, gem5_baseline()) is not None
+        assert not list(tmp_path.glob("*.streams.npz"))
+
+    def test_prebuilt_trace_gets_persist_stamp(self, tmp_path, monkeypatch):
+        # Pool-synthesized traces reach workers via PREBUILT_TRACES,
+        # reconstructed from shipped columns with no store provenance;
+        # trace_for must stamp them so workers persist sidecars too.
+        from repro.core.runner import PREBUILT_TRACES, Runner
+
+        trace = self._fresh_trace(tmp_path, monkeypatch)
+        if hasattr(trace, "_stream_persist"):
+            del trace._stream_persist
+        key = ("ar", "tiny", 4000)
+        monkeypatch.setitem(PREBUILT_TRACES, key, (trace, None))
+        got, _ = Runner().trace_for(*key)
+        assert got is trace
+        store, trace_key = got._stream_persist
+        assert trace_key == store.key(*key)
+        get_streams(got, gem5_baseline())
+        assert list(tmp_path.glob("*.streams.npz"))
+
+    def test_corrupt_sidecar_recomputes(self, tmp_path, monkeypatch):
+        trace = self._fresh_trace(tmp_path, monkeypatch)
+        cfg = gem5_baseline()
+        want = CycleCore(trace, cfg).run().as_dict()
+        (sidecar,) = tmp_path.glob("*.streams.npz")
+        sidecar.write_bytes(b"not a zip archive")
+        trace2 = self._fresh_trace(tmp_path, monkeypatch)
+        got = CycleCore(trace2, cfg).run().as_dict()
+        assert got == want
+        # Quarantined, then rewritten by the recompute.
+        assert list(tmp_path.glob("*.streams.npz.corrupt"))
+        assert list(tmp_path.glob("*.streams.npz"))
