@@ -124,6 +124,11 @@ def _print_result_table(result, metric, title):
     mixed = len(result.tier_counts()) > 1
     fmt = "{:.4g}"  # readable for IPC (1.974) and seconds (1.044e-05)
     tiers = result.tiers()
+    # Columns come from the study's full grid, not the first row's
+    # cells: a quarantined cell must leave a visible gap, not silently
+    # drop its column for every workload.
+    columns = ["workload"]
+    columns += [str(label) for label, _ in result.study.points()]
     rows = []
     for w, by_label in result.table().items():
         row = {"workload": w}
@@ -133,13 +138,24 @@ def _print_result_table(result, metric, title):
                 value = "~" + value
             row[str(label)] = value
         rows.append(row)
-    print(render_table(rows, title=title))
+    print(render_table(rows, columns=columns, title=title))
     if mixed:
         counts = result.tier_counts()
         grid = len(result.cells)
         print(f"adaptive: {counts.get('cycle', 0)}/{grid} cells "
               f"cycle-refined (~ = interval scan value); cycle jobs run: "
               f"{result.jobs_run.get('cycle', 0)} of {grid} grid points")
+    failures = getattr(result, "failures", None)
+    if failures:
+        rows = [{"workload": f.workload, "label": str(f.label),
+                 "tier": f.model, "attempts": str(f.attempts),
+                 "error": f"{f.error_type}: {f.error}"[:72]}
+                for f in failures]
+        print(render_table(
+            rows, title=f"quarantined failures ({len(rows)})"))
+        print(f"warning: {len(failures)} job(s) quarantined after "
+              f"exhausting retries; their cells are missing above "
+              f"(rerun or see `repro report`)", file=sys.stderr)
 
 
 def cmd_sweep(args):
@@ -419,6 +435,12 @@ def cmd_report(args):
     except OSError as exc:
         print(f"error: cannot read journal {path}: {exc}", file=sys.stderr)
         return 2
+    if not report.get("records"):
+        # An empty or fully-torn journal is a degraded run, not a CLI
+        # usage error: report what little is known and exit clean.
+        print(f"journal {path} has no parseable records (empty or "
+              f"truncated); nothing to report")
+        return 0
     if args.json:
         print(json.dumps(report, indent=1, sort_keys=True))
     else:

@@ -18,8 +18,10 @@ regardless of worker count.
 from __future__ import annotations
 
 from ..engine import run_jobs
+from ..engine.failures import JobFailure
 from ..engine.jobs import JobSpec
 from ..engine.study import Study
+from ..env import warn_once
 from ..profiling import analyze, hotspot_report, metric_set
 from ..uarch.config import gem5_baseline, host_i9
 from ..workloads import vtune_workloads
@@ -81,8 +83,17 @@ def run_characterizations(jobs, runner=None, workers=None, progress=None,
     if policy is None:
         stats_list = run_jobs(jobs, workers=workers, runner=runner,
                               progress=progress)
-        return [Characterization(job.workload, stats)
-                for job, stats in zip(jobs, stats_list)]
+        out = []
+        for job, stats in zip(jobs, stats_list):
+            if isinstance(stats, JobFailure):
+                warn_once(("characterize-failed", job.key()),
+                          f"characterization of {stats.describe()} was "
+                          f"quarantined after {stats.attempts} attempt(s) "
+                          f"({stats.error_type}); dropping it from the "
+                          f"suite")
+                continue
+            out.append(Characterization(job.workload, stats))
+        return out
     # Repeated (workload, point) entries are legal in a job list (e.g.
     # `repro characterize ar co ar`); the study plan needs each once,
     # and the result maps back onto the original order below.
@@ -96,8 +107,13 @@ def run_characterizations(jobs, runner=None, workers=None, progress=None,
     result = study.run(policy=policy, workers=workers, runner=runner,
                        progress=progress)
     by_cell = {(c.workload, c.label): c.stats for c in result.cells}
+    for failure in getattr(result, "failures", ()):
+        warn_once(("characterize-failed", failure.key),
+                  f"characterization of {failure.describe()} was "
+                  f"quarantined after {failure.attempts} attempt(s) "
+                  f"({failure.error_type}); dropping it from the suite")
     return [Characterization(job.workload, by_cell[(job.workload, job.label)])
-            for job in jobs]
+            for job in jobs if (job.workload, job.label) in by_cell]
 
 
 def characterize(workload, config=None, scale="default",

@@ -22,10 +22,10 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 
-from .. import telemetry
+from .. import faults, telemetry
 from ..engine.jobs import JobSpec
 from ..engine.store import ResultStore
-from ..env import env_int
+from ..env import env_int, warn_once
 from ..trace import TraceRequest, workload_trace
 from ..trace.store import TraceStore, store_enabled
 from ..uarch import SimStats, simulate
@@ -184,8 +184,16 @@ class Runner:
         if self.use_disk_cache:
             # Deferred: payload file lands now; the manifest entry is
             # batched with the next flush (sweeps flush once per run).
-            self.store.put(job.key(), stats.as_dict(), meta=job.meta(),
-                           defer=True)
+            # A failed write (disk full) degrades to an uncached result
+            # with a one-line warning — never a failed job.
+            try:
+                self.store.put(job.key(), stats.as_dict(), meta=job.meta(),
+                               defer=True)
+            except OSError as exc:
+                warn_once(("store-put-failed", self.store.root),
+                          f"result store {self.store.root} write failed "
+                          f"({exc}); results stay in memory only")
+                faults.recovered("store.put")
         return stats
 
     def clear_disk_cache(self):

@@ -12,6 +12,7 @@ study executed here; ``python -m repro`` drives the same machinery
 from the shell.
 """
 
+from .failures import JobFailure
 from .jobs import JobSpec, config_fingerprint, expand_grid
 from .pool import resolve_workers, run_jobs
 from .progress import Progress
@@ -21,6 +22,7 @@ from .study import (Axis, POLICIES, Study, StudyResult, axis, parse_axis,
 
 __all__ = [
     "Axis",
+    "JobFailure",
     "JobSpec",
     "POLICIES",
     "Progress",

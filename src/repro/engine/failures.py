@@ -1,0 +1,58 @@
+"""Structured records for jobs quarantined after retries exhausted.
+
+A :class:`JobFailure` occupies the failed job's slot in the list
+``run_jobs`` returns, so a sweep completes with ``n-k`` results
+instead of raising — callers that can tolerate holes skip the failure
+objects, and every consumer of a :class:`~repro.engine.study.Study`
+sees them collected on ``StudyResult.failures``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["JobFailure"]
+
+
+class JobFailure:
+    """One quarantined job: what failed, how, and how hard we tried."""
+
+    __slots__ = ("workload", "label", "model", "key", "error",
+                 "error_type", "attempts", "backend")
+
+    def __init__(self, workload, label, model, key, error, error_type,
+                 attempts, backend=None):
+        self.workload = workload
+        self.label = label
+        self.model = model
+        self.key = key
+        self.error = error
+        self.error_type = error_type
+        self.attempts = int(attempts)
+        #: Backend the final attempt used (None = the session default);
+        #: retried cycle-tier jobs fall back to ``"python"``.
+        self.backend = backend
+
+    @classmethod
+    def from_job(cls, job, exc, attempts, backend=None):
+        """Build a record from a :class:`JobSpec` and its last error."""
+        if isinstance(exc, BaseException):
+            error = str(exc) or exc.__class__.__name__
+            error_type = exc.__class__.__name__
+        else:
+            error = str(exc)
+            error_type = "error"
+        return cls(job.workload, job.label, job.model, job.key(),
+                   error, error_type, attempts, backend=backend)
+
+    def describe(self):
+        return f"{self.workload}@{self.label} [{self.model}]"
+
+    def as_dict(self):
+        return {"workload": self.workload, "label": str(self.label),
+                "model": self.model, "key": self.key, "error": self.error,
+                "error_type": self.error_type, "attempts": self.attempts,
+                "backend": self.backend}
+
+    def __repr__(self):
+        return (f"JobFailure({self.describe()!r}, "
+                f"{self.error_type}: {self.error!r}, "
+                f"attempts={self.attempts})")

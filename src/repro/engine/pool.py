@@ -1,4 +1,4 @@
-"""Parallel job execution with per-worker runners.
+"""Parallel job execution with per-worker runners, supervised.
 
 ``run_jobs`` executes a list of :class:`~repro.engine.jobs.JobSpec`
 over a process pool.  Cache hits are served from the result store in
@@ -15,29 +15,89 @@ as parallel as the old per-worker scheme.  On spawn platforms the
 inherited set is empty and workers fall back to mmap loads from the
 store.
 
+Failure semantics (the coordinator dress rehearsal):
+
+* Every job runs in its **own supervised process** (at most ``n``
+  concurrent), so a dead worker (segfault, ``os._exit``, SIGKILL,
+  OOM) is attributed exactly: only the job whose process died is
+  charged an attempt — other in-flight jobs, each in their own
+  process, never even notice.  (A shared pool would break wholesale
+  and charge every in-flight innocent, cascading one kill into many
+  spurious quarantines.)
+* Each failed job is retried up to ``REPRO_JOB_RETRIES`` times
+  (default 2).  Retried cycle-tier jobs force the ``python`` backend —
+  graceful degradation away from a possibly-crashing native kernel,
+  bit-identical by the backend parity matrix.
+* After retries exhaust, the job is **quarantined**: its slot in the
+  returned list holds a :class:`~repro.engine.failures.JobFailure`
+  instead of stats, a failure record lands in the run journal, and the
+  sweep completes with ``n-k`` results instead of raising.
+* ``REPRO_JOB_TIMEOUT`` (seconds; 0 = off) reaps jobs that hang: the
+  hung job's process is killed and the job charged an attempt, without
+  disturbing anything else in flight.
+* ``KeyError``/``ValueError`` are deterministic configuration errors
+  (unknown workload, impossible cache geometry) and still raise
+  immediately — retrying cannot fix a caller bug.
+
 Results always come back in input-job order regardless of worker
 count.  ``workers=1`` — or a platform where a process pool cannot be
-created — takes the plain serial path, identical to the pre-engine
-behavior.
+created — takes the serial path, with the same retry/quarantine
+semantics applied in-process.
 """
 
 from __future__ import annotations
 
-import math
 import multiprocessing
 import os
 import sys
 import time
+from collections import deque
+from multiprocessing.connection import wait as _sentinel_wait
 
-from .. import telemetry
-from ..env import env_int
+from .. import faults, telemetry
+from ..env import env_float, env_int, warn_once
+from .failures import JobFailure
 from .store import ResultStore
 
 __all__ = ["prebuild_traces", "run_jobs", "resolve_workers"]
 
+RETRIES_ENV = "REPRO_JOB_RETRIES"
+_RETRIES_DEFAULT = 2
+TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+
+# How long the supervisor sleeps in wait() between liveness checks.
+_POLL_SECONDS = 0.1
+
+# Deterministic caller bugs: raised through, never retried/quarantined
+# (the CLI turns them into its usual `error:` exits).
+_FATAL = (KeyError, ValueError)
+
 # Per-worker-process state, populated by the pool initializer: a
 # disk-cache-free Runner (trace memoization only) and a store handle.
 _STATE = {}
+
+_RETRIES_TOTAL = telemetry.counter(
+    "repro_pool_retries_total",
+    help="Job attempts retried after a failure or worker death.")
+_QUARANTINED_TOTAL = telemetry.counter(
+    "repro_pool_quarantined_total",
+    help="Jobs quarantined after exhausting retries.")
+_WORKER_DEATHS_TOTAL = telemetry.counter(
+    "repro_pool_worker_deaths_total",
+    help="Pool rebuilds forced by a dead worker process.")
+_TIMEOUTS_TOTAL = telemetry.counter(
+    "repro_pool_job_timeouts_total",
+    help="Jobs reaped by the REPRO_JOB_TIMEOUT wall-clock limit.")
+
+
+def job_retries():
+    """Retry budget per job (total attempts = retries + 1)."""
+    return env_int(RETRIES_ENV, _RETRIES_DEFAULT, minimum=0)
+
+
+def job_timeout():
+    """Per-job wall-clock limit in seconds (0 = disabled)."""
+    return env_float(TIMEOUT_ENV, 0.0, minimum=0.0)
 
 
 def resolve_workers(workers=None):
@@ -92,9 +152,10 @@ def _init_worker(store_root, in_worker=True):
     _STATE["runner"] = Runner(use_disk_cache=False, trace_store=tstore)
     _STATE["store"] = (ResultStore(store_root, remote=False)
                        if store_root else None)
+    _STATE["in_worker"] = in_worker
 
 
-def _execute(job):
+def _execute(job, attempt=0, backend=None):
     """Trace (inherited/memoized), simulate, persist, return payload.
 
     Returns ``(payload, span_tree)``.  The span tree — the job's phase
@@ -103,22 +164,39 @@ def _execute(job):
     works identically under fork and spawn start methods; the parent
     merges it into the metrics registry and the run journal.
 
+    ``attempt`` feeds the chaos harness token (each retry of a job gets
+    an independent fault draw); ``backend`` overrides the cycle-tier
+    execution backend on retries (graceful degradation to ``python``).
+
     The store put defers its manifest entry: payload files land
     immediately (atomic), the index entries reach the manifest in one
-    locked write when the worker drains — instead of one lock round-trip
-    per job.
+    locked write when the batch drains — instead of one lock round-trip
+    per job.  A failed put (disk full) degrades to in-memory results
+    with a one-line warning instead of failing the job.
     """
     from ..uarch import simulate
 
     with telemetry.span("job", workload=job.workload, label=str(job.label),
                         model=job.model) as sp:
+        faults.worker_exec(f"{job.key()}:{attempt}",
+                           in_worker=_STATE.get("in_worker", True))
         runner = _STATE["runner"]
         trace, _ = runner.trace_for(job.workload, job.scale, job.budget)
-        stats = simulate(trace, job.config, model=job.model)
+        if backend is not None and job.model == "cycle":
+            stats = simulate(trace, job.config, model=job.model,
+                             backend=backend)
+        else:
+            stats = simulate(trace, job.config, model=job.model)
         payload = stats.as_dict()
         store = _STATE["store"]
         if store is not None:
-            store.put(job.key(), payload, meta=job.meta(), defer=True)
+            try:
+                store.put(job.key(), payload, meta=job.meta(), defer=True)
+            except OSError as exc:
+                warn_once(("store-put-failed", store.root),
+                          f"result store {store.root} write failed "
+                          f"({exc}); results stay in memory only")
+                faults.recovered("store.put")
     return payload, (sp.as_dict() if sp is not None else None)
 
 
@@ -230,16 +308,59 @@ def _journal_job(journal, job, cached, tree):
                 spans=tree)
 
 
+def _error_text(exc):
+    if isinstance(exc, BaseException):
+        return str(exc) or exc.__class__.__name__
+    return str(exc)
+
+
+def _retry_backend(job):
+    """Backend override for a retried job: cycle tier degrades to the
+    reference ``python`` backend (bit-identical; immune to native
+    crashes), other tiers keep their default."""
+    return "python" if job.model == "cycle" else None
+
+
+def _note_retry(journal, job, attempts, exc, total):
+    """Account one failed-but-retryable attempt (visible, journaled)."""
+    _RETRIES_TOTAL.inc()
+    if journal is not None:
+        journal.retry(job.workload, job.label, job.model, attempts,
+                      _error_text(exc))
+    warn_once(("job-retry", job.key(), attempts),
+              f"job {job.describe()} attempt {attempts}/{total} failed "
+              f"({_error_text(exc)}); retrying"
+              + (" on the python backend" if job.model == "cycle" else ""))
+
+
+def _quarantine(journal, job, exc, attempts, backend=None):
+    """Build (and account) the failure record for an exhausted job."""
+    failure = JobFailure.from_job(job, exc, attempts, backend=backend)
+    _QUARANTINED_TOTAL.inc()
+    warn_once(("job-quarantined", job.key()),
+              f"job {job.describe()} quarantined after {attempts} "
+              f"attempt(s): {failure.error_type}: {failure.error}")
+    if journal is not None:
+        journal.failure(job.workload, job.label, job.model, failure.error,
+                        failure.error_type, attempts, backend=backend)
+    return failure
+
+
 def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
-    """Execute *jobs*, returning ``SimStats`` aligned with input order.
+    """Execute *jobs*, returning results aligned with input order.
+
+    Each slot holds the job's ``SimStats`` — or, when the job failed
+    every attempt, a :class:`~repro.engine.failures.JobFailure` record
+    (see the module docstring for the retry/quarantine semantics).
 
     Serial path (``workers<=1``): every job goes through
     ``runner.stats_for`` (the ``default_runner`` when none is given),
     preserving the exact pre-engine execution order and caching.
 
     Parallel path: hits are resolved against *store* up front (the
-    runner's store by default), misses fan out over a process pool, and
-    workers persist their results to the shared store as they finish.
+    runner's store by default), misses fan out over a supervised
+    process pool, and workers persist their results to the shared
+    store as they finish.
 
     Telemetry: every job is wrapped in a ``"job"`` span whose tree is
     merged into the process metrics registry and — when an enclosing
@@ -266,6 +387,25 @@ def run_jobs(jobs, workers=None, runner=None, store=None, progress=None):
                 progress.finish()
 
 
+def _serial_execute(runner, job, backend):
+    """One serial attempt, honoring a retry's backend override."""
+    if backend is None or job.model != "cycle":
+        return runner.stats_for_job(job)
+    from ..uarch import simulate
+
+    trace, _ = runner.trace_for(job.workload, job.scale, job.budget)
+    stats = simulate(trace, job.config, model=job.model, backend=backend)
+    if runner.use_disk_cache:
+        # Backends are bit-identical, so the degraded retry caches
+        # under the job's ordinary key.
+        try:
+            runner.store.put(job.key(), stats.as_dict(), meta=job.meta(),
+                             defer=True)
+        except OSError:
+            pass
+    return stats
+
+
 def _run_serial(jobs, runner, store, progress, journal):
     from ..core.runner import Runner, default_runner
 
@@ -273,6 +413,7 @@ def _run_serial(jobs, runner, store, progress, journal):
         # Honor an explicit store even on the serial path.
         runner = (Runner(cache_dir=store.root, store=store)
                   if store is not None else default_runner())
+    retries = job_retries()
     t0 = time.perf_counter()
     out = []
     try:
@@ -281,10 +422,35 @@ def _run_serial(jobs, runner, store, progress, journal):
             if (progress is not None or journal is not None) \
                     and runner.use_disk_cache:
                 cached = runner.store.contains(job.key(), job.legacy_key())
-            with telemetry.span("job", workload=job.workload,
-                                label=str(job.label),
-                                model=job.model) as sp:
-                stats = runner.stats_for_job(job)
+            stats = sp = None
+            failure = None
+            backend = None
+            for attempt in range(retries + 1):
+                try:
+                    with telemetry.span("job", workload=job.workload,
+                                        label=str(job.label),
+                                        model=job.model) as sp:
+                        stats = _serial_execute(runner, job, backend)
+                    break
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except _FATAL:
+                    raise
+                except Exception as exc:
+                    if attempt >= retries:
+                        failure = _quarantine(journal, job, exc,
+                                              attempt + 1, backend=backend)
+                    else:
+                        _note_retry(journal, job, attempt + 1, exc,
+                                    retries + 1)
+                        backend = _retry_backend(job)
+            if failure is not None:
+                out.append(failure)
+                if progress is not None:
+                    progress.step(job.describe(), cached=False)
+                continue
+            if attempt > 0:
+                faults.recovered("worker.exec")
             telemetry.record_tree(sp)
             _journal_job(journal, job, cached, sp)
             if progress is not None:
@@ -301,6 +467,218 @@ def _run_serial(jobs, runner, store, progress, journal):
     return out
 
 
+# ----------------------------------------------------------------------
+# Supervised parallel dispatch
+# ----------------------------------------------------------------------
+class WorkerDied(RuntimeError):
+    """A job's worker process exited without delivering a result."""
+
+
+def _child_entry(conn, store_root, job, attempt, backend):
+    """Per-job worker process body: init, execute, ship the outcome.
+
+    The outcome travels over *conn* as ``("ok", payload, tree)`` or
+    ``("err", exc)``; a process that dies before sending anything is
+    recognized by the parent as a worker death (its pipe end arrives
+    empty).  Exits via ``os._exit`` like the old pool workers did —
+    a worker must never fold manifest state on the way out (the parent
+    indexes deferred puts itself).
+    """
+    import pickle
+
+    code = 0
+    try:
+        _init_worker(store_root)
+        try:
+            outcome = ("ok",) + _execute(job, attempt, backend)
+        except BaseException as exc:  # serialized to the parent
+            code = 1
+            try:
+                pickle.dumps(exc)
+                outcome = ("err", exc)
+            except Exception:
+                # Unpicklable exception: ship a faithful stand-in.
+                outcome = ("err", RuntimeError(
+                    f"{exc.__class__.__name__}: {_error_text(exc)}"))
+        conn.send(outcome)
+        conn.close()
+    except BaseException:
+        code = 1
+    os._exit(code)
+
+
+class _Flight:
+    """One in-flight job: its process, pipe, and attempt bookkeeping."""
+
+    __slots__ = ("slot", "job", "attempt", "backend", "proc", "conn", "t0")
+
+    def __init__(self, slot, job, attempt, backend, proc, conn):
+        self.slot = slot
+        self.job = job
+        self.attempt = attempt
+        self.backend = backend
+        self.proc = proc
+        self.conn = conn
+        self.t0 = time.monotonic()
+
+    def discard(self, kill=False):
+        if kill:
+            try:
+                self.proc.kill()
+            except (OSError, AttributeError, ValueError):
+                pass
+        try:
+            self.proc.join(timeout=1.0)
+        except Exception:
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def _dispatch_inline(work, retries, journal, on_result, on_failure):
+    """In-parent fallback when no process pool can be built: same
+    entry point, same retry/quarantine semantics, no timeouts."""
+    while work:
+        i, job, attempt, backend = work.popleft()
+        try:
+            payload, tree = _execute(job, attempt, backend)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except _FATAL:
+            raise
+        except Exception as exc:
+            if attempt >= retries:
+                on_failure(i, job,
+                           _quarantine(journal, job, exc, attempt + 1,
+                                       backend=backend))
+            else:
+                _note_retry(journal, job, attempt + 1, exc, retries + 1)
+                work.append((i, job, attempt + 1, _retry_backend(job)))
+            continue
+        if attempt > 0:
+            faults.recovered("worker.exec")
+        on_result(i, job, payload, tree)
+
+
+def _dispatch_supervised(pending, n, store_root, journal, on_result,
+                         on_failure):
+    """Dispatch loop that survives dead workers and hung jobs.
+
+    One process per job, at most ``n`` in flight: spawn time is start
+    time (the wall-clock timeout measures the job, not the queue), a
+    death or a reaped hang charges exactly the job that suffered it,
+    and a ``KeyboardInterrupt`` unwinds through the ``finally`` that
+    kills whatever is still in flight — no half-dead pool survives the
+    run.
+    """
+    retries = job_retries()
+    timeout = job_timeout()
+    work = deque((i, job, 0, None) for i, job in pending)
+    ctx = _mp_context()
+
+    running = {}  # process sentinel -> _Flight
+
+    def fail_attempt(flight, exc):
+        if flight.attempt >= retries:
+            on_failure(flight.slot, flight.job,
+                       _quarantine(journal, flight.job, exc,
+                                   flight.attempt + 1,
+                                   backend=flight.backend))
+        else:
+            _note_retry(journal, flight.job, flight.attempt + 1, exc,
+                        retries + 1)
+            work.append((flight.slot, flight.job, flight.attempt + 1,
+                         _retry_backend(flight.job)))
+
+    def fall_back_inline():
+        _init_worker(store_root, in_worker=False)
+        _dispatch_inline(work, retries, journal, on_result, on_failure)
+
+    try:
+        while work or running:
+            while work and len(running) < n:
+                i, job, attempt, backend = work.popleft()
+                try:
+                    recv, send = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_child_entry,
+                        args=(send, store_root, job, attempt, backend),
+                        daemon=True)
+                    proc.start()
+                except (OSError, ValueError, ImportError):
+                    # The platform stopped giving us processes
+                    # (EAGAIN, ENOMEM, sandboxed spawn): finish inline
+                    # through the same worker entry point once the
+                    # in-flight processes drain.
+                    work.appendleft((i, job, attempt, backend))
+                    if not running:
+                        fall_back_inline()
+                        return
+                    break
+                send.close()  # the child owns the write end now
+                running[proc.sentinel] = _Flight(i, job, attempt, backend,
+                                                 proc, recv)
+
+            if not running:
+                continue
+            # A child sends its outcome and exits immediately, so the
+            # process sentinel is the one wake-up signal for results,
+            # errors, and deaths alike.
+            ready = _sentinel_wait(list(running), timeout=_POLL_SECONDS)
+
+            if not ready and timeout:
+                now = time.monotonic()
+                for sentinel, flight in list(running.items()):
+                    if now - flight.t0 <= timeout:
+                        continue
+                    # Reap exactly the hung job; nothing else notices.
+                    del running[sentinel]
+                    _TIMEOUTS_TOTAL.inc()
+                    flight.discard(kill=True)
+                    fail_attempt(flight, TimeoutError(
+                        f"exceeded {TIMEOUT_ENV}={timeout:g}s"))
+                continue
+
+            for sentinel in ready:
+                flight = running.pop(sentinel, None)
+                if flight is None:
+                    continue
+                outcome = None
+                try:
+                    if flight.conn.poll():
+                        outcome = flight.conn.recv()
+                except (EOFError, OSError):
+                    # Died mid-send: a torn pickle is a dead worker.
+                    outcome = None
+                flight.discard()
+                if outcome is None:
+                    _WORKER_DEATHS_TOTAL.inc()
+                    code = flight.proc.exitcode
+                    warn_once(("worker-died", flight.job.key(),
+                               flight.attempt),
+                              f"worker running {flight.job.describe()} "
+                              f"died (exit code {code}); only that job "
+                              f"is charged an attempt")
+                    fail_attempt(flight, WorkerDied(
+                        f"worker process died (exit code {code})"))
+                    continue
+                if outcome[0] == "err":
+                    exc = outcome[1]
+                    if isinstance(exc, _FATAL):
+                        raise exc
+                    fail_attempt(flight, exc)
+                    continue
+                if flight.attempt > 0:
+                    faults.recovered("worker.exec")
+                on_result(flight.slot, flight.job, outcome[1], outcome[2])
+    finally:
+        for flight in running.values():
+            flight.discard(kill=True)
+        running.clear()
+
+
 def _run_parallel(jobs, workers, runner, store, progress, journal):
     from ..core.runner import PREBUILT_TRACES, default_runner
     from ..uarch import SimStats
@@ -311,7 +689,6 @@ def _run_parallel(jobs, workers, runner, store, progress, journal):
 
     t0 = time.perf_counter()
     prebuild_tree = None
-    pool = None
     n = workers
     results = [None] * len(jobs)
     pending = []
@@ -343,14 +720,13 @@ def _run_parallel(jobs, workers, runner, store, progress, journal):
         if not pending:
             return results
 
-        # Same trace key => same contiguous chunk => same worker's
-        # memo.  Tier second: in a mixed (adaptive) batch a worker then
-        # runs all of a trace's same-tier jobs back to back.
+        # Same trace key => contiguous submission order => warm worker
+        # memos.  Tier second: in a mixed (adaptive) batch a worker
+        # then runs a trace's same-tier jobs back to back.
         pending.sort(key=lambda item: (item[1].trace_key, item[1].model,
                                        item[0]))
         todo = [job for _, job in pending]
         n = min(workers, len(pending))
-        chunksize = max(1, math.ceil(len(pending) / n))
 
         # Build/load every needed trace in the parent *before* forking:
         # workers then inherit the whole set zero-copy instead of each
@@ -359,21 +735,6 @@ def _run_parallel(jobs, workers, runner, store, progress, journal):
             prebuild_traces(todo, workers=n)
         prebuild_tree = psp
         telemetry.record_tree(psp)
-
-        try:
-            ctx = _mp_context()
-            pool = ctx.Pool(processes=n, initializer=_init_worker,
-                            initargs=(store.root if store else None,))
-        except (OSError, ValueError, ImportError):
-            pool = None
-
-        if pool is None:
-            # No usable process pool on this platform: compute
-            # in-parent through the same worker entry point.
-            _init_worker(store.root if store else None, in_worker=False)
-            payloads = (_execute(job) for job in todo)
-        else:
-            payloads = pool.imap(_execute, todo, chunksize=chunksize)
 
         # Workers write payload files with deferred puts
         # (multiprocessing children exit via os._exit, skipping
@@ -386,7 +747,8 @@ def _run_parallel(jobs, workers, runner, store, progress, journal):
         # could resurrect a key another worker's eviction pass already
         # deleted.
         index_in_parent = store is not None and store.max_bytes is None
-        for (i, job), (payload, tree) in zip(pending, payloads):
+
+        def on_result(i, job, payload, tree):
             results[i] = SimStats.from_dict(payload)
             telemetry.record_tree(tree)
             _journal_job(journal, job, False, tree)
@@ -394,10 +756,16 @@ def _run_parallel(jobs, workers, runner, store, progress, journal):
                 store.index_deferred(job.key(), meta=job.meta())
             if progress is not None:
                 progress.step(job.describe(), cached=False)
+
+        def on_failure(i, job, failure):
+            results[i] = failure
+            if progress is not None:
+                progress.step(job.describe(), cached=False)
+
+        _dispatch_supervised(pending, n,
+                             store.root if store is not None else None,
+                             journal, on_result, on_failure)
     finally:
-        if pool is not None:
-            pool.terminate()  # what `with pool:` would do; results are
-            pool.join()       # already drained on the success path
         # The forked children hold their own (copy-on-write) views;
         # dropping the parent's set bounds its memory across studies.
         PREBUILT_TRACES.clear()

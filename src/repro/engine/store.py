@@ -35,7 +35,7 @@ import os
 import time
 import weakref
 
-from .. import telemetry
+from .. import faults, telemetry
 from ..env import env_max_bytes
 
 try:
@@ -447,6 +447,7 @@ class ResultStore:
             return self._put(key, payload, meta=meta, defer=defer)
 
     def _put(self, key, payload, meta=None, defer=False):
+        faults.store_put(key)  # armed chaos site: injected ENOSPC
         _PUTS.inc()
         path = self._entry_path(key)
         blob = json.dumps(payload).encode()

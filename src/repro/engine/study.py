@@ -27,6 +27,7 @@ from .. import telemetry
 from ..profiling import metric_set
 from ..uarch.config import CacheConfig, gem5_baseline
 from ..uarch.core import MODELS, TIER_LADDER, scan_margin, scan_tier
+from .failures import JobFailure
 from .jobs import JobSpec, config_fingerprint
 from .pool import run_jobs
 
@@ -232,15 +233,22 @@ class StudyResult:
     equivalent ``JobSpec`` list executes in — and each records the
     fidelity tier that produced it.  ``table()`` reproduces the shape
     the pre-study sweep functions returned.
+
+    Jobs quarantined by the supervised pool (retries exhausted) do not
+    become cells; their :class:`~repro.engine.failures.JobFailure`
+    records are collected on :attr:`failures`, so a degraded run keeps
+    its ``n-k`` good cells *and* a visible account of the ``k``.
     """
 
-    def __init__(self, study, policy, cells, jobs_run=None):
+    def __init__(self, study, policy, cells, jobs_run=None, failures=None):
         self.study = study
         self.policy = policy
         self.cells = list(cells)
         #: Jobs actually simulated or fetched per tier, e.g.
         #: ``{"interval": 24, "cycle": 16}`` for an adaptive run.
         self.jobs_run = dict(jobs_run or {})
+        #: Quarantined jobs (:class:`JobFailure` records), if any.
+        self.failures = list(failures or ())
 
     def table(self):
         """``{workload: {label: MetricSet}}`` in grid order."""
@@ -449,13 +457,18 @@ class Study:
             jobs = self.jobs(model=policy)
             stats_list = run_jobs(jobs, workers=workers, runner=runner,
                                   progress=progress)
-            cells = [
-                StudyCell(job.workload, job.label, stats,
-                          metric_set(stats, job.describe()), job.model)
-                for job, stats in zip(jobs, stats_list)
-            ]
+            cells = []
+            failures = []
+            for job, stats in zip(jobs, stats_list):
+                if isinstance(stats, JobFailure):
+                    failures.append(stats)
+                    continue
+                cells.append(
+                    StudyCell(job.workload, job.label, stats,
+                              metric_set(stats, job.describe()), job.model))
             return StudyResult(self, policy, cells,
-                               jobs_run={policy: len(jobs)})
+                               jobs_run={policy: len(jobs)},
+                               failures=failures)
         if policy != "adaptive":
             raise ValueError(f"unknown policy {policy!r}; expected one of "
                              f"{POLICIES}")
@@ -475,7 +488,8 @@ class Study:
             single = self.run(policy=target, workers=workers,
                               runner=runner, progress=progress)
             return StudyResult(self, "adaptive", single.cells,
-                               jobs_run=single.jobs_run)
+                               jobs_run=single.jobs_run,
+                               failures=single.failures)
         scan = scan_tier(target)
         margin = (scan_margin(scan) if refine_margin is None
                   else refine_margin)
@@ -491,14 +505,21 @@ class Study:
         n_points = len(points)
 
         # Per-workload scan curves in grid order, then region selection.
+        # Quarantined scan cells carry no metric: region selection runs
+        # over the surviving points only (their grid indices mapped
+        # back), so one poisoned cell degrades its row, not the study.
         refine_jobs = []
         for wi, w in enumerate(self.workloads):
             stats_row = scan_stats[wi * n_points:(wi + 1) * n_points]
-            values = [getattr(metric_set(s), self.metric)
-                      for s in stats_row]
-            idxs = select_refinement(values, higher_better=higher,
-                                     margin=margin, pad=refine_pad,
-                                     mode=mode)
+            ok = [(i, s) for i, s in enumerate(stats_row)
+                  if not isinstance(s, JobFailure)]
+            if not ok:
+                continue
+            values = [getattr(metric_set(s), self.metric) for _, s in ok]
+            picked = select_refinement(values, higher_better=higher,
+                                       margin=margin, pad=refine_pad,
+                                       mode=mode)
+            idxs = [ok[p][0] for p in picked]
             refine_jobs.extend(
                 JobSpec(w, points[i][1], label=points[i][0],
                         scale=self.scale, budget=self.budget, model=target)
@@ -509,11 +530,22 @@ class Study:
             progress.add_total(len(refine_jobs))
         refine_stats = run_jobs(refine_jobs, workers=workers, runner=runner,
                                 progress=progress)
-        refined = {(job.workload, job.label): stats
-                   for job, stats in zip(refine_jobs, refine_stats)}
+        failures = []
+        refined = {}
+        for job, stats in zip(refine_jobs, refine_stats):
+            if isinstance(stats, JobFailure):
+                # The scan cell for this point succeeded (it was
+                # selected from a real metric), so the cell degrades
+                # back to the scan tier instead of vanishing.
+                failures.append(stats)
+                continue
+            refined[(job.workload, job.label)] = stats
 
         cells = []
         for job, stats in zip(scan_jobs, scan_stats):
+            if isinstance(stats, JobFailure):
+                failures.append(stats)
+                continue
             cell_key = (job.workload, job.label)
             if cell_key in refined:
                 stats, tier = refined[cell_key], target
@@ -525,4 +557,5 @@ class Study:
                                    metric_set(stats, name), tier))
         return StudyResult(self, "adaptive", cells,
                            jobs_run={scan: len(scan_jobs),
-                                     target: len(refine_jobs)})
+                                     target: len(refine_jobs)},
+                           failures=failures)

@@ -20,6 +20,18 @@ variable                    meaning              fallback when invalid
 ``REPRO_TRACE_CACHE_MAX_MB`` trace-store cap     no cap
 ``REPRO_REMOTE_STORE``      shared store URL     no remote tier
 ``REPRO_REMOTE_TIMEOUT``    remote I/O timeout   ``10`` seconds
+``REPRO_REMOTE_RETRIES``    remote retries per   ``2``
+                            request
+``REPRO_REMOTE_COOLDOWN``   seconds between      ``30``
+                            re-probes of a down
+                            remote
+``REPRO_JOB_RETRIES``       retries per failed   ``2``
+                            sweep job
+``REPRO_JOB_TIMEOUT``       per-job wall-clock   ``0`` (no timeout)
+                            timeout, seconds
+``REPRO_FAULTS``            fault-injection      no faults
+                            spec(s), see
+                            :mod:`repro.faults`
 ``REPRO_TELEMETRY``         spans/metrics switch ``on``
 ``REPRO_TELEMETRY_DIR``     run-journal dir      no journals
 ``REPRO_CYCLE_BACKEND``     cycle-tier execution ``python``

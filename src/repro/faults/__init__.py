@@ -1,0 +1,36 @@
+"""Deterministic fault injection for chaos testing the engine.
+
+``REPRO_FAULTS="site:mode:rate[:seed][:match]"`` arms named fault
+sites threaded through the hot paths (see :data:`SITES`).  Firing is a
+pure function of ``(seed, site, mode, token)`` — the token is a natural
+identity such as ``"{job_key}:{attempt}"`` — so a chaos run replays
+bit-identically under the same seed, and a *retry* of the same job
+gets an independent draw instead of dying forever on the same
+decision.  See :mod:`repro.faults.harness` for the grammar and the
+site catalogue.
+"""
+
+from .harness import (FAULTS_ENV, SITES, FaultSpec, InjectedFault,
+                      InjectedRemoteError, active, corrupt_bytes,
+                      injected_counts, parse_faults, parse_spec,
+                      recovered, recovered_counts, remote_op, store_put,
+                      trace_load, worker_exec)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedRemoteError",
+    "SITES",
+    "active",
+    "corrupt_bytes",
+    "injected_counts",
+    "parse_faults",
+    "parse_spec",
+    "recovered",
+    "recovered_counts",
+    "remote_op",
+    "store_put",
+    "trace_load",
+    "worker_exec",
+]

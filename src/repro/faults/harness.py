@@ -1,0 +1,314 @@
+"""The fault-injection harness behind ``REPRO_FAULTS``.
+
+Grammar
+-------
+``REPRO_FAULTS`` holds comma-separated specs, one per site::
+
+    site:mode:rate[:seed][:match]
+
+* ``site`` — one of :data:`SITES` (e.g. ``worker.exec``).
+* ``mode`` — a site-specific failure (e.g. ``kill``; see the table).
+* ``rate`` — firing probability in ``[0, 1]``.
+* ``seed`` — integer; defaults to ``0``.  Same seed, same decisions.
+* ``match`` — optional substring filter on the token; only tokens
+  containing it can fire (e.g. a single job's key poisons that job).
+
+Sites and modes:
+
+=============== ======================= ===============================
+site            modes                   effect when fired
+=============== ======================= ===============================
+``worker.exec`` ``kill``                ``os._exit(1)`` (hard death)
+                ``sigkill``             ``SIGKILL`` to self
+                ``raise``               raise :class:`InjectedFault`
+                ``hang``                sleep until the pool's
+                                        ``REPRO_JOB_TIMEOUT`` reaper
+``remote.get``  ``error``, ``timeout``  raise a transient network error
+                ``corrupt``             flip a byte in the response
+``remote.put``  ``error``, ``timeout``  raise a transient network error
+``trace.load``  ``truncate``            truncate the archive in place
+``store.put``   ``enospc``              raise ``OSError(ENOSPC)``
+=============== ======================= ===============================
+
+Determinism
+-----------
+A spec fires for a token iff the leading 64 bits of
+``sha256(f"{seed}|{site}|{mode}|{token}")``, read as a fraction, fall
+below ``rate``.  Tokens carry the attempt number wherever retries
+exist, so the decision for attempt 1 is independent of attempt 0 — a
+job killed by chaos on its first try is *not* doomed to die on every
+retry — yet the whole schedule replays exactly under one seed.
+
+Every injected fault and every recovery from one is counted, both in
+per-process dicts (:func:`injected_counts` / :func:`recovered_counts`)
+and in the telemetry registry (``repro_faults_injected_total`` /
+``repro_faults_recovered_total``).
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import signal
+import time
+import urllib.error
+
+from .. import telemetry
+from ..env import warn_once
+
+__all__ = [
+    "FAULTS_ENV", "FaultSpec", "InjectedFault", "InjectedRemoteError",
+    "SITES", "active", "corrupt_bytes", "injected_counts", "parse_faults",
+    "parse_spec", "recovered", "recovered_counts", "remote_op",
+    "store_put", "trace_load", "worker_exec",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Site catalogue: every armable site and the modes it accepts.
+SITES = {
+    "worker.exec": ("kill", "sigkill", "raise", "hang"),
+    "remote.get": ("error", "timeout", "corrupt"),
+    "remote.put": ("error", "timeout"),
+    "trace.load": ("truncate",),
+    "store.put": ("enospc",),
+}
+
+# A hang only ends when something reaps the worker (REPRO_JOB_TIMEOUT);
+# long enough that nothing "recovers" by accident, short enough that an
+# unreaped hang cannot wedge a CI job forever.
+_HANG_SECONDS = 300.0
+
+_INJECTED = {}
+_RECOVERED = {}
+# (raw env value, parsed dict) — re-parsed whenever the env changes, so
+# monkeypatched tests and forked/spawned workers all see the live value.
+_CACHE = None
+
+
+class InjectedFault(RuntimeError):
+    """Exception delivered by an armed ``raise``-style fault site."""
+
+
+class InjectedRemoteError(urllib.error.URLError):
+    """Transient network error delivered by an armed ``remote.*`` site.
+
+    A ``URLError`` subclass so un-instrumented callers classify it
+    exactly like a real connection failure.
+    """
+
+    def __init__(self, site, token):
+        super().__init__(f"injected fault at {site} ({token})")
+
+
+class FaultSpec:
+    """One armed site: mode, rate, seed, optional token filter."""
+
+    __slots__ = ("site", "mode", "rate", "seed", "match")
+
+    def __init__(self, site, mode, rate, seed=0, match=None):
+        if site not in SITES:
+            raise ValueError(f"unknown fault site {site!r}; known: "
+                             f"{', '.join(sorted(SITES))}")
+        if mode not in SITES[site]:
+            raise ValueError(f"site {site!r} has no mode {mode!r}; "
+                             f"known: {', '.join(SITES[site])}")
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate!r}")
+        self.site = site
+        self.mode = mode
+        self.rate = rate
+        self.seed = int(seed)
+        self.match = match or None
+
+    def fires(self, token):
+        """Deterministic firing decision for one *token*."""
+        if self.match and self.match not in token:
+            return False
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{self.seed}|{self.site}|{self.mode}|{token}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64 < self.rate
+
+    def __repr__(self):
+        extra = f", match={self.match!r}" if self.match else ""
+        return (f"FaultSpec({self.site!r}, {self.mode!r}, {self.rate!r}, "
+                f"seed={self.seed}{extra})")
+
+
+def parse_spec(text):
+    """Parse one ``site:mode:rate[:seed][:match]`` spec (raises)."""
+    parts = text.strip().split(":", 4)
+    if len(parts) < 3:
+        raise ValueError(f"fault spec {text!r} is not "
+                         f"site:mode:rate[:seed][:match]")
+    site, mode, rate = parts[0].strip(), parts[1].strip(), parts[2].strip()
+    seed = 0
+    match = None
+    if len(parts) >= 4 and parts[3].strip():
+        try:
+            seed = int(parts[3].strip())
+        except ValueError:
+            raise ValueError(f"fault spec {text!r} has a non-integer "
+                             f"seed {parts[3].strip()!r}") from None
+    if len(parts) == 5 and parts[4].strip():
+        match = parts[4].strip()
+    return FaultSpec(site, mode, rate, seed=seed, match=match)
+
+
+def parse_faults(raw):
+    """Parse a full ``REPRO_FAULTS`` value into ``{site: FaultSpec}``.
+
+    Malformed pieces warn once and are skipped — a typo in a chaos knob
+    must never crash the run it was meant to stress.  One spec per
+    site; the last one wins.
+    """
+    specs = {}
+    for piece in (raw or "").split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        try:
+            spec = parse_spec(piece)
+        except ValueError as exc:
+            warn_once(("faults", piece),
+                      f"ignoring invalid {FAULTS_ENV} spec {piece!r}: {exc}")
+            continue
+        specs[spec.site] = spec
+    return specs
+
+
+def active():
+    """The armed sites, ``{site: FaultSpec}`` (usually empty)."""
+    global _CACHE
+    raw = os.environ.get(FAULTS_ENV, "")
+    if _CACHE is None or _CACHE[0] != raw:
+        _CACHE = (raw, parse_faults(raw) if raw.strip() else {})
+    return _CACHE[1]
+
+
+def _reset():
+    """Test hook: drop the parse cache and all counters."""
+    global _CACHE
+    _CACHE = None
+    _INJECTED.clear()
+    _RECOVERED.clear()
+
+
+# ----------------------------------------------------------------------
+# Counters
+# ----------------------------------------------------------------------
+def _note_injected(spec):
+    key = (spec.site, spec.mode)
+    _INJECTED[key] = _INJECTED.get(key, 0) + 1
+    telemetry.counter(
+        "repro_faults_injected_total",
+        help="Faults injected by the REPRO_FAULTS harness.",
+        site=spec.site, mode=spec.mode).inc()
+
+
+def recovered(site, n=1):
+    """Count a recovery at an armed *site* (no-op when unarmed).
+
+    Called from the code paths that absorb a failure — a retried job
+    succeeding, a quarantined trace re-synthesized, a refetch passing
+    hash verification — so chaos tests can assert that every injected
+    fault was actually healed, not just survived.
+    """
+    if site not in active():
+        return
+    _RECOVERED[site] = _RECOVERED.get(site, 0) + n
+    telemetry.counter(
+        "repro_faults_recovered_total",
+        help="Recoveries from injected faults, by site.",
+        site=site).inc(n)
+
+
+def injected_counts():
+    """``{(site, mode): count}`` injected in this process."""
+    return dict(_INJECTED)
+
+
+def recovered_counts():
+    """``{site: count}`` recoveries counted in this process."""
+    return dict(_RECOVERED)
+
+
+# ----------------------------------------------------------------------
+# Site entry points (each is a no-op unless its site is armed & fires)
+# ----------------------------------------------------------------------
+def _fire(site, token, modes=None):
+    """The armed spec if it fires for *token* (and counts it), else
+    None.  ``modes`` restricts which armed modes this entry point
+    honors (``corrupt`` is applied to bytes, not raised)."""
+    spec = active().get(site)
+    if spec is None:
+        return None
+    if modes is not None and spec.mode not in modes:
+        return None
+    if not spec.fires(token):
+        return None
+    _note_injected(spec)
+    return spec
+
+
+def worker_exec(token, in_worker=True):
+    """``worker.exec`` site: kill/sigkill/raise/hang the executing
+    process.  In-parent execution (serial path, pool fallback) demotes
+    the death modes to ``raise`` — chaos must never kill the parent."""
+    spec = _fire("worker.exec", token)
+    if spec is None:
+        return
+    mode = spec.mode
+    if not in_worker and mode in ("kill", "sigkill"):
+        mode = "raise"
+    if mode == "kill":
+        os._exit(1)
+    if mode == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "hang":
+        time.sleep(_HANG_SECONDS)
+        return
+    raise InjectedFault(f"injected fault at worker.exec ({token})")
+
+
+def remote_op(site, token):
+    """``remote.get``/``remote.put`` sites: raise a transient error."""
+    if _fire(site, token, modes=("error", "timeout")) is not None:
+        raise InjectedRemoteError(site, token)
+
+
+def corrupt_bytes(site, token, data):
+    """``remote.get`` corrupt mode: flip the first byte of *data*."""
+    if _fire(site, token, modes=("corrupt",)) is None:
+        return data
+    if not data:
+        return b"\x00"
+    return bytes([data[0] ^ 0xFF]) + data[1:]
+
+
+def trace_load(path):
+    """``trace.load`` site: truncate the archive file in place, so the
+    reader exercises its quarantine-and-resynthesize path."""
+    spec = _fire("trace.load", os.path.basename(path))
+    if spec is None:
+        return
+    try:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
+    except OSError:
+        pass
+
+
+def store_put(token):
+    """``store.put`` site: raise an injected out-of-space error."""
+    if _fire("store.put", token) is not None:
+        raise OSError(errno.ENOSPC,
+                      f"injected ENOSPC at store.put ({token})")

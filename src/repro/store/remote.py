@@ -9,13 +9,21 @@ asynchronously so the sweep hot path never blocks on the network.
 
 Hardened failure paths, by design:
 
-* **Server down at get** — the first connection failure marks the
-  remote unavailable for the rest of the process and every later
-  lookup short-circuits to the local fallback, silently.  A sweep on a
-  laptop that left the lab network behaves exactly like one with no
-  remote configured.
+* **Transient errors** — every request retries up to
+  ``REPRO_REMOTE_RETRIES`` times with jittered exponential backoff
+  before the server is declared down, so one dropped packet never
+  costs a whole outage window.
+* **Server down** — a failed request (after retries) opens a cooldown
+  window of ``REPRO_REMOTE_COOLDOWN`` seconds during which every
+  operation short-circuits to the local fallback, silently; the next
+  operation after the window **re-probes**, so a restarted server is
+  rediscovered mid-run instead of being ignored until process exit.
+  A sweep on a laptop that left the lab network behaves exactly like
+  one with no remote configured.
 * **Server down at put** — the result is already durable locally; the
-  failure warns once per process and pushing stops.
+  failure warns once per process, and every push skipped or failed
+  during the outage is *counted* as dropped — the drain hooks report
+  the total instead of losing the keys silently.
 * **Hash mismatch on pull** — every response's ``X-Repro-Sha256``
   digest is verified against the body; a mismatch is rejected and
   re-fetched once (covers a racing writer), and a second mismatch is
@@ -23,10 +31,11 @@ Hardened failure paths, by design:
   cache.
 
 Instances are per-``(url, namespace)`` singletons (:func:`remote_for`)
-so every local store handle in a process shares one availability flag,
-one counter set, and one push queue; the queue's worker thread is
-fork-safe (it re-arms in the child) and an ``atexit`` hook drains it
-on normal interpreter exit.
+so every local store handle in a process shares one availability
+state, one counter set, and one push queue; the queue's worker thread
+is fork-safe (it re-arms in the child) and an ``atexit`` hook drains
+it on normal interpreter exit, warning with the undelivered count when
+the drain times out.
 """
 
 from __future__ import annotations
@@ -36,13 +45,14 @@ import hashlib
 import json
 import os
 import queue
+import random
 import threading
 import time
 import urllib.error
 import urllib.request
 
-from .. import telemetry
-from ..env import env_float, env_remote_url, warn_once
+from .. import faults, telemetry
+from ..env import env_float, env_int, env_remote_url, warn_once
 
 __all__ = ["RemoteStore", "configured_remote", "queue_depths",
            "remote_for"]
@@ -50,6 +60,15 @@ __all__ = ["RemoteStore", "configured_remote", "queue_depths",
 HASH_HEADER = "X-Repro-Sha256"
 TIMEOUT_ENV = "REPRO_REMOTE_TIMEOUT"
 _TIMEOUT_DEFAULT = 10.0
+RETRIES_ENV = "REPRO_REMOTE_RETRIES"
+_RETRIES_DEFAULT = 2
+COOLDOWN_ENV = "REPRO_REMOTE_COOLDOWN"
+_COOLDOWN_DEFAULT = 30.0
+
+# First-retry backoff; doubles per attempt, with 50–150% jitter.  Kept
+# small: the local tier is a complete fallback, so waiting longer buys
+# robustness against blips, not correctness.
+_BACKOFF_BASE_S = 0.05
 
 _REGISTRY = {}
 _REGISTRY_LOCK = threading.Lock()
@@ -79,15 +98,27 @@ def configured_remote(namespace):
 
 
 def drain_all(timeout=60.0):
-    """Flush every registered remote's pending pushes (exit hook)."""
+    """Flush every registered remote's pending pushes (exit hook).
+
+    A drain that times out — and any pushes dropped while a server was
+    unreachable — are reported with their key counts per
+    (url, namespace) instead of vanishing silently.
+    """
     with _REGISTRY_LOCK:
-        stores = list(_REGISTRY.values())
-    for store in stores:
+        stores = list(_REGISTRY.items())
+    for (url, namespace), store in stores:
         store.drain(timeout=timeout)
+        dropped = store.counters.get("dropped", 0)
+        if dropped:
+            warn_once(("remote-dropped", url, namespace, dropped),
+                      f"remote store {url}/{namespace}: {dropped} push(es) "
+                      f"dropped while the server was unreachable; the "
+                      f"artifacts remain local — run `repro push` once it "
+                      f"is back")
 
 
 def _reset_registry():
-    """Test hook: forget singletons (and their availability flags)."""
+    """Test hook: forget singletons (and their availability state)."""
     with _REGISTRY_LOCK:
         _REGISTRY.clear()
 
@@ -113,14 +144,24 @@ def queue_depths():
 class RemoteStore:
     """Client for one namespace of a ``repro serve`` artifact server."""
 
-    def __init__(self, base_url, namespace, timeout=None):
+    def __init__(self, base_url, namespace, timeout=None, retries=None,
+                 cooldown=None):
         self.base_url = base_url.rstrip("/")
         self.namespace = namespace
         self.timeout = timeout if timeout is not None else env_float(
             TIMEOUT_ENV, _TIMEOUT_DEFAULT, minimum=0.1)
-        self.available = True
+        self.retries = (int(retries) if retries is not None else env_int(
+            RETRIES_ENV, _RETRIES_DEFAULT, minimum=0))
+        self.cooldown = (float(cooldown) if cooldown is not None
+                         else env_float(COOLDOWN_ENV, _COOLDOWN_DEFAULT,
+                                        minimum=0.0))
+        # Monotonic deadline until which the remote is considered down;
+        # None = up.  After the deadline the next operation re-probes.
+        self._down_until = None
+        self._outages = 0
         self.counters = {"hits": 0, "misses": 0, "pushes": 0,
-                         "errors": 0, "rejected": 0}
+                         "errors": 0, "rejected": 0, "retries": 0,
+                         "dropped": 0}
         # Registry mirrors of the counter dict (which tests and
         # `cache stats` read directly), one series per event, plus a
         # push-latency histogram and a scrape-time queue-depth gauge.
@@ -158,55 +199,108 @@ class RemoteStore:
     def _url(self, key=""):
         return f"{self.base_url}/{self.namespace}/{key}"
 
+    @property
+    def available(self):
+        """Up, or down-but-cooldown-expired (the next op re-probes)."""
+        down = self._down_until
+        return down is None or time.monotonic() >= down
+
     def _down(self, warn=False):
-        """Mark the remote unavailable for the rest of the process."""
-        self.available = False
+        """Open (or extend) the cooldown window after a failure."""
+        self._down_until = time.monotonic() + self.cooldown
+        self._outages += 1
         self._count("errors")
         if warn:
             warn_once(("remote-down", self.base_url),
-                      f"remote store {self.base_url} unreachable; "
-                      f"keeping artifacts local only")
+                      f"remote store {self.base_url} unreachable; keeping "
+                      f"artifacts local and re-probing every "
+                      f"{self.cooldown:g}s")
+
+    def _up(self):
+        """Record a successful round trip; close any outage window."""
+        if self._down_until is None:
+            return
+        self._down_until = None
+        warn_once(("remote-up", self.base_url, self._outages),
+                  f"remote store {self.base_url} is reachable again; "
+                  f"resuming remote traffic")
+
+    def _backoff(self, attempt):
+        return _BACKOFF_BASE_S * (2 ** attempt) * (0.5 + random.random())
 
     # ------------------------------------------------------------------
     def get_bytes(self, key):
         """The artifact's verified bytes, or None (miss/outage/corrupt).
 
         Outages are silent: the local tier is a complete fallback, so a
-        dead server must cost one failed connection, not a traceback.
+        dead server must cost one (retried) failed request per cooldown
+        window, not a traceback.
         """
         if not self.available:
             return None
         with telemetry.span("remote:pull", namespace=self.namespace):
             return self._get_bytes(key)
 
-    def _get_bytes(self, key):
-        for attempt in (0, 1):
+    def _fetch(self, key):
+        """One verified-or-not GET with transient-failure retries.
+
+        Returns ``(claimed_hash, body)`` or None (miss/outage).
+        """
+        attempt = 0
+        injected = False
+        while True:
             try:
+                faults.remote_op("remote.get", f"{key}:{attempt}")
                 req = urllib.request.Request(self._url(key), method="GET")
-                with urllib.request.urlopen(req, timeout=self.timeout) as rsp:
+                with urllib.request.urlopen(req,
+                                            timeout=self.timeout) as rsp:
                     body = rsp.read()
                     claimed = (rsp.headers.get(HASH_HEADER) or "").strip()
             except urllib.error.HTTPError as exc:
                 code = exc.code
                 exc.close()
-                if code >= 500:
-                    # A half-up server (bad proxy, crashing handler)
-                    # would otherwise charge every key a full round
-                    # trip; treat it like a connection failure.
-                    self._down()
+                if code < 500:
+                    # The server answered: reachable, just no artifact.
+                    self._up()
+                    self._count("misses")
                     return None
-                self._count("misses")
-                return None
+                # A half-up server (bad proxy, crashing handler) is an
+                # outage, but a transient 5xx deserves the retries too.
+            except faults.InjectedRemoteError:
+                injected = True
             except (urllib.error.URLError, OSError, ValueError):
+                pass
+            else:
+                self._up()
+                if injected:
+                    faults.recovered("remote.get")
+                return claimed, faults.corrupt_bytes("remote.get",
+                                                     f"{key}:{attempt}",
+                                                     body)
+            if attempt >= self.retries:
                 self._down()
                 return None
+            self._count("retries")
+            time.sleep(self._backoff(attempt))
+            attempt += 1
+
+    def _get_bytes(self, key):
+        for refetch in (False, True):
+            fetched = self._fetch(key)
+            if fetched is None:
+                if refetch:
+                    break
+                return None
+            claimed, body = fetched
             if not claimed or claimed == hashlib.sha256(body).hexdigest():
                 self._count("hits")
+                if refetch:
+                    faults.recovered("remote.get")
                 return body
             # Corrupt transfer or a torn server-side file: reject, then
             # one re-fetch in case a concurrent writer was mid-replace.
             self._count("rejected")
-            if attempt == 1:
+            if refetch:
                 warn_once(("remote-corrupt", self.base_url, key),
                           f"remote store {self.base_url} served a "
                           f"corrupt {self.namespace} artifact {key!r} "
@@ -220,16 +314,20 @@ class RemoteStore:
         try:
             req = urllib.request.Request(self._url(key), method="HEAD")
             with urllib.request.urlopen(req, timeout=self.timeout):
-                return True
+                pass
         except urllib.error.HTTPError as exc:
             code = exc.code
             exc.close()
             if code >= 500:
                 self._down()
+            else:
+                self._up()
             return False
         except (urllib.error.URLError, OSError, ValueError):
             self._down()
             return False
+        self._up()
+        return True
 
     def list_keys(self):
         if not self.available:
@@ -237,10 +335,12 @@ class RemoteStore:
         try:
             with urllib.request.urlopen(self._url(),
                                         timeout=self.timeout) as rsp:
-                return list(json.loads(rsp.read().decode()))
+                keys = list(json.loads(rsp.read().decode()))
         except (urllib.error.URLError, OSError, ValueError):
             self._down()
             return []
+        self._up()
+        return keys
 
     # ------------------------------------------------------------------
     def _push_now(self, key, data):
@@ -248,27 +348,41 @@ class RemoteStore:
         # async pushes run on the worker thread, where a span would be
         # an unparented root no journal ever collects.
         t0 = time.perf_counter()
-        try:
-            req = urllib.request.Request(
-                self._url(key), data=data, method="PUT",
-                headers={HASH_HEADER: hashlib.sha256(data).hexdigest(),
-                         "Content-Type": "application/octet-stream"})
-            with urllib.request.urlopen(req, timeout=self.timeout):
+        headers = {HASH_HEADER: hashlib.sha256(data).hexdigest(),
+                   "Content-Type": "application/octet-stream"}
+        attempt = 0
+        injected = False
+        while True:
+            try:
+                faults.remote_op("remote.put", f"{key}:{attempt}")
+                req = urllib.request.Request(self._url(key), data=data,
+                                             method="PUT", headers=headers)
+                with urllib.request.urlopen(req, timeout=self.timeout):
+                    pass
+            except urllib.error.HTTPError as exc:
+                code = exc.code
+                exc.close()
+                if code < 500:  # e.g. a 422 reject: this artifact, not
+                    self._up()  # the server
+                    self._count("errors")
+                    return False
+            except faults.InjectedRemoteError:
+                injected = True
+            except (urllib.error.URLError, OSError, ValueError):
                 pass
-        except urllib.error.HTTPError as exc:
-            code = exc.code
-            exc.close()
-            if code >= 500:
+            else:
+                self._up()
+                if injected:
+                    faults.recovered("remote.put")
+                self._push_seconds.observe(time.perf_counter() - t0)
+                self._count("pushes")
+                return True
+            if attempt >= self.retries:
                 self._down(warn=True)
-            else:  # e.g. a 422 reject: this artifact, not the server
-                self._count("errors")
-            return False
-        except (urllib.error.URLError, OSError, ValueError):
-            self._down(warn=True)
-            return False
-        self._push_seconds.observe(time.perf_counter() - t0)
-        self._count("pushes")
-        return True
+                return False
+            self._count("retries")
+            time.sleep(self._backoff(attempt))
+            attempt += 1
 
     def _ensure_thread(self):
         """Start (or, after a fork, restart) the push worker thread."""
@@ -289,8 +403,14 @@ class RemoteStore:
         while True:
             key, data = self._queue.get()
             try:
-                if self.available:
-                    self._push_now(key, data)
+                delivered = (self._push_now(key, data) if self.available
+                             else False)
+                if not delivered:
+                    # The artifact stays local; drain_all reports the
+                    # total so the drop is never silent.
+                    self._count("dropped")
+            except Exception:
+                self._count("dropped")
             finally:
                 self._queue.task_done()
 
@@ -304,8 +424,10 @@ class RemoteStore:
             # Dropped writes deserve the one-line notice even when the
             # outage was first seen on the (silent) lookup path.
             warn_once(("remote-down", self.base_url),
-                      f"remote store {self.base_url} unreachable; "
-                      f"keeping artifacts local only")
+                      f"remote store {self.base_url} unreachable; keeping "
+                      f"artifacts local and re-probing every "
+                      f"{self.cooldown:g}s")
+            self._count("dropped")
             return False
         if wait:
             return self._push_now(key, data)
@@ -314,13 +436,23 @@ class RemoteStore:
         return True
 
     def drain(self, timeout=60.0):
-        """Wait for queued pushes to finish (bounded, never raises)."""
+        """Wait for queued pushes to finish (bounded, never raises).
+
+        A timeout warns with the undelivered count for this
+        (url, namespace) — those artifacts remain local-only.
+        """
         q = self._queue
         if q is None or self._thread_pid != os.getpid():
             return True
         deadline = time.monotonic() + timeout
         while q.unfinished_tasks:
             if time.monotonic() > deadline:
+                n = q.unfinished_tasks
+                warn_once(("remote-drain-timeout", self.base_url,
+                           self.namespace, n),
+                          f"remote store {self.base_url}/{self.namespace}: "
+                          f"drain timed out with {n} undelivered push(es); "
+                          f"those artifacts remain local-only")
                 return False
             time.sleep(0.005)
         return True

@@ -69,7 +69,8 @@ class RunJournal:
         self._fh = open(path, "a")
         self._t0 = time.monotonic()
         self._totals = {"jobs": 0, "hits": 0, "runs": 0, "wall_s": 0.0,
-                        "span_s": 0.0, "prebuild_s": 0.0}
+                        "span_s": 0.0, "prebuild_s": 0.0,
+                        "retries": 0, "failures": 0}
         self._stores = {}
         header = {"type": "run", "label": label, "pid": os.getpid(),
                   "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())}
@@ -105,6 +106,24 @@ class RunJournal:
             record["spans"] = spans
         self._write(record)
 
+    def retry(self, workload, label, model, attempt, error):
+        """Record one failed-but-retried job attempt."""
+        self._totals["retries"] += 1
+        self._write({"type": "retry", "workload": workload,
+                     "label": str(label), "model": model,
+                     "attempt": attempt, "error": error})
+
+    def failure(self, workload, label, model, error, error_type, attempts,
+                backend=None):
+        """Record one quarantined job (retries exhausted)."""
+        self._totals["failures"] += 1
+        record = {"type": "failure", "workload": workload,
+                  "label": str(label), "model": model, "error": error,
+                  "error_type": error_type, "attempts": attempts}
+        if backend:
+            record["backend"] = backend
+        self._write(record)
+
     def batch(self, wall_s, workers=1, prebuild_s=0.0, store=None,
               label=None, spans=None):
         """Record one ``run_jobs`` call's wall clock and store state.
@@ -138,6 +157,7 @@ class RunJournal:
         accounted = t["span_s"] + t["prebuild_s"]
         summary = {"type": "summary", "status": status,
                    "jobs": t["jobs"], "hits": t["hits"], "runs": t["runs"],
+                   "retries": t["retries"], "failures": t["failures"],
                    "wall_s": round(wall, 6),
                    "span_s": round(t["span_s"], 6),
                    "prebuild_s": round(t["prebuild_s"], 6),
@@ -205,7 +225,15 @@ class scope:
     def __exit__(self, exc_type, exc, tb):
         global _ACTIVE
         if self._owned is not None:
-            self._owned.finish(status="error" if exc_type else "ok")
+            if exc_type is None:
+                status = "ok"
+            elif issubclass(exc_type, KeyboardInterrupt):
+                # Ctrl-C is a user decision, not a failure: the journal
+                # stays parseable and says so.
+                status = "interrupted"
+            else:
+                status = "error"
+            self._owned.finish(status=status)
             if _ACTIVE is self._owned:
                 _ACTIVE = None
             self._owned = None
@@ -216,7 +244,12 @@ class scope:
 # Reading
 # ----------------------------------------------------------------------
 def read_journal(path):
-    """Parse a journal's records, skipping any torn trailing line."""
+    """Parse a journal's records, skipping any torn trailing line.
+
+    Only dict records are kept: a torn line can still be valid JSON of
+    the wrong shape (e.g. a bare number), and downstream readers index
+    records by ``type``.
+    """
     records = []
     with open(path) as fh:
         for line in fh:
@@ -224,9 +257,11 @@ def read_journal(path):
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn line from a killed writer
+            if isinstance(record, dict):
+                records.append(record)
     return records
 
 

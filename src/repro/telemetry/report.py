@@ -33,6 +33,8 @@ def build_report(path):
     header = next((r for r in records if r.get("type") == "run"), {})
     jobs = [r for r in records if r.get("type") == "job"]
     batches = [r for r in records if r.get("type") == "batch"]
+    failures = [r for r in records if r.get("type") == "failure"]
+    retries = [r for r in records if r.get("type") == "retry"]
     summary = next((r for r in reversed(records)
                     if r.get("type") == "summary"), None)
 
@@ -64,6 +66,9 @@ def build_report(path):
         totals = {k: summary.get(k) for k in
                   ("status", "jobs", "hits", "runs", "wall_s", "span_s",
                    "prebuild_s", "coverage", "push_queue_depth")}
+        # Older journals predate the retry/failure records.
+        totals["retries"] = summary.get("retries", len(retries))
+        totals["failures"] = summary.get("failures", len(failures))
         stores = summary.get("stores", [])
     else:  # torn journal (killed run): reconstruct what we can
         wall = sum(b.get("wall_s", 0.0) for b in batches)
@@ -74,6 +79,8 @@ def build_report(path):
             "jobs": len(jobs),
             "hits": sum(1 for j in jobs if j.get("cached")),
             "runs": sum(1 for j in jobs if j.get("cached") is False),
+            "retries": len(retries),
+            "failures": len(failures),
             "wall_s": round(wall, 6),
             "span_s": round(span_s, 6),
             "prebuild_s": round(prebuild, 6),
@@ -86,7 +93,13 @@ def build_report(path):
     return {
         "journal": path,
         "run": {k: header.get(k) for k in ("label", "utc", "pid")},
+        "records": len(records),
         "totals": totals,
+        "failures": [
+            {k: f.get(k) for k in ("workload", "label", "model", "error",
+                                   "error_type", "attempts", "backend")}
+            for f in failures
+        ],
         "phases": {
             name: {"seconds": round(v["seconds"], 6),
                    "self_s": round(v["self_s"], 6),
@@ -116,12 +129,28 @@ def render_report(report, top=10):
     parts.append(
         f"run {run.get('label') or '?'} ({run.get('utc') or '?'}) — "
         f"{report['journal']}")
-    parts.append(
+    status_line = (
         f"status={totals.get('status')}  jobs={totals.get('jobs')}  "
         f"cache hits={totals.get('hits')}  simulated={totals.get('runs')}  "
         f"wall={wall:.2f}s  span coverage="
         f"{(totals.get('coverage') or 0.0) * 100:.1f}%  "
         f"push queue={totals.get('push_queue_depth')}")
+    if totals.get("retries") or totals.get("failures"):
+        status_line += (f"  retries={totals.get('retries', 0)}  "
+                        f"failures={totals.get('failures', 0)}")
+    parts.append(status_line)
+
+    if report.get("failures"):
+        rows = [
+            {"workload": str(f.get("workload")),
+             "label": str(f.get("label")),
+             "tier": str(f.get("model")),
+             "attempts": str(f.get("attempts")),
+             "error": f"{f.get('error_type')}: {f.get('error')}"[:72]}
+            for f in report["failures"]
+        ]
+        parts.append(render_table(
+            rows, title=f"quarantined failures ({len(rows)})"))
 
     if report["phases"]:
         rows = [

@@ -47,7 +47,7 @@ import zipfile
 
 import numpy as np
 
-from .. import telemetry
+from .. import faults, telemetry
 from ..env import env_max_bytes, warn_once
 from .ops import Trace
 
@@ -286,12 +286,16 @@ class TraceStore:
             elif not os.path.exists(path):
                 continue
             try:
+                faults.trace_load(path)  # armed chaos site: truncation
                 trace = self._read_archive(path, mmap)
             except (zipfile.BadZipFile, json.JSONDecodeError, KeyError,
                     ValueError):
                 # Errors that prove the bytes are damaged (bad zip
                 # structure, unparsable meta, missing/garbled member).
                 self._quarantine(path)
+                # Degraded-not-dead: the remote/synthesis fallback
+                # below repopulates the key.
+                faults.recovered("trace.load")
                 continue
             except OSError:
                 # Transient I/O pressure (EMFILE, ENOMEM, NFS hiccup):

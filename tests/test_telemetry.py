@@ -13,7 +13,8 @@ from repro import telemetry
 from repro.__main__ import main
 from repro.core.runner import Runner
 from repro.core.sweeps import l2_sweep
-from repro.engine import Progress, ResultStore, expand_grid, run_jobs
+from repro.engine import (JobFailure, Progress, ResultStore, expand_grid,
+                          run_jobs)
 from repro.telemetry.metrics import MetricsRegistry
 from repro.uarch.config import gem5_baseline
 
@@ -290,21 +291,31 @@ def test_journal_survives_worker_failure(tmp_path, monkeypatch):
     _journal_env(monkeypatch, jdir)
     import repro.uarch as uarch
 
-    def boom(trace, config, model="cycle"):
+    def boom(trace, config, model="cycle", **kwargs):
         raise RuntimeError("injected worker failure")
 
-    # Forked workers inherit the patched module, so the job dies in the
-    # child mid-run — the journal must still terminate and parse.
+    # Forked workers inherit the patched module, so every attempt of
+    # every job raises in the child — the supervised pool retries each
+    # job, then quarantines it, and the journal records the whole
+    # story while still terminating and parsing.
     monkeypatch.setattr(uarch, "simulate", boom)
     jobs = expand_grid(_WORKLOADS, [(2.0, gem5_baseline(freq_ghz=2.0))],
                        **_FAST)
-    with pytest.raises(RuntimeError):
-        run_jobs(jobs, workers=2, runner=Runner(cache_dir=tmp_path / "c"))
+    results = run_jobs(jobs, workers=2,
+                       runner=Runner(cache_dir=tmp_path / "c"))
+    assert len(results) == len(jobs)
+    for failure in results:
+        assert isinstance(failure, JobFailure)
+        assert failure.error_type == "RuntimeError"
 
     records = telemetry.read_journal(telemetry.latest_journal(str(jdir)))
     assert records[0]["type"] == "run"
     assert records[-1]["type"] == "summary"
-    assert records[-1]["status"] == "error"
+    assert records[-1]["status"] == "ok"
+    assert records[-1]["failures"] == len(jobs)
+    assert records[-1]["retries"] > 0
+    failure_records = [r for r in records if r["type"] == "failure"]
+    assert len(failure_records) == len(jobs)
     assert telemetry.active_journal() is None
 
 
