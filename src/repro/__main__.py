@@ -588,6 +588,16 @@ def cmd_bench(args):
     return 0
 
 
+def cmd_lint_argv(lint_args):
+    from .analysis.cli import main as lint_main
+
+    return lint_main(lint_args)
+
+
+def cmd_lint(args):
+    return cmd_lint_argv(args.lint_args)
+
+
 def cmd_list(args):
     print("sweeps:")
     for name in sorted(SWEEPS):
@@ -802,22 +812,33 @@ def build_parser():
     _add_backend_arg(p)
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser(
+        "lint",
+        help="AST-based project-invariant linter (rules RPR001..)",
+        add_help=False)  # inner parser owns --help and all flags
+    p.add_argument("lint_args", nargs=argparse.REMAINDER)
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("list", help="available sweeps and workloads")
     p.set_defaults(func=cmd_list)
     return parser
 
 
 def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # Forwarded before parsing: the lint CLI owns its own flags,
+        # and argparse.REMAINDER cannot capture leading options.
+        return cmd_lint_argv(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "cycle_backend", None):
         # Exported (not passed call-to-call) so forked pool workers and
         # every simulate() in this process honor the same selection.
-        import os
-
+        from .env import env_set
         from .uarch.core.backends import BACKEND_ENV
 
-        os.environ[BACKEND_ENV] = args.cycle_backend
+        env_set(BACKEND_ENV, args.cycle_backend)
     try:
         return args.func(args)
     except KeyboardInterrupt:

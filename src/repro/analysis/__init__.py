@@ -1,0 +1,43 @@
+"""Static analysis of the repo's own invariants (``repro lint``).
+
+The codebase rests on invariants no unit test can cheaply enforce —
+central env parsing (PR 5), backend-free store keys (PR 8), fork-safe
+worker imports and explicit crash-safety (PRs 4/9), curated telemetry
+names (PR 6).  This package machine-checks them: a stdlib-``ast`` rule
+engine over one shared parse of the project, with per-rule codes
+(``RPR001``..), line-precise findings, ``# repro: noqa[RPRxxx]``
+suppressions, a committed shrink-only baseline for pre-existing debt,
+and a ``--fix`` autofixer for the mechanical rules.
+
+Entry points: ``repro lint`` (CLI), ``python -m repro.analysis``,
+or programmatically::
+
+    from repro.analysis import lint_result
+    result = lint_result("/path/to/checkout")
+    assert result.ok, [f.render() for f in result.new]
+"""
+
+from .baseline import BASELINE_NAME, Baseline, partition
+from .engine import (LintResult, default_repo_root, lint_result,
+                     run_lint)
+from .findings import Finding
+from .project import Module, Project, load_project
+from .rules import RULES, Rule, all_rules, get_rule
+
+__all__ = [
+    "BASELINE_NAME",
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "Module",
+    "Project",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "default_repo_root",
+    "get_rule",
+    "lint_result",
+    "load_project",
+    "partition",
+    "run_lint",
+]

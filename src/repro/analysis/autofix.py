@@ -1,0 +1,136 @@
+"""``--fix``: mechanical rewrites for RPR001's simplest form.
+
+Scope is deliberately narrow — only call sites that are provably
+equivalent to a declared accessor are rewritten:
+
+* ``os.environ.get("REPRO_X")`` / ``os.getenv("REPRO_X")``
+  -> ``env_str("REPRO_X")``
+* the same with a literal default -> ``env_str("REPRO_X", default)``
+
+The knob must be declared in ``env.KNOBS`` (an undeclared knob needs a
+human to name and document it first), and the surrounding expression
+is untouched — ``env_str`` returns exactly what ``os.environ.get``
+returned, so ``.strip().lower()`` chains keep working.  Richer reads
+(subscripts, writes, non-literal names, non-REPRO variables) are left
+for a human with the typed accessors.
+
+Rewrites are textual, driven by AST node offsets, applied bottom-up so
+earlier replacements never shift later offsets.  A ``from <pkg>.env
+import env_str`` (absolute, to stay position-independent) is appended
+to the import block when the module doesn't already bind ``env_str``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules.knob_registry import declared_knobs
+
+__all__ = ["fix_module", "fix_project"]
+
+
+def _literal_env_get(node):
+    """(knob, default_src_or_None) for a fixable call, else None."""
+    if not isinstance(node, ast.Call) or node.keywords:
+        return None
+    func = node.func
+    is_environ_get = (
+        isinstance(func, ast.Attribute) and func.attr == "get"
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "environ"
+        and isinstance(func.value.value, ast.Name)
+        and func.value.value.id == "os")
+    is_getenv = (
+        isinstance(func, ast.Attribute) and func.attr == "getenv"
+        and isinstance(func.value, ast.Name) and func.value.id == "os")
+    if not (is_environ_get or is_getenv):
+        return None
+    if not 1 <= len(node.args) <= 2:
+        return None
+    name = node.args[0]
+    if not (isinstance(name, ast.Constant) and isinstance(name.value, str)
+            and name.value.startswith("REPRO_")):
+        return None
+    default = None
+    if len(node.args) == 2:
+        if not isinstance(node.args[1], ast.Constant):
+            return None
+        default = node.args[1]
+    return name.value, default
+
+
+def _segment(module, node):
+    return ast.get_source_segment(module.source, node)
+
+
+def _binds_env_str(tree):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if (alias.asname or alias.name) == "env_str":
+                    return True
+        elif isinstance(node, ast.FunctionDef) and node.name == "env_str":
+            return True
+    return False
+
+
+def _import_insert_line(tree):
+    """1-based line *after* which to insert the import."""
+    last = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last = max(last, node.end_lineno)
+        elif isinstance(node, ast.Expr) and isinstance(
+                node.value, ast.Constant) and last == 0:
+            last = node.end_lineno  # after the module docstring
+    return last
+
+
+def fix_module(module, knobs, package):
+    """Rewritten source for one module, or None when nothing to fix."""
+    replacements = []  # (lineno, col, end_lineno, end_col, text)
+    for node in ast.walk(module.tree):
+        found = _literal_env_get(node)
+        if found is None:
+            continue
+        knob, default = found
+        if knob not in knobs:
+            continue  # undeclared: a human must declare it first
+        if default is None:
+            text = f'env_str("{knob}")'
+        else:
+            text = f'env_str("{knob}", {_segment(module, default)})'
+        replacements.append((node.lineno, node.col_offset,
+                             node.end_lineno, node.end_col_offset, text))
+    if not replacements:
+        return None
+
+    lines = module.source.splitlines(keepends=True)
+    for lineno, col, end_lineno, end_col, text in sorted(
+            replacements, reverse=True):
+        if lineno != end_lineno:
+            continue  # multi-line call: leave it for a human
+        line = lines[lineno - 1]
+        lines[lineno - 1] = line[:col] + text + line[end_col:]
+
+    if not _binds_env_str(module.tree):
+        at = _import_insert_line(module.tree)
+        lines.insert(at, f"from {package}.env import env_str\n")
+    return "".join(lines)
+
+
+def fix_project(project):
+    """Apply every mechanical fix in place; returns edited relpaths."""
+    knobs, _lines = declared_knobs(project)
+    env_name = f"{project.package}.env"
+    edited = []
+    for name, module in sorted(project.modules.items()):
+        if name == env_name:
+            continue
+        new_source = fix_module(module, knobs, project.package)
+        if new_source is None or new_source == module.source:
+            continue
+        with open(module.path, "w", encoding="utf-8") as fh:
+            fh.write(new_source)
+        edited.append(module.relpath)
+    return edited

@@ -1,0 +1,82 @@
+"""The committed baseline: pre-existing debt, tracked but not blocking.
+
+The baseline file (``lint-baseline.json`` at the repo root) holds the
+fingerprints of findings that predate the gate.  ``repro lint`` fails
+only on findings *not* in the baseline, so the gate can land while
+debt is paid down incrementally — and because matching is by
+line-independent fingerprint, unrelated edits never resurrect debt.
+
+Shrink-only semantics: ``--baseline`` rewrites the file from the
+*live* findings, so an entry whose finding has been fixed is pruned
+and can never be re-baselined by accident — reintroducing the same
+violation later is a fresh failure, not grandfathered debt.  Stale
+entries are also reported on every run, so a shrinking baseline is
+visible progress, not silent drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["BASELINE_NAME", "Baseline", "partition"]
+
+BASELINE_NAME = "lint-baseline.json"
+_SCHEMA_VERSION = 1
+
+
+class Baseline:
+    """Load/save wrapper over the committed baseline file."""
+
+    def __init__(self, path, entries=None):
+        self.path = path
+        # {fingerprint: entry dict} — insertion order preserved.
+        self.entries = dict(entries or {})
+
+    @classmethod
+    def load(cls, repo_root, path=None):
+        path = path or os.path.join(repo_root, BASELINE_NAME)
+        entries = {}
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            for entry in doc.get("findings", ()):
+                fp = entry.get("fingerprint")
+                if fp:
+                    entries[fp] = entry
+        except (OSError, ValueError):
+            pass  # missing or unreadable baseline == empty baseline
+        return cls(path, entries)
+
+    def save(self, findings):
+        """Rewrite the file from *live* findings only (shrink-only)."""
+        doc = {
+            "version": _SCHEMA_VERSION,
+            "comment": ("Baselined pre-existing repro-lint findings. "
+                        "Regenerate with `repro lint --baseline`; "
+                        "entries are pruned automatically once fixed."),
+            "findings": [f.as_dict() for f in
+                         sorted(findings, key=lambda f: f.sort_key())],
+        }
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+        self.entries = {f.fingerprint: f.as_dict() for f in findings}
+
+
+def partition(findings, baseline):
+    """Split live findings into (new, baselined) plus stale entries.
+
+    ``stale`` are baseline fingerprints with no live finding — fixed
+    debt that the next ``--baseline`` rewrite will prune.
+    """
+    live = {}
+    for finding in findings:
+        live.setdefault(finding.fingerprint, finding)
+    new = [f for f in findings if f.fingerprint not in baseline.entries]
+    old = [f for f in findings if f.fingerprint in baseline.entries]
+    stale = [entry for fp, entry in baseline.entries.items()
+             if fp not in live]
+    return new, old, stale

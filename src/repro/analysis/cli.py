@@ -1,0 +1,125 @@
+"""``repro lint`` / ``python -m repro.analysis`` — the CLI gate.
+
+Exit status is the contract CI consumes: 0 when every live finding is
+baselined (or there are none), 1 when new findings exist, 2 on usage
+errors.  ``--json`` emits a stable schema (version-stamped, tested)
+for tooling; the human output is one ``path:line: CODE message`` per
+finding plus a summary that always names the baseline state, so a
+green run with tracked debt is never mistaken for a clean tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .baseline import Baseline, partition
+from .engine import default_repo_root, run_lint
+from .rules import RULES
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based project-invariant linter (rules RPR001..).",
+    )
+    parser.add_argument("--root", default=None,
+                        help="repo checkout to lint (default: the one "
+                             "containing this package)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output (stable schema)")
+    parser.add_argument("--baseline", action="store_true",
+                        help="rewrite lint-baseline.json from the live "
+                             "findings (shrink-only: fixed findings are "
+                             "pruned and cannot be re-baselined)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply mechanical fixes (os.environ.get of "
+                             "a declared literal knob -> env_str) and "
+                             "re-lint")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def _print_rules():
+    for code in sorted(RULES):
+        rule = RULES[code]
+        print(f"{code} {rule.name}")
+        print(f"    {rule.summary}")
+        if rule.rationale:
+            print(f"    why: {rule.rationale}")
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.rules:
+        _print_rules()
+        return 0
+
+    root = args.root or default_repo_root()
+    select = None
+    if args.select:
+        select = {c.strip().upper() for c in args.select.split(",")
+                  if c.strip()}
+        unknown = select - set(RULES)
+        if unknown:
+            print(f"repro lint: unknown rule code(s): "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    project, findings = run_lint(root, select=select)
+
+    if args.fix:
+        from .autofix import fix_project
+
+        edited = fix_project(project)
+        for path in edited:
+            print(f"fixed: {path}")
+        if edited:  # re-parse and re-lint what the fixer changed
+            project, findings = run_lint(root, select=select)
+
+    baseline = Baseline.load(project.repo_root)
+    new, baselined, stale = partition(findings, baseline)
+
+    if args.baseline:
+        baseline.save(findings)
+        print(f"baseline: wrote {len(findings)} finding(s) to "
+              f"{baseline.path}"
+              + (f" (pruned {len(stale)} fixed)" if stale else ""))
+        new, baselined, stale = partition(findings, baseline)
+
+    if args.as_json:
+        from .engine import LintResult
+
+        doc = LintResult(project, findings, new, baselined,
+                         stale).as_dict()
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0 if not new else 1
+
+    for finding in new:
+        print(finding.render())
+    for finding in baselined:
+        print(f"{finding.render()} [baselined]")
+    for entry in stale:
+        print(f"stale baseline entry (fixed): {entry.get('code')} "
+              f"{entry.get('path')}: {entry.get('message')}")
+
+    total = len(new) + len(baselined)
+    if not findings:
+        print(f"repro lint: clean "
+              f"({len(project.modules)} modules, "
+              f"{len(RULES)} rules)")
+    else:
+        print(f"repro lint: {len(new)} new finding(s), "
+              f"{len(baselined)} baselined, {total} total")
+    if stale and not args.baseline:
+        print(f"repro lint: {len(stale)} baseline entr(y/ies) are "
+              f"fixed; run `repro lint --baseline` to prune")
+    return 0 if not new else 1

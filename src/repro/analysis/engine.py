@@ -1,0 +1,99 @@
+"""Run the registered rules over a parsed project.
+
+One parse, many visitors: the project (ASTs + import graph) is built
+once and every rule walks it.  Suppression is handled here so rules
+can stay oblivious: a finding whose line carries
+``# repro: noqa[<code>]`` in its module is dropped before reporting.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .project import load_project
+from .rules import all_rules, RULES
+
+__all__ = ["LintResult", "default_repo_root", "run_lint"]
+
+
+def default_repo_root():
+    """The checkout containing this package (src/repro/... layout)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    # src/repro/analysis -> src/repro -> src -> repo root
+    return os.path.dirname(os.path.dirname(os.path.dirname(here)))
+
+
+class LintResult:
+    """All findings of one run, split against the baseline."""
+
+    def __init__(self, project, findings, new, baselined, stale):
+        self.project = project
+        self.findings = findings      # every live finding
+        self.new = new                # not in the baseline -> exit 1
+        self.baselined = baselined    # known debt -> reported, exit 0
+        self.stale = stale            # fixed debt still in the file
+
+    @property
+    def ok(self):
+        return not self.new
+
+    def as_dict(self):
+        return {
+            "version": 1,
+            "root": self.project.repo_root,
+            "rules": {code: {"name": RULES[code].name,
+                             "summary": RULES[code].summary}
+                      for code in sorted(RULES)},
+            "counts": {
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale),
+            },
+            "new": [f.as_dict() for f in self.new],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "stale_baseline": list(self.stale),
+            "ok": self.ok,
+        }
+
+
+def run_lint(repo_root=None, src_rel="src", package="repro",
+             select=None, baseline=None, project=None):
+    """Lint the project; returns the raw sorted findings list.
+
+    ``select`` restricts to an iterable of rule codes.  Pass a
+    pre-built *project* to reuse one parse across multiple runs
+    (the fixture tests and ``--fix`` re-lint do).
+    """
+    if project is None:
+        project = load_project(repo_root or default_repo_root(),
+                               src_rel=src_rel, package=package)
+    findings = list(project.broken)
+    for rule in all_rules():
+        if select is not None and rule.code not in select:
+            continue
+        findings.extend(rule.check(project))
+    # Safety-net noqa filter: rules check suppression at the node they
+    # flag, but any finding whose *reported line* carries a matching
+    # noqa is dropped here regardless of which rule produced it.
+    by_path = {m.relpath: m for m in project.modules.values()}
+    findings = [
+        f for f in findings
+        if not (f.path in by_path
+                and by_path[f.path].suppressed(f.code, f.line))
+    ]
+    findings.sort(key=lambda f: f.sort_key())
+    return project, findings
+
+
+def lint_result(repo_root=None, src_rel="src", package="repro",
+                select=None, baseline=None, project=None):
+    """Full run: findings partitioned against the committed baseline."""
+    from .baseline import Baseline, partition
+
+    project, findings = run_lint(repo_root, src_rel=src_rel,
+                                 package=package, select=select,
+                                 project=project)
+    if baseline is None:
+        baseline = Baseline.load(project.repo_root)
+    new, baselined, stale = partition(findings, baseline)
+    return LintResult(project, findings, new, baselined, stale)

@@ -1,0 +1,58 @@
+"""Findings: what a rule reports, and how one is identified over time.
+
+A finding's *identity* deliberately excludes the line number: baselined
+debt must survive unrelated edits above it, and a finding that merely
+moved is not a new finding.  Identity is ``(code, path, message)``
+hashed to a short fingerprint; messages therefore never embed line
+numbers or other volatile context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["Finding"]
+
+
+class Finding:
+    """One rule violation at one location."""
+
+    __slots__ = ("code", "path", "line", "message")
+
+    def __init__(self, code, path, line, message):
+        self.code = code
+        self.path = path  # repo-relative, '/'-separated
+        self.line = int(line)
+        self.message = message
+
+    @property
+    def fingerprint(self):
+        """Line-independent identity used by the baseline file."""
+        blob = f"{self.code}|{self.path}|{self.message}".encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def as_dict(self):
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self):
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.code, self.message)
+
+    def __repr__(self):
+        return (f"Finding({self.code!r}, {self.path!r}, {self.line}, "
+                f"{self.message!r})")
+
+    def __eq__(self, other):
+        return (isinstance(other, Finding)
+                and self.fingerprint == other.fingerprint)
+
+    def __hash__(self):
+        return hash(self.fingerprint)

@@ -1,0 +1,228 @@
+"""Shared parsed-module cache and import graph for the rule engine.
+
+Every rule walks the same ASTs, so the project is parsed exactly once:
+a :class:`Module` per source file (AST, source lines, ``noqa`` map) and
+a :class:`Project` indexing them by dotted name with a *module-level*
+import graph over the package's own modules.
+
+The import graph intentionally records only statements executed at
+import time (top-level ``import``/``from`` anywhere outside a function
+or class body).  Function-local imports are lazy by construction —
+they run on call, not on import — so they do not make a module part of
+another's import-time closure; the reachability used by the
+determinism and fork-safety rules (RPR003/RPR005) is about what code
+*must* load, not what code might.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+from .findings import Finding
+
+__all__ = ["Module", "Project", "load_project"]
+
+# `# repro: noqa[RPR001]` / `# repro: noqa[RPR001,RPR005] reason...`
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9,\s]+)\]")
+
+
+class Module:
+    """One parsed source file."""
+
+    __slots__ = ("name", "path", "relpath", "source", "tree", "lines",
+                 "noqa")
+
+    def __init__(self, name, path, relpath, source, tree):
+        self.name = name          # dotted module name, e.g. repro.env
+        self.path = path          # absolute filesystem path
+        self.relpath = relpath    # repo-relative, '/'-separated
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.noqa = {}            # {lineno: {"RPR001", ...}}
+        for i, line in enumerate(self.lines, start=1):
+            m = _NOQA_RE.search(line)
+            if m:
+                codes = {c.strip() for c in m.group(1).split(",")
+                         if c.strip()}
+                self.noqa[i] = codes
+
+    def suppressed(self, code, lineno):
+        return code in self.noqa.get(lineno, ())
+
+    def finding(self, code, node_or_line, message):
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return Finding(code, self.relpath, line, message)
+
+    def is_package_init(self):
+        return os.path.basename(self.path) == "__init__.py"
+
+
+class Project:
+    """All parsed modules of one package plus cross-file context."""
+
+    def __init__(self, repo_root, package, modules, broken):
+        self.repo_root = repo_root
+        self.package = package            # top-level package name
+        self.modules = modules            # {dotted name: Module}
+        self.broken = broken              # [Finding] for unparsable files
+        self._graph = None
+        self._readme = None
+
+    # ------------------------------------------------------------------
+    @property
+    def import_graph(self):
+        """Module-level imports restricted to this package's modules."""
+        if self._graph is None:
+            self._graph = {
+                name: _module_level_imports(mod, self)
+                for name, mod in self.modules.items()
+            }
+        return self._graph
+
+    def reachable_from(self, seeds, include_parents=False):
+        """Transitive module-level import closure of *seeds* (included).
+
+        With ``include_parents`` each module also implies its ancestor
+        packages (importing a submodule executes their ``__init__``s).
+        That is the right closure for *execution* questions (fork
+        safety: what code runs when a worker imports the pool) but far
+        too wide for *dataflow* questions (determinism: what code can
+        put bytes into a fingerprint), where only the seeds' own
+        import statements matter.
+        """
+        seen = set()
+        stack = [s for s in seeds if s in self.modules]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if include_parents:
+                parent = name.rpartition(".")[0]
+                if parent and parent in self.modules \
+                        and parent not in seen:
+                    stack.append(parent)
+            stack.extend(self.import_graph.get(name, ()) - seen)
+        return seen
+
+    # ------------------------------------------------------------------
+    def readme_text(self):
+        """README.md contents ('' when absent) for cross-file checks."""
+        if self._readme is None:
+            path = os.path.join(self.repo_root, "README.md")
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    self._readme = fh.read()
+            except OSError:
+                self._readme = ""
+        return self._readme
+
+    def reference_texts(self):
+        """Source-ish texts outside the package (tests, benchmarks, CI).
+
+        Used by the dead-knob check: a knob legitimately read only by
+        the benchmark harness or asserted on in tests is not dead.
+        """
+        texts = []
+        for rel in ("tests", "benchmarks", ".github"):
+            base = os.path.join(self.repo_root, rel)
+            for dirpath, _dirnames, filenames in os.walk(base):
+                for fn in filenames:
+                    if fn.endswith((".py", ".yml", ".yaml", ".toml")):
+                        try:
+                            with open(os.path.join(dirpath, fn),
+                                      encoding="utf-8") as fh:
+                                texts.append(fh.read())
+                        except OSError:
+                            continue
+        return texts
+
+
+def _resolve_import(module, node):
+    """Dotted in-project names a top-level import statement pulls in."""
+    names = set()
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            names.add(alias.name)
+    elif isinstance(node, ast.ImportFrom):
+        if node.level:
+            parts = module.name.split(".")
+            # Level 1 is the containing package: for a plain module
+            # that strips its own name; a package __init__ *is* its
+            # package, so it strips one level fewer.
+            cut = node.level - (1 if module.is_package_init() else 0)
+            base = ".".join(parts[:len(parts) - cut] if cut else parts)
+        else:
+            base = ""
+        prefix = node.module or ""
+        full = f"{base}.{prefix}".strip(".") if base or prefix else ""
+        if full:
+            names.add(full)
+        for alias in node.names:
+            if full:
+                names.add(f"{full}.{alias.name}")
+            else:
+                names.add(alias.name)
+    return names
+
+
+def _module_level_imports(module, project):
+    """In-project modules imported at import time by *module*."""
+    out = set()
+    # Top level plus bodies of top-level if/try (conditional imports
+    # still execute at import time).
+    def stmts(body):
+        for node in body:
+            yield node
+            if isinstance(node, (ast.If, ast.Try)):
+                for sub in ([node.body, node.orelse]
+                            + ([h.body for h in node.handlers]
+                               + [node.finalbody]
+                               if isinstance(node, ast.Try) else [])):
+                    yield from stmts(sub)
+
+    for node in stmts(module.tree.body):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        for name in _resolve_import(module, node):
+            # Keep only names inside the project; an imported *symbol*
+            # (repro.env.env_int) resolves to its defining module.
+            while name and name not in project.modules:
+                name = name.rpartition(".")[0]
+            if name and name != module.name:
+                out.add(name)
+    return out
+
+
+def load_project(repo_root, src_rel="src", package="repro"):
+    """Parse every module of ``<repo_root>/<src_rel>/<package>``."""
+    repo_root = os.path.abspath(repo_root)
+    pkg_root = os.path.join(repo_root, src_rel, package)
+    modules = {}
+    broken = []
+    for dirpath, dirnames, filenames in os.walk(pkg_root):
+        dirnames.sort()
+        for fn in sorted(filenames):
+            if not fn.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
+            mod_rel = os.path.relpath(path, os.path.join(repo_root, src_rel))
+            parts = mod_rel[:-3].replace(os.sep, "/").split("/")
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            name = ".".join(parts)
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    source = fh.read()
+                tree = ast.parse(source, filename=path)
+            except (OSError, SyntaxError) as exc:
+                broken.append(Finding(
+                    "RPR000", rel, getattr(exc, "lineno", 1) or 1,
+                    f"unparsable module: {exc.__class__.__name__}"))
+                continue
+            modules[name] = Module(name, path, rel, source, tree)
+    return Project(repo_root, package, modules, broken)

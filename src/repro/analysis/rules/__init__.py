@@ -1,0 +1,56 @@
+"""The rule registry.
+
+Each rule is a class with a ``RPRxxx`` code, a one-line summary, and a
+``check(project)`` generator yielding :class:`~..findings.Finding`.
+Registration is declarative (the :func:`register` decorator); the
+engine runs every registered rule unless a selection is given, and the
+CLI's rule table renders straight from this registry.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RULES", "Rule", "all_rules", "get_rule", "register"]
+
+RULES = {}
+
+
+class Rule:
+    """Base class: subclasses set ``code``, ``name``, ``summary``."""
+
+    code = None
+    name = None
+    summary = None
+    #: The PR/invariant this rule machine-checks (rendered in docs).
+    rationale = None
+
+    def check(self, project):
+        raise NotImplementedError
+
+    def suppressed(self, module, node_or_line):
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return module.suppressed(self.code, line)
+
+
+def register(cls):
+    """Class decorator adding a rule to the registry (code-keyed)."""
+    RULES[cls.code] = cls
+    return cls
+
+
+def all_rules():
+    """Instantiated rules in code order."""
+    return [RULES[code]() for code in sorted(RULES)]
+
+
+def get_rule(code):
+    return RULES[code]()
+
+
+# Importing the submodules populates the registry.
+from . import env_discipline  # noqa: E402,F401
+from . import knob_registry  # noqa: E402,F401
+from . import determinism  # noqa: E402,F401
+from . import store_keys  # noqa: E402,F401
+from . import fork_safety  # noqa: E402,F401
+from . import exceptions  # noqa: E402,F401
+from . import telemetry_names  # noqa: E402,F401

@@ -1,0 +1,108 @@
+"""RPR003 — determinism purity of the fingerprint closure.
+
+Result-store keys are content hashes over canonicalized configs
+(:func:`repro.engine.jobs.config_fingerprint`); PRs 4/9 rely on those
+keys being bit-identical across processes, machines, and retries —
+a nondeterministic fingerprint silently forks the cache, and at fleet
+scale (ROADMAP: coordinator-driven execution) that is a fleet-wide
+cache-poisoning bug.
+
+The rule computes the *import-time closure* of the fingerprint seeds
+(``engine.jobs`` and ``uarch.config``, the modules that canonicalize
+configs and build keys) from the real import graph, and inside those
+modules forbids the classic nondeterminism sources:
+
+* wall-clock and randomness (``time.*``, ``random.*``, ``uuid.*``,
+  ``os.urandom``, ``datetime.now``/``today``/``utcnow``),
+* per-process identity (``id()``, object ``hash()``),
+* default ``repr()`` (embeds ``0x`` addresses for plain objects),
+* iterating a ``set`` into ordered output (``list``/``tuple``/
+  ``join``/``for`` over a set expression without ``sorted``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import Rule, register
+
+__all__ = ["DeterminismPurity", "fingerprint_closure"]
+
+#: Modules whose import-time closure feeds fingerprint/key bytes.
+SEED_SUFFIXES = ("engine.jobs", "uarch.config")
+
+_TIME_MODULES = ("time", "random", "uuid")
+_DATETIME_CALLS = ("now", "today", "utcnow")
+_BUILTIN_CALLS = ("id", "hash", "repr")
+_SET_SINKS = ("list", "tuple", "iter", "enumerate")
+
+
+def fingerprint_closure(project):
+    seeds = [f"{project.package}.{s}" for s in SEED_SUFFIXES]
+    return project.reachable_from(seeds)
+
+
+def _is_set_expr(node):
+    return isinstance(node, (ast.Set, ast.SetComp)) or (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset"))
+
+
+@register
+class DeterminismPurity(Rule):
+    code = "RPR003"
+    name = "determinism-purity"
+    summary = ("no time/random/id/hash/repr/set-iteration in modules "
+               "reachable from config_fingerprint")
+    rationale = ("PRs 4/9: store keys and retry/requeue identity are "
+                 "content hashes; any nondeterminism reachable from "
+                 "fingerprinting forks the cache fleet-wide")
+
+    def check(self, project):
+        closure = fingerprint_closure(project)
+        for name in sorted(closure):
+            module = project.modules[name]
+            yield from self._check_module(module)
+
+    def _check_module(self, module):
+        for node in ast.walk(module.tree):
+            message = None
+            if isinstance(node, ast.Call):
+                message = self._check_call(node)
+            elif isinstance(node, ast.For) and _is_set_expr(node.iter):
+                message = ("iterating a set produces arbitrary order; "
+                           "wrap it in sorted()")
+            if message is None or self.suppressed(module, node):
+                continue
+            yield module.finding(self.code, node, message)
+
+    def _check_call(self, node):
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            base = func.value.id
+            if base in _TIME_MODULES:
+                return (f"{base}.{func.attr}() is nondeterministic; "
+                        f"fingerprint inputs must be pure")
+            if base in ("datetime", "date") \
+                    and func.attr in _DATETIME_CALLS:
+                return (f"{base}.{func.attr}() reads the wall clock; "
+                        f"fingerprint inputs must be pure")
+            if base == "os" and func.attr == "urandom":
+                return ("os.urandom() is nondeterministic; fingerprint "
+                        "inputs must be pure")
+        if isinstance(func, ast.Name):
+            if func.id in _BUILTIN_CALLS:
+                return (f"{func.id}() is process-dependent for plain "
+                        f"objects; canonicalize fields explicitly "
+                        f"instead")
+            if func.id in _SET_SINKS and node.args \
+                    and _is_set_expr(node.args[0]):
+                return (f"{func.id}() over a set produces arbitrary "
+                        f"order; wrap the set in sorted()")
+        if isinstance(func, ast.Attribute) and func.attr == "join" \
+                and node.args and _is_set_expr(node.args[0]):
+            return ("str.join over a set produces arbitrary order; "
+                    "wrap the set in sorted()")
+        return None

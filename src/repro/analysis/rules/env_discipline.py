@@ -1,0 +1,62 @@
+"""RPR001 — every environment read goes through ``repro.env``.
+
+PR 5 centralized ``REPRO_*`` parsing so an invalid value warns once
+and falls back instead of raising ``int()`` tracebacks deep inside a
+pool worker, and so one module answers "what knobs exist?".  A direct
+``os.environ`` / ``os.getenv`` anywhere else re-opens both holes; this
+rule turns the invariant from reviewer memory into a gate.
+
+``--fix`` rewrites the mechanical form (``os.environ.get("REPRO_X")``
+with literal arguments) to the declared ``env_str`` accessor; richer
+parsing should use the typed accessors (``env_int``, ``env_flag``,
+``env_dir``, ...) by hand.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import Rule, register
+
+__all__ = ["EnvDiscipline"]
+
+
+@register
+class EnvDiscipline(Rule):
+    code = "RPR001"
+    name = "env-knob-discipline"
+    summary = ("os.environ/os.getenv outside repro/env.py; use the "
+               "declared accessors")
+    rationale = ("PR 5 centralized REPRO_* parsing in repro.env so bad "
+                 "values warn-once-and-fallback instead of raising in "
+                 "workers")
+
+    def check(self, project):
+        env_module = f"{project.package}.env"
+        for name, module in sorted(project.modules.items()):
+            if name == env_module:
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module):
+        for node in ast.walk(module.tree):
+            hit = None
+            if isinstance(node, ast.Attribute) and node.attr in (
+                    "environ", "getenv", "putenv"):
+                # Flagging the `os.environ` attribute itself covers
+                # every use — .get, subscripts, writes — exactly once.
+                base = node.value
+                if isinstance(base, ast.Name) and base.id == "os":
+                    hit = f"os.{node.attr}"
+            elif isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if alias.name in ("environ", "getenv", "putenv"):
+                        hit = f"from os import {alias.name}"
+                        break
+            if hit is None or self.suppressed(module, node):
+                continue
+            yield module.finding(
+                self.code, node,
+                f"direct environment access ({hit}); route it through "
+                f"a declared repro.env accessor (env_str/env_int/"
+                f"env_flag/env_dir/env_set)")

@@ -1,0 +1,86 @@
+"""RPR006 — exception hygiene in the crash-safe paths.
+
+PR 9 made the engine crash-safe by *explicit* policy: a failure is
+retried, quarantined, counted, or warned — never silently dropped,
+because a swallowed exception in a supervisor is a job that vanishes
+from the grid without a trace.  Two checks:
+
+* a bare ``except:`` is an error everywhere (it swallows
+  ``KeyboardInterrupt``/``SystemExit`` and hides typos);
+* an ``except Exception``/``except BaseException`` handler must *do*
+  something observable — re-raise, call anything (``warn_once``, a
+  counter ``.inc()``, a quarantine helper), or carry an explicit
+  ``# repro: noqa[RPR006] <reason>`` acknowledging why broad-and-quiet
+  is correct there.  A handler that only ``pass``es or assigns
+  constants is a silent swallow.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import Rule, register
+
+__all__ = ["ExceptionHygiene"]
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _catches_broad(handler):
+    node = handler.type
+    if node is None:
+        return None  # bare — handled separately
+    names = []
+    if isinstance(node, ast.Tuple):
+        names = [e.id for e in node.elts if isinstance(e, ast.Name)]
+    elif isinstance(node, ast.Name):
+        names = [node.id]
+    for name in names:
+        if name in _BROAD:
+            return name
+    return None
+
+
+def _handler_acts(handler):
+    """True when the handler re-raises or calls anything."""
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Call)):
+            return True
+    return False
+
+
+@register
+class ExceptionHygiene(Rule):
+    code = "RPR006"
+    name = "exception-hygiene"
+    summary = ("no bare except; broad except must re-raise, warn, "
+               "count, or carry a reasoned noqa")
+    rationale = ("PR 9: crash-safety is explicit retry/quarantine/"
+                 "count policy; a silently swallowed exception is a "
+                 "job lost without a trace")
+
+    def check(self, project):
+        for name, module in sorted(project.modules.items()):
+            yield from self._check_module(module)
+
+    def _check_module(self, module):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                if not self.suppressed(module, node):
+                    yield module.finding(
+                        self.code, node,
+                        "bare except: swallows KeyboardInterrupt and "
+                        "hides typos; catch a concrete type")
+                continue
+            caught = _catches_broad(node)
+            if caught is None or _handler_acts(node):
+                continue
+            if self.suppressed(module, node):
+                continue
+            yield module.finding(
+                self.code, node,
+                f"except {caught} silently swallows the failure: "
+                f"re-raise, warn_once, count it, or annotate "
+                f"`# repro: noqa[RPR006] <reason>`")

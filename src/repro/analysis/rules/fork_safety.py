@@ -1,0 +1,107 @@
+"""RPR005 — fork-safety of everything the worker pool imports.
+
+The engine pool forks workers (PR 4 relies on fork-COW trace sharing;
+PR 9's supervisor forks replacements mid-run).  State created at
+*import time* is duplicated into every child: a module-level thread is
+silently absent in the child but its locks fork in whatever state they
+were in, a module-level socket is shared with the parent, and a
+module-level open file handle shares one seek position across the
+fleet.  All three are classic fork hazards that only bite under load.
+
+The rule computes the import-time closure of the pool entry points
+(``engine.pool``, ``core.runner``) and flags, at module scope (plus
+top-level ``if``/``try`` bodies — they run at import too):
+
+* ``threading.Thread(...)`` construction or any ``.start()`` call,
+* ``socket.socket(...)`` / ``socket.create_connection(...)``,
+* ``open(...)`` whose handle is bound to a module-level name.
+
+Per-instance threads and sockets created inside functions are fine —
+they exist only in the process that asked for them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import Rule, register
+
+__all__ = ["ForkSafety"]
+
+SEED_SUFFIXES = ("engine.pool", "core.runner")
+
+
+def _import_time_statements(tree):
+    """Module-body statements plus nested if/try bodies (not defs)."""
+    def walk(body):
+        for node in body:
+            yield node
+            if isinstance(node, ast.If):
+                yield from walk(node.body)
+                yield from walk(node.orelse)
+            elif isinstance(node, ast.Try):
+                yield from walk(node.body)
+                yield from walk(node.orelse)
+                yield from walk(node.finalbody)
+                for handler in node.handlers:
+                    yield from walk(handler.body)
+            elif isinstance(node, ast.With):
+                yield from walk(node.body)
+    return walk(tree.body)
+
+
+@register
+class ForkSafety(Rule):
+    code = "RPR005"
+    name = "fork-safety"
+    summary = ("no module-level thread start, socket, or open file in "
+               "modules the worker pool imports")
+    rationale = ("PRs 4/9: workers are forked; import-time threads/"
+                 "sockets/handles duplicate into children in undefined "
+                 "states")
+
+    def check(self, project):
+        seeds = [f"{project.package}.{s}" for s in SEED_SUFFIXES]
+        closure = project.reachable_from(seeds, include_parents=True)
+        for name in sorted(closure):
+            module = project.modules[name]
+            yield from self._check_module(module)
+
+    def _check_module(self, module):
+        for stmt in _import_time_statements(module.tree):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for node in ast.walk(stmt):
+                message = self._check_call(node)
+                if message is None or self.suppressed(module, node):
+                    continue
+                yield module.finding(self.code, node, message)
+
+    def _check_call(self, node):
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "start":
+                return ("module-level .start() call: threads must not "
+                        "be started at import time in pool-imported "
+                        "modules")
+            if isinstance(func.value, ast.Name):
+                base = func.value.id
+                if base == "threading" and func.attr == "Thread":
+                    return ("module-level threading.Thread: forked "
+                            "workers inherit its locks, not the thread")
+                if base == "socket" and func.attr in (
+                        "socket", "create_connection"):
+                    return ("module-level socket: forked workers would "
+                            "share one connection with the parent")
+        elif isinstance(func, ast.Name):
+            if func.id == "open":
+                return ("module-level open(): forked workers share one "
+                        "file offset; open inside the function that "
+                        "uses it")
+            if func.id == "Thread":
+                return ("module-level Thread: forked workers inherit "
+                        "its locks, not the thread")
+        return None

@@ -1,0 +1,124 @@
+"""RPR002 — the cross-file ``REPRO_*`` knob registry check.
+
+Three obligations, all cheap to violate silently:
+
+* every ``REPRO_*`` string literal in the package must be a key of the
+  literal ``KNOBS`` dict in ``repro/env.py`` (no ad-hoc knobs);
+* every declared knob must appear in the README (backtick-quoted), so
+  the documentation table cannot rot behind the code;
+* every declared knob must be *referenced* somewhere — the package
+  itself, tests, benchmarks, or CI — so a knob whose last reader was
+  deleted is flagged as dead instead of lingering forever.
+
+Only whole-string literals of the exact ``REPRO_[A-Z0-9_]+`` shape are
+matched, so prose in docstrings and help text never trips the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from . import Rule, register
+
+__all__ = ["KnobRegistry"]
+
+_KNOB_RE = re.compile(r"^REPRO_[A-Z0-9_]+$")
+
+
+def declared_knobs(project):
+    """Knob names parsed statically from env.py's literal KNOBS dict.
+
+    Returns ``(names, lineno_by_name)``; empty when the module or the
+    dict is missing (each rule then reports that as its own finding).
+    """
+    env = project.modules.get(f"{project.package}.env")
+    if env is None:
+        return {}, {}
+    for node in env.tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets
+                       if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+        if "KNOBS" not in targets or not isinstance(
+                getattr(node, "value", None), ast.Dict):
+            continue
+        names = {}
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                names[key.value] = key.lineno
+        return names, names
+    return {}, {}
+
+
+@register
+class KnobRegistry(Rule):
+    code = "RPR002"
+    name = "knob-registry"
+    summary = ("REPRO_* literals must be declared in env.KNOBS, "
+               "documented in README, and referenced somewhere")
+    rationale = ("PR 5's central parsing only helps if the catalogue is "
+                 "complete: an undeclared knob dodges validation, an "
+                 "undocumented one is invisible to users, a dead one "
+                 "is debt")
+
+    def check(self, project):
+        env_name = f"{project.package}.env"
+        env = project.modules.get(env_name)
+        knobs, lines = declared_knobs(project)
+        if env is not None and not knobs:
+            yield env.finding(
+                self.code, 1,
+                "env.py declares no literal KNOBS dict; the knob "
+                "registry check cannot run")
+            return
+
+        # 1. Every exact REPRO_* literal resolves to a declared knob.
+        referenced = set()
+        for name, module in sorted(project.modules.items()):
+            if name == env_name:
+                continue
+            for node in ast.walk(module.tree):
+                if not (isinstance(node, ast.Constant)
+                        and isinstance(node.value, str)
+                        and _KNOB_RE.match(node.value)):
+                    continue
+                referenced.add(node.value)
+                if node.value in knobs or self.suppressed(module, node):
+                    continue
+                yield module.finding(
+                    self.code, node,
+                    f"undeclared knob {node.value}: add it to "
+                    f"env.KNOBS (and the README env table) or drop it")
+
+        if env is None:
+            return
+
+        # 2. Declared knobs are documented in the README...
+        readme = project.readme_text()
+        for knob in sorted(knobs):
+            if self.suppressed(env, lines[knob]):
+                continue
+            if f"`{knob}`" not in readme and f"``{knob}``" not in readme:
+                yield env.finding(
+                    self.code, lines[knob],
+                    f"knob {knob} is declared but not documented in "
+                    f"the README env table")
+
+        # 3. ...and referenced by *something* (package, tests,
+        # benchmarks, CI) — otherwise the knob is dead.
+        if not (set(knobs) - referenced):
+            return
+        ref_texts = project.reference_texts()
+        for knob in sorted(set(knobs) - referenced):
+            if self.suppressed(env, lines[knob]):
+                continue
+            if any(knob in text for text in ref_texts):
+                continue
+            yield env.finding(
+                self.code, lines[knob],
+                f"knob {knob} is declared but never referenced "
+                f"(package, tests, benchmarks, CI): dead knob")

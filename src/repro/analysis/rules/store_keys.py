@@ -1,0 +1,111 @@
+"""RPR004 — backend/telemetry identifiers stay out of store keys.
+
+PR 8's contract: ``REPRO_CYCLE_BACKEND`` selects *how* the cycle loop
+executes, never *what* it computes, so the backend name must not reach
+result-store keys — otherwise two machines with different toolchains
+cache the same bits under different keys and the shared store's hit
+rate quietly halves.  The same goes for telemetry state: observability
+must never perturb identity.
+
+Enforced at the AST level in two places:
+
+* modules in the fingerprint closure (see RPR003) may not import
+  ``uarch.core.backends`` or ``telemetry`` at all — the identifiers
+  then simply cannot flow in;
+* any function that *constructs keys* (named ``key``/``legacy_key``/
+  ``trace_key``/``config_fingerprint``/``_canonical``, ending in
+  ``_key``, or containing ``fingerprint``) may not reference a name
+  containing ``backend`` or ``telemetry``, wherever it lives.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import Rule, register
+from .determinism import fingerprint_closure
+from ..project import _resolve_import
+
+__all__ = ["StoreKeyInvariance"]
+
+_KEY_NAMES = ("key", "legacy_key", "trace_key", "config_fingerprint",
+              "_canonical")
+_TAINT = ("backend", "telemetry")
+
+
+def _is_key_function(name):
+    return (name in _KEY_NAMES or name.endswith("_key")
+            or "fingerprint" in name)
+
+
+@register
+class StoreKeyInvariance(Rule):
+    code = "RPR004"
+    name = "store-key-invariance"
+    summary = ("backend/telemetry identifiers must not flow into "
+               "fingerprint or store-key construction")
+    rationale = ("PR 8: every cycle backend is bit-identical, so the "
+                 "backend is not part of the result-store key; leaking "
+                 "it forks the shared cache by toolchain")
+
+    def check(self, project):
+        closure = fingerprint_closure(project)
+        banned_mods = (f"{project.package}.uarch.core.backends",
+                       f"{project.package}.telemetry")
+        for name in sorted(closure):
+            module = project.modules[name]
+            yield from self._check_imports(module, project, banned_mods)
+        for name, module in sorted(project.modules.items()):
+            yield from self._check_key_functions(module)
+
+    def _check_imports(self, module, project, banned_mods):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for imported in _resolve_import(module, node):
+                resolved = imported
+                while resolved and resolved not in project.modules:
+                    resolved = resolved.rpartition(".")[0]
+                if any(resolved == b or resolved.startswith(b + ".")
+                       for b in banned_mods):
+                    if self.suppressed(module, node):
+                        break
+                    yield module.finding(
+                        self.code, node,
+                        f"fingerprint-reachable module imports "
+                        f"{resolved}: backend/telemetry state must not "
+                        f"be importable where keys are built")
+                    break
+
+    def _check_key_functions(self, module):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if not _is_key_function(node.name):
+                continue
+            yield from self._check_one(module, node)
+
+    def _check_one(self, module, func):
+        for node in ast.walk(func):
+            ident = None
+            if isinstance(node, ast.Name):
+                ident = node.id
+            elif isinstance(node, ast.Attribute):
+                ident = node.attr
+            elif isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str) \
+                    and "REPRO_CYCLE_BACKEND" in node.value:
+                ident = node.value
+            if ident is None:
+                continue
+            low = ident.lower()
+            if not any(t in low for t in _TAINT):
+                continue
+            if self.suppressed(module, node):
+                continue
+            yield module.finding(
+                self.code, node,
+                f"identifier {ident!r} referenced inside key "
+                f"constructor {func.name}(): backend/telemetry must "
+                f"not influence store keys")

@@ -1,0 +1,113 @@
+"""RPR007 — span and metric names come from the declared registry.
+
+``repro report`` aggregates journal trees by span name; the
+``/metrics`` endpoint exports families by metric name.  A typo'd or
+improvised name doesn't fail anything — it just fragments the phase
+breakdown into near-duplicate rows, which is exactly the kind of rot
+that's invisible until a dashboard stops summing.  Every *literal*
+name passed to ``telemetry.span()`` / ``counter()`` / ``gauge()`` /
+``histogram()`` must therefore appear in
+:mod:`repro.telemetry.names` (``SPAN_NAMES`` / ``METRIC_NAMES``),
+parsed statically from its literal tuples.
+
+Names passed through variables are out of scope — the registry
+machinery itself (metrics.py, spans.py) forwards parameters, and
+that's fine; the rule gates the call sites where names are minted.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import Rule, register
+
+__all__ = ["TelemetryNaming"]
+
+_SPAN_FUNCS = ("span",)
+_METRIC_FUNCS = ("counter", "gauge", "histogram")
+
+
+def declared_names(project):
+    """(span_names, metric_names) parsed from telemetry/names.py."""
+    mod = project.modules.get(f"{project.package}.telemetry.names")
+    if mod is None:
+        return None, None
+    found = {"SPAN_NAMES": set(), "METRIC_NAMES": set()}
+    for node in mod.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if not (isinstance(target, ast.Name)
+                    and target.id in found):
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List, ast.Set)):
+                for elt in node.value.elts:
+                    if isinstance(elt, ast.Constant) \
+                            and isinstance(elt.value, str):
+                        found[target.id].add(elt.value)
+    return found["SPAN_NAMES"], found["METRIC_NAMES"]
+
+
+@register
+class TelemetryNaming(Rule):
+    code = "RPR007"
+    name = "telemetry-naming"
+    summary = ("literal span/counter/gauge/histogram names must be "
+               "declared in telemetry/names.py")
+    rationale = ("PR 6: repro report and /metrics aggregate by name; "
+                 "an ad-hoc name fragments every phase breakdown "
+                 "silently")
+
+    def check(self, project):
+        names_mod = f"{project.package}.telemetry.names"
+        spans, metrics = declared_names(project)
+        if spans is None:
+            tel = project.modules.get(f"{project.package}.telemetry")
+            if tel is not None:
+                yield tel.finding(
+                    self.code, 1,
+                    "telemetry/names.py with literal SPAN_NAMES/"
+                    "METRIC_NAMES is missing; the naming check "
+                    "cannot run")
+            return
+        for name, module in sorted(project.modules.items()):
+            if name == names_mod:
+                continue
+            yield from self._check_module(module, spans, metrics)
+
+    def _check_module(self, module, spans, metrics):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            kind = self._call_kind(node.func)
+            if kind is None:
+                continue
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)):
+                continue
+            declared = spans if kind == "span" else metrics
+            registry = ("SPAN_NAMES" if kind == "span"
+                        else "METRIC_NAMES")
+            if arg.value in declared or self.suppressed(module, node):
+                continue
+            yield module.finding(
+                self.code, node,
+                f"{kind} name {arg.value!r} is not declared in "
+                f"telemetry/names.py {registry}; undeclared names "
+                f"fragment report/metrics aggregation")
+
+    @staticmethod
+    def _call_kind(func):
+        """'span' | 'metric' | None for this call's function expr."""
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+        elif isinstance(func, ast.Name):
+            attr = func.id
+        else:
+            return None
+        if attr in _SPAN_FUNCS:
+            return "span"
+        if attr in _METRIC_FUNCS:
+            return "metric"
+        return None

@@ -25,7 +25,7 @@ from collections import OrderedDict
 from .. import faults, telemetry
 from ..engine.jobs import JobSpec
 from ..engine.store import ResultStore
-from ..env import env_int, warn_once
+from ..env import env_dir, env_int, user_cache_dir, warn_once
 from ..trace import TraceRequest, workload_trace
 from ..trace.store import TraceStore, store_enabled
 from ..uarch import SimStats, simulate
@@ -56,16 +56,14 @@ def default_cache_dir():
     per-user cache directory (installed packages live in site-packages,
     where walking up from ``__file__`` finds no ``benchmarks/``).
     """
-    env = os.environ.get("REPRO_CACHE_DIR")
+    env = env_dir("REPRO_CACHE_DIR")
     if env:
         return env
     here = os.path.dirname(os.path.abspath(__file__))
     repo_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
     if os.path.isdir(os.path.join(repo_root, "benchmarks")):
         return os.path.join(repo_root, "benchmarks", "_results")
-    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
-        os.path.expanduser("~"), ".cache")
-    return os.path.join(xdg, "repro")
+    return user_cache_dir("repro")
 
 
 class Runner:

@@ -51,8 +51,10 @@ def _canonical(obj):
                 fields[name] = getattr(obj, name)
         return {k: _canonical(v) for k, v in sorted(fields.items())}
     # Last resort: a repr, with any embedded memory address scrubbed so
-    # the fingerprint stays identical across processes.
-    return f"{type(obj).__qualname__}:{_ADDR_RE.sub(' at 0x0', repr(obj))}"
+    # the fingerprint stays identical across processes — the one
+    # sanctioned repr() in the fingerprint closure.
+    return (f"{type(obj).__qualname__}:"
+            f"{_ADDR_RE.sub(' at 0x0', repr(obj))}")  # repro: noqa[RPR003] address-scrubbed
 
 
 def config_fingerprint(config):

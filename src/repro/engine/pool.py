@@ -502,7 +502,9 @@ def _child_entry(conn, store_root, job, attempt, backend):
                     f"{exc.__class__.__name__}: {_error_text(exc)}"))
         conn.send(outcome)
         conn.close()
-    except BaseException:
+    except BaseException:  # repro: noqa[RPR006] worker last resort:
+        # the pipe to the parent is gone, so a nonzero exit code is
+        # the only signal left; the supervisor counts the death.
         code = 1
     os._exit(code)
 
@@ -529,7 +531,9 @@ class _Flight:
                 pass
         try:
             self.proc.join(timeout=1.0)
-        except Exception:
+        except Exception:  # repro: noqa[RPR006] reaping a dying
+            # worker must never raise: the flight is already counted
+            # (retry or quarantine) by the caller.
             pass
         try:
             self.conn.close()

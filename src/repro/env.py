@@ -7,41 +7,12 @@ each bad value is reported **once per process** with a one-line
 message naming the variable, the rejected value, and the documented
 fallback, and the fallback is used.
 
-Knobs and their fallbacks:
-
-=========================== ==================== ======================
-variable                    meaning              fallback when invalid
-=========================== ==================== ======================
-``REPRO_WORKERS``           default pool size    ``1`` (serial)
-``REPRO_BENCH_WORKERS``     benchmark pool size  ``1`` (serial)
-``REPRO_TRACE_MEMO``        per-process trace    ``8``
-                            LRU capacity
-``REPRO_CACHE_MAX_MB``      result-store cap     no cap
-``REPRO_TRACE_CACHE_MAX_MB`` trace-store cap     no cap
-``REPRO_REMOTE_STORE``      shared store URL     no remote tier
-``REPRO_REMOTE_TIMEOUT``    remote I/O timeout   ``10`` seconds
-``REPRO_REMOTE_RETRIES``    remote retries per   ``2``
-                            request
-``REPRO_REMOTE_COOLDOWN``   seconds between      ``30``
-                            re-probes of a down
-                            remote
-``REPRO_JOB_RETRIES``       retries per failed   ``2``
-                            sweep job
-``REPRO_JOB_TIMEOUT``       per-job wall-clock   ``0`` (no timeout)
-                            timeout, seconds
-``REPRO_FAULTS``            fault-injection      no faults
-                            spec(s), see
-                            :mod:`repro.faults`
-``REPRO_TELEMETRY``         spans/metrics switch ``on``
-``REPRO_TELEMETRY_DIR``     run-journal dir      no journals
-``REPRO_CYCLE_BACKEND``     cycle-tier execution ``python``
-                            backend (``python``,
-                            ``numpy``, ``native``)
-``REPRO_STREAMS``           front-end stream     ``on``
-                            precompute switch
-``REPRO_NATIVE_CACHE_DIR``  compiled-kernel .so  per-user temp dir
-                            cache
-=========================== ==================== ======================
+The knob catalogue lives in :data:`KNOBS` — a literal dict so the
+static analyser (:mod:`repro.analysis`, rule RPR002) can read it
+without importing anything.  Every ``REPRO_*`` name the package
+mentions must be a key there *and* appear in the README env table;
+a name in neither is a dead or undocumented knob and fails
+``repro lint``.
 
 ``REPRO_CYCLE_BACKEND`` never changes results or store keys: every
 backend is bit-identical on the configurations it accepts, and a
@@ -54,8 +25,41 @@ from __future__ import annotations
 import os
 import sys
 
-__all__ = ["env_dir", "env_flag", "env_int", "env_float", "env_max_bytes",
-           "env_remote_url", "warn_once"]
+__all__ = ["KNOBS", "env_dir", "env_flag", "env_int", "env_float",
+           "env_max_bytes", "env_remote_url", "env_set", "env_str",
+           "user_cache_dir", "warn_once"]
+
+#: Every environment knob the package reads, with a one-line meaning
+#: and the documented fallback.  Keep this a *literal* dict: rule
+#: RPR002 parses it from the AST, so computed keys would be invisible
+#: to the linter (and therefore flagged wherever they are read).
+KNOBS = {
+    "REPRO_WORKERS": "default pool size (0 = all cores); fallback 1 (serial)",
+    "REPRO_BENCH_WORKERS": "benchmark-harness pool opt-in; fallback unset",
+    "REPRO_TRACE_MEMO": "per-process trace LRU capacity; fallback 8",
+    "REPRO_CACHE_DIR": "result-store directory; fallback auto-detected",
+    "REPRO_CACHE_MAX_MB": "result-store size cap; fallback uncapped",
+    "REPRO_TRACE_CACHE_DIR": "trace-store directory; fallback auto-detected",
+    "REPRO_TRACE_CACHE_MAX_MB": "trace-store size cap; fallback uncapped",
+    "REPRO_TRACE_STORE": "0/off disables the trace store; fallback enabled",
+    "REPRO_REMOTE_STORE": "shared artifact server URL; fallback no remote",
+    "REPRO_REMOTE_TIMEOUT": "remote I/O timeout, seconds; fallback 10",
+    "REPRO_REMOTE_RETRIES": "remote retries per request; fallback 2",
+    "REPRO_REMOTE_COOLDOWN": "seconds between re-probes of a down remote; "
+                             "fallback 30",
+    "REPRO_JOB_RETRIES": "retries per failed sweep job; fallback 2",
+    "REPRO_JOB_TIMEOUT": "per-job wall-clock timeout, seconds; fallback 0 "
+                         "(no timeout)",
+    "REPRO_FAULTS": "fault-injection spec(s), see repro.faults; fallback "
+                    "no faults",
+    "REPRO_TELEMETRY": "spans/metrics switch; fallback on",
+    "REPRO_TELEMETRY_DIR": "run-journal directory; fallback no journals",
+    "REPRO_CYCLE_BACKEND": "cycle-tier execution backend (python, numpy, "
+                           "native); fallback python",
+    "REPRO_STREAMS": "front-end stream precompute switch; fallback on",
+    "REPRO_NATIVE_CACHE_DIR": "compiled-kernel .so cache; fallback "
+                              "per-user temp dir",
+}
 
 _WARNED = set()
 
@@ -149,6 +153,38 @@ def env_dir(name):
     """Directory knob: the configured path, or ``None`` when unset."""
     raw = os.environ.get(name, "").strip()
     return raw or None
+
+
+def env_str(name, default=""):
+    """Raw string knob: the verbatim value, *default* when unset.
+
+    No stripping or validation — the caller owns the parsing (the
+    fault-spec grammar, the backend-name check).  Exists so modules
+    with bespoke grammars still go through one declared accessor
+    instead of touching ``os.environ`` directly (rule RPR001).
+    """
+    return os.environ.get(name, default)
+
+
+def env_set(name, value):
+    """Export a knob override for this process and its forked children.
+
+    The one sanctioned way to *write* a ``REPRO_*`` variable from
+    inside the package (CLI flags like ``--cycle-backend`` export
+    their selection so pool workers inherit it).
+    """
+    os.environ[name] = value
+
+
+def user_cache_dir(*parts):
+    """Per-user cache path: ``$XDG_CACHE_HOME`` (or ``~/.cache``) + parts.
+
+    Centralized here so the ``XDG_CACHE_HOME`` read — like every other
+    environment read — happens in exactly one module.
+    """
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(xdg, *parts)
 
 
 def env_remote_url(name="REPRO_REMOTE_STORE"):

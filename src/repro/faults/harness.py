@@ -55,7 +55,7 @@ import time
 import urllib.error
 
 from .. import telemetry
-from ..env import warn_once
+from ..env import env_str, warn_once
 
 __all__ = [
     "FAULTS_ENV", "FaultSpec", "InjectedFault", "InjectedRemoteError",
@@ -187,7 +187,7 @@ def parse_faults(raw):
 def active():
     """The armed sites, ``{site: FaultSpec}`` (usually empty)."""
     global _CACHE
-    raw = os.environ.get(FAULTS_ENV, "")
+    raw = env_str(FAULTS_ENV)
     if _CACHE is None or _CACHE[0] != raw:
         _CACHE = (raw, parse_faults(raw) if raw.strip() else {})
     return _CACHE[1]

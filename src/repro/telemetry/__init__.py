@@ -22,6 +22,7 @@ from .journal import (DIR_ENV, RunJournal, active_journal, journal_dir,
                       latest_journal, read_journal, scope)
 from .metrics import (REGISTRY, Counter, Gauge, Histogram, MetricsRegistry,
                       counter, gauge, histogram, render_prometheus)
+from .names import METRIC_NAMES, SPAN_NAMES
 from .report import build_report, render_report
 from .spans import Span, current_span, enabled, record_tree, span
 
@@ -30,8 +31,10 @@ __all__ = [
     "DIR_ENV",
     "Gauge",
     "Histogram",
+    "METRIC_NAMES",
     "MetricsRegistry",
     "REGISTRY",
+    "SPAN_NAMES",
     "RunJournal",
     "Span",
     "active_journal",

@@ -106,7 +106,9 @@ class Gauge:
         if self.fn is not None:
             try:
                 return self.fn()
-            except Exception:  # callback gauges must never break a scrape
+            except Exception:  # repro: noqa[RPR006] callback gauges
+                # must never break a scrape; 0 is the documented
+                # value for a failing callback.
                 return 0
         return self.value
 

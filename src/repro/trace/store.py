@@ -48,7 +48,8 @@ import zipfile
 import numpy as np
 
 from .. import faults, telemetry
-from ..env import env_max_bytes, warn_once
+from ..env import env_dir, env_flag, env_max_bytes, user_cache_dir, \
+    warn_once
 from .ops import Trace
 
 __all__ = ["STREAM_SUFFIX", "TRACE_FORMAT_VERSION", "TraceStore",
@@ -86,22 +87,19 @@ def default_trace_dir():
     Priority: ``REPRO_TRACE_CACHE_DIR``, then ``benchmarks/_traces``
     in a source checkout, then a per-user cache directory.
     """
-    env = os.environ.get(DIR_ENV)
+    env = env_dir(DIR_ENV)
     if env:
         return env
     here = os.path.dirname(os.path.abspath(__file__))
     repo_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
     if os.path.isdir(os.path.join(repo_root, "benchmarks")):
         return os.path.join(repo_root, "benchmarks", "_traces")
-    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
-        os.path.expanduser("~"), ".cache")
-    return os.path.join(xdg, "repro", "traces")
+    return user_cache_dir("repro", "traces")
 
 
 def store_enabled():
     """False when ``REPRO_TRACE_STORE`` is set to 0/false/off."""
-    return os.environ.get(ENABLE_ENV, "").strip().lower() not in (
-        "0", "false", "off", "no")
+    return env_flag(ENABLE_ENV, default=True)
 
 
 def _mmap_npz_column(path, info):

@@ -26,7 +26,7 @@ bits under the same key.
 
 from __future__ import annotations
 
-from ....env import warn_once
+from ....env import env_str, warn_once
 
 __all__ = ["BACKEND_ENV", "BACKEND_NAMES", "DEFAULT_BACKEND",
            "available_backends", "backend_from_env", "best_backend",
@@ -67,9 +67,7 @@ def backend_from_env():
     An unknown value warns once and falls back to the default, matching
     the forgiving contract of every other ``REPRO_*`` knob.
     """
-    import os
-
-    raw = os.environ.get(BACKEND_ENV, "").strip().lower()
+    raw = env_str(BACKEND_ENV).strip().lower()
     if not raw:
         return DEFAULT_BACKEND
     if raw not in _REGISTRY:

@@ -32,6 +32,7 @@ import tempfile
 from collections import deque
 from ctypes import c_longlong, c_void_p
 
+from ....env import env_dir
 from ....trace.ops import BRANCH, LOAD, PAUSE, STORE
 from ..state import KIND_KEY_LIST
 from .numpy_ev import _BLOCK_NAMES, _FS_NAMES
@@ -80,7 +81,7 @@ def _find_compiler():
 
 
 def _cache_dir():
-    explicit = os.environ.get("REPRO_NATIVE_CACHE_DIR")
+    explicit = env_dir("REPRO_NATIVE_CACHE_DIR")
     if explicit:
         return explicit
     uid = os.getuid() if hasattr(os, "getuid") else "na"
@@ -127,7 +128,9 @@ def _load_library():
                     tail[-1] if tail else f"exit {proc.returncode}")
                 return None
             os.replace(tmp, so_path)  # atomic under concurrent builders
-        except Exception as exc:
+        except Exception as exc:  # repro: noqa[RPR006] not silent:
+            # the failure is recorded in _build_error and surfaced by
+            # select_backend's warn_once when the backend is requested.
             _build_error = f"compile failed: {exc}"
             return None
     try:

@@ -19,6 +19,7 @@ implementations; ``tests/test_streams.py`` and
 
 from __future__ import annotations
 
+from ... import telemetry
 from ..stats import SimStats
 from . import backends as cycle_backends
 from .commit import Commit
@@ -62,7 +63,13 @@ class CycleCore:
                     streams = get_streams(trace, config, warm=warm)
                 except Exception:
                     # Machinery this pass cannot fingerprint (custom
-                    # cache/predictor variants): per-op fallback.
+                    # cache/predictor variants): per-op fallback,
+                    # counted so a sweep that silently lost the
+                    # stream speedup is visible in /metrics.
+                    telemetry.counter(
+                        "repro_stream_fallbacks_total",
+                        help="Stream precompute failures that fell "
+                             "back to the per-op front end.").inc()
                     streams = None
         elif not streams:
             streams = None

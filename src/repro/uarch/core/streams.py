@@ -49,6 +49,7 @@ import os
 
 import numpy as np
 
+from ...env import env_flag
 from ...trace.ops import BRANCH, LOAD, STORE
 from ...trace.store import STREAM_SUFFIX
 from ..branch import make_predictor
@@ -68,8 +69,7 @@ STREAM_FORMAT_VERSION = 1
 
 def streams_enabled():
     """False when ``REPRO_STREAMS`` is set to 0/false/off."""
-    return os.environ.get(STREAMS_ENV, "").strip().lower() not in (
-        "0", "false", "off", "no")
+    return env_flag(STREAMS_ENV, default=True)
 
 
 def _iside_key(config, warm):

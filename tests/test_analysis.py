@@ -1,0 +1,492 @@
+"""repro.analysis: per-rule fixtures, baseline semantics, CLI contract.
+
+Each rule gets a violating and a clean fixture built as a tiny on-disk
+repo tree (``src/repro`` layout, KNOBS registry, telemetry names,
+README), so the tests exercise the real load-parse-check path rather
+than hand-built ASTs.  The suite also pins the parts CI consumes: exit
+codes, the ``--json`` schema, shrink-only baseline semantics, and the
+self-check that the shipped tree lints clean with an empty baseline.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    RULES,
+    lint_result,
+    partition,
+    run_lint,
+)
+from repro.analysis.autofix import fix_module
+from repro.analysis.cli import main as lint_main
+from repro.__main__ import main as repro_main
+
+
+# ----------------------------------------------------------------------
+# Fixture repo: the smallest tree that satisfies every rule.
+
+BASE_FILES = {
+    "README.md": textwrap.dedent("""\
+        # fixture
+
+        | Knob | Meaning |
+        |---|---|
+        | `REPRO_WORKERS` | worker process count |
+        """),
+    "src/repro/__init__.py": "",
+    "src/repro/env.py": textwrap.dedent("""\
+        import os
+
+        KNOBS = {
+            "REPRO_WORKERS": "worker process count",
+        }
+
+
+        def env_str(name, default=""):
+            return os.environ.get(name, default)
+        """),
+    "src/repro/telemetry/__init__.py":
+        "from .names import METRIC_NAMES, SPAN_NAMES\n",
+    "src/repro/telemetry/names.py": textwrap.dedent("""\
+        SPAN_NAMES = ("job",)
+        METRIC_NAMES = ("repro_jobs_total",)
+        """),
+    "src/repro/engine/__init__.py": "",
+    "src/repro/engine/jobs.py": textwrap.dedent("""\
+        from ..env import env_str
+
+        WORKERS_ENV = "REPRO_WORKERS"
+
+
+        def config_fingerprint(config):
+            return ",".join(sorted(config)) + env_str(WORKERS_ENV)
+        """),
+    "src/repro/engine/pool.py": "def run_pool():\n    return 0\n",
+    "src/repro/uarch/__init__.py": "",
+    "src/repro/uarch/config.py": "WIDTH = 4\n",
+}
+
+
+def write_tree(root, files):
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+
+
+@pytest.fixture
+def repo(tmp_path):
+    write_tree(tmp_path, BASE_FILES)
+    return tmp_path
+
+
+def lint(root, select=None):
+    _project, findings = run_lint(str(root), select=select)
+    return findings
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+# ----------------------------------------------------------------------
+# The base fixture is clean; every violation below is one mutation.
+
+def test_base_fixture_is_clean(repo):
+    assert lint(repo) == []
+
+
+def test_unparsable_module_reports_rpr000(repo):
+    (repo / "src/repro/broken.py").write_text("def oops(:\n")
+    findings = lint(repo)
+    assert codes(findings) == ["RPR000"]
+    assert findings[0].path == "src/repro/broken.py"
+
+
+# One (name, extra/overridden files, expected code, message fragment)
+# row per rule — the seeded-violation half of the acceptance criteria.
+VIOLATIONS = [
+    ("rpr001-environ-get", {
+        "src/repro/misc.py":
+            'import os\n\nVAL = os.environ.get("REPRO_WORKERS", "")\n',
+    }, "RPR001", "direct environment access"),
+    ("rpr001-from-import", {
+        "src/repro/misc.py":
+            "from os import environ\n\nVAL = environ\n",
+    }, "RPR001", "direct environment access"),
+    ("rpr002-undeclared", {
+        "src/repro/misc.py": 'SECRET_ENV = "REPRO_SECRET"\n',
+    }, "RPR002", "undeclared knob REPRO_SECRET"),
+    ("rpr002-undocumented", {
+        "src/repro/env.py": textwrap.dedent("""\
+            import os
+
+            KNOBS = {
+                "REPRO_WORKERS": "worker process count",
+                "REPRO_EXTRA": "declared but not in the README",
+            }
+
+
+            def env_str(name, default=""):
+                return os.environ.get(name, default)
+            """),
+        "src/repro/misc.py": 'EXTRA_ENV = "REPRO_EXTRA"\n',
+    }, "RPR002", "not documented in the README"),
+    ("rpr002-dead", {
+        "README.md": "`REPRO_WORKERS` and `REPRO_DEAD`\n",
+        "src/repro/env.py": textwrap.dedent("""\
+            import os
+
+            KNOBS = {
+                "REPRO_WORKERS": "worker process count",
+                "REPRO_DEAD": "documented, never referenced",
+            }
+
+
+            def env_str(name, default=""):
+                return os.environ.get(name, default)
+            """),
+    }, "RPR002", "dead knob"),
+    ("rpr003-wall-clock", {
+        "src/repro/engine/jobs.py": textwrap.dedent("""\
+            import time
+
+            WORKERS_ENV = "REPRO_WORKERS"
+
+
+            def config_fingerprint(config):
+                return str(time.time())
+            """),
+    }, "RPR003", "time.time() is nondeterministic"),
+    ("rpr003-repr", {
+        "src/repro/engine/jobs.py": textwrap.dedent("""\
+            WORKERS_ENV = "REPRO_WORKERS"
+
+
+            def config_fingerprint(config):
+                return repr(config)
+            """),
+    }, "RPR003", "process-dependent"),
+    ("rpr003-set-order", {
+        "src/repro/engine/jobs.py": textwrap.dedent("""\
+            WORKERS_ENV = "REPRO_WORKERS"
+
+
+            def config_fingerprint(config):
+                return ",".join({str(k) for k in config})
+            """),
+    }, "RPR003", "arbitrary order"),
+    ("rpr004-telemetry-import", {
+        "src/repro/engine/jobs.py": textwrap.dedent("""\
+            from .. import telemetry
+
+            WORKERS_ENV = "REPRO_WORKERS"
+
+
+            def config_fingerprint(config):
+                return "x"
+            """),
+    }, "RPR004", "imports repro.telemetry"),
+    ("rpr004-backend-in-key", {
+        "src/repro/misc.py": textwrap.dedent("""\
+            def store_key(job):
+                return job.backend_name
+            """),
+    }, "RPR004", "key constructor store_key()"),
+    ("rpr005-module-thread", {
+        "src/repro/engine/pool.py": textwrap.dedent("""\
+            import threading
+
+            _watchdog = threading.Thread(target=list)
+            _watchdog.start()
+            """),
+    }, "RPR005", "module-level"),
+    ("rpr005-module-open", {
+        "src/repro/engine/pool.py":
+            '_log = open("/tmp/fixture-pool.log", "a")\n',
+    }, "RPR005", "module-level open()"),
+    ("rpr006-silent-swallow", {
+        "src/repro/misc.py": textwrap.dedent("""\
+            def load(path):
+                try:
+                    return int(path)
+                except Exception:
+                    pass
+                return 0
+            """),
+    }, "RPR006", "silently swallows"),
+    ("rpr006-bare-except", {
+        "src/repro/misc.py": textwrap.dedent("""\
+            def load(path):
+                try:
+                    return int(path)
+                except:
+                    return 0
+            """),
+    }, "RPR006", "bare except"),
+    ("rpr007-undeclared-metric", {
+        "src/repro/misc.py": textwrap.dedent("""\
+            def bump(registry):
+                registry.counter("repro_bogus_total").inc()
+            """),
+    }, "RPR007", "not declared in telemetry/names.py"),
+    ("rpr007-undeclared-span", {
+        "src/repro/misc.py": textwrap.dedent("""\
+            def traced(telemetry, fn):
+                with telemetry.span("bogus-span"):
+                    return fn()
+            """),
+    }, "RPR007", "not declared in telemetry/names.py"),
+]
+
+
+@pytest.mark.parametrize(
+    "files,code,fragment",
+    [v[1:] for v in VIOLATIONS],
+    ids=[v[0] for v in VIOLATIONS])
+def test_seeded_violation_is_caught(repo, files, code, fragment):
+    write_tree(repo, files)
+    findings = lint(repo)
+    assert codes(findings) == [code]
+    assert any(fragment in f.message for f in findings)
+    # ...and the CLI exits non-zero on it.
+    assert lint_main(["--root", str(repo)]) == 1
+
+
+def test_function_local_thread_and_handled_except_are_clean(repo):
+    # The clean counterparts of RPR005/RPR006: per-call threads and a
+    # broad handler that acts (calls something) are both fine.
+    write_tree(repo, {
+        "src/repro/engine/pool.py": textwrap.dedent("""\
+            import threading
+
+
+            def run_pool(target):
+                worker = threading.Thread(target=target)
+                worker.start()
+                return worker
+            """),
+        "src/repro/misc.py": textwrap.dedent("""\
+            def load(path, warn):
+                try:
+                    return int(path)
+                except Exception as exc:
+                    warn(str(exc))
+                return 0
+            """),
+    })
+    assert lint(repo) == []
+
+
+def test_nondeterminism_outside_fingerprint_closure_is_clean(repo):
+    # time.time() is only banned where fingerprint bytes can flow;
+    # a module the seeds never import may use it freely.
+    write_tree(repo, {
+        "src/repro/misc.py":
+            "import time\n\n\ndef stamp():\n    return time.time()\n",
+    })
+    assert lint(repo) == []
+
+
+def test_noqa_suppresses_on_the_flagged_line(repo):
+    write_tree(repo, {
+        "src/repro/misc.py":
+            'import os\n\nVAL = os.environ.get("REPRO_WORKERS")'
+            "  # repro: noqa[RPR001] bootstrap read\n",
+    })
+    assert lint(repo) == []
+
+
+def test_noqa_other_code_does_not_suppress(repo):
+    write_tree(repo, {
+        "src/repro/misc.py":
+            'import os\n\nVAL = os.environ.get("REPRO_WORKERS")'
+            "  # repro: noqa[RPR006] wrong code\n",
+    })
+    assert codes(lint(repo)) == ["RPR001"]
+
+
+def test_select_restricts_rules(repo):
+    write_tree(repo, {
+        "src/repro/misc.py":
+            'import os\n\nVAL = os.environ.get("REPRO_WORKERS")\n',
+    })
+    assert lint(repo, select={"RPR006"}) == []
+    assert codes(lint(repo, select={"RPR001"})) == ["RPR001"]
+
+
+# ----------------------------------------------------------------------
+# Baseline: line-independent identity, shrink-only rewrites.
+
+VIOLATING_MISC = ('import os\n\n'
+                  'VAL = os.environ.get("REPRO_WORKERS", "")\n')
+
+
+def test_baselined_finding_does_not_fail(repo):
+    write_tree(repo, {"src/repro/misc.py": VIOLATING_MISC})
+    _project, findings = run_lint(str(repo))
+    baseline = Baseline.load(str(repo))
+    baseline.save(findings)
+    new, baselined, stale = partition(findings, baseline)
+    assert new == [] and len(baselined) == 1 and stale == []
+    assert lint_main(["--root", str(repo)]) == 0
+
+
+def test_baseline_survives_unrelated_edits(repo):
+    write_tree(repo, {"src/repro/misc.py": VIOLATING_MISC})
+    _project, findings = run_lint(str(repo))
+    baseline = Baseline.load(str(repo))
+    baseline.save(findings)
+    # Push the violation down two lines: same fingerprint, new lineno.
+    write_tree(repo, {
+        "src/repro/misc.py": "# moved\n# moved again\n" + VIOLATING_MISC,
+    })
+    _project, findings = run_lint(str(repo))
+    new, baselined, stale = partition(findings, baseline)
+    assert new == [] and len(baselined) == 1
+    assert baselined[0].line > 3
+
+
+def test_fixed_finding_is_pruned_and_not_rebaselineable(repo):
+    write_tree(repo, {"src/repro/misc.py": VIOLATING_MISC})
+    _project, findings = run_lint(str(repo))
+    baseline = Baseline.load(str(repo))
+    baseline.save(findings)
+    fingerprint = findings[0].fingerprint
+
+    # Fix the violation: the entry goes stale...
+    write_tree(repo, {"src/repro/misc.py": "VAL = ''\n"})
+    _project, findings = run_lint(str(repo))
+    new, baselined, stale = partition(findings, baseline)
+    assert findings == [] and len(stale) == 1
+    # ...and a --baseline rewrite prunes it (shrink-only: saves only
+    # live findings, never resurrects entries).
+    baseline.save(findings)
+    assert baseline.entries == {}
+    reloaded = Baseline.load(str(repo))
+    assert fingerprint not in reloaded.entries
+
+    # Reintroducing the same violation is a fresh failure.
+    write_tree(repo, {"src/repro/misc.py": VIOLATING_MISC})
+    _project, findings = run_lint(str(repo))
+    new, _baselined, _stale = partition(findings, reloaded)
+    assert len(new) == 1 and new[0].fingerprint == fingerprint
+    assert lint_main(["--root", str(repo)]) == 1
+
+
+def test_missing_baseline_file_is_empty(repo):
+    baseline = Baseline.load(str(repo))
+    assert baseline.entries == {}
+
+
+def test_finding_identity_excludes_line():
+    a = Finding("RPR001", "src/repro/x.py", 3, "msg")
+    b = Finding("RPR001", "src/repro/x.py", 99, "msg")
+    c = Finding("RPR002", "src/repro/x.py", 3, "msg")
+    assert a == b and a.fingerprint == b.fingerprint
+    assert a != c
+
+
+# ----------------------------------------------------------------------
+# CLI contract: exit codes, --json schema, --baseline, repro lint.
+
+def test_cli_exit_codes(repo, capsys):
+    assert lint_main(["--root", str(repo)]) == 0
+    write_tree(repo, {"src/repro/misc.py": VIOLATING_MISC})
+    assert lint_main(["--root", str(repo)]) == 1
+    assert lint_main(["--root", str(repo), "--select", "RPR999"]) == 2
+    assert lint_main(["--root", str(repo), "--select", "RPR006"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_json_schema(repo, capsys):
+    write_tree(repo, {"src/repro/misc.py": VIOLATING_MISC})
+    rc = lint_main(["--root", str(repo), "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert doc["version"] == 1
+    assert sorted(doc) == ["baselined", "counts", "new", "ok", "root",
+                           "rules", "stale_baseline", "version"]
+    assert sorted(doc["rules"]) == sorted(RULES)
+    for code, entry in doc["rules"].items():
+        assert entry["name"] and entry["summary"]
+    assert doc["counts"] == {"new": 1, "baselined": 0,
+                             "stale_baseline": 0}
+    assert doc["ok"] is False
+    (finding,) = doc["new"]
+    assert sorted(finding) == ["code", "fingerprint", "line",
+                               "message", "path"]
+    assert finding["code"] == "RPR001"
+    assert finding["path"] == "src/repro/misc.py"
+
+
+def test_cli_baseline_flag_writes_and_greens(repo, capsys):
+    write_tree(repo, {"src/repro/misc.py": VIOLATING_MISC})
+    assert lint_main(["--root", str(repo), "--baseline"]) == 0
+    assert (repo / "lint-baseline.json").exists()
+    assert lint_main(["--root", str(repo)]) == 0
+    capsys.readouterr()
+
+
+def test_repro_lint_subcommand_forwards(repo, capsys):
+    assert repro_main(["lint", "--root", str(repo)]) == 0
+    write_tree(repo, {"src/repro/misc.py": VIOLATING_MISC})
+    assert repro_main(["lint", "--root", str(repo)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out
+
+
+# ----------------------------------------------------------------------
+# --fix: the mechanical os.environ.get -> env_str rewrite.
+
+def test_fix_rewrites_declared_literal_get(repo, capsys):
+    write_tree(repo, {"src/repro/misc.py": VIOLATING_MISC})
+    assert lint_main(["--root", str(repo), "--fix"]) == 0
+    fixed = (repo / "src/repro/misc.py").read_text()
+    assert 'env_str("REPRO_WORKERS", "")' in fixed
+    assert "from repro.env import env_str" in fixed
+    assert "os.environ" not in fixed
+    assert lint(repo) == []
+    capsys.readouterr()
+
+
+def test_fix_skips_undeclared_knob(repo, capsys):
+    source = 'import os\n\nVAL = os.environ.get("REPRO_SECRET")\n'
+    write_tree(repo, {"src/repro/misc.py": source})
+    # Undeclared: a human must name and document the knob first, so
+    # --fix leaves the site alone and the run still fails.
+    assert lint_main(["--root", str(repo), "--fix"]) == 1
+    assert (repo / "src/repro/misc.py").read_text() == source
+    capsys.readouterr()
+
+
+def test_fix_skips_non_literal_and_non_repro_reads(repo):
+    source = textwrap.dedent("""\
+        import os
+
+        A = os.environ.get(NAME)
+        B = os.environ.get("HOME")
+        """)
+    write_tree(repo, {"src/repro/misc.py": source})
+    project, _findings = run_lint(str(repo))
+    module = project.modules["repro.misc"]
+    assert fix_module(module, {"REPRO_WORKERS": 1}, "repro") is None
+
+
+# ----------------------------------------------------------------------
+# Self-check: the tree this test suite ships in lints clean.
+
+def test_shipped_tree_reports_no_new_findings():
+    result = lint_result()
+    assert result.new == [], "\n".join(
+        f.render() for f in result.new)
+
+
+def test_shipped_baseline_is_empty():
+    result = lint_result()
+    assert result.baselined == [] and result.stale == []
+    assert result.findings == []
